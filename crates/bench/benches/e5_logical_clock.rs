@@ -1,0 +1,116 @@
+//! E5 — logical-clock consistency across nodes (§5.2, §6.1).
+//!
+//! Paper: each node keeps a delta from real time; when the program resumes
+//! from a breakpoint every agent folds its own halt duration into its
+//! delta. "The logical times at each node of a program being debugged
+//! should be almost the same" and the debugger's breakpoint log "will be
+//! almost the same as the logical time deltas at all nodes."
+//!
+//! The harness runs a cohort through several halts of different lengths
+//! and compares: per-node deltas, their spread, the breakpoint-log total,
+//! and the user program's view (time must never jump).
+
+use pilgrim::{SimDuration, SimTime, Value, World};
+use pilgrim_bench::{fmt_us, verdict, Table};
+
+const PROGRAM: &str = "\
+% Ticks every 100ms and records the logical interval it observed.
+ticker = proc (count: int)
+ prev: int := now()
+ for i: int := 1 to count do
+  sleep(100)
+  t: int := now()
+  print(int$unparse(t - prev))
+  prev := t
+ end
+end";
+
+fn main() {
+    let nodes = 4u32;
+    let halts_ms = [500u64, 1_500, 250, 3_000];
+
+    let mut w = World::builder()
+        .nodes(nodes)
+        .program(PROGRAM)
+        .build()
+        .expect("world");
+    w.debug_connect(&(0..nodes).collect::<Vec<_>>(), false)
+        .expect("connect");
+    for n in 0..nodes {
+        w.spawn(n, "ticker", vec![Value::Int(60)]);
+    }
+    w.run_for(SimDuration::from_millis(350));
+
+    for (i, h) in halts_ms.iter().enumerate() {
+        w.debug_halt_all(i as u32 % nodes).expect("halt");
+        w.run_for(SimDuration::from_millis(*h));
+        w.debug_resume_all().expect("resume");
+        w.run_for(SimDuration::from_millis(400));
+    }
+    w.run_until_idle(w.now() + SimDuration::from_secs(30));
+
+    let mut table = Table::new(
+        "E5: per-node logical-clock deltas after four halts (§5.2)",
+        "deltas agree across nodes to within the halt-broadcast spread; \
+         the breakpoint log matches them",
+    )
+    .headers([
+        "node",
+        "delta",
+        "vs log total",
+        "max tick observed",
+        "verdict",
+    ]);
+
+    let log_total = w
+        .debugger()
+        .unwrap()
+        .log()
+        .borrow()
+        .total_halted(w.now())
+        .as_micros();
+    let mut deltas = Vec::new();
+    let mut all_ok = true;
+    for n in 0..nodes {
+        let delta = w.node(n).delta().as_micros();
+        deltas.push(delta);
+        // The program's own view: every observed interval stays ~100 ms —
+        // the halts (up to 3 s!) are invisible.
+        let max_tick: i64 = w
+            .console(n)
+            .iter()
+            .filter_map(|s| s.parse::<i64>().ok())
+            .max()
+            .unwrap_or(0);
+        let ok = delta.abs_diff(log_total) < 100_000 && max_tick < 200;
+        all_ok &= ok;
+        table.row([
+            format!("node{n}"),
+            fmt_us(delta),
+            format!("{:+}us", delta as i64 - log_total as i64),
+            format!("{max_tick}ms"),
+            verdict(ok).to_string(),
+        ]);
+    }
+    table.print();
+
+    let spread = deltas.iter().max().unwrap() - deltas.iter().min().unwrap();
+    let total: u64 = halts_ms.iter().sum::<u64>() * 1_000;
+    println!("\nbreakpoint-log total halted: {}", fmt_us(log_total));
+    println!("requested halt time:         {}", fmt_us(total));
+    println!(
+        "cross-node delta spread:     {} (halt-broadcast serialization)",
+        fmt_us(spread)
+    );
+    assert!(all_ok);
+    assert!(
+        spread < 50_000,
+        "spread must stay within the broadcast window"
+    );
+    assert!(
+        log_total >= total,
+        "log covers at least the requested halts"
+    );
+    let _ = SimTime::ZERO;
+    println!("\nE5 complete.");
+}

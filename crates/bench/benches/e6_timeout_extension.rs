@@ -1,0 +1,161 @@
+//! E6 — server timeout-extension strategies (§6.1–6.2, Figures 3 and 4).
+//!
+//! A client refreshes an AOTMan TUID (2 s lifetime) every second; midway
+//! the debugger halts the client for 5 s. The table compares the paper's
+//! strategies on both axes the paper discusses:
+//!
+//! * correctness — does the breakpointed client keep its TUID?
+//! * cost — Figure 3 "has the disadvantage that an invocation of
+//!   get_debuggee_status on the client is required at the start of every
+//!   timeout, even when that client is not being debugged"; Figure 4
+//!   "avoids this work unless the timeout does expire" but then calls both
+//!   support procedures.
+
+use pilgrim::{SimDuration, Value, World};
+use pilgrim_bench::{verdict, Table};
+use pilgrim_services::{AotConfig, AotMan, StrategyStats, TimeoutStrategy};
+
+const CLIENT: &str = "\
+extern aot_issue = proc () returns (int, int)
+extern aot_refresh = proc (t: int) returns (bool)
+extern aot_check = proc (t: int) returns (bool)
+main = proc (svc: int, count: int, interval: int)
+ t: int := 0
+ life: int := 0
+ t, life := call aot_issue() at svc
+ for i: int := 1 to count do
+  sleep(interval)
+  ok: bool := call aot_refresh(t) at svc
+  if ~ok then
+   print(\"revoked\")
+   return
+  end
+ end
+ valid: bool := call aot_check(t) at svc
+ if valid then
+  print(\"survived\")
+ else
+  print(\"lost\")
+ end
+end";
+
+fn run(strategy: TimeoutStrategy, halt_ms: u64, debugged: bool) -> (String, StrategyStats) {
+    let mut w = World::builder()
+        .nodes(2)
+        .program(CLIENT)
+        .build()
+        .expect("world");
+    let aot = AotMan::install(
+        &mut w,
+        1,
+        AotConfig {
+            lifetime: SimDuration::from_secs(2),
+            strategy,
+            ..Default::default()
+        },
+    );
+    if debugged {
+        w.debug_connect(&[0], false).expect("connect");
+    }
+    w.spawn(
+        0,
+        "main",
+        vec![Value::Int(1), Value::Int(8), Value::Int(1000)],
+    );
+    w.run_for(SimDuration::from_millis(2_500));
+    if halt_ms > 0 {
+        w.debug_halt_all(0).expect("halt");
+        w.run_for(SimDuration::from_millis(halt_ms));
+        w.debug_resume_all().expect("resume");
+    }
+    w.run_until_idle(w.now() + SimDuration::from_secs(40));
+    let outcome = w
+        .console(0)
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "hung".into());
+    (outcome, aot.stats())
+}
+
+fn main() {
+    let strategies = [
+        TimeoutStrategy::Naive,
+        TimeoutStrategy::IgnoreWhileDebugged,
+        TimeoutStrategy::StatusOnly,
+        TimeoutStrategy::StatusAndConvert,
+    ];
+
+    // Scenario A: client halted 5 s mid-session (the debugging case).
+    let mut a = Table::new(
+        "E6a: TUID fate when the client is halted 5s mid-session (Figs 3/4)",
+        "naive revokes; every debug-aware strategy extends by the halted time",
+    )
+    .headers([
+        "strategy",
+        "outcome",
+        "status calls",
+        "convert calls",
+        "extensions",
+        "verdict",
+    ]);
+    for s in strategies {
+        let (outcome, stats) = run(s, 5_000, true);
+        let expect_survive = s != TimeoutStrategy::Naive;
+        let ok = (outcome == "survived") == expect_survive;
+        a.row([
+            s.to_string(),
+            outcome,
+            stats.status_calls.to_string(),
+            stats.convert_calls.to_string(),
+            stats.extensions.to_string(),
+            verdict(ok).to_string(),
+        ]);
+    }
+    a.print();
+
+    // Scenario B: nobody is debugging — the overhead comparison the paper
+    // makes between Figures 3 and 4.
+    let mut b = Table::new(
+        "E6b: support-procedure cost when the client is NOT being debugged",
+        "Fig 3 pays one status call per timeout episode even when idle; \
+         Fig 4 pays only on expiry",
+    )
+    .headers([
+        "strategy",
+        "outcome",
+        "status calls",
+        "convert calls",
+        "verdict",
+    ]);
+    let mut fig3_calls = 0;
+    let mut fig4_calls = 0;
+    for s in [
+        TimeoutStrategy::StatusOnly,
+        TimeoutStrategy::StatusAndConvert,
+    ] {
+        let (outcome, stats) = run(s, 0, false);
+        if s == TimeoutStrategy::StatusOnly {
+            fig3_calls = stats.status_calls;
+        } else {
+            fig4_calls = stats.status_calls;
+        }
+        let ok = match s {
+            TimeoutStrategy::StatusOnly => stats.status_calls >= 8,
+            _ => stats.status_calls <= 1,
+        } && outcome == "survived";
+        b.row([
+            s.to_string(),
+            outcome,
+            stats.status_calls.to_string(),
+            stats.convert_calls.to_string(),
+            verdict(ok).to_string(),
+        ]);
+    }
+    b.print();
+    println!(
+        "\nFig 3 made {fig3_calls} status calls for 8 refresh episodes; Fig 4 made \
+         {fig4_calls} — the trade-off of §6.2, reproduced."
+    );
+    assert!(fig3_calls >= 8 && fig4_calls <= 1);
+    println!("\nE6 complete.");
+}

@@ -1,0 +1,125 @@
+//! E7 — the dormant agent imposes no overhead (§1, §3).
+//!
+//! Paper: "any debugging support included in the object program must not
+//! adversely affect the program's performance when it is not under control
+//! of the debugger" — the whole reason programmers can leave the agent
+//! linked in once "all the bugs are out".
+//!
+//! The harness times a CPU+RPC workload in four configurations: no agent
+//! at all; agent linked but dormant; debugger connected but idle; and (as
+//! the one deliberate cost of debuggability) the permanent §4.3 RPC
+//! instrumentation removed.
+
+use pilgrim::{RpcConfig, SimDuration, SimTime, Value, World};
+use pilgrim_bench::{fmt_us, verdict, Table};
+
+const PROGRAM: &str = "\
+work = proc (n: int) returns (int)
+ t: int := 0
+ for i: int := 1 to n do
+  t := t + i * i
+ end
+ return (t)
+end
+main = proc (iters: int)
+ acc: int := 0
+ for i: int := 1 to iters do
+  acc := acc + work(200)
+  r: int := call work(50) at 1
+  acc := acc + r
+ end
+ print(int$unparse(acc))
+ print(int$unparse(now()))
+end";
+
+/// Runs the workload and returns (output, finish time in logical ms,
+/// mean RPC latency µs).
+fn run(agents: bool, connect: bool, rpc_debug: bool) -> (String, i64, u64) {
+    let mut w = World::builder()
+        .nodes(2)
+        .program(PROGRAM)
+        .agents(agents)
+        .rpc(RpcConfig {
+            debug_support: rpc_debug,
+            ..Default::default()
+        })
+        .build()
+        .expect("world");
+    if connect {
+        w.debug_connect(&[0, 1], false).expect("connect");
+    }
+    // Spawn at a fixed instant so finish times are comparable across
+    // configurations regardless of how long connecting took.
+    w.run_until(SimTime::from_millis(50));
+    w.spawn(0, "main", vec![Value::Int(20)]);
+    w.run_until_idle(SimTime::from_secs(120));
+    let out = w.console(0);
+    let acc = out.first().cloned().unwrap_or_default();
+    let finished: i64 = out.get(1).and_then(|s| s.parse().ok()).unwrap_or(-1);
+    (
+        acc,
+        finished,
+        w.endpoint(0).stats().mean_latency().as_micros(),
+    )
+}
+
+fn main() {
+    let (acc_none, t_none, rpc_none) = run(false, false, true);
+    let (acc_dormant, t_dormant, rpc_dormant) = run(true, false, true);
+    let (acc_idle, t_idle, rpc_idle) = run(true, true, true);
+    let (acc_strip, t_strip, rpc_strip) = run(false, false, false);
+
+    let mut table = Table::new(
+        "E7: workload cost vs debugging support present (§1, §3)",
+        "dormant agent: no overhead; connected-but-idle debugger: no overhead; \
+         the only permanent cost is the §4.3 RPC instrumentation (~400us/call)",
+    )
+    .headers([
+        "configuration",
+        "result",
+        "finished at",
+        "mean RPC",
+        "verdict",
+    ]);
+
+    table.row([
+        "no agent, no debugger".to_string(),
+        acc_none.clone(),
+        format!("{t_none}ms"),
+        fmt_us(rpc_none),
+        "baseline".to_string(),
+    ]);
+    table.row([
+        "agent linked, dormant".to_string(),
+        acc_dormant.clone(),
+        format!("{t_dormant}ms"),
+        fmt_us(rpc_dormant),
+        verdict(acc_dormant == acc_none && t_dormant == t_none).to_string(),
+    ]);
+    table.row([
+        "debugger connected, idle".to_string(),
+        acc_idle.clone(),
+        format!("{t_idle}ms"),
+        fmt_us(rpc_idle),
+        verdict(acc_idle == acc_none && t_idle == t_none).to_string(),
+    ]);
+    table.row([
+        "RPC debug support stripped".to_string(),
+        acc_strip.clone(),
+        format!("{t_strip}ms"),
+        fmt_us(rpc_strip),
+        verdict(rpc_none - rpc_strip == 400).to_string(),
+    ]);
+    table.print();
+
+    assert_eq!(acc_dormant, acc_none);
+    assert_eq!(t_dormant, t_none, "dormant agent must not perturb timing");
+    assert_eq!(t_idle, t_none, "idle debugger must not perturb timing");
+    assert_eq!(
+        rpc_none - rpc_strip,
+        400,
+        "the 400us is the only permanent cost"
+    );
+    let _ = SimDuration::ZERO;
+    println!("\nE7 complete.");
+}

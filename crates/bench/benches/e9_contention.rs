@@ -1,0 +1,116 @@
+//! E9 — resource contention with other users (§6.2).
+//!
+//! Paper: extending a debugged client's resource timeout "may be wrong if
+//! the resource is very scarce and other clients require it. ... A simpler
+//! approach has the server extending a timeout on some resource allocation
+//! until a client, not under control of the same debugger, requests the
+//! resource. At that point the resource is reclaimed and reallocated."
+//!
+//! Client 0 (debugged, halted) holds the only machine; client 2 asks for
+//! one. The table compares the plain extension policy against the
+//! reclaim-on-contention refinement.
+
+use pilgrim::{SimDuration, Value, World};
+use pilgrim_bench::{verdict, Table};
+use pilgrim_services::{ResourceManager, RmConfig, RmEvent, TimeoutStrategy};
+
+const CLIENT: &str = "\
+extern rm_request = proc () returns (int)
+extern rm_renew = proc (r: int) returns (bool)
+hold = proc (svc: int)
+ r: int := call rm_request() at svc
+ print(\"granted \" || int$unparse(r))
+ for i: int := 1 to 100 do
+  sleep(1000)
+  ok: bool := call rm_renew(r) at svc
+ end
+end
+grab = proc (svc: int)
+ r: int := call rm_request() at svc
+ if r < 0 then
+  print(\"denied\")
+ else
+  print(\"granted \" || int$unparse(r))
+ end
+end";
+
+fn run(reclaim_on_contention: bool) -> (Vec<String>, Vec<String>, Vec<RmEvent>) {
+    let mut w = World::builder()
+        .nodes(3)
+        .program(CLIENT)
+        .build()
+        .expect("world");
+    let rm = ResourceManager::install(
+        &mut w,
+        1,
+        RmConfig {
+            resources: 1,
+            lease: SimDuration::from_secs(2),
+            strategy: TimeoutStrategy::IgnoreWhileDebugged,
+            reclaim_on_contention,
+            ..Default::default()
+        },
+    );
+    w.debug_connect(&[0], false).expect("connect");
+    w.spawn(0, "hold", vec![Value::Int(1)]);
+    w.run_for(SimDuration::from_millis(500));
+
+    // Halt the holder long enough that its lease is extended.
+    w.debug_halt_all(0).expect("halt");
+    w.run_for(SimDuration::from_secs(4));
+
+    // Another (undebugged) client asks for a machine.
+    w.spawn(2, "grab", vec![Value::Int(1)]);
+    w.run_for(SimDuration::from_secs(1));
+    w.debug_resume_all().expect("resume");
+    w.run_for(SimDuration::from_secs(1));
+    let events = rm.events().into_iter().map(|(_, e)| e).collect();
+    (w.console(0), w.console(2), events)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E9: a scarce machine held by a halted, debugged client (§6.2)",
+        "without the policy the other client is denied; with it the extended \
+         allocation is reclaimed and reallocated",
+    )
+    .headers([
+        "policy",
+        "debugged holder",
+        "other client",
+        "manager log",
+        "verdict",
+    ]);
+
+    for policy in [false, true] {
+        let (holder, other, events) = run(policy);
+        let reclaimed = events
+            .iter()
+            .any(|e| matches!(e, RmEvent::ReclaimedForContention { .. }));
+        let other_got_it = other.iter().any(|l| l.starts_with("granted"));
+        let ok = if policy {
+            reclaimed && other_got_it
+        } else {
+            !reclaimed && other.contains(&"denied".to_string())
+        };
+        table.row([
+            if policy {
+                "reclaim-on-contention"
+            } else {
+                "extend unconditionally"
+            }
+            .to_string(),
+            holder.first().cloned().unwrap_or_default(),
+            other.first().cloned().unwrap_or_default(),
+            format!(
+                "{} events, reclaim={}",
+                events.len(),
+                if reclaimed { "yes" } else { "no" }
+            ),
+            verdict(ok).to_string(),
+        ]);
+        assert!(ok, "policy={policy}: {events:?}");
+    }
+    table.print();
+    println!("\nE9 complete.");
+}

@@ -1,0 +1,172 @@
+//! M1 — Criterion micro-benchmarks of the simulation substrate.
+//!
+//! These measure the *harness's* wall-clock performance (how fast the
+//! reproduction simulates), not any paper number: compiler throughput, VM
+//! stepping, marshalling, the event queue, the ring, and a full null-RPC
+//! round trip through the whole world.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pilgrim::{SimTime, Value, World};
+use pilgrim_cclu::{compile, ExecEnv, Heap, StepOutcome, VmProcess};
+use pilgrim_rpc::{marshal, unmarshal};
+use pilgrim_sim::{EventQueue, SimDuration};
+
+const FIB: &str = "\
+fib = proc (n: int) returns (int)
+ if n < 2 then
+  return (n)
+ end
+ return (fib(n - 1) + fib(n - 2))
+end
+main = proc () returns (int)
+ return (fib(15))
+end";
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.throughput(Throughput::Bytes(FIB.len() as u64));
+    g.bench_function("compile_fib", |b| {
+        b.iter(|| compile(std::hint::black_box(FIB)).unwrap())
+    });
+    g.finish();
+}
+
+/// A no-op syscall provider for raw VM stepping.
+struct NullSys;
+impl pilgrim_cclu::Syscalls for NullSys {
+    fn now_ms(&mut self) -> i64 {
+        0
+    }
+    fn pid(&mut self) -> i64 {
+        1
+    }
+    fn node_id(&mut self) -> i64 {
+        0
+    }
+    fn random(&mut self, bound: i64) -> i64 {
+        bound - 1
+    }
+    fn print(&mut self, _text: &str) {}
+    fn sem_create(&mut self, _count: i64) -> u32 {
+        0
+    }
+    fn sem_wait(&mut self, _s: u32, _t: i64) -> pilgrim_cclu::SysReply {
+        pilgrim_cclu::SysReply::Val(vec![Value::Bool(true)])
+    }
+    fn sem_signal(&mut self, _s: u32) {}
+    fn mutex_create(&mut self) -> u32 {
+        0
+    }
+    fn mutex_lock(&mut self, _m: u32) -> pilgrim_cclu::SysReply {
+        pilgrim_cclu::SysReply::Val(vec![])
+    }
+    fn mutex_unlock(&mut self, _m: u32) {}
+    fn fork(&mut self, _p: pilgrim_cclu::ProcId, _a: Vec<Value>) -> i64 {
+        2
+    }
+    fn sleep(&mut self, _ms: i64) -> pilgrim_cclu::SysReply {
+        pilgrim_cclu::SysReply::Val(vec![])
+    }
+    fn rpc(&mut self, _r: pilgrim_cclu::RpcRequest) -> pilgrim_cclu::SysReply {
+        unreachable!("no rpc in fib")
+    }
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let program = compile(FIB).unwrap();
+    let entry = program.proc_by_name("main").unwrap();
+    c.bench_function("vm/fib15_to_completion", |b| {
+        b.iter(|| {
+            let mut heap = Heap::new();
+            let mut globals: Vec<Value> = vec![];
+            let mut sys = NullSys;
+            let mut p = VmProcess::spawn(entry, vec![]);
+            loop {
+                let mut env = ExecEnv {
+                    heap: &mut heap,
+                    program: &program,
+                    globals: &mut globals,
+                    sys: &mut sys,
+                };
+                match pilgrim_cclu::step(&mut p, &mut env) {
+                    StepOutcome::Exited { .. } => break,
+                    StepOutcome::Faulted { fault, .. } => panic!("{fault}"),
+                    _ => {}
+                }
+            }
+            std::hint::black_box(p.exit_values)
+        })
+    });
+}
+
+fn bench_marshal(c: &mut Criterion) {
+    let mut heap = Heap::new();
+    let arr = heap.alloc(pilgrim_cclu::HeapObject::Array(
+        (0..64).map(Value::Int).collect(),
+    ));
+    let rec = heap.alloc(pilgrim_cclu::HeapObject::Record {
+        type_name: "blob".into(),
+        fields: vec![
+            Value::Str("payload".into()),
+            Value::Ref(arr),
+            Value::Bool(true),
+        ],
+    });
+    let v = Value::Ref(rec);
+    c.bench_function("rpc/marshal_unmarshal_record", |b| {
+        b.iter(|| {
+            let w = marshal(&heap, std::hint::black_box(&v)).unwrap();
+            let mut dst = Heap::new();
+            std::hint::black_box(unmarshal(&mut dst, &w))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_1k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_micros((i * 7) % 997), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+fn bench_world_rpc(c: &mut Criterion) {
+    const PROGRAM: &str = "\
+ping = proc ()
+end
+main = proc (n: int)
+ for i: int := 1 to n do
+  call ping() at 1
+ end
+end";
+    c.bench_function("world/20_null_rpcs_simulated", |b| {
+        b.iter(|| {
+            let mut w = World::builder()
+                .nodes(2)
+                .program(PROGRAM)
+                .debugger(false)
+                .build()
+                .unwrap();
+            w.spawn(0, "main", vec![Value::Int(20)]);
+            w.run_until_idle(SimTime::from_secs(60));
+            assert_eq!(w.endpoint(0).stats().completed, 20);
+            std::hint::black_box(w.now())
+        })
+    });
+    let _ = SimDuration::ZERO;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_compile, bench_vm, bench_marshal, bench_event_queue, bench_world_rpc
+}
+criterion_main!(benches);

@@ -1,0 +1,548 @@
+//! Lexer for the mini Concurrent CLU language.
+//!
+//! The surface syntax is CLU-flavoured: `%` comments, `:=` assignment,
+//! `proc ... end` definitions, `$` cluster operations (`sem$wait`,
+//! `int$unparse`, `point${x: 1}`), and `||` string concatenation. Newlines
+//! terminate statements, as in CLU.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::CompileError;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (escapes already processed).
+    Str(Rc<str>),
+    /// Identifier or keyword-free name.
+    Ident(Rc<str>),
+    /// A reserved word.
+    Kw(Kw),
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `$`
+    Dollar,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `//` (CLU modulo)
+    SlashSlash,
+    /// `||` string concatenation
+    Concat,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `~` logical not
+    Tilde,
+    /// `&` logical and (short-circuit, as CLU `cand`)
+    Amp,
+    /// `|` logical or (short-circuit, as CLU `cor`)
+    Bar,
+    /// End of statement: newline or `;`
+    Newline,
+    /// End of input
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Proc,
+    Returns,
+    End,
+    If,
+    Then,
+    Elseif,
+    Else,
+    While,
+    Do,
+    For,
+    To,
+    Return,
+    Fork,
+    Call,
+    Maybecall,
+    At,
+    True,
+    False,
+    Nil,
+    Extern,
+    Int,
+    Bool,
+    String,
+    Null,
+    Sem,
+    Mutex,
+    Array,
+    Record,
+    Own,
+    Signal,
+    Signals,
+    Except,
+    When,
+}
+
+impl Kw {
+    fn lookup(s: &str) -> Option<Kw> {
+        Some(match s {
+            "proc" => Kw::Proc,
+            "returns" => Kw::Returns,
+            "end" => Kw::End,
+            "if" => Kw::If,
+            "then" => Kw::Then,
+            "elseif" => Kw::Elseif,
+            "else" => Kw::Else,
+            "while" => Kw::While,
+            "do" => Kw::Do,
+            "for" => Kw::For,
+            "to" => Kw::To,
+            "return" => Kw::Return,
+            "fork" => Kw::Fork,
+            "call" => Kw::Call,
+            "maybecall" => Kw::Maybecall,
+            "at" => Kw::At,
+            "true" => Kw::True,
+            "false" => Kw::False,
+            "nil" => Kw::Nil,
+            "extern" => Kw::Extern,
+            "int" => Kw::Int,
+            "bool" => Kw::Bool,
+            "string" => Kw::String,
+            "null" => Kw::Null,
+            "sem" => Kw::Sem,
+            "mutex" => Kw::Mutex,
+            "array" => Kw::Array,
+            "record" => Kw::Record,
+            "own" => Kw::Own,
+            "signal" => Kw::Signal,
+            "signals" => Kw::Signals,
+            "except" => Kw::Except,
+            "when" => Kw::When,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Kw(k) => write!(f, "{k:?}").map(|()| ()),
+            Tok::Assign => f.write_str(":="),
+            Tok::Colon => f.write_str(":"),
+            Tok::Comma => f.write_str(","),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::Dollar => f.write_str("$"),
+            Tok::Dot => f.write_str("."),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Star => f.write_str("*"),
+            Tok::Slash => f.write_str("/"),
+            Tok::SlashSlash => f.write_str("//"),
+            Tok::Concat => f.write_str("||"),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::Eq => f.write_str("="),
+            Tok::Ne => f.write_str("~="),
+            Tok::Tilde => f.write_str("~"),
+            Tok::Amp => f.write_str("&"),
+            Tok::Bar => f.write_str("|"),
+            Tok::Newline => f.write_str("<newline>"),
+            Tok::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token together with the 1-based source line it started on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenizes `source`.
+///
+/// Consecutive newlines collapse into one [`Tok::Newline`]; a trailing
+/// [`Tok::Eof`] is always appended.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for unterminated strings, stray characters, or
+/// malformed escapes.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
+    let mut out: Vec<SpannedTok> = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let push = |tok: Tok, line: u32, out: &mut Vec<SpannedTok>| {
+        if tok == Tok::Newline {
+            match out.last() {
+                None
+                | Some(SpannedTok {
+                    tok: Tok::Newline, ..
+                }) => return,
+                _ => {}
+            }
+        }
+        out.push(SpannedTok { tok, line });
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '\n' => {
+                push(Tok::Newline, line, &mut out);
+                line += 1;
+                i += 1;
+            }
+            ';' => {
+                push(Tok::Newline, line, &mut out);
+                i += 1;
+            }
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let v: i64 = text.parse().map_err(|_| {
+                    CompileError::at(line, format!("integer literal `{text}` out of range"))
+                })?;
+                push(Tok::Int(v), line, &mut out);
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                match Kw::lookup(text) {
+                    Some(k) => push(Tok::Kw(k), line, &mut out),
+                    None => push(Tok::Ident(Rc::from(text)), line, &mut out),
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() || bytes[i] == b'\n' {
+                        return Err(CompileError::at(line, "unterminated string literal"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= bytes.len() {
+                                return Err(CompileError::at(line, "unterminated string literal"));
+                            }
+                            let esc = bytes[i] as char;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '"' => '"',
+                                '\\' => '\\',
+                                other => {
+                                    return Err(CompileError::at(
+                                        line,
+                                        format!("unknown escape `\\{other}`"),
+                                    ))
+                                }
+                            });
+                            i += 1;
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                push(Tok::Str(Rc::from(s.as_str())), line, &mut out);
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Tok::Assign, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Tok::Colon, line, &mut out);
+                    i += 1;
+                }
+            }
+            ',' => {
+                push(Tok::Comma, line, &mut out);
+                i += 1;
+            }
+            '(' => {
+                push(Tok::LParen, line, &mut out);
+                i += 1;
+            }
+            ')' => {
+                push(Tok::RParen, line, &mut out);
+                i += 1;
+            }
+            '[' => {
+                push(Tok::LBracket, line, &mut out);
+                i += 1;
+            }
+            ']' => {
+                push(Tok::RBracket, line, &mut out);
+                i += 1;
+            }
+            '{' => {
+                push(Tok::LBrace, line, &mut out);
+                i += 1;
+            }
+            '}' => {
+                push(Tok::RBrace, line, &mut out);
+                i += 1;
+            }
+            '$' => {
+                push(Tok::Dollar, line, &mut out);
+                i += 1;
+            }
+            '.' => {
+                push(Tok::Dot, line, &mut out);
+                i += 1;
+            }
+            '+' => {
+                push(Tok::Plus, line, &mut out);
+                i += 1;
+            }
+            '-' => {
+                push(Tok::Minus, line, &mut out);
+                i += 1;
+            }
+            '*' => {
+                push(Tok::Star, line, &mut out);
+                i += 1;
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    push(Tok::SlashSlash, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Tok::Slash, line, &mut out);
+                    i += 1;
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push(Tok::Concat, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Tok::Bar, line, &mut out);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Tok::Le, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Tok::Lt, line, &mut out);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Tok::Ge, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Tok::Gt, line, &mut out);
+                    i += 1;
+                }
+            }
+            '=' => {
+                push(Tok::Eq, line, &mut out);
+                i += 1;
+            }
+            '~' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Tok::Ne, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Tok::Tilde, line, &mut out);
+                    i += 1;
+                }
+            }
+            '&' => {
+                push(Tok::Amp, line, &mut out);
+                i += 1;
+            }
+            other => {
+                return Err(CompileError::at(
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    push(Tok::Newline, line, &mut out);
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_procedure_header() {
+        let toks = kinds("main = proc ()");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("main".into()),
+                Tok::Eq,
+                Tok::Kw(Kw::Proc),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let toks = kinds("x % this is ignored := 3\ny");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Newline,
+                Tok::Ident("y".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_compounds() {
+        let toks = kinds("a := b // 2 <= c ~= d || e");
+        assert!(toks.contains(&Tok::Assign));
+        assert!(toks.contains(&Tok::SlashSlash));
+        assert!(toks.contains(&Tok::Le));
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::Concat));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = kinds(r#""a\nb\"c\\d""#);
+        assert_eq!(toks[0], Tok::Str("a\nb\"c\\d".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("\"oops\n\"").is_err());
+    }
+
+    #[test]
+    fn unknown_escape_is_an_error() {
+        assert!(lex(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn newlines_collapse_and_semicolons_count() {
+        let toks = kinds("a\n\n\nb; c");
+        let newlines = toks.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 3); // after a, after b, trailing
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = lex("a\nb\nc").unwrap();
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.into()))
+                .unwrap()
+                .line
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 3);
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        let toks = kinds("proc returns end if while fork call maybecall at extern");
+        assert_eq!(toks[0], Tok::Kw(Kw::Proc));
+        assert_eq!(toks[8], Tok::Kw(Kw::At));
+        assert_eq!(toks[9], Tok::Kw(Kw::Extern));
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.to_string().contains('#'));
+    }
+
+    #[test]
+    fn huge_integer_is_an_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Semantic types for the mini Concurrent CLU language.
+//!
+//! Records are *nominal* (two record types are the same only if they came
+//! from the same typedef), which is what lets the debugger key user-defined
+//! print operations off the type name, as CLU clusters do.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A fully resolved type.
+#[derive(Debug, Clone)]
+pub enum Type {
+    /// Signed 64-bit integer (CLU `int`; also used for date/time values).
+    Int,
+    /// Boolean.
+    Bool,
+    /// Immutable string.
+    Str,
+    /// The unit type.
+    Null,
+    /// Semaphore handle.
+    Sem,
+    /// Monitor lock / critical region handle.
+    Mutex,
+    /// Growable array.
+    Array(Rc<Type>),
+    /// Named record type.
+    Record(Rc<RecordType>),
+}
+
+/// The definition of a named record type.
+#[derive(Debug, Clone)]
+pub struct RecordType {
+    /// The typedef name.
+    pub name: Rc<str>,
+    /// Ordered fields.
+    pub fields: Vec<(Rc<str>, Type)>,
+}
+
+impl RecordType {
+    /// Index of the field called `name`.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(f, _)| &**f == name)
+    }
+}
+
+impl PartialEq for Type {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Type::Int, Type::Int)
+            | (Type::Bool, Type::Bool)
+            | (Type::Str, Type::Str)
+            | (Type::Null, Type::Null)
+            | (Type::Sem, Type::Sem)
+            | (Type::Mutex, Type::Mutex) => true,
+            (Type::Array(a), Type::Array(b)) => a == b,
+            (Type::Record(a), Type::Record(b)) => a.name == b.name,
+            _ => false,
+        }
+    }
+}
+impl Eq for Type {}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Bool => f.write_str("bool"),
+            Type::Str => f.write_str("string"),
+            Type::Null => f.write_str("null"),
+            Type::Sem => f.write_str("sem"),
+            Type::Mutex => f.write_str("mutex"),
+            Type::Array(t) => write!(f, "array[{t}]"),
+            Type::Record(r) => write!(f, "{}", r.name),
+        }
+    }
+}
+
+/// A procedure signature: parameter and return types.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Signature {
+    /// Parameter types, in order.
+    pub params: Vec<Type>,
+    /// Return types, in order (empty for a procedure returning nothing).
+    pub returns: Vec<Type>,
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("proc (")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str(")")?;
+        if !self.returns.is_empty() {
+            f.write_str(" returns (")?;
+            for (i, r) in self.returns.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{r}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> Rc<RecordType> {
+        Rc::new(RecordType {
+            name: "point".into(),
+            fields: vec![("x".into(), Type::Int), ("y".into(), Type::Int)],
+        })
+    }
+
+    #[test]
+    fn record_equality_is_nominal() {
+        let a = Type::Record(point());
+        let other = Rc::new(RecordType {
+            name: "point".into(),
+            fields: vec![],
+        });
+        let b = Type::Record(other);
+        // Same name ⇒ same type, even if the field lists differ (the
+        // compiler guarantees one definition per name).
+        assert_eq!(a, b);
+        let c = Type::Record(Rc::new(RecordType {
+            name: "size".into(),
+            fields: vec![],
+        }));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn array_equality_is_structural() {
+        assert_eq!(
+            Type::Array(Rc::new(Type::Int)),
+            Type::Array(Rc::new(Type::Int))
+        );
+        assert_ne!(
+            Type::Array(Rc::new(Type::Int)),
+            Type::Array(Rc::new(Type::Bool))
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Type::Array(Rc::new(Type::Record(point()))).to_string(),
+            "array[point]"
+        );
+        let sig = Signature {
+            params: vec![Type::Int, Type::Str],
+            returns: vec![Type::Bool],
+        };
+        assert_eq!(sig.to_string(), "proc (int, string) returns (bool)");
+        let none = Signature::default();
+        assert_eq!(none.to_string(), "proc ()");
+    }
+
+    #[test]
+    fn field_index_lookup() {
+        let p = point();
+        assert_eq!(p.field_index("y"), Some(1));
+        assert_eq!(p.field_index("z"), None);
+    }
+}

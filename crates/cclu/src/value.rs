@@ -1,0 +1,385 @@
+//! Runtime values and the per-node heap.
+//!
+//! Processes on one node share a heap, as Concurrent CLU processes share
+//! memory (paper §2). Records and arrays live on the heap and are passed by
+//! reference within a node; RPC transmission deep-copies them into the
+//! destination node's heap, as the Mayflower RPC system marshals arbitrarily
+//! complex objects between nodes.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::types::{RecordType, Type};
+
+/// A reference into a [`Heap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeapRef(pub u32);
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Semaphore handle (node-local).
+    Sem(u32),
+    /// Mutex handle (node-local).
+    Mutex(u32),
+    /// Reference to a heap record or array.
+    Ref(HeapRef),
+}
+
+impl Value {
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A heap-allocated object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapObject {
+    /// A record instance; `type_name` keys the nominal type and print op.
+    Record {
+        /// Name of the record's typedef.
+        type_name: Rc<str>,
+        /// Field values, in declaration order.
+        fields: Vec<Value>,
+    },
+    /// A growable array.
+    Array(Vec<Value>),
+}
+
+/// A node's shared heap.
+///
+/// The heap never frees (programs in the experiments are short-lived); what
+/// matters for the reproduction is that allocation is a *critical region*
+/// (paper §5.5): the VM marks a process "in the allocator" across an
+/// allocation so the supervisor can refuse to halt it mid-allocation.
+#[derive(Debug, Default)]
+pub struct Heap {
+    objects: Vec<HeapObject>,
+    /// Total number of allocations ever made (exposed for tests/benches).
+    allocs: u64,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates `obj` and returns a reference to it.
+    pub fn alloc(&mut self, obj: HeapObject) -> HeapRef {
+        let r = HeapRef(self.objects.len() as u32);
+        self.objects.push(obj);
+        self.allocs += 1;
+        r
+    }
+
+    /// Reads the object behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling reference, which the compiler makes impossible
+    /// for user programs.
+    pub fn get(&self, r: HeapRef) -> &HeapObject {
+        &self.objects[r.0 as usize]
+    }
+
+    /// Mutable access to the object behind `r`.
+    pub fn get_mut(&mut self, r: HeapRef) -> &mut HeapObject {
+        &mut self.objects[r.0 as usize]
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total allocations performed.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs
+    }
+}
+
+/// Renders `v` the way the built-in print operations do.
+///
+/// Strings are quoted when nested inside records/arrays but the caller
+/// decides about the top level (the `print` builtin prints bare strings).
+pub fn format_value(heap: &Heap, v: &Value) -> String {
+    let mut out = String::new();
+    fmt_value(heap, v, false, &mut out);
+    out
+}
+
+fn fmt_value(heap: &Heap, v: &Value, quote_strings: bool, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("nil"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => {
+            if quote_strings {
+                out.push('"');
+                out.push_str(s);
+                out.push('"');
+            } else {
+                out.push_str(s);
+            }
+        }
+        Value::Sem(id) => out.push_str(&format!("sem#{id}")),
+        Value::Mutex(id) => out.push_str(&format!("mutex#{id}")),
+        Value::Ref(r) => match heap.get(*r) {
+            HeapObject::Record { type_name, fields } => {
+                out.push_str(type_name);
+                out.push_str("${");
+                for (i, f) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    fmt_value(heap, f, true, out);
+                }
+                out.push('}');
+            }
+            HeapObject::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    fmt_value(heap, item, true, out);
+                }
+                out.push(']');
+            }
+        },
+    }
+}
+
+/// Deep-copies `v` from `src` into `dst`, as RPC marshalling does when a
+/// value crosses node boundaries.
+///
+/// Record typedefs cannot be recursive, so values are acyclic and the copy
+/// terminates.
+pub fn deep_copy(src: &Heap, v: &Value, dst: &mut Heap) -> Value {
+    match v {
+        Value::Null | Value::Int(_) | Value::Bool(_) | Value::Str(_) => v.clone(),
+        // Semaphore and mutex handles are node-local and meaningless
+        // elsewhere; the type checker rejects them in RPC signatures, but be
+        // defensive and copy the raw handle.
+        Value::Sem(id) => Value::Sem(*id),
+        Value::Mutex(id) => Value::Mutex(*id),
+        Value::Ref(r) => {
+            let obj = match src.get(*r) {
+                HeapObject::Record { type_name, fields } => HeapObject::Record {
+                    type_name: type_name.clone(),
+                    fields: fields.iter().map(|f| deep_copy(src, f, dst)).collect(),
+                },
+                HeapObject::Array(items) => {
+                    HeapObject::Array(items.iter().map(|f| deep_copy(src, f, dst)).collect())
+                }
+            };
+            Value::Ref(dst.alloc(obj))
+        }
+    }
+}
+
+/// Size in bytes of `v` on the wire, for network-latency modelling.
+///
+/// Integers are 4 bytes (the MC68000 word pairs the paper's RPC used),
+/// booleans 1, strings length + 2, references the recursive size of the
+/// referenced object plus a 2-byte tag.
+pub fn wire_size(heap: &Heap, v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Int(_) => 4,
+        Value::Bool(_) => 1,
+        Value::Str(s) => 2 + s.len(),
+        Value::Sem(_) | Value::Mutex(_) => 4,
+        Value::Ref(r) => {
+            2 + match heap.get(*r) {
+                HeapObject::Record { fields, .. } => {
+                    fields.iter().map(|f| wire_size(heap, f)).sum::<usize>()
+                }
+                HeapObject::Array(items) => {
+                    2 + items.iter().map(|f| wire_size(heap, f)).sum::<usize>()
+                }
+            }
+        }
+    }
+}
+
+/// Checks that `v` is a well-formed instance of `ty`, resolving record
+/// names against `records` (the receiving program's type table).
+///
+/// This is the run-time half of the paper's "fully type-checked" RPC: the
+/// compiler checks the sending side, and the receiving dispatcher checks the
+/// decoded arguments against the target procedure's signature.
+#[allow(clippy::only_used_in_recursion)] // `records` is the receiver's type table, part of the stable API
+pub fn value_matches_type(heap: &Heap, v: &Value, ty: &Type, records: &[Rc<RecordType>]) -> bool {
+    match (v, ty) {
+        (Value::Null, Type::Null) => true,
+        (Value::Int(_), Type::Int) => true,
+        (Value::Bool(_), Type::Bool) => true,
+        (Value::Str(_), Type::Str) => true,
+        (Value::Sem(_), Type::Sem) => true,
+        (Value::Mutex(_), Type::Mutex) => true,
+        (Value::Ref(r), Type::Array(elem)) => match heap.get(*r) {
+            HeapObject::Array(items) => items
+                .iter()
+                .all(|i| value_matches_type(heap, i, elem, records)),
+            HeapObject::Record { .. } => false,
+        },
+        (Value::Ref(r), Type::Record(rt)) => match heap.get(*r) {
+            HeapObject::Record { type_name, fields } => {
+                if **type_name != *rt.name || fields.len() != rt.fields.len() {
+                    return false;
+                }
+                fields
+                    .iter()
+                    .zip(rt.fields.iter())
+                    .all(|(f, (_, fty))| value_matches_type(heap, f, fty, records))
+            }
+            HeapObject::Array(_) => false,
+        },
+        _ => false,
+    }
+}
+
+impl fmt::Display for Value {
+    /// Shallow rendering (heap references print as `ref#n`); use
+    /// [`format_value`] for full structural printing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("nil"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Sem(id) => write!(f, "sem#{id}"),
+            Value::Mutex(id) => write!(f, "mutex#{id}"),
+            Value::Ref(r) => write!(f, "ref#{}", r.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_heap() -> (Heap, Value) {
+        let mut heap = Heap::new();
+        let arr = heap.alloc(HeapObject::Array(vec![Value::Int(1), Value::Int(2)]));
+        let rec = heap.alloc(HeapObject::Record {
+            type_name: "pair".into(),
+            fields: vec![Value::Str("hi".into()), Value::Ref(arr)],
+        });
+        (heap, Value::Ref(rec))
+    }
+
+    #[test]
+    fn formats_structurally() {
+        let (heap, v) = sample_heap();
+        assert_eq!(format_value(&heap, &v), "pair${\"hi\", [1, 2]}");
+        assert_eq!(format_value(&heap, &Value::Str("raw".into())), "raw");
+    }
+
+    #[test]
+    fn deep_copy_is_detached() {
+        let (src, v) = sample_heap();
+        let mut dst = Heap::new();
+        let copied = deep_copy(&src, &v, &mut dst);
+        assert_eq!(format_value(&dst, &copied), format_value(&src, &v));
+        // Mutating the copy must not affect the original.
+        if let Value::Ref(r) = copied {
+            if let HeapObject::Record { fields, .. } = dst.get_mut(r) {
+                fields[0] = Value::Str("changed".into());
+            }
+        }
+        assert_eq!(format_value(&src, &v), "pair${\"hi\", [1, 2]}");
+    }
+
+    #[test]
+    fn wire_sizes_add_up() {
+        let (heap, v) = sample_heap();
+        // record: tag 2 + string (2+2) + array ref (tag 2 + len 2 + 4 + 4) = 18
+        assert_eq!(wire_size(&heap, &v), 18);
+        assert_eq!(wire_size(&heap, &Value::Int(5)), 4);
+        assert_eq!(wire_size(&heap, &Value::Bool(true)), 1);
+    }
+
+    #[test]
+    fn type_matching() {
+        let (heap, v) = sample_heap();
+        let pair = Rc::new(RecordType {
+            name: "pair".into(),
+            fields: vec![
+                ("s".into(), Type::Str),
+                ("xs".into(), Type::Array(Rc::new(Type::Int))),
+            ],
+        });
+        assert!(value_matches_type(
+            &heap,
+            &v,
+            &Type::Record(pair.clone()),
+            std::slice::from_ref(&pair)
+        ));
+        let wrong = Rc::new(RecordType {
+            name: "pair".into(),
+            fields: vec![
+                ("s".into(), Type::Int),
+                ("xs".into(), Type::Array(Rc::new(Type::Int))),
+            ],
+        });
+        assert!(!value_matches_type(
+            &heap,
+            &v,
+            &Type::Record(wrong.clone()),
+            &[wrong]
+        ));
+        assert!(value_matches_type(&heap, &Value::Int(3), &Type::Int, &[]));
+        assert!(!value_matches_type(&heap, &Value::Int(3), &Type::Bool, &[]));
+    }
+
+    #[test]
+    fn alloc_count_tracks() {
+        let (heap, _) = sample_heap();
+        assert_eq!(heap.alloc_count(), 2);
+        assert_eq!(heap.len(), 2);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Null.as_int(), None);
+    }
+}

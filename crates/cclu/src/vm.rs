@@ -1,0 +1,1437 @@
+//! The bytecode virtual machine.
+//!
+//! One [`VmProcess`] is a light-weight Concurrent CLU process: a call stack
+//! of [`Frame`]s executing shared per-node code against a shared per-node
+//! heap. The VM is deliberately *passive* — it executes exactly one
+//! instruction per [`step`] call and reports the simulated cost — so the
+//! Mayflower supervisor retains complete control over scheduling, time, and
+//! halting, which is where all the paper's interesting behaviour lives.
+//!
+//! Faithful details:
+//!
+//! * Breakpoints are [`Op::Trap`] opcodes planted over real instructions;
+//!   hitting one suspends the process *without* advancing the pc (§5.5).
+//! * Allocating instructions execute in two phases while the process is
+//!   marked [`VmProcess::in_allocator`], modelling the heap allocator
+//!   critical region that must not be halted mid-flight (§5.5).
+//! * RPC stub frames carry an information block in a known position
+//!   (§4.3, Figure 1), placed there by the RPC runtime.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::RpcProtocol;
+use crate::bytecode::{CodeAddr, Op, ProcId, Program};
+use crate::value::{format_value, Heap, HeapObject, Value};
+
+/// Maximum call-stack depth before a process faults.
+pub const MAX_FRAMES: usize = 512;
+
+/// Why a process stopped executing for good.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Machine-readable kind.
+    pub kind: FaultKind,
+    /// Human-readable description shown by the debugger.
+    pub message: String,
+}
+
+/// Categories of run-time failure (the analogue of hardware exceptions,
+/// which the paper's agent fields just like breakpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Integer division or modulo by zero.
+    DivideByZero,
+    /// Array index out of range.
+    IndexOutOfRange,
+    /// Call stack exceeded [`MAX_FRAMES`].
+    StackOverflow,
+    /// `fail(msg)` executed.
+    Explicit,
+    /// A remote call failed in a way the protocol does not mask (e.g. the
+    /// callee faulted, or arguments failed the server-side type check).
+    RemoteCall,
+    /// A CLU signal propagated out of the process's root procedure.
+    UncaughtSignal,
+    /// Internal inconsistency (compiler bug); never expected.
+    Internal,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+/// Protocol state recorded in an RPC information block (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcCallState {
+    /// Arguments are being marshalled on the client.
+    Marshalling,
+    /// The call packet has been transmitted.
+    CallSent,
+    /// The client has retransmitted the call this many times (exactly-once).
+    Retransmitting(u32),
+    /// The server is executing the remote procedure.
+    ServerExecuting,
+    /// The reply packet has been received and is being unmarshalled.
+    ReplyReceived,
+    /// The call completed successfully.
+    Succeeded,
+    /// The call failed (timeout, lost packet, or remote fault).
+    Failed,
+}
+
+impl fmt::Display for RpcCallState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcCallState::Marshalling => f.write_str("marshalling"),
+            RpcCallState::CallSent => f.write_str("call sent"),
+            RpcCallState::Retransmitting(n) => write!(f, "retransmitting (x{n})"),
+            RpcCallState::ServerExecuting => f.write_str("server executing"),
+            RpcCallState::ReplyReceived => f.write_str("reply received"),
+            RpcCallState::Succeeded => f.write_str("succeeded"),
+            RpcCallState::Failed => f.write_str("failed"),
+        }
+    }
+}
+
+/// The "information block" the paper's modified RPC runtime stores at a
+/// known position in the client's top stack frame and the server's bottom
+/// stack frame (§4.3, Figure 1).
+#[derive(Debug)]
+pub struct RpcInfoBlock {
+    /// Process identifier of the process issuing or serving the call.
+    pub process: u64,
+    /// Name of the remote procedure.
+    pub remote_proc: Rc<str>,
+    /// Call identifier, unique per invocation across the network.
+    pub call_id: u64,
+    /// Which protocol the call uses.
+    pub protocol: RpcProtocol,
+    /// Current protocol state (shared with the RPC runtime, which updates
+    /// it as the call progresses).
+    pub state: Cell<RpcCallState>,
+    /// Number of retransmissions so far.
+    pub retries: Cell<u32>,
+}
+
+/// What role a frame plays, for backtraces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An ordinary procedure activation.
+    Normal,
+    /// The client-side RPC stub: top of the client stack while a remote
+    /// call is in progress (Figure 1, left).
+    RpcStub,
+    /// The server-side root of a process handling a remote call
+    /// (Figure 1, right).
+    ServerRoot,
+    /// The root of a debugger-initiated procedure invocation (§3).
+    AgentInvoke,
+}
+
+/// One activation record.
+#[derive(Debug)]
+pub struct Frame {
+    /// Which procedure is executing (meaningless for `RpcStub` frames).
+    pub proc: ProcId,
+    /// Program counter within the procedure.
+    pub pc: u32,
+    /// Local variable slots.
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+    /// False until the procedure's entry sequence ([`Op::Enter`]) has
+    /// executed — the §5.5 "highest well formed frame" marker.
+    pub well_formed: bool,
+    /// Role of this frame.
+    pub kind: FrameKind,
+    /// The RPC information block, present on `RpcStub` and `ServerRoot`
+    /// frames. Held in a "known position" exactly as the paper requires.
+    pub rpc_info: Option<Rc<RpcInfoBlock>>,
+}
+
+impl Frame {
+    /// A fresh activation of `proc` with arguments in the first slots.
+    pub fn activation(proc: ProcId, args: Vec<Value>) -> Frame {
+        Frame {
+            proc,
+            pc: 0,
+            locals: args,
+            stack: Vec::new(),
+            well_formed: false,
+            kind: FrameKind::Normal,
+            rpc_info: None,
+        }
+    }
+
+    /// The code address this frame is executing.
+    pub fn addr(&self) -> CodeAddr {
+        CodeAddr {
+            proc: self.proc,
+            pc: self.pc,
+        }
+    }
+}
+
+/// A request handed to the runtime when the program executes a remote call.
+#[derive(Debug)]
+pub struct RpcRequest {
+    /// Remote procedure name.
+    pub proc_name: Rc<str>,
+    /// Argument values (live in the calling node's heap).
+    pub args: Vec<Value>,
+    /// Destination node id.
+    pub node: i64,
+    /// Protocol to use.
+    pub protocol: RpcProtocol,
+    /// Number of declared results.
+    pub nrets: u8,
+}
+
+/// Reply from a system call: either immediate values to push, or an
+/// instruction to block the process (the supervisor resumes it later by
+/// filling [`VmProcess::pending_push`]).
+#[derive(Debug)]
+pub enum SysReply {
+    /// Continue immediately with these values pushed.
+    Val(Vec<Value>),
+    /// Block the process; the runtime resumes it later.
+    Block,
+}
+
+/// The supervisor interface the VM calls for everything that involves
+/// scheduling, time, the network, or other processes.
+pub trait Syscalls {
+    /// The node's *logical* time in milliseconds (§5.2: the delta has
+    /// already been subtracted).
+    fn now_ms(&mut self) -> i64;
+    /// The running process's identifier.
+    fn pid(&mut self) -> i64;
+    /// This node's identifier.
+    fn node_id(&mut self) -> i64;
+    /// Deterministic pseudo-random integer in `[0, bound)`.
+    fn random(&mut self, bound: i64) -> i64;
+    /// Console output (redirected to the debugger during agent-initiated
+    /// invocations).
+    fn print(&mut self, text: &str);
+    /// Creates a semaphore with an initial count.
+    fn sem_create(&mut self, count: i64) -> u32;
+    /// P operation with a timeout in ms (negative = wait forever).
+    fn sem_wait(&mut self, sem: u32, timeout_ms: i64) -> SysReply;
+    /// V operation.
+    fn sem_signal(&mut self, sem: u32);
+    /// Creates a monitor lock.
+    fn mutex_create(&mut self) -> u32;
+    /// Acquires a monitor lock (may block).
+    fn mutex_lock(&mut self, m: u32) -> SysReply;
+    /// Releases a monitor lock.
+    fn mutex_unlock(&mut self, m: u32);
+    /// Spawns a new process; returns its pid.
+    fn fork(&mut self, proc: ProcId, args: Vec<Value>) -> i64;
+    /// Sleeps for `ms` milliseconds.
+    fn sleep(&mut self, ms: i64) -> SysReply;
+    /// Issues a remote procedure call.
+    fn rpc(&mut self, req: RpcRequest) -> SysReply;
+}
+
+/// Result of executing one instruction.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// Executed normally.
+    Ran {
+        /// Simulated cost in microseconds.
+        cost: u64,
+    },
+    /// The instruction blocked the process (pc already advanced).
+    Blocked {
+        /// Simulated cost in microseconds.
+        cost: u64,
+    },
+    /// A planted breakpoint was hit; the pc was *not* advanced.
+    Trapped {
+        /// The agent's breakpoint slot.
+        bp: u16,
+    },
+    /// The root procedure returned; see [`VmProcess::exit_values`].
+    Exited {
+        /// Simulated cost in microseconds.
+        cost: u64,
+    },
+    /// The process faulted.
+    Faulted {
+        /// The failure.
+        fault: Fault,
+        /// Simulated cost in microseconds.
+        cost: u64,
+    },
+}
+
+/// Everything a step needs besides the process itself: the node's shared
+/// heap, code, globals, and supervisor services.
+pub struct ExecEnv<'a> {
+    /// Node heap (shared by all processes on the node).
+    pub heap: &'a mut Heap,
+    /// Node program (shared code; traps are planted here).
+    pub program: &'a Program,
+    /// Node-global (`own`) variable storage.
+    pub globals: &'a mut [Value],
+    /// Supervisor services.
+    pub sys: &'a mut dyn Syscalls,
+}
+
+/// A light-weight process: the VM state only. Scheduling state lives in the
+/// supervisor.
+#[derive(Debug, Default)]
+pub struct VmProcess {
+    /// Call stack; last element is the running frame.
+    pub frames: Vec<Frame>,
+    /// Values the runtime wants pushed before the next instruction
+    /// (results of a blocking system call or RPC).
+    pub pending_push: Vec<Value>,
+    /// True while the process is inside the heap-allocator critical region
+    /// (§5.5); the supervisor must let it exit before halting it.
+    pub in_allocator: bool,
+    /// Set by the agent to execute exactly one instruction in "trace mode"
+    /// when stepping a process over a breakpoint (§5.5).
+    pub trace_once: bool,
+    /// Values returned by the root frame when the process exits.
+    pub exit_values: Vec<Value>,
+}
+
+impl VmProcess {
+    /// Creates a process that will run `proc` with `args`.
+    pub fn spawn(proc: ProcId, args: Vec<Value>) -> VmProcess {
+        VmProcess {
+            frames: vec![Frame::activation(proc, args)],
+            ..Default::default()
+        }
+    }
+
+    /// The currently executing frame.
+    pub fn top(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// The current code address, if the process has a running frame.
+    pub fn addr(&self) -> Option<CodeAddr> {
+        self.top().map(|f| f.addr())
+    }
+
+    /// The highest *well-formed* frame index, per §5.5: debuggers examining
+    /// a stack at an arbitrary moment must skip partially constructed
+    /// frames at the top.
+    pub fn highest_well_formed(&self) -> Option<usize> {
+        self.frames.iter().rposition(|f| f.well_formed)
+    }
+}
+
+/// Baseline instruction costs in simulated microseconds, calibrated so that
+/// bytecode executes at roughly the speed of compiled CLU on the paper's
+/// 8 MHz MC68000 (a few microseconds per source-level operation).
+fn base_cost(op: &Op) -> u64 {
+    match op {
+        Op::PushInt(_) | Op::PushBool(_) | Op::PushStr(_) | Op::PushNull | Op::Pop(_) => 2,
+        Op::LoadLocal(_) | Op::StoreLocal(_) | Op::LoadGlobal(_) | Op::StoreGlobal(_) => 2,
+        Op::LoadField(_) | Op::StoreField(_) | Op::LoadIndex | Op::StoreIndex | Op::Len => 3,
+        Op::Add | Op::Sub | Op::Neg | Op::Not => 2,
+        Op::Mul => 5,
+        Op::Div | Op::Mod => 8,
+        Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::CmpEq | Op::CmpNe => 2,
+        Op::Concat | Op::Unparse => 12,
+        Op::NewRecord { .. } | Op::NewArray | Op::Append => 10,
+        Op::Jump(_) | Op::JumpIfFalse(_) | Op::JumpIfTrue(_) | Op::Nop => 2,
+        Op::Call { .. } => 12,
+        Op::Enter { .. } => 6,
+        Op::Ret { .. } => 10,
+        Op::Fork { .. } => 60,
+        Op::Rpc { .. } => 25,
+        Op::SemCreate | Op::SemWait | Op::SemSignal => 8,
+        Op::MutexCreate | Op::MutexLock | Op::MutexUnlock => 8,
+        Op::Sleep => 8,
+        Op::Now | Op::Pid | Op::MyNode | Op::Random => 4,
+        Op::Print => 40,
+        Op::Fail => 5,
+        Op::Signal(_) => 10,
+        Op::Trap(_) => 0,
+    }
+}
+
+/// Cost of the second (commit) phase of an allocating instruction.
+const ALLOC_COMMIT_COST: u64 = 10;
+
+fn fault(kind: FaultKind, message: impl Into<String>, cost: u64) -> StepOutcome {
+    StepOutcome::Faulted {
+        fault: Fault {
+            kind,
+            message: message.into(),
+        },
+        cost,
+    }
+}
+
+/// Executes one instruction of `p`.
+///
+/// The caller (the supervisor) is responsible for only stepping processes
+/// it considers runnable, for applying the returned cost to the node clock,
+/// and for honouring trap/fault outcomes.
+pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
+    // Deliver results of a completed blocking operation.
+    if !p.pending_push.is_empty() {
+        let vals = std::mem::take(&mut p.pending_push);
+        if let Some(f) = p.frames.last_mut() {
+            f.stack.extend(vals);
+        }
+    }
+
+    let Some(frame) = p.frames.last() else {
+        return fault(FaultKind::Internal, "process has no frames", 0);
+    };
+    let addr = frame.addr();
+    let Some(op) = env.program.op_at(addr) else {
+        return fault(FaultKind::Internal, format!("pc out of range at {addr}"), 0);
+    };
+    let op = op.clone();
+
+    // Two-phase allocation: the first visit marks the process inside the
+    // allocator critical region and does not advance the pc; the second
+    // visit commits the allocation.
+    let allocates = matches!(
+        op,
+        Op::NewRecord { .. } | Op::NewArray | Op::Append | Op::Concat | Op::Unparse
+    );
+    if allocates && !p.in_allocator {
+        p.in_allocator = true;
+        return StepOutcome::Ran {
+            cost: base_cost(&op),
+        };
+    }
+    let cost = if allocates {
+        ALLOC_COMMIT_COST
+    } else {
+        base_cost(&op)
+    };
+    if allocates {
+        p.in_allocator = false;
+    }
+
+    macro_rules! top_frame {
+        () => {
+            p.frames.last_mut().expect("frame checked above")
+        };
+    }
+    macro_rules! pop {
+        () => {
+            match top_frame!().stack.pop() {
+                Some(v) => v,
+                None => return fault(FaultKind::Internal, "operand stack underflow", cost),
+            }
+        };
+    }
+    macro_rules! pop_int {
+        () => {
+            match pop!() {
+                Value::Int(v) => v,
+                other => {
+                    return fault(
+                        FaultKind::Internal,
+                        format!("expected int on stack, found {other}"),
+                        cost,
+                    )
+                }
+            }
+        };
+    }
+    macro_rules! pop_bool {
+        () => {
+            match pop!() {
+                Value::Bool(v) => v,
+                other => {
+                    return fault(
+                        FaultKind::Internal,
+                        format!("expected bool on stack, found {other}"),
+                        cost,
+                    )
+                }
+            }
+        };
+    }
+    macro_rules! push {
+        ($v:expr) => {
+            top_frame!().stack.push($v)
+        };
+    }
+    macro_rules! advance {
+        () => {
+            top_frame!().pc += 1
+        };
+    }
+    macro_rules! sysreply {
+        ($r:expr) => {
+            match $r {
+                SysReply::Val(vals) => {
+                    for v in vals {
+                        push!(v);
+                    }
+                    advance!();
+                    StepOutcome::Ran { cost }
+                }
+                SysReply::Block => {
+                    advance!();
+                    StepOutcome::Blocked { cost }
+                }
+            }
+        };
+    }
+
+    match op {
+        Op::Trap(bp) => return StepOutcome::Trapped { bp },
+        Op::Nop => {
+            advance!();
+        }
+        Op::PushInt(v) => {
+            push!(Value::Int(v));
+            advance!();
+        }
+        Op::PushBool(v) => {
+            push!(Value::Bool(v));
+            advance!();
+        }
+        Op::PushStr(s) => {
+            push!(Value::Str(s));
+            advance!();
+        }
+        Op::PushNull => {
+            push!(Value::Null);
+            advance!();
+        }
+        Op::Pop(n) => {
+            for _ in 0..n {
+                let _ = pop!();
+            }
+            advance!();
+        }
+        Op::LoadLocal(slot) => {
+            let v = top_frame!().locals[slot as usize].clone();
+            push!(v);
+            advance!();
+        }
+        Op::StoreLocal(slot) => {
+            let v = pop!();
+            top_frame!().locals[slot as usize] = v;
+            advance!();
+        }
+        Op::LoadGlobal(slot) => {
+            let v = env.globals[slot as usize].clone();
+            push!(v);
+            advance!();
+        }
+        Op::StoreGlobal(slot) => {
+            let v = pop!();
+            env.globals[slot as usize] = v;
+            advance!();
+        }
+        Op::LoadField(idx) => {
+            let r = match pop!() {
+                Value::Ref(r) => r,
+                other => {
+                    return fault(
+                        FaultKind::Internal,
+                        format!("field access on {other}"),
+                        cost,
+                    )
+                }
+            };
+            let v = match env.heap.get(r) {
+                HeapObject::Record { fields, .. } => fields[idx as usize].clone(),
+                HeapObject::Array(_) => {
+                    return fault(FaultKind::Internal, "field access on array", cost)
+                }
+            };
+            push!(v);
+            advance!();
+        }
+        Op::StoreField(idx) => {
+            let v = pop!();
+            let r = match pop!() {
+                Value::Ref(r) => r,
+                other => {
+                    return fault(FaultKind::Internal, format!("field store on {other}"), cost)
+                }
+            };
+            match env.heap.get_mut(r) {
+                HeapObject::Record { fields, .. } => fields[idx as usize] = v,
+                HeapObject::Array(_) => {
+                    return fault(FaultKind::Internal, "field store on array", cost)
+                }
+            }
+            advance!();
+        }
+        Op::LoadIndex => {
+            let i = pop_int!();
+            let r = match pop!() {
+                Value::Ref(r) => r,
+                other => return fault(FaultKind::Internal, format!("index on {other}"), cost),
+            };
+            let v = match env.heap.get(r) {
+                HeapObject::Array(items) => {
+                    if i < 0 || i as usize >= items.len() {
+                        return fault(
+                            FaultKind::IndexOutOfRange,
+                            format!("index {i} out of range (length {})", items.len()),
+                            cost,
+                        );
+                    }
+                    items[i as usize].clone()
+                }
+                HeapObject::Record { .. } => {
+                    return fault(FaultKind::Internal, "index on record", cost)
+                }
+            };
+            push!(v);
+            advance!();
+        }
+        Op::StoreIndex => {
+            let v = pop!();
+            let i = pop_int!();
+            let r = match pop!() {
+                Value::Ref(r) => r,
+                other => {
+                    return fault(FaultKind::Internal, format!("index store on {other}"), cost)
+                }
+            };
+            match env.heap.get_mut(r) {
+                HeapObject::Array(items) => {
+                    if i < 0 || i as usize >= items.len() {
+                        return fault(
+                            FaultKind::IndexOutOfRange,
+                            format!("index {i} out of range (length {})", items.len()),
+                            cost,
+                        );
+                    }
+                    items[i as usize] = v;
+                }
+                HeapObject::Record { .. } => {
+                    return fault(FaultKind::Internal, "index store on record", cost)
+                }
+            }
+            advance!();
+        }
+        Op::NewRecord { type_id, nfields } => {
+            let frame = top_frame!();
+            let at = frame.stack.len() - nfields as usize;
+            let fields = frame.stack.split_off(at);
+            let type_name = env.program.records[type_id as usize].name.clone();
+            let r = env.heap.alloc(HeapObject::Record { type_name, fields });
+            push!(Value::Ref(r));
+            advance!();
+        }
+        Op::NewArray => {
+            let r = env.heap.alloc(HeapObject::Array(Vec::new()));
+            push!(Value::Ref(r));
+            advance!();
+        }
+        Op::Append => {
+            let v = pop!();
+            let r = match pop!() {
+                Value::Ref(r) => r,
+                other => return fault(FaultKind::Internal, format!("append on {other}"), cost),
+            };
+            match env.heap.get_mut(r) {
+                HeapObject::Array(items) => items.push(v),
+                HeapObject::Record { .. } => {
+                    return fault(FaultKind::Internal, "append on record", cost)
+                }
+            }
+            advance!();
+        }
+        Op::Len => {
+            let r = match pop!() {
+                Value::Ref(r) => r,
+                other => return fault(FaultKind::Internal, format!("len on {other}"), cost),
+            };
+            let n = match env.heap.get(r) {
+                HeapObject::Array(items) => items.len() as i64,
+                HeapObject::Record { .. } => {
+                    return fault(FaultKind::Internal, "len on record", cost)
+                }
+            };
+            push!(Value::Int(n));
+            advance!();
+        }
+        Op::Add => {
+            let b = pop_int!();
+            let a = pop_int!();
+            push!(Value::Int(a.wrapping_add(b)));
+            advance!();
+        }
+        Op::Sub => {
+            let b = pop_int!();
+            let a = pop_int!();
+            push!(Value::Int(a.wrapping_sub(b)));
+            advance!();
+        }
+        Op::Mul => {
+            let b = pop_int!();
+            let a = pop_int!();
+            push!(Value::Int(a.wrapping_mul(b)));
+            advance!();
+        }
+        Op::Div => {
+            let b = pop_int!();
+            let a = pop_int!();
+            if b == 0 {
+                return fault(FaultKind::DivideByZero, format!("{a} / 0"), cost);
+            }
+            push!(Value::Int(a.wrapping_div(b)));
+            advance!();
+        }
+        Op::Mod => {
+            let b = pop_int!();
+            let a = pop_int!();
+            if b == 0 {
+                return fault(FaultKind::DivideByZero, format!("{a} // 0"), cost);
+            }
+            push!(Value::Int(a.wrapping_rem(b)));
+            advance!();
+        }
+        Op::Neg => {
+            let a = pop_int!();
+            push!(Value::Int(a.wrapping_neg()));
+            advance!();
+        }
+        Op::Concat => {
+            let b = pop!();
+            let a = pop!();
+            match (a, b) {
+                (Value::Str(a), Value::Str(b)) => {
+                    push!(Value::Str(format!("{a}{b}").into()));
+                }
+                (a, b) => {
+                    return fault(FaultKind::Internal, format!("concat of {a} and {b}"), cost)
+                }
+            }
+            advance!();
+        }
+        Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+            let b = pop_int!();
+            let a = pop_int!();
+            let r = match op {
+                Op::Lt => a < b,
+                Op::Le => a <= b,
+                Op::Gt => a > b,
+                _ => a >= b,
+            };
+            push!(Value::Bool(r));
+            advance!();
+        }
+        Op::CmpEq | Op::CmpNe => {
+            let b = pop!();
+            let a = pop!();
+            let eq = match (&a, &b) {
+                (Value::Int(x), Value::Int(y)) => x == y,
+                (Value::Bool(x), Value::Bool(y)) => x == y,
+                (Value::Str(x), Value::Str(y)) => x == y,
+                _ => return fault(FaultKind::Internal, format!("compare of {a} and {b}"), cost),
+            };
+            push!(Value::Bool(if matches!(op, Op::CmpEq) { eq } else { !eq }));
+            advance!();
+        }
+        Op::Not => {
+            let a = pop_bool!();
+            push!(Value::Bool(!a));
+            advance!();
+        }
+        Op::Jump(t) => {
+            top_frame!().pc = t;
+        }
+        Op::JumpIfFalse(t) => {
+            let c = pop_bool!();
+            if c {
+                advance!();
+            } else {
+                top_frame!().pc = t;
+            }
+        }
+        Op::JumpIfTrue(t) => {
+            let c = pop_bool!();
+            if c {
+                top_frame!().pc = t;
+            } else {
+                advance!();
+            }
+        }
+        Op::Call { proc, nargs } => {
+            if p.frames.len() >= MAX_FRAMES {
+                return fault(FaultKind::StackOverflow, "call stack exhausted", cost);
+            }
+            let frame = top_frame!();
+            let at = frame.stack.len() - nargs as usize;
+            let args = frame.stack.split_off(at);
+            frame.pc += 1; // return continues after the call
+            p.frames.push(Frame::activation(proc, args));
+        }
+        Op::Enter { nlocals } => {
+            let frame = top_frame!();
+            frame.locals.resize(nlocals as usize, Value::Null);
+            frame.well_formed = true;
+            frame.pc += 1;
+        }
+        Op::Ret { nvals } => {
+            let frame = top_frame!();
+            let at = frame.stack.len() - nvals as usize;
+            let vals = frame.stack.split_off(at);
+            p.frames.pop();
+            match p.frames.last_mut() {
+                Some(caller) => caller.stack.extend(vals),
+                None => {
+                    p.exit_values = vals;
+                    return StepOutcome::Exited { cost };
+                }
+            }
+        }
+        Op::Fork { proc, nargs } => {
+            let frame = top_frame!();
+            let at = frame.stack.len() - nargs as usize;
+            let args = frame.stack.split_off(at);
+            let pid = env.sys.fork(proc, args);
+            push!(Value::Int(pid));
+            advance!();
+        }
+        Op::Rpc {
+            name_idx,
+            nargs,
+            nrets,
+            protocol,
+        } => {
+            let frame = top_frame!();
+            let node = match frame.stack.pop() {
+                Some(Value::Int(n)) => n,
+                other => {
+                    return fault(FaultKind::Internal, format!("bad rpc node {other:?}"), cost)
+                }
+            };
+            let at = frame.stack.len() - nargs as usize;
+            let args = frame.stack.split_off(at);
+            let proc_name = env.program.rpc_names[name_idx as usize].clone();
+            advance!();
+            let reply = env.sys.rpc(RpcRequest {
+                proc_name,
+                args,
+                node,
+                protocol,
+                nrets,
+            });
+            return match reply {
+                SysReply::Val(vals) => {
+                    for v in vals {
+                        push!(v);
+                    }
+                    StepOutcome::Ran { cost }
+                }
+                SysReply::Block => StepOutcome::Blocked { cost },
+            };
+        }
+        Op::SemCreate => {
+            let n = pop_int!();
+            let id = env.sys.sem_create(n);
+            push!(Value::Sem(id));
+            advance!();
+        }
+        Op::SemWait => {
+            let timeout = pop_int!();
+            let sem = match pop!() {
+                Value::Sem(id) => id,
+                other => return fault(FaultKind::Internal, format!("sem$wait on {other}"), cost),
+            };
+            let r = env.sys.sem_wait(sem, timeout);
+            return sysreply!(r);
+        }
+        Op::SemSignal => {
+            let sem = match pop!() {
+                Value::Sem(id) => id,
+                other => return fault(FaultKind::Internal, format!("sem$signal on {other}"), cost),
+            };
+            env.sys.sem_signal(sem);
+            advance!();
+        }
+        Op::MutexCreate => {
+            let id = env.sys.mutex_create();
+            push!(Value::Mutex(id));
+            advance!();
+        }
+        Op::MutexLock => {
+            let m = match pop!() {
+                Value::Mutex(id) => id,
+                other => return fault(FaultKind::Internal, format!("mutex$lock on {other}"), cost),
+            };
+            let r = env.sys.mutex_lock(m);
+            return sysreply!(r);
+        }
+        Op::MutexUnlock => {
+            let m = match pop!() {
+                Value::Mutex(id) => id,
+                other => {
+                    return fault(
+                        FaultKind::Internal,
+                        format!("mutex$unlock on {other}"),
+                        cost,
+                    )
+                }
+            };
+            env.sys.mutex_unlock(m);
+            advance!();
+        }
+        Op::Sleep => {
+            let ms = pop_int!();
+            if ms <= 0 {
+                advance!();
+            } else {
+                let r = env.sys.sleep(ms);
+                return sysreply!(r);
+            }
+        }
+        Op::Now => {
+            let t = env.sys.now_ms();
+            push!(Value::Int(t));
+            advance!();
+        }
+        Op::Pid => {
+            let v = env.sys.pid();
+            push!(Value::Int(v));
+            advance!();
+        }
+        Op::MyNode => {
+            let v = env.sys.node_id();
+            push!(Value::Int(v));
+            advance!();
+        }
+        Op::Random => {
+            let bound = pop_int!();
+            if bound <= 0 {
+                return fault(FaultKind::Internal, "random bound must be positive", cost);
+            }
+            let v = env.sys.random(bound);
+            push!(Value::Int(v));
+            advance!();
+        }
+        Op::Print => {
+            let v = pop!();
+            let text = match &v {
+                Value::Str(s) => s.to_string(),
+                other => format_value(env.heap, other),
+            };
+            env.sys.print(&text);
+            advance!();
+        }
+        Op::Unparse => {
+            let v = pop_int!();
+            push!(Value::Str(v.to_string().into()));
+            advance!();
+        }
+        Op::Fail => {
+            let msg = match pop!() {
+                Value::Str(s) => s.to_string(),
+                other => format!("{other}"),
+            };
+            return fault(FaultKind::Explicit, msg, cost);
+        }
+        Op::Signal(idx) => {
+            return raise_signal(p, env, idx, cost);
+        }
+    }
+    StepOutcome::Ran { cost }
+}
+
+/// Raises a CLU signal: unwind frames until a handler region covering the
+/// active pc names the signal, or fault the process when none does.
+fn raise_signal(p: &mut VmProcess, env: &ExecEnv<'_>, idx: u16, cost: u64) -> StepOutcome {
+    let name = env
+        .program
+        .signal_names
+        .get(idx as usize)
+        .cloned()
+        .unwrap_or_else(|| "?".into());
+    let mut top = true;
+    while let Some(frame) = p.frames.last_mut() {
+        // Runtime-synthesized frames (RPC stubs) never hold user handlers.
+        let is_user_frame = matches!(frame.kind, FrameKind::Normal | FrameKind::ServerRoot)
+            || frame.kind == FrameKind::AgentInvoke;
+        if is_user_frame {
+            // In the raising frame the pc is *at* the Signal instruction;
+            // in every caller frame the pc has already advanced past the
+            // protected call, so the active instruction is pc − 1.
+            let check_pc = if top {
+                frame.pc
+            } else {
+                frame.pc.saturating_sub(1)
+            };
+            let handler = env
+                .program
+                .procs
+                .get(frame.proc.0 as usize)
+                .and_then(|code| {
+                    code.handlers
+                        .iter()
+                        .filter(|h| {
+                            h.from_pc <= check_pc && check_pc < h.to_pc && h.signals.contains(&idx)
+                        })
+                        .max_by_key(|h| h.from_pc)
+                });
+            if let Some(h) = handler {
+                frame.stack.clear();
+                frame.pc = h.handler_pc;
+                return StepOutcome::Ran { cost };
+            }
+        }
+        p.frames.pop();
+        top = false;
+    }
+    fault(
+        FaultKind::UncaughtSignal,
+        format!("uncaught signal `{name}`"),
+        cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+
+    /// A minimal single-process harness: semaphores are plain counters,
+    /// blocking never happens (timeouts "expire" immediately when the count
+    /// is zero), and RPC is unsupported. Good enough to test sequential
+    /// language semantics; concurrency semantics are tested in the
+    /// supervisor crate.
+    #[derive(Default)]
+    struct TestSys {
+        prints: Vec<String>,
+        sems: Vec<i64>,
+        time_ms: i64,
+        forks: Vec<(ProcId, Vec<Value>)>,
+    }
+
+    impl Syscalls for TestSys {
+        fn now_ms(&mut self) -> i64 {
+            self.time_ms
+        }
+        fn pid(&mut self) -> i64 {
+            7
+        }
+        fn node_id(&mut self) -> i64 {
+            3
+        }
+        fn random(&mut self, bound: i64) -> i64 {
+            bound - 1
+        }
+        fn print(&mut self, text: &str) {
+            self.prints.push(text.to_string());
+        }
+        fn sem_create(&mut self, count: i64) -> u32 {
+            self.sems.push(count);
+            (self.sems.len() - 1) as u32
+        }
+        fn sem_wait(&mut self, sem: u32, _timeout_ms: i64) -> SysReply {
+            let c = &mut self.sems[sem as usize];
+            if *c > 0 {
+                *c -= 1;
+                SysReply::Val(vec![Value::Bool(true)])
+            } else {
+                SysReply::Val(vec![Value::Bool(false)])
+            }
+        }
+        fn sem_signal(&mut self, sem: u32) {
+            self.sems[sem as usize] += 1;
+        }
+        fn mutex_create(&mut self) -> u32 {
+            0
+        }
+        fn mutex_lock(&mut self, _m: u32) -> SysReply {
+            SysReply::Val(vec![])
+        }
+        fn mutex_unlock(&mut self, _m: u32) {}
+        fn fork(&mut self, proc: ProcId, args: Vec<Value>) -> i64 {
+            self.forks.push((proc, args));
+            100 + self.forks.len() as i64
+        }
+        fn sleep(&mut self, ms: i64) -> SysReply {
+            self.time_ms += ms;
+            SysReply::Val(vec![])
+        }
+        fn rpc(&mut self, _req: RpcRequest) -> SysReply {
+            panic!("rpc not supported in TestSys");
+        }
+    }
+
+    struct Finished {
+        prints: Vec<String>,
+        exit_values: Vec<Value>,
+        fault: Option<Fault>,
+        #[allow(dead_code)]
+        steps: u64,
+        cost: u64,
+    }
+
+    fn run(source: &str, entry: &str, args: Vec<Value>) -> Finished {
+        let program = compile(source).expect("compile");
+        let mut heap = Heap::new();
+        let mut sys = TestSys::default();
+        let mut globals: Vec<Value> = program
+            .globals
+            .iter()
+            .map(|g| match &g.init {
+                crate::bytecode::GlobalInit::Literal(v) => v.clone(),
+                crate::bytecode::GlobalInit::EmptyArray => {
+                    Value::Ref(heap.alloc(HeapObject::Array(Vec::new())))
+                }
+                crate::bytecode::GlobalInit::Semaphore(n) => {
+                    sys.sems.push(*n);
+                    Value::Sem((sys.sems.len() - 1) as u32)
+                }
+            })
+            .collect();
+        let id = program.proc_by_name(entry).expect("entry proc");
+        let mut p = VmProcess::spawn(id, args);
+        let mut steps = 0u64;
+        let mut total = 0u64;
+        loop {
+            let mut env = ExecEnv {
+                heap: &mut heap,
+                program: &program,
+                globals: &mut globals,
+                sys: &mut sys,
+            };
+            steps += 1;
+            assert!(steps < 2_000_000, "runaway program");
+            match step(&mut p, &mut env) {
+                StepOutcome::Ran { cost } | StepOutcome::Blocked { cost } => total += cost,
+                StepOutcome::Exited { cost } => {
+                    total += cost;
+                    return Finished {
+                        prints: sys.prints,
+                        exit_values: p.exit_values,
+                        fault: None,
+                        steps,
+                        cost: total,
+                    };
+                }
+                StepOutcome::Faulted { fault, cost } => {
+                    total += cost;
+                    return Finished {
+                        prints: sys.prints,
+                        exit_values: vec![],
+                        fault: Some(fault),
+                        steps,
+                        cost: total,
+                    };
+                }
+                StepOutcome::Trapped { .. } => panic!("unexpected trap"),
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_printing() {
+        let f = run(
+            "main = proc ()\n x: int := 6 * 7\n print(x)\n print(\"done\")\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.prints, vec!["42", "done"]);
+        assert!(f.fault.is_none());
+        assert!(f.cost > 0);
+    }
+
+    #[test]
+    fn control_flow_loops() {
+        let f = run(
+            "main = proc ()\n t: int := 0\n for i: int := 1 to 10 do\n t := t + i\n end\n\
+             while t > 50 do\n t := t - 3\n end\n print(t)\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.prints, vec!["49"]);
+    }
+
+    #[test]
+    fn procedures_and_recursion() {
+        let f = run(
+            "fib = proc (n: int) returns (int)\n if n < 2 then\n return (n)\n end\n\
+             return (fib(n - 1) + fib(n - 2))\nend\n\
+             main = proc () returns (int)\n return (fib(10))\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.exit_values, vec![Value::Int(55)]);
+    }
+
+    #[test]
+    fn records_arrays_and_strings() {
+        let f = run(
+            "point = record[x: int, y: int]\n\
+             main = proc ()\n\
+             p: point := point${x: 3, y: 4}\n\
+             p.x := p.x + 1\n\
+             xs: array[int] := array$new()\n\
+             append(xs, p.x)\n append(xs, p.y)\n\
+             xs[0] := xs[0] * 10\n\
+             print(xs)\n\
+             print(\"len=\" || int$unparse(len(xs)))\n\
+             print(p)\n\
+             end",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.prints, vec!["[40, 4]", "len=2", "point${4, 4}"]);
+    }
+
+    #[test]
+    fn user_print_op_is_used() {
+        let f = run(
+            "point = record[x: int, y: int]\n\
+             print_point = proc (p: point) returns (string)\n\
+               return (\"(\" || int$unparse(p.x) || \", \" || int$unparse(p.y) || \")\")\n\
+             end\n\
+             main = proc ()\n p: point := point${x: 1, y: 2}\n print(p)\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.prints, vec!["(1, 2)"]);
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let f = run("main = proc ()\n x: int := 1 / 0\nend", "main", vec![]);
+        let fault = f.fault.unwrap();
+        assert_eq!(fault.kind, FaultKind::DivideByZero);
+    }
+
+    #[test]
+    fn index_out_of_range_faults() {
+        let f = run(
+            "main = proc ()\n xs: array[int] := array$new()\n print(xs[3])\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.fault.unwrap().kind, FaultKind::IndexOutOfRange);
+    }
+
+    #[test]
+    fn explicit_fail_faults() {
+        let f = run("main = proc ()\n fail(\"kaboom\")\nend", "main", vec![]);
+        let fault = f.fault.unwrap();
+        assert_eq!(fault.kind, FaultKind::Explicit);
+        assert_eq!(fault.message, "kaboom");
+    }
+
+    #[test]
+    fn stack_overflow_faults() {
+        let f = run(
+            "r = proc (n: int) returns (int)\n return (r(n + 1))\nend\n\
+             main = proc ()\n x: int := r(0)\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.fault.unwrap().kind, FaultKind::StackOverflow);
+    }
+
+    #[test]
+    fn fall_off_end_of_value_proc_faults() {
+        let f = run(
+            "f = proc () returns (int)\n if false then\n return (1)\n end\nend\n\
+             main = proc ()\n x: int := f()\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.fault.unwrap().kind, FaultKind::Explicit);
+    }
+
+    #[test]
+    fn semaphores_via_syscalls() {
+        let f = run(
+            "main = proc ()\n s: sem := sem$create(1)\n\
+             ok: bool := sem$wait(s, 0)\n print(ok)\n\
+             ok2: bool := sem$wait(s, 0)\n print(ok2)\n\
+             sem$signal(s)\n ok3: bool := sem$wait(s, 0)\n print(ok3)\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.prints, vec!["true", "false", "true"]);
+    }
+
+    #[test]
+    fn fork_reaches_supervisor() {
+        let f = run(
+            "w = proc (n: int)\n print(n)\nend\n\
+             main = proc ()\n fork w(9)\nend",
+            "main",
+            vec![],
+        );
+        // TestSys records the fork without running it.
+        assert!(f.prints.is_empty());
+        assert!(f.fault.is_none());
+    }
+
+    #[test]
+    fn builtins_now_pid_node_random_sleep() {
+        let f = run(
+            "main = proc ()\n sleep(250)\n print(now())\n print(pid())\n print(my_node())\n print(random(5))\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.prints, vec!["250", "7", "3", "4"]);
+    }
+
+    #[test]
+    fn globals_shared_by_calls() {
+        let f = run(
+            "own counter: int := 10\n\
+             bump = proc ()\n counter := counter + 1\nend\n\
+             main = proc ()\n bump()\n bump()\n print(counter)\nend",
+            "main",
+            vec![],
+        );
+        assert_eq!(f.prints, vec!["12"]);
+    }
+
+    #[test]
+    fn allocator_critical_region_is_two_phase() {
+        let program = compile("main = proc ()\n xs: array[int] := array$new()\nend").unwrap();
+        let mut heap = Heap::new();
+        let mut globals = vec![];
+        let mut sys = TestSys::default();
+        let id = program.proc_by_name("main").unwrap();
+        let mut p = VmProcess::spawn(id, vec![]);
+        let mut saw_in_allocator = false;
+        for _ in 0..100 {
+            let mut env = ExecEnv {
+                heap: &mut heap,
+                program: &program,
+                globals: &mut globals,
+                sys: &mut sys,
+            };
+            match step(&mut p, &mut env) {
+                StepOutcome::Exited { .. } => break,
+                StepOutcome::Faulted { fault, .. } => panic!("{fault}"),
+                _ => {}
+            }
+            if p.in_allocator {
+                saw_in_allocator = true;
+            }
+        }
+        assert!(
+            saw_in_allocator,
+            "allocation must pass through the critical region"
+        );
+        assert!(!p.in_allocator, "region must be exited afterwards");
+    }
+
+    #[test]
+    fn trap_opcode_suspends_without_advancing() {
+        let mut program = compile("main = proc ()\n x: int := 1\n x := 2\n print(x)\nend").unwrap();
+        let addr = program.addr_for_line(3).unwrap();
+        let orig = program.replace_op(addr, Op::Trap(5));
+        let mut heap = Heap::new();
+        let mut globals = vec![];
+        let mut sys = TestSys::default();
+        let id = program.proc_by_name("main").unwrap();
+        let mut p = VmProcess::spawn(id, vec![]);
+        let mut trapped = None;
+        for _ in 0..100 {
+            let mut env = ExecEnv {
+                heap: &mut heap,
+                program: &program,
+                globals: &mut globals,
+                sys: &mut sys,
+            };
+            match step(&mut p, &mut env) {
+                StepOutcome::Trapped { bp } => {
+                    trapped = Some(bp);
+                    break;
+                }
+                StepOutcome::Exited { .. } => panic!("should have trapped"),
+                StepOutcome::Faulted { fault, .. } => panic!("{fault}"),
+                _ => {}
+            }
+        }
+        assert_eq!(trapped, Some(5));
+        assert_eq!(p.addr().unwrap(), addr, "pc must not advance past a trap");
+        // Step-over: restore the instruction and continue.
+        program.replace_op(addr, orig);
+        loop {
+            let mut env = ExecEnv {
+                heap: &mut heap,
+                program: &program,
+                globals: &mut globals,
+                sys: &mut sys,
+            };
+            match step(&mut p, &mut env) {
+                StepOutcome::Exited { .. } => break,
+                StepOutcome::Faulted { fault, .. } => panic!("{fault}"),
+                _ => {}
+            }
+        }
+        assert_eq!(sys.prints, vec!["2"]);
+    }
+
+    #[test]
+    fn well_formed_frame_tracking() {
+        let program = compile(
+            "f = proc (n: int) returns (int)\n return (n)\nend\n\
+             main = proc ()\n x: int := f(1)\nend",
+        )
+        .unwrap();
+        let mut heap = Heap::new();
+        let mut globals = vec![];
+        let mut sys = TestSys::default();
+        let id = program.proc_by_name("main").unwrap();
+        let mut p = VmProcess::spawn(id, vec![]);
+        let mut saw_partial = false;
+        for _ in 0..200 {
+            // Immediately after a Call, the callee frame exists but has not
+            // executed Enter: it must not be counted well-formed.
+            if p.frames.len() == 2 && !p.frames[1].well_formed {
+                saw_partial = true;
+                assert_eq!(p.highest_well_formed(), Some(0));
+            }
+            let mut env = ExecEnv {
+                heap: &mut heap,
+                program: &program,
+                globals: &mut globals,
+                sys: &mut sys,
+            };
+            match step(&mut p, &mut env) {
+                StepOutcome::Exited { .. } => break,
+                StepOutcome::Faulted { fault, .. } => panic!("{fault}"),
+                _ => {}
+            }
+        }
+        assert!(saw_partial, "entry sequence window must be observable");
+    }
+
+    #[test]
+    fn short_circuit_evaluation_runs_correctly() {
+        let f = run(
+            "boom = proc () returns (bool)\n fail(\"should not run\")\nend\n\
+             main = proc ()\n ok: bool := false & boom()\n print(ok)\n\
+             ok2: bool := true | boom()\n print(ok2)\nend",
+            "main",
+            vec![],
+        );
+        assert!(f.fault.is_none());
+        assert_eq!(f.prints, vec!["false", "true"]);
+    }
+
+    #[test]
+    fn args_are_passed_to_entry() {
+        let f = run(
+            "main = proc (a: int, b: string)\n print(b)\n print(a * 2)\nend",
+            "main",
+            vec![Value::Int(21), Value::Str("go".into())],
+        );
+        assert_eq!(f.prints, vec!["go", "42"]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Time-consistency bookkeeping: the debugger's breakpoint log and the
+//! `convert_debuggee_time` support procedure (§6.1).
+//!
+//! "The debugger maintains a log of the breakpoints which have occurred
+//! and for each how long the program's execution was interrupted. The sum
+//! of these values will be almost the same as the logical time deltas at
+//! all nodes of the program."
+
+use pilgrim_sim::{SimDuration, SimTime};
+
+use crate::proto::ConvertedTime;
+
+/// One completed interruption: `[start, end)` in real time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaltRecord {
+    /// When the program was halted.
+    pub start: SimTime,
+    /// When it resumed.
+    pub end: SimTime,
+}
+
+impl HaltRecord {
+    /// Length of the interruption.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// The debugger's log of breakpoints and how long each interrupted the
+/// program.
+#[derive(Debug, Clone, Default)]
+pub struct BreakpointLog {
+    records: Vec<HaltRecord>,
+    open: Option<SimTime>,
+}
+
+impl BreakpointLog {
+    /// An empty log.
+    pub fn new() -> BreakpointLog {
+        BreakpointLog::default()
+    }
+
+    /// Marks the program halted at `start`. Ignored if a halt is already
+    /// open (a second breakpoint while halted is the same interruption).
+    pub fn begin_halt(&mut self, start: SimTime) {
+        if self.open.is_none() {
+            self.open = Some(start);
+        }
+    }
+
+    /// Marks the program resumed at `end`.
+    pub fn end_halt(&mut self, end: SimTime) {
+        if let Some(start) = self.open.take() {
+            self.records.push(HaltRecord {
+                start,
+                end: end.max(start),
+            });
+        }
+    }
+
+    /// Closes the open interruption with a measured duration (the agents
+    /// report exactly how long they were halted).
+    pub fn end_halt_after(&mut self, duration: SimDuration) {
+        if let Some(start) = self.open.take() {
+            self.records.push(HaltRecord {
+                start,
+                end: start + duration,
+            });
+        }
+    }
+
+    /// Is the program currently halted?
+    pub fn is_halted(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Completed interruptions, oldest first.
+    pub fn records(&self) -> &[HaltRecord] {
+        &self.records
+    }
+
+    /// Total time the program has spent halted, up to `now`.
+    pub fn total_halted(&self, now: SimTime) -> SimDuration {
+        let mut sum: SimDuration = self
+            .records
+            .iter()
+            .map(HaltRecord::duration)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        if let Some(start) = self.open {
+            sum += now.saturating_since(start);
+        }
+        sum
+    }
+
+    /// The `convert_debuggee_time` support procedure (§6.1): "takes a
+    /// date/time value for some point in the past and returns the
+    /// equivalent client logical date/time."
+    ///
+    /// Real time that elapsed while the program was halted does not exist
+    /// on the client's logical time scale, so the conversion subtracts
+    /// every halted interval that finished before `real`, plus the elapsed
+    /// part of an interval containing `real`.
+    pub fn convert_debuggee_time(&self, real: SimTime) -> ConvertedTime {
+        let mut subtracted = SimDuration::ZERO;
+        for r in &self.records {
+            if r.end <= real {
+                subtracted += r.duration();
+            } else if r.start < real {
+                subtracted += real.saturating_since(r.start);
+            }
+        }
+        if let Some(start) = self.open {
+            if start < real {
+                subtracted += real.saturating_since(start);
+            }
+        }
+        ConvertedTime {
+            logical: real - subtracted,
+            subtracted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn identity_without_halts() {
+        let log = BreakpointLog::new();
+        let c = log.convert_debuggee_time(t(500));
+        assert_eq!(c.logical, t(500));
+        assert_eq!(c.subtracted, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn subtracts_completed_halts_before_the_instant() {
+        let mut log = BreakpointLog::new();
+        log.begin_halt(t(100));
+        log.end_halt(t(150));
+        log.begin_halt(t(300));
+        log.end_halt(t(400));
+        // A time after both halts loses both durations.
+        assert_eq!(log.convert_debuggee_time(t(500)).logical, t(500 - 50 - 100));
+        // A time before any halt is unchanged.
+        assert_eq!(log.convert_debuggee_time(t(90)).logical, t(90));
+        // A time between the halts loses only the first.
+        assert_eq!(log.convert_debuggee_time(t(200)).logical, t(150));
+    }
+
+    #[test]
+    fn partial_overlap_inside_a_halt() {
+        let mut log = BreakpointLog::new();
+        log.begin_halt(t(100));
+        log.end_halt(t(200));
+        // An instant inside the halt maps to the halt start.
+        assert_eq!(log.convert_debuggee_time(t(160)).logical, t(100));
+    }
+
+    #[test]
+    fn open_halt_counts_up_to_now() {
+        let mut log = BreakpointLog::new();
+        log.begin_halt(t(100));
+        assert!(log.is_halted());
+        assert_eq!(log.total_halted(t(130)), d(30));
+        assert_eq!(log.convert_debuggee_time(t(130)).logical, t(100));
+        log.end_halt(t(150));
+        assert!(!log.is_halted());
+        assert_eq!(log.total_halted(t(1_000)), d(50));
+    }
+
+    #[test]
+    fn nested_begin_is_one_interruption() {
+        let mut log = BreakpointLog::new();
+        log.begin_halt(t(100));
+        log.begin_halt(t(120)); // second breakpoint while halted
+        log.end_halt(t(200));
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.records()[0].duration(), d(100));
+    }
+
+    #[test]
+    fn conversion_matches_node_delta_model() {
+        // The sum of log durations "will be almost the same as the logical
+        // time deltas at all nodes": for a time after all halts, logical =
+        // real - total.
+        let mut log = BreakpointLog::new();
+        for i in 0..5u64 {
+            log.begin_halt(t(1_000 * (i + 1)));
+            log.end_halt(t(1_000 * (i + 1) + 250));
+        }
+        let now = t(10_000);
+        let c = log.convert_debuggee_time(now);
+        assert_eq!(c.subtracted, log.total_halted(now));
+        assert_eq!(c.logical, now - log.total_halted(now));
+    }
+}

@@ -1,0 +1,1210 @@
+//! The distributed world: nodes, ring, RPC runtimes, agents, and the
+//! debugger, advanced together under one deterministic clock.
+//!
+//! A [`World`] is the reproduction's stand-in for "a local computer
+//! network and ... the other programs and services which exist on such a
+//! network" (§1). The synchronous-looking debugger methods
+//! ([`World::debug_request`] and friends) play the programmer at the
+//! terminal: they transmit a request over the simulated ring and pump the
+//! simulation until the reply packet comes back, so every debugger action
+//! pays its real network cost.
+
+use std::collections::HashMap;
+
+use pilgrim_cclu::{compile, CompileError, Program, Value};
+use pilgrim_mayflower::{Node, NodeConfig, Outcall, Pid, SpawnOpts};
+use pilgrim_ring::{Medium, Network, NetworkConfig, NodeId, TxStatus};
+use pilgrim_rpc::{RpcConfig, RpcEndpoint, RpcNet, RpcPacket, WireValue};
+use pilgrim_sim::{SimDuration, SimTime, Tracer};
+
+use crate::agent::{Agent, AgentConfig, DebugNet};
+use crate::debugger::{BreakpointInfo, DebugEvent, Debugger};
+use crate::proto::{
+    AgentReply, AgentRequest, DebugMsg, FrameSummary, KnowledgeView, ProcView, RpcFrameView,
+    SessionId,
+};
+
+/// Everything that travels on the ring: RPC packets and debugger traffic.
+#[derive(Debug, Clone)]
+pub enum Wire {
+    /// Mayflower RPC protocol.
+    Rpc(RpcPacket),
+    /// Pilgrim debugger–agent protocol.
+    Debug(DebugMsg),
+}
+
+/// Byte overhead of the network header on debug messages.
+const DEBUG_HEADER: usize = 16;
+
+/// Adapter presenting the world's network to the RPC layer (the orphan
+/// rule forbids implementing the foreign `RpcNet` trait directly on the
+/// foreign `Network` type).
+struct AsRpcNet<'a>(&'a mut Network<Wire>);
+
+impl RpcNet for AsRpcNet<'_> {
+    fn send_rpc(&mut self, at: SimTime, src: NodeId, dst: NodeId, pkt: RpcPacket, bytes: usize) {
+        let _ = self.0.send(at, src, dst, Wire::Rpc(pkt), bytes);
+    }
+    fn node_count(&self) -> u32 {
+        self.0.nodes()
+    }
+}
+
+impl DebugNet for Network<Wire> {
+    fn send_debug(&mut self, at: SimTime, src: NodeId, dst: NodeId, msg: DebugMsg) -> TxStatus {
+        let bytes = msg.wire_bytes() + DEBUG_HEADER;
+        // Debugger–agent traffic rides the ring's hardware NACK like the
+        // halt protocol: an interface-level refusal is retransmitted a few
+        // times before the sender gives up (a genuinely crashed node still
+        // yields a final NACK).
+        self.send_with_retransmit(at, src, dst, Wire::Debug(msg), bytes, 8)
+            .0
+    }
+    fn send_debug_reliable(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        msg: DebugMsg,
+        max_attempts: u32,
+    ) -> (TxStatus, u32) {
+        let bytes = msg.wire_bytes() + DEBUG_HEADER;
+        self.send_with_retransmit(at, src, dst, Wire::Debug(msg), bytes, max_attempts)
+    }
+    fn broadcast_debug(&mut self, at: SimTime, src: NodeId, msg: DebugMsg) -> Option<SimTime> {
+        let bytes = msg.wire_bytes() + DEBUG_HEADER;
+        self.broadcast(at, src, Wire::Debug(msg), bytes)
+    }
+    fn medium(&self) -> Medium {
+        self.config().medium
+    }
+}
+
+/// Errors from world construction.
+#[derive(Debug)]
+pub enum BuildError {
+    /// A program failed to compile.
+    Compile {
+        /// Node whose program failed (None = the shared program).
+        node: Option<u32>,
+        /// The compiler error.
+        err: CompileError,
+    },
+    /// A world needs at least one user node.
+    NoNodes,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Compile { node: Some(n), err } => {
+                write!(f, "program for node {n} failed to compile: {err}")
+            }
+            BuildError::Compile { node: None, err } => {
+                write!(f, "program failed to compile: {err}")
+            }
+            BuildError::NoNodes => f.write_str("world needs at least one node"),
+        }
+    }
+}
+impl std::error::Error for BuildError {}
+
+/// Errors from debugger operations.
+#[derive(Debug)]
+pub enum DebugError {
+    /// The world was built without a debugger station.
+    NoDebugger,
+    /// No session is active.
+    NotConnected,
+    /// An agent refused the connection (already owned by another session
+    /// and `force` was not given).
+    Refused,
+    /// No reply arrived within the simulated deadline.
+    Timeout,
+    /// The agent reported an error.
+    Agent(String),
+    /// The debugger proper could not resolve a source-level name.
+    Source(String),
+    /// An unexpected reply kind arrived (protocol error).
+    Protocol(String),
+}
+
+impl std::fmt::Display for DebugError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DebugError::NoDebugger => f.write_str("world has no debugger"),
+            DebugError::NotConnected => f.write_str("no debugging session is active"),
+            DebugError::Refused => f.write_str("agent refused the connection"),
+            DebugError::Timeout => f.write_str("timed out waiting for the agent"),
+            DebugError::Agent(e) => write!(f, "agent error: {e}"),
+            DebugError::Source(e) => write!(f, "source mapping: {e}"),
+            DebugError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+impl std::error::Error for DebugError {}
+
+/// A source-level stack frame as shown to the user.
+#[derive(Debug, Clone)]
+pub struct BacktraceFrame {
+    /// Node the frame lives on.
+    pub node: u32,
+    /// Process the frame belongs to.
+    pub pid: u64,
+    /// Frame index within its process (0 = oldest).
+    pub index: u32,
+    /// Procedure name (mapped by the debugger proper).
+    pub proc_name: String,
+    /// Source line.
+    pub line: Option<u32>,
+    /// Frame role ("normal", "rpc-stub", "server-root", "agent-invoke").
+    pub kind: String,
+    /// Entry sequence complete (§5.5)?
+    pub well_formed: bool,
+    /// RPC information block, if the frame has one.
+    pub rpc: Option<RpcFrameView>,
+}
+
+impl std::fmt::Display for BacktraceFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node{} p{} #{} {}",
+            self.node, self.pid, self.index, self.proc_name
+        )?;
+        if let Some(l) = self.line {
+            write!(f, ":{l}")?;
+        }
+        if self.kind != "normal" {
+            write!(f, " [{}]", self.kind)?;
+        }
+        if let Some(r) = &self.rpc {
+            write!(
+                f,
+                " call#{} {} ({} — {})",
+                r.call_id, r.remote_proc, r.protocol, r.state
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of diagnosing a failed `maybe` call (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaybeDiagnosis {
+    /// The call packet was lost: the server never saw the call.
+    LostCall,
+    /// The reply packet was lost: the server executed and replied.
+    LostReply,
+    /// The remote procedure itself failed.
+    RemoteFailed,
+    /// The server is still executing (the client timed out too early).
+    StillExecuting,
+}
+
+/// Configures and creates a [`World`].
+#[derive(Debug)]
+pub struct WorldBuilder {
+    nodes: u32,
+    default_source: Option<String>,
+    per_node_source: HashMap<u32, String>,
+    net: NetworkConfig,
+    rpc: RpcConfig,
+    node_cfg: NodeConfig,
+    agent_cfg: AgentConfig,
+    window: SimDuration,
+    seed: u64,
+    with_debugger: bool,
+    with_agents: bool,
+}
+
+impl Default for WorldBuilder {
+    fn default() -> Self {
+        WorldBuilder {
+            nodes: 1,
+            default_source: None,
+            per_node_source: HashMap::new(),
+            net: NetworkConfig::default(),
+            rpc: RpcConfig::default(),
+            node_cfg: NodeConfig::default(),
+            agent_cfg: AgentConfig::default(),
+            window: SimDuration::from_millis(1),
+            seed: 0,
+            with_debugger: true,
+            with_agents: true,
+        }
+    }
+}
+
+impl WorldBuilder {
+    /// Starts a builder with defaults (one node, debugger attached).
+    pub fn new() -> WorldBuilder {
+        WorldBuilder::default()
+    }
+
+    /// Number of user nodes.
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// The Concurrent CLU program every node runs (a distributed program
+    /// is one program running on all its nodes, distinguished by
+    /// `my_node()`).
+    pub fn program(mut self, source: &str) -> Self {
+        self.default_source = Some(source.to_string());
+        self
+    }
+
+    /// Overrides the program for one node.
+    pub fn program_for(mut self, node: u32, source: &str) -> Self {
+        self.per_node_source.insert(node, source.to_string());
+        self
+    }
+
+    /// Network model configuration.
+    pub fn network(mut self, cfg: NetworkConfig) -> Self {
+        self.net = cfg;
+        self
+    }
+
+    /// RPC runtime configuration.
+    pub fn rpc(mut self, cfg: RpcConfig) -> Self {
+        self.rpc = cfg;
+        self
+    }
+
+    /// Supervisor configuration.
+    pub fn node_config(mut self, cfg: NodeConfig) -> Self {
+        self.node_cfg = cfg;
+        self
+    }
+
+    /// Agent configuration.
+    pub fn agent(mut self, cfg: AgentConfig) -> Self {
+        self.agent_cfg = cfg;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach a debugger station (default true).
+    pub fn debugger(mut self, on: bool) -> Self {
+        self.with_debugger = on;
+        self
+    }
+
+    /// Link agents into the nodes (default true). Without agents the
+    /// program cannot be debugged at all — the E7 baseline.
+    pub fn agents(mut self, on: bool) -> Self {
+        self.with_agents = on;
+        self
+    }
+
+    /// Builds the world.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a program does not compile or no nodes were requested.
+    pub fn build(self) -> Result<World, BuildError> {
+        if self.nodes == 0 {
+            return Err(BuildError::NoNodes);
+        }
+        let tracer = Tracer::new();
+        let default_program = match &self.default_source {
+            Some(src) => Some(compile(src).map_err(|err| BuildError::Compile { node: None, err })?),
+            None => None,
+        };
+        let mut programs: Vec<Program> = Vec::new();
+        for i in 0..self.nodes {
+            let program = match self.per_node_source.get(&i) {
+                Some(src) => {
+                    compile(src).map_err(|err| BuildError::Compile { node: Some(i), err })?
+                }
+                None => default_program.clone().unwrap_or_default(),
+            };
+            programs.push(program);
+        }
+
+        let stations = self.nodes + u32::from(self.with_debugger);
+        let mut netcfg = self.net.clone();
+        netcfg.seed ^= self.seed;
+        let net: Network<Wire> = Network::new(netcfg, stations);
+
+        let mut nodes = Vec::new();
+        let mut endpoints = Vec::new();
+        let mut agents: Vec<Option<Agent>> = Vec::new();
+        for i in 0..stations {
+            let program = programs.get(i as usize).cloned().unwrap_or_default();
+            let mut cfg = self.node_cfg.clone();
+            cfg.seed ^= self.seed.rotate_left(i % 64);
+            nodes.push(Node::new(i, program, cfg, tracer.clone()));
+            endpoints.push(RpcEndpoint::new(
+                NodeId(i),
+                self.rpc.clone(),
+                tracer.clone(),
+            ));
+            let is_user = i < self.nodes;
+            if is_user && self.with_agents {
+                let agent = Agent::new(NodeId(i), self.agent_cfg.clone(), tracer.clone());
+                endpoints[i as usize]
+                    .register_handler("get_debuggee_status", agent.status_handler());
+                agents.push(Some(agent));
+            } else {
+                agents.push(None);
+            }
+        }
+
+        let debugger = if self.with_debugger {
+            let station = NodeId(stations - 1);
+            let mut d = Debugger::new(station, tracer.clone());
+            for (i, p) in programs.iter().enumerate() {
+                d.load_program(NodeId(i as u32), p.clone());
+            }
+            endpoints[station.0 as usize]
+                .register_handler("convert_debuggee_time", d.convert_time_handler());
+            Some(d)
+        } else {
+            None
+        };
+
+        Ok(World {
+            nodes,
+            endpoints,
+            agents,
+            debugger,
+            net,
+            tracer,
+            now: SimTime::ZERO,
+            user_nodes: self.nodes,
+            window: self.window,
+        })
+    }
+}
+
+/// The simulated distributed system.
+pub struct World {
+    nodes: Vec<Node>,
+    endpoints: Vec<RpcEndpoint>,
+    agents: Vec<Option<Agent>>,
+    debugger: Option<Debugger>,
+    net: Network<Wire>,
+    tracer: Tracer,
+    now: SimTime,
+    user_nodes: u32,
+    window: SimDuration,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("user_nodes", &self.user_nodes)
+            .field("debugger", &self.debugger.is_some())
+            .finish()
+    }
+}
+
+impl World {
+    /// Starts building a world.
+    pub fn builder() -> WorldBuilder {
+        WorldBuilder::new()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of user (non-debugger) nodes.
+    pub fn user_nodes(&self) -> u32 {
+        self.user_nodes
+    }
+
+    /// The debugger's network station, when one is attached.
+    pub fn debugger_station(&self) -> Option<NodeId> {
+        self.debugger.as_ref().map(Debugger::station)
+    }
+
+    /// The shared tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Immutable node access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a station.
+    pub fn node(&self, i: u32) -> &Node {
+        &self.nodes[i as usize]
+    }
+
+    /// Mutable node access (service setup, direct inspection in tests).
+    pub fn node_mut(&mut self, i: u32) -> &mut Node {
+        &mut self.nodes[i as usize]
+    }
+
+    /// Immutable RPC endpoint access.
+    pub fn endpoint(&self, i: u32) -> &RpcEndpoint {
+        &self.endpoints[i as usize]
+    }
+
+    /// Mutable RPC endpoint access (handler registration).
+    pub fn endpoint_mut(&mut self, i: u32) -> &mut RpcEndpoint {
+        &mut self.endpoints[i as usize]
+    }
+
+    /// The agent on node `i`, if one is linked in.
+    pub fn agent(&self, i: u32) -> Option<&Agent> {
+        self.agents.get(i as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable network access (fault injection: loss, crashes).
+    pub fn net_mut(&mut self) -> &mut Network<Wire> {
+        &mut self.net
+    }
+
+    /// The debugger proper, when attached.
+    pub fn debugger(&self) -> Option<&Debugger> {
+        self.debugger.as_ref()
+    }
+
+    /// Mutable debugger access.
+    pub fn debugger_mut(&mut self) -> Option<&mut Debugger> {
+        self.debugger.as_mut()
+    }
+
+    /// Spawns a process running `entry` on node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no such procedure (program bugs in examples
+    /// should fail loudly).
+    pub fn spawn(&mut self, i: u32, entry: &str, args: Vec<Value>) -> Pid {
+        self.nodes[i as usize]
+            .spawn(entry, args, SpawnOpts::default())
+            .expect("entry procedure exists")
+    }
+
+    /// Console lines printed on node `i`.
+    pub fn console(&self, i: u32) -> Vec<String> {
+        self.nodes[i as usize]
+            .console()
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect()
+    }
+
+    /// Advances the world to `limit`.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while self.now < limit {
+            self.pump_step(limit);
+        }
+    }
+
+    /// Advances the world by `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until nothing is runnable, no packet is in flight and no
+    /// protocol timer is pending — or until `limit`.
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        while self.now < limit {
+            self.pump_step(limit);
+            let nodes_idle = self.nodes.iter().all(|n| n.next_activity().is_none());
+            let net_idle = self.net.next_delivery_at().is_none();
+            let timers_idle = self.endpoints.iter_mut().all(|e| e.next_timer().is_none());
+            if nodes_idle && net_idle && timers_idle {
+                break;
+            }
+        }
+    }
+
+    /// One pump iteration: pick the next event time, advance every node to
+    /// it, deliver packets, fire protocol timers.
+    fn pump_step(&mut self, limit: SimTime) {
+        let mut next = self.now + self.window;
+        for n in &self.nodes {
+            if let Some(t) = n.next_activity() {
+                if t > self.now {
+                    next = next.min(t);
+                }
+            }
+        }
+        if let Some(t) = self.net.next_delivery_at() {
+            if t > self.now {
+                next = next.min(t);
+            }
+        }
+        for e in &mut self.endpoints {
+            if let Some(t) = e.next_timer() {
+                if t > self.now {
+                    next = next.min(t);
+                }
+            }
+        }
+        let next = next.min(limit);
+
+        for i in 0..self.nodes.len() {
+            let outcalls = self.nodes[i].advance_to(next);
+            for oc in outcalls {
+                self.route_outcall(i, oc);
+            }
+        }
+
+        let (deliveries, _) = self.net.poll(next);
+        for d in deliveries {
+            self.route_delivery(d.at, d.src, d.dst, d.payload);
+        }
+
+        for i in 0..self.endpoints.len() {
+            self.endpoints[i].on_timers(next, &mut self.nodes[i], &mut AsRpcNet(&mut self.net));
+        }
+
+        self.now = next;
+    }
+
+    fn route_outcall(&mut self, i: usize, oc: Outcall) {
+        match &oc {
+            Outcall::Rpc {
+                pid,
+                token,
+                req,
+                at,
+            } => {
+                self.endpoints[i].start_call(
+                    *at,
+                    &mut self.nodes[i],
+                    *pid,
+                    *token,
+                    req,
+                    &mut AsRpcNet(&mut self.net),
+                );
+            }
+            Outcall::ProcExited { pid, at } => {
+                self.endpoints[i].on_proc_exited(
+                    *at,
+                    &mut self.nodes[i],
+                    *pid,
+                    &mut AsRpcNet(&mut self.net),
+                );
+                if let Some(agent) = self.agents[i].as_mut() {
+                    agent.on_outcall(&mut self.nodes[i], &self.endpoints[i], &oc, &mut self.net);
+                }
+            }
+            Outcall::Fault { pid, fault, at } => {
+                let was_server = self.endpoints[i].on_proc_faulted(
+                    *at,
+                    &mut self.nodes[i],
+                    *pid,
+                    fault,
+                    &mut AsRpcNet(&mut self.net),
+                );
+                if !was_server {
+                    if let Some(agent) = self.agents[i].as_mut() {
+                        agent.on_outcall(
+                            &mut self.nodes[i],
+                            &self.endpoints[i],
+                            &oc,
+                            &mut self.net,
+                        );
+                    }
+                }
+            }
+            Outcall::Trap { .. } | Outcall::TraceStop { .. } | Outcall::ProcCreated { .. } => {
+                if let Some(agent) = self.agents[i].as_mut() {
+                    agent.on_outcall(&mut self.nodes[i], &self.endpoints[i], &oc, &mut self.net);
+                }
+            }
+            Outcall::Print { .. } => {}
+        }
+    }
+
+    fn route_delivery(&mut self, at: SimTime, src: NodeId, dst: NodeId, payload: Wire) {
+        let i = dst.0 as usize;
+        match payload {
+            Wire::Rpc(pkt) => {
+                self.endpoints[i].on_packet(
+                    at,
+                    &mut self.nodes[i],
+                    src,
+                    pkt,
+                    &mut AsRpcNet(&mut self.net),
+                );
+            }
+            Wire::Debug(msg) => {
+                if Some(dst) == self.debugger_station() {
+                    if let Some(d) = self.debugger.as_mut() {
+                        d.on_msg(at, src, msg);
+                    }
+                } else if let Some(agent) = self.agents[i].as_mut() {
+                    agent.on_msg(
+                        at,
+                        &mut self.nodes[i],
+                        &self.endpoints[i],
+                        src,
+                        msg,
+                        &mut self.net,
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Debugger front end: the user at the terminal
+    // ------------------------------------------------------------------
+
+    /// Connects the debugger to `nodes`, which become the session cohort.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::Refused`] when some agent already belongs to another
+    /// session and `force` is false.
+    pub fn debug_connect(&mut self, nodes: &[u32], force: bool) -> Result<SessionId, DebugError> {
+        let dbg = self.debugger.as_mut().ok_or(DebugError::NoDebugger)?;
+        let session = dbg.fresh_session();
+        let cohort: Vec<NodeId> = nodes.iter().map(|n| NodeId(*n)).collect();
+        dbg.begin_connect(session, cohort.clone());
+        let station = dbg.station();
+        for dst in &cohort {
+            let msg = DebugMsg::Connect {
+                session,
+                force,
+                debugger: station,
+                cohort: cohort.clone(),
+            };
+            self.net.send_debug(self.now, station, *dst, msg);
+        }
+        let deadline = self.now + SimDuration::from_secs(5);
+        while self.now < deadline {
+            self.pump_step(deadline);
+            let d = self.debugger.as_ref().expect("debugger exists");
+            if d.connect_refusals() > 0 {
+                self.debugger.as_mut().expect("debugger exists").abandon();
+                return Err(DebugError::Refused);
+            }
+            if d.connect_acks() == nodes.len() {
+                return Ok(session);
+            }
+        }
+        Err(DebugError::Timeout)
+    }
+
+    /// Ends the session: agents clear breakpoints, resume halted
+    /// processes, and reset their logical clocks to real time (§5.2 warns
+    /// the effects of continuing "may be unpredictable").
+    pub fn debug_disconnect(&mut self) -> Result<(), DebugError> {
+        let dbg = self.debugger.as_mut().ok_or(DebugError::NoDebugger)?;
+        let Some(session) = dbg.session() else {
+            return Ok(());
+        };
+        let cohort = dbg.cohort().to_vec();
+        let station = dbg.station();
+        dbg.abandon();
+        for dst in cohort {
+            self.net
+                .send_debug(self.now, station, dst, DebugMsg::Disconnect { session });
+        }
+        self.run_for(SimDuration::from_millis(20));
+        Ok(())
+    }
+
+    /// Drops the session client-side without telling the agents —
+    /// simulates a crashed debugger. Only a forcible reconnect gets the
+    /// agents back (§3).
+    pub fn debug_abandon(&mut self) {
+        if let Some(d) = self.debugger.as_mut() {
+            d.abandon();
+        }
+    }
+
+    /// Sends one logical request to the agent on `node` and pumps the
+    /// simulation until its reply returns.
+    ///
+    /// # Errors
+    ///
+    /// [`DebugError::Agent`] carries agent-side failures;
+    /// [`DebugError::Timeout`] fires after 30 simulated seconds.
+    pub fn debug_request(
+        &mut self,
+        node: u32,
+        req: AgentRequest,
+    ) -> Result<AgentReply, DebugError> {
+        let dbg = self.debugger.as_mut().ok_or(DebugError::NoDebugger)?;
+        let session = dbg.session().ok_or(DebugError::NotConnected)?;
+        let seq = dbg.next_seq();
+        let station = dbg.station();
+        self.net.send_debug(
+            self.now,
+            station,
+            NodeId(node),
+            DebugMsg::Request { session, seq, req },
+        );
+        let deadline = self.now + SimDuration::from_secs(30);
+        while self.now < deadline {
+            self.pump_step(deadline);
+            if let Some(reply) = self
+                .debugger
+                .as_mut()
+                .expect("debugger exists")
+                .take_reply(seq)
+            {
+                return match reply {
+                    AgentReply::Error(e) => Err(DebugError::Agent(e)),
+                    ok => Ok(ok),
+                };
+            }
+        }
+        Err(DebugError::Timeout)
+    }
+
+    /// Drains pending debugger events (breakpoint hits, faults).
+    pub fn debug_events(&mut self) -> Vec<DebugEvent> {
+        self.debugger
+            .as_mut()
+            .map(Debugger::take_events)
+            .unwrap_or_default()
+    }
+
+    /// Pumps the simulation until a debugger event arrives (or `timeout`).
+    pub fn wait_for_stop(&mut self, timeout: SimDuration) -> Result<DebugEvent, DebugError> {
+        let deadline = self.now + timeout;
+        loop {
+            if let Some(ev) = self
+                .debugger
+                .as_mut()
+                .ok_or(DebugError::NoDebugger)?
+                .take_events()
+                .into_iter()
+                .next()
+            {
+                return Ok(ev);
+            }
+            if self.now >= deadline {
+                return Err(DebugError::Timeout);
+            }
+            self.pump_step(deadline);
+        }
+    }
+
+    /// Plants a breakpoint at the first executable address of `line` on
+    /// `node`.
+    pub fn break_at_line(&mut self, node: u32, line: u32) -> Result<u16, DebugError> {
+        let addr = self
+            .debugger
+            .as_ref()
+            .ok_or(DebugError::NoDebugger)?
+            .addr_for_line(NodeId(node), line)
+            .ok_or_else(|| DebugError::Source(format!("no code at line {line}")))?;
+        self.set_breakpoint_addr(node, addr, Some(line))
+    }
+
+    /// Plants a breakpoint at the entry of procedure `name` on `node`.
+    pub fn break_at_proc(&mut self, node: u32, name: &str) -> Result<u16, DebugError> {
+        let addr = self
+            .debugger
+            .as_ref()
+            .ok_or(DebugError::NoDebugger)?
+            .addr_for_proc(NodeId(node), name)
+            .ok_or_else(|| DebugError::Source(format!("no procedure `{name}`")))?;
+        self.set_breakpoint_addr(node, addr, None)
+    }
+
+    fn set_breakpoint_addr(
+        &mut self,
+        node: u32,
+        addr: pilgrim_cclu::CodeAddr,
+        line: Option<u32>,
+    ) -> Result<u16, DebugError> {
+        let reply = self.debug_request(
+            node,
+            AgentRequest::SetBreakpoint {
+                proc_id: addr.proc.0,
+                pc: addr.pc,
+            },
+        )?;
+        match reply {
+            AgentReply::BreakpointSet { bp } => {
+                if let Some(d) = self.debugger.as_mut() {
+                    d.record_breakpoint(BreakpointInfo {
+                        node: NodeId(node),
+                        bp,
+                        addr,
+                        line,
+                    });
+                }
+                Ok(bp)
+            }
+            other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Clears a breakpoint by agent slot.
+    pub fn clear_breakpoint(&mut self, node: u32, bp: u16) -> Result<(), DebugError> {
+        self.debug_request(node, AgentRequest::ClearBreakpoint { bp })?;
+        if let Some(d) = self.debugger.as_mut() {
+            d.forget_breakpoint(NodeId(node), bp);
+        }
+        Ok(())
+    }
+
+    /// Halts the whole cohort by asking `origin`'s agent to halt and
+    /// broadcast (§5.2).
+    pub fn debug_halt_all(&mut self, origin: u32) -> Result<usize, DebugError> {
+        let begin = self.now;
+        let reply = self.debug_request(origin, AgentRequest::HaltAll)?;
+        if let Some(d) = self.debugger.as_mut() {
+            d.log().borrow_mut().begin_halt(begin);
+        }
+        match reply {
+            AgentReply::Halted(n) => Ok(n),
+            other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Resumes every cohort node. Each agent folds its own measured halt
+    /// duration into its node's logical-clock delta; the debugger closes
+    /// its breakpoint-log entry with the longest reported duration.
+    pub fn debug_resume_all(&mut self) -> Result<(), DebugError> {
+        let cohort: Vec<u32> = self
+            .debugger
+            .as_ref()
+            .ok_or(DebugError::NoDebugger)?
+            .cohort()
+            .iter()
+            .map(|n| n.0)
+            .collect();
+        // Send every resume request back-to-back (they serialize on the
+        // ring at ~3.5 ms apart, mirroring the halt broadcast) and only
+        // then collect the replies — otherwise each node's halt would be
+        // lengthened by the previous node's reply round trip and the
+        // logical clocks would drift apart.
+        let station = self.debugger.as_ref().expect("debugger exists").station();
+        let session = self
+            .debugger
+            .as_ref()
+            .and_then(Debugger::session)
+            .ok_or(DebugError::NotConnected)?;
+        let mut seqs = Vec::new();
+        for n in &cohort {
+            let seq = self.debugger.as_mut().expect("debugger exists").next_seq();
+            self.net.send_debug(
+                self.now,
+                station,
+                NodeId(*n),
+                DebugMsg::Request {
+                    session,
+                    seq,
+                    req: AgentRequest::ResumeAll,
+                },
+            );
+            seqs.push(seq);
+        }
+        let deadline = self.now + SimDuration::from_secs(30);
+        let mut max_halt = SimDuration::ZERO;
+        while !seqs.is_empty() {
+            if self.now >= deadline {
+                return Err(DebugError::Timeout);
+            }
+            self.pump_step(deadline);
+            seqs.retain(|seq| {
+                match self
+                    .debugger
+                    .as_mut()
+                    .expect("debugger exists")
+                    .take_reply(*seq)
+                {
+                    Some(AgentReply::Resumed { halted_for_us }) => {
+                        max_halt = max_halt.max(SimDuration::from_micros(halted_for_us));
+                        false
+                    }
+                    Some(_) => false,
+                    None => true,
+                }
+            });
+        }
+        if let Some(d) = self.debugger.as_mut() {
+            let log = d.log();
+            let mut log = log.borrow_mut();
+            if log.is_halted() {
+                let start = log.records().last().map(|r| r.end).unwrap_or(SimTime::ZERO);
+                let _ = start;
+                // Close the open interruption with the agents' measured
+                // duration.
+                log.end_halt_after(max_halt);
+            }
+        }
+        Ok(())
+    }
+
+    /// Lists processes on a node.
+    pub fn debug_processes(&mut self, node: u32) -> Result<Vec<ProcView>, DebugError> {
+        match self.debug_request(node, AgentRequest::ListProcesses)? {
+            AgentReply::Processes(ps) => Ok(ps),
+            other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// A single-process source-level backtrace.
+    pub fn backtrace(&mut self, node: u32, pid: u64) -> Result<Vec<BacktraceFrame>, DebugError> {
+        let frames = self.read_stack(node, pid)?;
+        Ok(self.map_frames(node, pid, &frames))
+    }
+
+    fn read_stack(&mut self, node: u32, pid: u64) -> Result<Vec<FrameSummary>, DebugError> {
+        match self.debug_request(node, AgentRequest::ReadStack { pid })? {
+            AgentReply::Stack(frames) => Ok(frames),
+            other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    fn map_frames(&self, node: u32, pid: u64, frames: &[FrameSummary]) -> Vec<BacktraceFrame> {
+        let dbg = self.debugger.as_ref();
+        frames
+            .iter()
+            .map(|f| {
+                let (proc_name, line) = match dbg {
+                    Some(d) => d.source_position(NodeId(node), f.proc_id, f.pc),
+                    None => (format!("proc#{}", f.proc_id), None),
+                };
+                BacktraceFrame {
+                    node,
+                    pid,
+                    index: f.index,
+                    proc_name,
+                    line,
+                    kind: f.kind.clone(),
+                    well_formed: f.well_formed,
+                    rpc: f.rpc.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// A stack backtrace that crosses node boundaries (§4.1, Figure 1):
+    /// starting from `(node, pid)`, walks *up* through server-root
+    /// information blocks to the outermost client, then *down* through
+    /// client stubs and the server tables, producing the whole distributed
+    /// call chain, outermost caller first.
+    pub fn distributed_backtrace(
+        &mut self,
+        node: u32,
+        pid: u64,
+    ) -> Result<Vec<BacktraceFrame>, DebugError> {
+        // Climb to the outermost caller.
+        let (mut cur_node, mut cur_pid) = (node, pid);
+        for _ in 0..16 {
+            let frames = self.read_stack(cur_node, cur_pid)?;
+            let Some(root) = frames.first() else { break };
+            if root.kind != "server-root" {
+                break;
+            }
+            let Some(rpc) = &root.rpc else { break };
+            let Some(peer) = rpc.peer else { break };
+            let call_id = rpc.call_id;
+            match self.debug_request(peer.0, AgentRequest::ClientProcess { call_id })? {
+                AgentReply::ClientOf(Some(client_pid)) => {
+                    cur_node = peer.0;
+                    cur_pid = client_pid;
+                }
+                _ => break,
+            }
+        }
+        // Walk down, collecting frames.
+        let mut out = Vec::new();
+        for _ in 0..16 {
+            let frames = self.read_stack(cur_node, cur_pid)?;
+            let mapped = self.map_frames(cur_node, cur_pid, &frames);
+            let hop = frames.last().and_then(|top| {
+                if top.kind == "rpc-stub" {
+                    top.rpc
+                        .as_ref()
+                        .and_then(|r| r.peer.map(|p| (p, r.call_id)))
+                } else {
+                    None
+                }
+            });
+            out.extend(mapped);
+            let Some((dst, call_id)) = hop else { break };
+            match self.debug_request(dst.0, AgentRequest::ServingProcess { call_id })? {
+                AgentReply::Serving(Some(server_pid)) => {
+                    cur_node = dst.0;
+                    cur_pid = server_pid;
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders the value of variable `name` in the newest well-formed
+    /// frame of `(node, pid)` where it is in scope, using the program's
+    /// print operations (§3, §5.4).
+    pub fn inspect(&mut self, node: u32, pid: u64, name: &str) -> Result<String, DebugError> {
+        if let Some((frame, slot, _ty)) = self.find_variable(node, pid, name)? {
+            match self.debug_request(node, AgentRequest::PrintVar { pid, frame, slot })? {
+                AgentReply::Printed(s) => return Ok(s),
+                other => return Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+            }
+        }
+        // Fall back to node-globals.
+        let global = self
+            .debugger
+            .as_ref()
+            .ok_or(DebugError::NoDebugger)?
+            .resolve_global(NodeId(node), name);
+        if let Some((slot, _ty)) = global {
+            match self.debug_request(node, AgentRequest::ReadGlobal { slot })? {
+                AgentReply::Value(w) => return Ok(render_wire(&w)),
+                other => return Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+            }
+        }
+        Err(DebugError::Source(format!("no variable `{name}` in scope")))
+    }
+
+    /// Sets variable `name` in `(node, pid)` after type-checking the value
+    /// in the debugger proper (§3: type checking happens debugger-side).
+    pub fn set_variable(
+        &mut self,
+        node: u32,
+        pid: u64,
+        name: &str,
+        value: WireValue,
+    ) -> Result<(), DebugError> {
+        if let Some((frame, slot, ty)) = self.find_variable(node, pid, name)? {
+            let dbg = self.debugger.as_ref().ok_or(DebugError::NoDebugger)?;
+            let program = dbg
+                .program(NodeId(node))
+                .ok_or_else(|| DebugError::Source("no program loaded".into()))?;
+            Debugger::check_assignment(&ty, &value, program).map_err(DebugError::Source)?;
+            self.debug_request(
+                node,
+                AgentRequest::WriteVar {
+                    pid,
+                    frame,
+                    slot,
+                    value,
+                },
+            )?;
+            return Ok(());
+        }
+        let dbg = self.debugger.as_ref().ok_or(DebugError::NoDebugger)?;
+        if let Some((slot, ty)) = dbg.resolve_global(NodeId(node), name) {
+            let program = dbg
+                .program(NodeId(node))
+                .ok_or_else(|| DebugError::Source("no program loaded".into()))?;
+            Debugger::check_assignment(&ty, &value, program).map_err(DebugError::Source)?;
+            self.debug_request(node, AgentRequest::WriteGlobal { slot, value })?;
+            return Ok(());
+        }
+        Err(DebugError::Source(format!("no variable `{name}` in scope")))
+    }
+
+    /// Locates `name` in the newest well-formed non-stub frame of the
+    /// process: `(frame index, slot, type)`.
+    fn find_variable(
+        &mut self,
+        node: u32,
+        pid: u64,
+        name: &str,
+    ) -> Result<Option<(u32, u16, pilgrim_cclu::Type)>, DebugError> {
+        let frames = self.read_stack(node, pid)?;
+        let dbg = self.debugger.as_ref().ok_or(DebugError::NoDebugger)?;
+        for f in frames.iter().rev() {
+            if !f.well_formed || f.kind != "normal" && f.kind != "server-root" {
+                continue;
+            }
+            if let Some((slot, ty)) = dbg.resolve_variable(NodeId(node), f.proc_id, f.pc, name) {
+                return Ok(Some((f.index, slot, ty)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Steps a trapped process over its breakpoint (§5.5).
+    pub fn step_over(&mut self, node: u32, pid: u64) -> Result<(), DebugError> {
+        self.debug_request(node, AgentRequest::StepOver { pid })?;
+        Ok(())
+    }
+
+    /// Continues a stopped process. A process stopped at a breakpoint is
+    /// first stepped over it (§5.5) — otherwise it would re-trap on the
+    /// still-planted instruction — and then released.
+    pub fn continue_process(&mut self, node: u32, pid: u64) -> Result<(), DebugError> {
+        match self.debug_request(node, AgentRequest::StepOver { pid }) {
+            Ok(_) | Err(DebugError::Agent(_)) => {} // not at a breakpoint: fine
+            Err(e) => return Err(e),
+        }
+        match self.debug_request(node, AgentRequest::ContinueProcess { pid }) {
+            // The stepped instruction may have blocked or exited the
+            // process, in which case there is nothing left to release.
+            Ok(_) | Err(DebugError::Agent(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The in-progress RPC of a process, if any (§4.3).
+    pub fn rpc_status(
+        &mut self,
+        node: u32,
+        pid: u64,
+    ) -> Result<Option<crate::proto::RpcCallView>, DebugError> {
+        match self.debug_request(node, AgentRequest::RpcStatus { pid })? {
+            AgentReply::Rpc(v) => Ok(v),
+            other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The ten-slot cyclic buffer of recent call outcomes on a node.
+    pub fn recent_calls(&mut self, node: u32) -> Result<Vec<(u64, bool)>, DebugError> {
+        match self.debug_request(node, AgentRequest::RecentCalls)? {
+            AgentReply::Recent(r) => Ok(r),
+            other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Diagnoses a failed maybe call by interrogating the server (§4.1):
+    /// was the call packet or the reply packet lost?
+    pub fn diagnose_maybe_failure(
+        &mut self,
+        server_node: u32,
+        call_id: u64,
+    ) -> Result<MaybeDiagnosis, DebugError> {
+        match self.debug_request(server_node, AgentRequest::ServerKnowledge { call_id })? {
+            AgentReply::Knowledge(k) => Ok(match k {
+                KnowledgeView::NeverSeen => MaybeDiagnosis::LostCall,
+                KnowledgeView::Executing => MaybeDiagnosis::StillExecuting,
+                KnowledgeView::Replied(true) => MaybeDiagnosis::LostReply,
+                KnowledgeView::Replied(false) => MaybeDiagnosis::RemoteFailed,
+            }),
+            other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+/// Renders a marshalled value for display (used for globals, which are
+/// copied to the debugger rather than printed in the user program).
+pub fn render_wire(w: &WireValue) -> String {
+    match w {
+        WireValue::Null => "nil".into(),
+        WireValue::Int(i) => i.to_string(),
+        WireValue::Bool(b) => b.to_string(),
+        WireValue::Str(s) => s.to_string(),
+        WireValue::Record { type_name, fields } => {
+            let inner: Vec<String> = fields.iter().map(render_wire).collect();
+            format!("{type_name}${{{}}}", inner.join(", "))
+        }
+        WireValue::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render_wire).collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}

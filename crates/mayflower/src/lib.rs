@@ -1,0 +1,495 @@
+//! The Mayflower supervisor, simulated.
+//!
+//! Mayflower is "a small operating system which supports multiple
+//! light-weight processes" on each node of a Concurrent CLU program (paper
+//! §2). This crate reproduces the supervisor features Pilgrim depends on:
+//!
+//! * light-weight processes sharing a heap, time-sliced by the scheduler;
+//! * semaphores **with timeouts** and monitor locks — the §5.1/Figure 2
+//!   interaction fabric;
+//! * the debugger **halt primitive** (§5.2): place selected processes on a
+//!   special wait queue with their timeouts *frozen*, honouring each
+//!   process's "must not be halted" bit and deferring the halt of any
+//!   process inside the heap-allocator critical region (§5.5);
+//! * the process-state **query primitive** (§5.4): runnable/waiting, which
+//!   queue, priority, and the register set (code address);
+//! * per-node real clock plus the **logical-clock delta** (§5.2) that is
+//!   subtracted from every time value user programs read;
+//! * process creation/deletion hooks surfaced as [`Outcall`]s, which is how
+//!   the agent "must know of the existence of every process" (§5.4).
+//!
+//! Everything the node cannot resolve locally — RPC transmissions, trap
+//! hits, faults — is reported as [`Outcall`]s to the layers above (the RPC
+//! runtime and the Pilgrim agent live in separate crates).
+
+#![warn(missing_docs)]
+
+mod node;
+mod process;
+mod sync;
+
+pub use node::{Node, NodeConfig, Outcall, SpawnOpts, UnknownProc};
+pub use process::{
+    HaltInfo, MutexId, NativeProcess, Pid, ProcBody, Process, ProcessInfo, RunState, SemId,
+};
+pub use sync::{MonitorLock, Semaphore};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilgrim_cclu::{compile, Value};
+    use pilgrim_sim::{SimDuration, SimTime, Tracer};
+
+    fn node_with(source: &str, seed: u64) -> Node {
+        let program = compile(source).expect("test program compiles");
+        Node::new(
+            0,
+            program,
+            NodeConfig {
+                seed,
+                ..Default::default()
+            },
+            Tracer::new(),
+        )
+    }
+
+    fn console_text(node: &Node) -> Vec<String> {
+        node.console().iter().map(|(_, s)| s.clone()).collect()
+    }
+
+    fn run_until_quiet(node: &mut Node, limit: SimTime) -> Vec<Outcall> {
+        let mut out = Vec::new();
+        let mut t = node.clock();
+        while t < limit {
+            t = (t + SimDuration::from_millis(1)).min(limit);
+            out.extend(node.advance_to(t));
+            if node.next_activity().is_none() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fork_runs_child_processes() {
+        let mut n = node_with(
+            "worker = proc (n: int)\n print(\"child \" || int$unparse(n))\nend\n\
+             main = proc ()\n fork worker(1)\n fork worker(2)\n print(\"parent\")\nend",
+            1,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        let out = console_text(&n);
+        assert!(out.contains(&"parent".to_string()));
+        assert!(out.contains(&"child 1".to_string()));
+        assert!(out.contains(&"child 2".to_string()));
+    }
+
+    #[test]
+    fn semaphore_signal_wakes_waiter() {
+        let mut n = node_with(
+            "waiter = proc (s: sem)\n ok: bool := sem$wait(s, 60000)\n\
+             if ok then\n print(\"signalled\")\n else\n print(\"timeout\")\n end\nend\n\
+             main = proc ()\n s: sem := sem$create(0)\n fork waiter(s)\n sleep(50)\n sem$signal(s)\nend",
+            2,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        run_until_quiet(&mut n, SimTime::from_secs(2));
+        assert_eq!(console_text(&n), vec!["signalled"]);
+    }
+
+    #[test]
+    fn semaphore_timeout_fires_at_deadline() {
+        let mut n = node_with(
+            "main = proc ()\n s: sem := sem$create(0)\n\
+             before: int := now()\n\
+             ok: bool := sem$wait(s, 200)\n\
+             after: int := now()\n\
+             if ok then\n print(\"signalled\")\n else\n print(\"timeout at \" || int$unparse(after - before))\n end\nend",
+            3,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        run_until_quiet(&mut n, SimTime::from_secs(2));
+        let out = console_text(&n);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("timeout at 200"), "{out:?}");
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        // Two incrementers under a lock: the final count must be exact.
+        let mut n = node_with(
+            "own count: int := 0\n\
+             bump = proc (m: mutex, d: sem)\n\
+             for i: int := 1 to 50 do\n\
+               mutex$lock(m)\n\
+               c: int := count\n\
+               sleep(1)\n\
+               count := c + 1\n\
+               mutex$unlock(m)\n\
+             end\n\
+             sem$signal(d)\n\
+             end\n\
+             main = proc ()\n\
+             m: mutex := mutex$create()\n\
+             d: sem := sem$create(0)\n\
+             fork bump(m, d)\n fork bump(m, d)\n\
+             ok: bool := sem$wait(d, 0 - 1)\n\
+             ok2: bool := sem$wait(d, 0 - 1)\n\
+             print(count)\n\
+             end",
+            4,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        run_until_quiet(&mut n, SimTime::from_secs(10));
+        assert_eq!(console_text(&n), vec!["100"]);
+    }
+
+    #[test]
+    fn unsynchronized_increment_loses_updates() {
+        // The same workload without the lock shows the unsafe shared-memory
+        // interaction §5.1 insists debuggers must cope with.
+        let mut n = node_with(
+            "own count: int := 0\n\
+             bump = proc (d: sem)\n\
+             for i: int := 1 to 50 do\n\
+               c: int := count\n\
+               sleep(1)\n\
+               count := c + 1\n\
+             end\n\
+             sem$signal(d)\n\
+             end\n\
+             main = proc ()\n\
+             d: sem := sem$create(0)\n\
+             fork bump(d)\n fork bump(d)\n\
+             ok: bool := sem$wait(d, 0 - 1)\n\
+             ok2: bool := sem$wait(d, 0 - 1)\n\
+             print(count)\n\
+             end",
+            5,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        run_until_quiet(&mut n, SimTime::from_secs(10));
+        let out = console_text(&n);
+        let count: i64 = out[0].parse().unwrap();
+        assert!(
+            count < 100,
+            "interleaved read-modify-write must lose updates, got {count}"
+        );
+    }
+
+    #[test]
+    fn halt_freezes_semaphore_timeouts() {
+        // A process waits with a 200 ms timeout. 50 ms in, the debugger
+        // halts the node for 500 ms. Without frozen timeouts the wait would
+        // expire during the halt; with them, the process still has 150 ms
+        // after resumption.
+        let mut n = node_with(
+            "main = proc ()\n s: sem := sem$create(0)\n\
+             ok: bool := sem$wait(s, 200)\n\
+             if ok then\n print(\"signalled\")\n else\n print(\"timeout\")\n end\nend",
+            6,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(50));
+        assert_eq!(n.halt_all(), 1);
+        // Time passes while halted; the timer must NOT fire.
+        let outcalls = n.advance_to(SimTime::from_millis(550));
+        assert!(outcalls
+            .iter()
+            .all(|o| !matches!(o, Outcall::ProcExited { .. })));
+        assert!(
+            console_text(&n).is_empty(),
+            "nothing may happen while halted"
+        );
+        n.resume_all();
+        // The remaining ~150 ms of timeout now plays out.
+        run_until_quiet(&mut n, SimTime::from_secs(2));
+        assert_eq!(console_text(&n), vec!["timeout"]);
+    }
+
+    #[test]
+    fn no_halt_bit_exempts_process() {
+        let mut n = node_with(
+            "spin = proc (s: sem)\n ok: bool := sem$wait(s, 0 - 1)\nend\n\
+             main = proc ()\n s: sem := sem$create(0)\n fork spin(s)\n sleep(1000)\nend",
+            7,
+        );
+        let main = n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(10));
+        n.set_no_halt(main, true);
+        let halted = n.halt_all();
+        // Only the forked child is halted; main is exempt.
+        assert_eq!(halted, 1);
+        assert!(n.process(main).unwrap().halted.is_none());
+    }
+
+    #[test]
+    fn halt_defers_inside_allocator() {
+        let mut n = node_with(
+            "main = proc ()\n\
+             for i: int := 1 to 1000 do\n\
+               xs: array[int] := array$new()\n\
+               append(xs, i)\n\
+             end\nend",
+            8,
+        );
+        let pid = n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        // Step until the process is observed inside the allocator.
+        let mut found = false;
+        for _ in 0..10_000 {
+            n.step_one(pid);
+            if n.process(pid).unwrap().in_allocator() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "process must be observable inside the allocator");
+        assert_eq!(n.halt_all(), 1);
+        let p = n.process(pid).unwrap();
+        assert!(p.halt_pending, "halt must be deferred, not applied");
+        assert!(p.halted.is_none());
+        // One more step exits the allocator and the halt lands.
+        n.step_one(pid);
+        let p = n.process(pid).unwrap();
+        assert!(p.halted.is_some(), "halt applies on allocator exit");
+        assert!(!p.in_allocator());
+    }
+
+    #[test]
+    fn logical_clock_delta_subtracts_from_now() {
+        let mut n = node_with(
+            "main = proc ()\n sleep(100)\n print(now())\n sleep(100)\n print(now())\nend",
+            9,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(150));
+        // Simulate a 1-second halt having happened: delta grows by 1s.
+        n.add_delta(SimDuration::from_secs(1));
+        // Real clock jumps 1s forward (the halt), program resumes.
+        run_until_quiet(&mut n, SimTime::from_secs(3));
+        let out = console_text(&n);
+        let t1: i64 = out[0].parse().unwrap();
+        let t2: i64 = out[1].parse().unwrap();
+        // t1 printed before the delta change; t2 after. The program slept
+        // 100 ms twice; the logical clock must not show the extra second as
+        // elapsed *program* time once the delta is accounted.
+        assert!((100..120).contains(&t1), "t1={t1}");
+        assert!(
+            (t2 - t1) >= 100 - 1_000 && t2 - t1 < 220 - 1_000 + 1_000,
+            "t2-t1={}",
+            t2 - t1
+        );
+    }
+
+    #[test]
+    fn process_info_reports_supervisor_view() {
+        let mut n = node_with(
+            "waiter = proc (s: sem)\n ok: bool := sem$wait(s, 0 - 1)\nend\n\
+             main = proc ()\n s: sem := sem$create(0)\n fork waiter(s)\n sleep(500)\nend",
+            10,
+        );
+        let main = n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(50));
+        let info = n.process_info(main).unwrap();
+        assert!(matches!(info.state, RunState::Sleeping { .. }));
+        assert_eq!(info.name, "main");
+        assert!(info.frames > 0);
+        let pids = n.pids();
+        assert_eq!(pids.len(), 2);
+        let waiter = pids[1];
+        let winfo = n.process_info(waiter).unwrap();
+        match winfo.state {
+            RunState::SemWait { sem, deadline } => {
+                assert_eq!(deadline, None);
+                let (count, waiters) = n.sem_state(sem).unwrap();
+                assert_eq!(count, 0);
+                assert_eq!(waiters, vec![waiter]);
+            }
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn force_runnable_yanks_a_waiter() {
+        let mut n = node_with(
+            "main = proc ()\n s: sem := sem$create(0)\n\
+             ok: bool := sem$wait(s, 0 - 1)\n\
+             if ok then\n print(\"signalled\")\n else\n print(\"forced\")\n end\nend",
+            11,
+        );
+        let pid = n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(10));
+        assert!(matches!(
+            n.process(pid).unwrap().state,
+            RunState::SemWait { .. }
+        ));
+        assert!(n.force_runnable(pid));
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        assert_eq!(console_text(&n), vec!["forced"]);
+    }
+
+    #[test]
+    fn redirected_output_is_captured_not_printed() {
+        let mut n = node_with(
+            "main = proc ()\n print(\"to buffer\")\n print(\"second\")\nend",
+            12,
+        );
+        let pid = n
+            .spawn(
+                "main",
+                vec![],
+                SpawnOpts {
+                    redirect_output: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        assert!(console_text(&n).is_empty());
+        assert_eq!(n.redirected_output(pid), Some("to buffer\nsecond"));
+    }
+
+    #[test]
+    fn exit_values_are_retained() {
+        let mut n = node_with(
+            "main = proc (a: int) returns (int, string)\n return (a * 2, \"ok\")\nend",
+            13,
+        );
+        let pid = n
+            .spawn("main", vec![Value::Int(21)], SpawnOpts::default())
+            .unwrap();
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        assert_eq!(
+            n.exit_values(pid).unwrap(),
+            &[Value::Int(42), Value::Str("ok".into())]
+        );
+    }
+
+    #[test]
+    fn faults_surface_as_outcalls() {
+        let mut n = node_with("main = proc ()\n x: int := 1 / 0\nend", 14);
+        let pid = n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        let outcalls = run_until_quiet(&mut n, SimTime::from_secs(1));
+        let fault = outcalls.iter().find_map(|o| match o {
+            Outcall::Fault { pid: p, fault, .. } if *p == pid => Some(fault.clone()),
+            _ => None,
+        });
+        assert_eq!(fault.unwrap().kind, pilgrim_cclu::FaultKind::DivideByZero);
+        assert!(matches!(
+            n.process(pid).unwrap().state,
+            RunState::Faulted(_)
+        ));
+    }
+
+    #[test]
+    fn rpc_surfaces_as_outcall_and_resumes() {
+        let mut n = node_with(
+            "sq = proc (x: int) returns (int)\n return (x * x)\nend\n\
+             main = proc ()\n r: int := call sq(6) at 1\n print(r)\nend",
+            15,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        let outcalls = n.advance_to(SimTime::from_millis(5));
+        let (token, req) = outcalls
+            .iter()
+            .find_map(|o| match o {
+                Outcall::Rpc { token, req, .. } => Some((*token, req)),
+                _ => None,
+            })
+            .expect("rpc outcall");
+        assert_eq!(&*req.proc_name, "sq");
+        assert_eq!(req.node, 1);
+        assert_eq!(req.args, vec![Value::Int(6)]);
+        // The world (here: the test) completes the call.
+        n.resume_rpc(token, vec![Value::Int(36)]);
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        assert_eq!(console_text(&n), vec!["36"]);
+    }
+
+    #[test]
+    fn trap_outcall_and_step_over() {
+        let mut n = node_with("main = proc ()\n x: int := 1\n x := 2\n print(x)\nend", 16);
+        let addr = n.program().addr_for_line(3).unwrap();
+        let orig = n.program_mut().replace_op(addr, pilgrim_cclu::Op::Trap(9));
+        let pid = n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        let outcalls = n.advance_to(SimTime::from_millis(5));
+        let trap = outcalls.iter().find_map(|o| match o {
+            Outcall::Trap {
+                pid: p, bp, addr, ..
+            } => Some((*p, *bp, *addr)),
+            _ => None,
+        });
+        assert_eq!(trap, Some((pid, 9, addr)));
+        assert!(matches!(
+            n.process(pid).unwrap().state,
+            RunState::Trapped { bp: 9 }
+        ));
+
+        // Step-over dance (§5.5): restore, trace-step, re-plant, release.
+        let trap_op = n.program_mut().replace_op(addr, orig);
+        n.process_mut(pid).unwrap().vm_mut().unwrap().trace_once = true;
+        n.process_mut(pid).unwrap().state = RunState::Runnable;
+        n.step_one(pid);
+        assert!(matches!(
+            n.process(pid).unwrap().state,
+            RunState::TraceStopped
+        ));
+        n.program_mut().replace_op(addr, trap_op);
+        assert!(n.release_stopped(pid));
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        assert_eq!(console_text(&n), vec!["2"]);
+    }
+
+    #[test]
+    fn time_slicing_interleaves_processes() {
+        let mut n = node_with(
+            "spin = proc (tag: string, d: sem)\n\
+             for i: int := 1 to 3 do\n\
+               t: int := 0\n\
+               while t < 3000 do\n t := t + 1\n end\n\
+               print(tag)\n\
+             end\n\
+             sem$signal(d)\n\
+             end\n\
+             main = proc ()\n d: sem := sem$create(0)\n\
+             fork spin(\"a\", d)\n fork spin(\"b\", d)\n\
+             ok: bool := sem$wait(d, 0 - 1)\n ok2: bool := sem$wait(d, 0 - 1)\nend",
+            17,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        run_until_quiet(&mut n, SimTime::from_secs(30));
+        let out = console_text(&n);
+        assert_eq!(out.len(), 6);
+        // With 10 ms slices and ~tens-of-ms loop bodies, output interleaves
+        // rather than running one process to completion first.
+        let first_b = out.iter().position(|s| s == "b").unwrap();
+        let last_a = out.iter().rposition(|s| s == "a").unwrap();
+        assert!(first_b < last_a, "expected interleaving, got {out:?}");
+    }
+
+    #[test]
+    fn idle_node_reports_no_activity() {
+        let mut n = node_with("main = proc ()\n print(\"hi\")\nend", 18);
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        assert!(n.next_activity().is_some());
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        assert!(n.next_activity().is_none(), "all processes exited");
+    }
+
+    #[test]
+    fn halted_runnable_process_resumes_scheduling() {
+        let mut n = node_with(
+            "main = proc ()\n t: int := 0\n while t < 100000 do\n t := t + 1\n end\n print(\"done\")\nend",
+            19,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(5));
+        n.halt_all();
+        n.advance_to(SimTime::from_millis(500));
+        assert!(console_text(&n).is_empty());
+        n.resume_all();
+        run_until_quiet(&mut n, SimTime::from_secs(60));
+        assert_eq!(console_text(&n), vec!["done"]);
+    }
+}

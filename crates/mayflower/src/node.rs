@@ -1,0 +1,1152 @@
+//! One Mayflower node: supervisor, scheduler, and system-call layer.
+//!
+//! A [`Node`] owns everything that lives on one machine of the distributed
+//! program: the compiled program (shared code), the heap (shared memory),
+//! node-global variables, the process table, semaphores and monitor locks,
+//! and the node's clock with its logical-time *delta* (§5.2).
+//!
+//! The node is driven externally: the world calls [`Node::advance_to`] with
+//! a time bound, the node time-slices its runnable processes up to that
+//! bound, and everything the node cannot resolve locally — RPC sends, trap
+//! hits, faults, process lifecycle — is reported back as [`Outcall`]s for
+//! the upper layers (RPC runtime, Pilgrim agent) to handle.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use pilgrim_cclu::{
+    CodeAddr, ExecEnv, Fault, Heap, ProcId, Program, RpcRequest, StepOutcome, SysReply, Syscalls,
+    Value, VmProcess,
+};
+use pilgrim_sim::{DetRng, SimDuration, SimTime, TraceCategory, Tracer};
+
+use crate::process::{
+    HaltInfo, MutexId, NativeProcess, Pid, ProcBody, Process, ProcessInfo, RunState, SemId,
+};
+use crate::sync::{MonitorLock, Semaphore};
+
+/// Node tuning parameters.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Scheduler time slice (Mayflower time-slices processes, §5.5).
+    pub time_slice: SimDuration,
+    /// Seed for this node's deterministic randomness.
+    pub seed: u64,
+    /// Freeze the timeouts of halted processes (§5.2). Disabling this
+    /// models a naive debugger without the paper's supervisor support —
+    /// the experiment-E4 ablation in which halted waiters still time out.
+    pub freeze_timeouts_on_halt: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            time_slice: SimDuration::from_millis(10),
+            seed: 0,
+            freeze_timeouts_on_halt: true,
+        }
+    }
+}
+
+/// Something the node needs the outside world to handle.
+#[derive(Debug)]
+pub enum Outcall {
+    /// A process issued a remote procedure call.
+    Rpc {
+        /// The calling process (now blocked in `RpcWait`).
+        pid: Pid,
+        /// Token to resume the call with ([`Node::resume_rpc`]).
+        token: u64,
+        /// The request.
+        req: RpcRequest,
+        /// When the call was issued (node real time).
+        at: SimTime,
+    },
+    /// A process hit a planted breakpoint (§5.5). The process is stopped in
+    /// [`RunState::Trapped`] until the agent acts.
+    Trap {
+        /// The stopped process.
+        pid: Pid,
+        /// The agent's breakpoint slot.
+        bp: u16,
+        /// Where it stopped.
+        addr: CodeAddr,
+        /// When the trap was hit (node real time).
+        at: SimTime,
+    },
+    /// A trace-mode single step completed (§5.5 step-over).
+    TraceStop {
+        /// The stepped process.
+        pid: Pid,
+        /// When the step completed (node real time).
+        at: SimTime,
+    },
+    /// A process terminated with a run-time failure; the agent fields
+    /// these like hardware exceptions (§5.2).
+    Fault {
+        /// The faulted process.
+        pid: Pid,
+        /// The failure.
+        fault: Fault,
+        /// When the fault occurred (node real time).
+        at: SimTime,
+    },
+    /// A process came into existence (the §5.4 creation hook the agent
+    /// uses to track every process).
+    ProcCreated {
+        /// New process.
+        pid: Pid,
+        /// Its name.
+        name: String,
+    },
+    /// A process ran to completion (§5.4 deletion hook).
+    ProcExited {
+        /// The process.
+        pid: Pid,
+        /// When it exited (node real time).
+        at: SimTime,
+    },
+    /// Console output was produced.
+    Print {
+        /// The printing process.
+        pid: Pid,
+        /// The text.
+        text: String,
+    },
+}
+
+/// Options for creating a process.
+#[derive(Debug, Clone, Default)]
+pub struct SpawnOpts {
+    /// Name override (defaults to the entry procedure / native name).
+    pub name: Option<String>,
+    /// Set the paper's "must not be halted" supervisor bit (§5.2).
+    pub no_halt: bool,
+    /// Scheduling priority (informational).
+    pub priority: u8,
+    /// Capture the process's `print` output into a per-process buffer
+    /// instead of the console — the agent's output-redirection stream (§3).
+    pub redirect_output: bool,
+}
+
+/// Error from [`Node::spawn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProc(pub String);
+
+impl std::fmt::Display for UnknownProc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no procedure named `{}` in the node's program", self.0)
+    }
+}
+impl std::error::Error for UnknownProc {}
+
+/// One machine of the distributed program.
+pub struct Node {
+    id: u32,
+    config: NodeConfig,
+    clock: SimTime,
+    delta: SimDuration,
+    program: Program,
+    heap: Heap,
+    globals: Vec<Value>,
+    procs: BTreeMap<Pid, Process>,
+    run_queue: VecDeque<Pid>,
+    sems: Vec<Semaphore>,
+    locks: Vec<MonitorLock>,
+    next_pid: u64,
+    next_token: u64,
+    rng: DetRng,
+    tracer: Tracer,
+    console: Vec<(SimTime, String)>,
+    buffers: HashMap<u64, String>,
+    next_buffer: u64,
+    outcalls: Vec<Outcall>,
+    slice_used: SimDuration,
+    halt_marker: Option<SimTime>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("clock", &self.clock)
+            .field("delta", &self.delta)
+            .field("processes", &self.procs.len())
+            .finish()
+    }
+}
+
+impl Node {
+    /// Creates a node running `program`.
+    pub fn new(id: u32, program: Program, config: NodeConfig, tracer: Tracer) -> Node {
+        let mut heap = Heap::new();
+        let mut sems = Vec::new();
+        let globals = program
+            .globals
+            .iter()
+            .map(|g| match &g.init {
+                pilgrim_cclu::GlobalInit::Literal(v) => v.clone(),
+                pilgrim_cclu::GlobalInit::EmptyArray => {
+                    Value::Ref(heap.alloc(pilgrim_cclu::HeapObject::Array(Vec::new())))
+                }
+                pilgrim_cclu::GlobalInit::Semaphore(n) => {
+                    sems.push(Semaphore::new(*n));
+                    Value::Sem((sems.len() - 1) as u32)
+                }
+            })
+            .collect();
+        let rng = DetRng::seed(config.seed ^ (u64::from(id) << 32) ^ 0x6d61_7966);
+        Node {
+            id,
+            config,
+            clock: SimTime::ZERO,
+            delta: SimDuration::ZERO,
+            program,
+            heap,
+            globals,
+            procs: BTreeMap::new(),
+            run_queue: VecDeque::new(),
+            sems,
+            locks: Vec::new(),
+            next_pid: 1,
+            next_token: 1,
+            rng,
+            tracer,
+            console: Vec::new(),
+            buffers: HashMap::new(),
+            next_buffer: 1,
+            outcalls: Vec::new(),
+            slice_used: SimDuration::ZERO,
+            halt_marker: None,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The node's real-time clock.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The logical-clock delta (§5.2).
+    pub fn delta(&self) -> SimDuration {
+        self.delta
+    }
+
+    /// Adds to the logical-clock delta; the agent calls this when resuming
+    /// from a breakpoint with the halt duration.
+    pub fn add_delta(&mut self, d: SimDuration) {
+        self.delta += d;
+        self.tracer.record(
+            self.clock,
+            TraceCategory::Clock,
+            Some(self.id),
+            format!("delta += {d}, now {}", self.delta),
+        );
+    }
+
+    /// Resets the logical clock to real time (end of a debugging session;
+    /// the paper notes the effects "may be unpredictable").
+    pub fn reset_delta(&mut self) {
+        self.delta = SimDuration::ZERO;
+    }
+
+    /// The node's logical time (§5.2): real time minus the delta. While
+    /// the node is halted by the debugger the delta is effectively
+    /// `current time − time of breakpoint + previous delta`, so the
+    /// logical clock stands still at the breakpoint instant.
+    pub fn logical_now(&self) -> SimTime {
+        match self.halt_marker {
+            Some(marker) => marker - self.delta,
+            None => self.clock - self.delta,
+        }
+    }
+
+    /// Marks the whole node halted by the debugger at `at` — the start of
+    /// a frozen logical-clock interval. Idempotent while already marked.
+    pub fn mark_halted(&mut self, at: SimTime) {
+        if self.halt_marker.is_none() {
+            self.halt_marker = Some(at);
+        }
+    }
+
+    /// Clears the halt marker, returning how long the node was halted.
+    /// The caller (the agent) folds this into the delta.
+    pub fn clear_halt_marker(&mut self) -> Option<SimDuration> {
+        self.halt_marker
+            .take()
+            .map(|m| self.clock.saturating_since(m))
+    }
+
+    /// Is the node marked halted by the debugger?
+    pub fn is_marked_halted(&self) -> bool {
+        self.halt_marker.is_some()
+    }
+
+    /// The compiled program (shared object code).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Mutable program access — the agent's breakpoint-planting path.
+    pub fn program_mut(&mut self) -> &mut Program {
+        &mut self.program
+    }
+
+    /// The shared heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutable heap access (the agent's memory-modification primitive).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Node-global variable storage.
+    pub fn globals(&self) -> &[Value] {
+        &self.globals
+    }
+
+    /// Mutable node-global storage.
+    pub fn globals_mut(&mut self) -> &mut [Value] {
+        &mut self.globals
+    }
+
+    /// Console output so far, with timestamps.
+    pub fn console(&self) -> &[(SimTime, String)] {
+        &self.console
+    }
+
+    /// Spawns a process running the named procedure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownProc`] when the program has no such procedure.
+    pub fn spawn(
+        &mut self,
+        entry: &str,
+        args: Vec<Value>,
+        opts: SpawnOpts,
+    ) -> Result<Pid, UnknownProc> {
+        let id = self
+            .program
+            .proc_by_name(entry)
+            .ok_or_else(|| UnknownProc(entry.to_string()))?;
+        Ok(self.spawn_proc(id, args, opts))
+    }
+
+    /// Spawns a process running procedure `id`.
+    pub fn spawn_proc(&mut self, id: ProcId, args: Vec<Value>, opts: SpawnOpts) -> Pid {
+        let name = opts
+            .name
+            .clone()
+            .unwrap_or_else(|| self.program.proc(id).debug.name.to_string());
+        self.insert_process(ProcBody::Vm(VmProcess::spawn(id, args)), name, opts)
+    }
+
+    /// Spawns a native (Rust state machine) process.
+    pub fn spawn_native(&mut self, body: Box<dyn NativeProcess>, opts: SpawnOpts) -> Pid {
+        let name = opts.name.clone().unwrap_or_else(|| body.name().to_string());
+        self.insert_process(ProcBody::Native(body), name, opts)
+    }
+
+    fn insert_process(&mut self, body: ProcBody, name: String, opts: SpawnOpts) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let print_redirect = if opts.redirect_output {
+            let b = self.next_buffer;
+            self.next_buffer += 1;
+            self.buffers.insert(b, String::new());
+            Some(b)
+        } else {
+            None
+        };
+        // A process born while the node is halted by the debugger (e.g. a
+        // server process for an RPC that arrived mid-halt) is halted at
+        // birth: "the processes on the node" are halted, all of them.
+        let halted = match (self.halt_marker, opts.no_halt) {
+            (Some(_), false) => Some(HaltInfo {
+                since: self.clock,
+                frozen_remaining: None,
+            }),
+            _ => None,
+        };
+        self.procs.insert(
+            pid,
+            Process {
+                pid,
+                name: name.clone(),
+                body,
+                state: RunState::Runnable,
+                halted,
+                halt_pending: false,
+                no_halt: opts.no_halt,
+                priority: opts.priority,
+                resume_values: Vec::new(),
+                print_redirect,
+            },
+        );
+        self.run_queue.push_back(pid);
+        self.outcalls.push(Outcall::ProcCreated { pid, name });
+        pid
+    }
+
+    /// Direct access to a process record.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable access to a process record (agent memory access path).
+    pub fn process_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// All process ids, in creation order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// The §5.4 supervisor primitive: everything the supervisor knows about
+    /// a process.
+    pub fn process_info(&self, pid: Pid) -> Option<ProcessInfo> {
+        self.procs.get(&pid).map(|p| ProcessInfo {
+            pid,
+            name: p.name.clone(),
+            state: p.state.clone(),
+            halted: p.halted.is_some(),
+            no_halt: p.no_halt,
+            priority: p.priority,
+            addr: p.addr(),
+            frames: p.vm().map(|vm| vm.frames.len()).unwrap_or(0),
+        })
+    }
+
+    /// Sets a process's no-halt bit (§5.2).
+    pub fn set_no_halt(&mut self, pid: Pid, no_halt: bool) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.no_halt = no_halt;
+        }
+    }
+
+    /// A semaphore's `(count, waiters)` — debugger visibility (§5.4).
+    pub fn sem_state(&self, sem: SemId) -> Option<(i64, Vec<Pid>)> {
+        self.sems
+            .get(sem as usize)
+            .map(|s| (s.count, s.waiters.iter().copied().collect()))
+    }
+
+    /// A monitor lock's `(owner, waiters)` (§5.4).
+    pub fn lock_state(&self, m: MutexId) -> Option<(Option<Pid>, Vec<Pid>)> {
+        self.locks
+            .get(m as usize)
+            .map(|l| (l.owner, l.waiters.iter().copied().collect()))
+    }
+
+    /// Creates a semaphore from outside a process (used by native services
+    /// during setup).
+    pub fn make_sem(&mut self, count: i64) -> SemId {
+        self.sems.push(Semaphore::new(count));
+        (self.sems.len() - 1) as SemId
+    }
+
+    /// Signals a semaphore from outside a process (e.g. an RPC runtime
+    /// handing work to a server process).
+    pub fn signal_sem(&mut self, sem: SemId) {
+        if let Some(w) = self
+            .sems
+            .get_mut(sem as usize)
+            .and_then(|s| s.waiters.pop_front())
+        {
+            self.wake(w, vec![Value::Bool(true)]);
+        } else if let Some(s) = self.sems.get_mut(sem as usize) {
+            s.count += 1;
+        }
+    }
+
+    /// The redirected output captured for `pid`, when it was spawned with
+    /// [`SpawnOpts::redirect_output`].
+    pub fn redirected_output(&self, pid: Pid) -> Option<&str> {
+        let token = self.procs.get(&pid)?.print_redirect?;
+        self.buffers.get(&token).map(|s| s.as_str())
+    }
+
+    /// A finished process's return values.
+    pub fn exit_values(&self, pid: Pid) -> Option<&[Value]> {
+        let p = self.procs.get(&pid)?;
+        match &p.body {
+            ProcBody::Vm(vm) if p.state == RunState::Exited => Some(&vm.exit_values),
+            _ => None,
+        }
+    }
+
+    /// Resumes a process blocked on an RPC (token from [`Outcall::Rpc`]),
+    /// handing it the call results.
+    pub fn resume_rpc(&mut self, token: u64, values: Vec<Value>) {
+        let pid = self.pid_waiting_on(token);
+        if let Some(pid) = pid {
+            self.wake(pid, values);
+        }
+    }
+
+    /// Terminates a process blocked on an RPC with a fault — the fate of an
+    /// exactly-once call whose destination node has failed.
+    pub fn fail_rpc(&mut self, token: u64, fault: Fault) {
+        let Some(pid) = self.pid_waiting_on(token) else {
+            return;
+        };
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.state = RunState::Faulted(fault.clone());
+            let at = self.clock;
+            self.outcalls.push(Outcall::Fault { pid, fault, at });
+        }
+    }
+
+    /// The process blocked on RPC token `token`, if any.
+    pub fn pid_waiting_on(&self, token: u64) -> Option<Pid> {
+        self.procs.iter().find_map(|(pid, p)| match p.state {
+            RunState::RpcWait { token: t } if t == token => Some(*pid),
+            _ => None,
+        })
+    }
+
+    fn wake(&mut self, pid: Pid, values: Vec<Value>) {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        if p.state.is_dead() {
+            return;
+        }
+        p.state = RunState::Runnable;
+        match &mut p.body {
+            ProcBody::Vm(vm) => vm.pending_push.extend(values),
+            ProcBody::Native(_) => p.resume_values.extend(values),
+        }
+        self.ensure_queued(pid);
+    }
+
+    fn ensure_queued(&mut self, pid: Pid) {
+        if !self.run_queue.contains(&pid) {
+            self.run_queue.push_back(pid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Halting (§5.2)
+    // ------------------------------------------------------------------
+
+    /// The paper's halt primitive: places every halt-able process on the
+    /// debugger's wait queue and freezes the timeouts of waiting processes.
+    /// Processes inside the heap-allocator critical region are halted as
+    /// soon as they leave it (§5.5). Returns how many processes were
+    /// halted (or marked halt-pending).
+    pub fn halt_all(&mut self) -> usize {
+        let pids: Vec<Pid> = self.procs.keys().copied().collect();
+        let mut n = 0;
+        for pid in pids {
+            if self.halt_one(pid) {
+                n += 1;
+            }
+        }
+        self.tracer.record(
+            self.clock,
+            TraceCategory::Debug,
+            Some(self.id),
+            format!("halted {n} processes"),
+        );
+        n
+    }
+
+    /// Halts one process (debugger-directed state transfer, §5.4).
+    /// Returns false when the process is exempt (no-halt bit), dead, or
+    /// already halted.
+    pub fn halt_one(&mut self, pid: Pid) -> bool {
+        let clock = self.clock;
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return false;
+        };
+        if p.no_halt || p.halted.is_some() || p.state.is_dead() {
+            return false;
+        }
+        if p.in_allocator() {
+            p.halt_pending = true;
+            return true;
+        }
+        let freeze = self.config.freeze_timeouts_on_halt;
+        Self::apply_halt(p, clock, freeze);
+        true
+    }
+
+    fn apply_halt(p: &mut Process, clock: SimTime, freeze_timeouts: bool) {
+        let frozen_remaining = if freeze_timeouts {
+            match &p.state {
+                RunState::Sleeping { until } => Some(until.saturating_since(clock)),
+                RunState::SemWait {
+                    deadline: Some(d), ..
+                } => Some(d.saturating_since(clock)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        p.halted = Some(HaltInfo {
+            since: clock,
+            frozen_remaining,
+        });
+        p.halt_pending = false;
+    }
+
+    /// Resumes every halted process, re-applying frozen timeouts relative
+    /// to the current time (§5.2).
+    pub fn resume_all(&mut self) -> usize {
+        let pids: Vec<Pid> = self.procs.keys().copied().collect();
+        let mut n = 0;
+        for pid in pids {
+            if self.resume_one(pid) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Resumes a single halted process.
+    pub fn resume_one(&mut self, pid: Pid) -> bool {
+        let clock = self.clock;
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return false;
+        };
+        p.halt_pending = false;
+        let Some(info) = p.halted.take() else {
+            return false;
+        };
+        if let Some(rem) = info.frozen_remaining {
+            match &mut p.state {
+                RunState::Sleeping { until } => *until = clock + rem,
+                RunState::SemWait {
+                    deadline: Some(d), ..
+                } => *d = clock + rem,
+                _ => {}
+            }
+        }
+        if p.state.is_runnable() {
+            self.ensure_queued(pid);
+        }
+        true
+    }
+
+    /// True when any process is currently halted (or halt-pending).
+    pub fn any_halted(&self) -> bool {
+        self.procs
+            .values()
+            .any(|p| p.halted.is_some() || p.halt_pending)
+    }
+
+    /// Releases a process stopped at a trap or after a trace step back to
+    /// the run queue.
+    pub fn release_stopped(&mut self, pid: Pid) -> bool {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return false;
+        };
+        if p.state.is_stopped_by_debugger() {
+            p.state = RunState::Runnable;
+            self.ensure_queued(pid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Debugger-directed state transfer (§5.4): yanks a process out of
+    /// whatever queue it is waiting on and makes it runnable. A process
+    /// waiting on a semaphore is removed from that semaphore's queue; its
+    /// pending wait is answered with `false` (as if timed out).
+    pub fn force_runnable(&mut self, pid: Pid) -> bool {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return false;
+        };
+        match p.state.clone() {
+            RunState::Runnable => true,
+            RunState::Sleeping { .. } => {
+                self.wake(pid, vec![]);
+                true
+            }
+            RunState::SemWait { sem, .. } => {
+                if let Some(s) = self.sems.get_mut(sem as usize) {
+                    s.remove_waiter(pid);
+                }
+                self.wake(pid, vec![Value::Bool(false)]);
+                true
+            }
+            RunState::Trapped { .. } | RunState::TraceStopped => self.release_stopped(pid),
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// When this node next needs CPU: now if anything is schedulable, the
+    /// earliest timer deadline otherwise, `None` when fully idle.
+    pub fn next_activity(&self) -> Option<SimTime> {
+        if self.run_queue.iter().any(|pid| {
+            self.procs
+                .get(pid)
+                .map(|p| p.schedulable())
+                .unwrap_or(false)
+        }) {
+            return Some(self.clock);
+        }
+        self.next_deadline()
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.procs
+            .values()
+            .filter(|p| p.halted.is_none())
+            .filter_map(|p| match &p.state {
+                RunState::Sleeping { until } => Some(*until),
+                RunState::SemWait {
+                    deadline: Some(d), ..
+                } => Some(*d),
+                _ => None,
+            })
+            .min()
+    }
+
+    fn expire_timers(&mut self) {
+        let clock = self.clock;
+        let freeze = self.config.freeze_timeouts_on_halt;
+        let due: Vec<(Pid, bool)> = self
+            .procs
+            .values()
+            .filter(|p| p.halted.is_none() || !freeze)
+            .filter_map(|p| match &p.state {
+                RunState::Sleeping { until } if *until <= clock => Some((p.pid, false)),
+                RunState::SemWait {
+                    deadline: Some(d), ..
+                } if *d <= clock => Some((p.pid, true)),
+                _ => None,
+            })
+            .collect();
+        for (pid, was_sem) in due {
+            if was_sem {
+                if let Some(RunState::SemWait { sem, .. }) =
+                    self.procs.get(&pid).map(|p| p.state.clone())
+                {
+                    if let Some(s) = self.sems.get_mut(sem as usize) {
+                        s.remove_waiter(pid);
+                    }
+                }
+                // A timed-out semaphore wait delivers `false` (§6's Figure
+                // 3/4 algorithms hang off this result).
+                self.wake(pid, vec![Value::Bool(false)]);
+            } else {
+                self.wake(pid, vec![]);
+            }
+        }
+    }
+
+    fn pick_next(&mut self) -> Option<Pid> {
+        loop {
+            let pid = *self.run_queue.front()?;
+            let ok = self
+                .procs
+                .get(&pid)
+                .map(|p| p.schedulable())
+                .unwrap_or(false);
+            if ok {
+                return Some(pid);
+            }
+            self.run_queue.pop_front();
+            self.slice_used = SimDuration::ZERO;
+        }
+    }
+
+    fn rotate(&mut self) {
+        if let Some(pid) = self.run_queue.pop_front() {
+            self.run_queue.push_back(pid);
+        }
+        self.slice_used = SimDuration::ZERO;
+    }
+
+    /// Runs the node's processes forward until `t` (or until nothing can
+    /// run and no timer is due before `t`), returning the accumulated
+    /// outcalls.
+    ///
+    /// The node may overshoot `t` by at most one instruction, which is far
+    /// below the network's minimum latency — the conservative-window
+    /// property the world relies on for causality.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<Outcall> {
+        loop {
+            if self.clock >= t {
+                break;
+            }
+            self.expire_timers();
+            let Some(pid) = self.pick_next() else {
+                match self.next_deadline() {
+                    Some(d) if d <= t => {
+                        self.clock = self.clock.max(d);
+                        continue;
+                    }
+                    _ => {
+                        self.clock = t;
+                        break;
+                    }
+                }
+            };
+            self.step_process(pid);
+            if self.slice_used >= self.config.time_slice {
+                self.rotate();
+            }
+        }
+        std::mem::take(&mut self.outcalls)
+    }
+
+    /// Executes exactly one instruction of `pid` (the agent's trace-mode
+    /// stepping path). Returns false when the process is not in a state
+    /// that can be stepped.
+    pub fn step_one(&mut self, pid: Pid) -> bool {
+        let Some(p) = self.procs.get(&pid) else {
+            return false;
+        };
+        if p.state.is_dead() {
+            return false;
+        }
+        self.step_process(pid);
+        true
+    }
+
+    fn step_process(&mut self, pid: Pid) {
+        let Some(mut proc) = self.procs.remove(&pid) else {
+            return;
+        };
+        let was_trace = proc.vm().map(|vm| vm.trace_once).unwrap_or(false);
+        if let Some(vm) = proc.vm_mut() {
+            vm.trace_once = false;
+        }
+
+        let mut ctx = SysCtx {
+            node_id: self.id,
+            pid,
+            now: self.clock,
+            logical_now: self.logical_now(),
+            sems: &mut self.sems,
+            locks: &mut self.locks,
+            rng: &mut self.rng,
+            console: &mut self.console,
+            tracer: &self.tracer,
+            redirect: proc.print_redirect,
+            buffers: &mut self.buffers,
+            outcalls: &mut self.outcalls,
+            next_pid: &mut self.next_pid,
+            next_token: &mut self.next_token,
+            spawns: Vec::new(),
+            wakes: Vec::new(),
+            block: None,
+        };
+
+        let resume = std::mem::take(&mut proc.resume_values);
+        let outcome = match &mut proc.body {
+            ProcBody::Vm(vm) => {
+                let mut env = ExecEnv {
+                    heap: &mut self.heap,
+                    program: &self.program,
+                    globals: &mut self.globals,
+                    sys: &mut ctx,
+                };
+                // (VM processes receive resume values through pending_push,
+                // set at wake time; `resume` is empty for them.)
+                debug_assert!(resume.is_empty());
+                pilgrim_cclu::step(vm, &mut env)
+            }
+            ProcBody::Native(native) => {
+                let mut env = ExecEnv {
+                    heap: &mut self.heap,
+                    program: &self.program,
+                    globals: &mut self.globals,
+                    sys: &mut ctx,
+                };
+                native.step(resume, &mut env)
+            }
+        };
+
+        let block = ctx.block.take();
+        let spawns = std::mem::take(&mut ctx.spawns);
+        let wakes = std::mem::take(&mut ctx.wakes);
+        drop(ctx);
+
+        match outcome {
+            StepOutcome::Ran { cost } => {
+                self.bump(cost);
+                if was_trace {
+                    if proc.state.is_runnable() {
+                        proc.state = RunState::TraceStopped;
+                    }
+                    self.outcalls.push(Outcall::TraceStop {
+                        pid,
+                        at: self.clock,
+                    });
+                }
+            }
+            StepOutcome::Blocked { cost } => {
+                self.bump(cost);
+                proc.state = block.unwrap_or(RunState::Runnable);
+                if was_trace {
+                    self.outcalls.push(Outcall::TraceStop {
+                        pid,
+                        at: self.clock,
+                    });
+                }
+            }
+            StepOutcome::Trapped { bp } => {
+                let addr = proc.addr().unwrap_or(CodeAddr {
+                    proc: ProcId(0),
+                    pc: 0,
+                });
+                proc.state = RunState::Trapped { bp };
+                self.outcalls.push(Outcall::Trap {
+                    pid,
+                    bp,
+                    addr,
+                    at: self.clock,
+                });
+            }
+            StepOutcome::Exited { cost } => {
+                self.bump(cost);
+                proc.state = RunState::Exited;
+                self.outcalls.push(Outcall::ProcExited {
+                    pid,
+                    at: self.clock,
+                });
+            }
+            StepOutcome::Faulted { fault, cost } => {
+                self.bump(cost);
+                self.tracer.record(
+                    self.clock,
+                    TraceCategory::Vm,
+                    Some(self.id),
+                    format!("{pid} faulted: {fault}"),
+                );
+                proc.state = RunState::Faulted(fault.clone());
+                self.outcalls.push(Outcall::Fault {
+                    pid,
+                    fault,
+                    at: self.clock,
+                });
+            }
+        }
+
+        // Deferred halt: a halt arrived while the process was inside the
+        // allocator; apply it the moment the allocator is exited (§5.5).
+        if proc.halt_pending && !proc.in_allocator() {
+            let freeze = self.config.freeze_timeouts_on_halt;
+            Self::apply_halt(&mut proc, self.clock, freeze);
+        }
+
+        self.procs.insert(pid, proc);
+
+        for (new_pid, proc_id, args) in spawns {
+            let name = self.program.proc(proc_id).debug.name.to_string();
+            let halted = self.halt_marker.map(|_| HaltInfo {
+                since: self.clock,
+                frozen_remaining: None,
+            });
+            self.procs.insert(
+                new_pid,
+                Process {
+                    pid: new_pid,
+                    name: name.clone(),
+                    body: ProcBody::Vm(VmProcess::spawn(proc_id, args)),
+                    state: RunState::Runnable,
+                    halted,
+                    halt_pending: false,
+                    no_halt: false,
+                    priority: 1,
+                    resume_values: Vec::new(),
+                    print_redirect: None,
+                },
+            );
+            self.run_queue.push_back(new_pid);
+            self.outcalls
+                .push(Outcall::ProcCreated { pid: new_pid, name });
+        }
+        for (wpid, values) in wakes {
+            self.wake(wpid, values);
+        }
+    }
+
+    fn bump(&mut self, cost: u64) {
+        let d = SimDuration::from_micros(cost);
+        self.clock += d;
+        self.slice_used += d;
+    }
+}
+
+// ----------------------------------------------------------------------
+// System-call context
+// ----------------------------------------------------------------------
+
+struct SysCtx<'a> {
+    node_id: u32,
+    pid: Pid,
+    now: SimTime,
+    logical_now: SimTime,
+    sems: &'a mut Vec<Semaphore>,
+    locks: &'a mut Vec<MonitorLock>,
+    rng: &'a mut DetRng,
+    console: &'a mut Vec<(SimTime, String)>,
+    tracer: &'a Tracer,
+    redirect: Option<u64>,
+    buffers: &'a mut HashMap<u64, String>,
+    outcalls: &'a mut Vec<Outcall>,
+    next_pid: &'a mut u64,
+    next_token: &'a mut u64,
+    spawns: Vec<(Pid, ProcId, Vec<Value>)>,
+    wakes: Vec<(Pid, Vec<Value>)>,
+    block: Option<RunState>,
+}
+
+impl Syscalls for SysCtx<'_> {
+    fn now_ms(&mut self) -> i64 {
+        // Logical time (§5.2): the only time user programs can observe.
+        (self.logical_now.as_micros() / 1_000) as i64
+    }
+
+    fn pid(&mut self) -> i64 {
+        self.pid.0 as i64
+    }
+
+    fn node_id(&mut self) -> i64 {
+        i64::from(self.node_id)
+    }
+
+    fn random(&mut self, bound: i64) -> i64 {
+        self.rng.below(bound.max(1) as u64) as i64
+    }
+
+    fn print(&mut self, text: &str) {
+        if let Some(token) = self.redirect {
+            let buf = self.buffers.entry(token).or_default();
+            if !buf.is_empty() {
+                buf.push('\n');
+            }
+            buf.push_str(text);
+        } else {
+            self.console.push((self.now, text.to_string()));
+            self.tracer.record(
+                self.now,
+                TraceCategory::Vm,
+                Some(self.node_id),
+                format!("{}: {text}", self.pid),
+            );
+            self.outcalls.push(Outcall::Print {
+                pid: self.pid,
+                text: text.to_string(),
+            });
+        }
+    }
+
+    fn sem_create(&mut self, count: i64) -> u32 {
+        self.sems.push(Semaphore::new(count));
+        (self.sems.len() - 1) as u32
+    }
+
+    fn sem_wait(&mut self, sem: u32, timeout_ms: i64) -> SysReply {
+        let Some(s) = self.sems.get_mut(sem as usize) else {
+            return SysReply::Val(vec![Value::Bool(false)]);
+        };
+        if s.count > 0 {
+            s.count -= 1;
+            return SysReply::Val(vec![Value::Bool(true)]);
+        }
+        if timeout_ms == 0 {
+            return SysReply::Val(vec![Value::Bool(false)]);
+        }
+        s.waiters.push_back(self.pid);
+        let deadline = if timeout_ms < 0 {
+            None
+        } else {
+            Some(self.now + SimDuration::from_millis(timeout_ms as u64))
+        };
+        self.block = Some(RunState::SemWait { sem, deadline });
+        SysReply::Block
+    }
+
+    fn sem_signal(&mut self, sem: u32) {
+        let Some(s) = self.sems.get_mut(sem as usize) else {
+            return;
+        };
+        if let Some(w) = s.waiters.pop_front() {
+            self.wakes.push((w, vec![Value::Bool(true)]));
+        } else {
+            s.count += 1;
+        }
+    }
+
+    fn mutex_create(&mut self) -> u32 {
+        self.locks.push(MonitorLock::new());
+        (self.locks.len() - 1) as u32
+    }
+
+    fn mutex_lock(&mut self, m: u32) -> SysReply {
+        let Some(l) = self.locks.get_mut(m as usize) else {
+            return SysReply::Val(vec![]);
+        };
+        if l.owner.is_none() {
+            l.owner = Some(self.pid);
+            SysReply::Val(vec![])
+        } else {
+            l.waiters.push_back(self.pid);
+            self.block = Some(RunState::MutexWait { mutex: m });
+            SysReply::Block
+        }
+    }
+
+    fn mutex_unlock(&mut self, m: u32) {
+        let Some(l) = self.locks.get_mut(m as usize) else {
+            return;
+        };
+        if l.owner != Some(self.pid) {
+            return; // unlocking a lock you don't hold is a silent no-op
+        }
+        if let Some(w) = l.waiters.pop_front() {
+            l.owner = Some(w);
+            self.wakes.push((w, vec![]));
+        } else {
+            l.owner = None;
+        }
+    }
+
+    fn fork(&mut self, proc: ProcId, args: Vec<Value>) -> i64 {
+        let pid = Pid(*self.next_pid);
+        *self.next_pid += 1;
+        self.spawns.push((pid, proc, args));
+        pid.0 as i64
+    }
+
+    fn sleep(&mut self, ms: i64) -> SysReply {
+        if ms <= 0 {
+            return SysReply::Val(vec![]);
+        }
+        self.block = Some(RunState::Sleeping {
+            until: self.now + SimDuration::from_millis(ms as u64),
+        });
+        SysReply::Block
+    }
+
+    fn rpc(&mut self, req: RpcRequest) -> SysReply {
+        let token = *self.next_token;
+        *self.next_token += 1;
+        self.outcalls.push(Outcall::Rpc {
+            pid: self.pid,
+            token,
+            req,
+            at: self.now,
+        });
+        self.block = Some(RunState::RpcWait { token });
+        SysReply::Block
+    }
+}

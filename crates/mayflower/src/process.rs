@@ -1,0 +1,275 @@
+//! Processes as the Mayflower supervisor sees them.
+//!
+//! A process is either a Concurrent CLU VM process or a *native* process (a
+//! Rust state machine driven through the same scheduler — used for server
+//! infrastructure). The supervisor adds the paper's per-process machinery:
+//! run states, the debug-halt overlay with frozen timeouts (§5.2), the
+//! "must not be halted" bit (§5.2), and the process-state query primitive
+//! (§5.4).
+
+use std::fmt;
+
+use pilgrim_cclu::{CodeAddr, ExecEnv, Fault, StepOutcome, VmProcess};
+use pilgrim_sim::{SimDuration, SimTime};
+
+/// A process identifier, unique per node for the lifetime of the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u64);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A semaphore handle, local to one node.
+pub type SemId = u32;
+/// A monitor-lock handle, local to one node.
+pub type MutexId = u32;
+
+/// The supervisor-level execution state of a process — exactly the
+/// information the paper's new supervisor primitive exposes to the
+/// debugger: "whether the process is runnable or waiting; if runnable, the
+/// register set; if waiting, the semaphore or monitor queue it is waiting
+/// on; and the process priority" (§5.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunState {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Sleeping until a deadline.
+    Sleeping {
+        /// Wake-up time (real time).
+        until: SimTime,
+    },
+    /// Blocked on a semaphore.
+    SemWait {
+        /// Which semaphore.
+        sem: SemId,
+        /// Timeout deadline in real time, or `None` to wait forever.
+        deadline: Option<SimTime>,
+    },
+    /// Blocked acquiring a monitor lock.
+    MutexWait {
+        /// Which lock.
+        mutex: MutexId,
+    },
+    /// Blocked in the RPC runtime waiting for a remote reply.
+    RpcWait {
+        /// Runtime token identifying the outstanding call.
+        token: u64,
+    },
+    /// Stopped at a planted breakpoint (the trap has been hit but the
+    /// debugger has not yet resumed or stepped the process).
+    Trapped {
+        /// The agent breakpoint slot that fired.
+        bp: u16,
+    },
+    /// Stopped after a trace-mode single step (§5.5).
+    TraceStopped,
+    /// Terminated by a run-time failure; retained for post-mortem
+    /// examination by the debugger.
+    Faulted(Fault),
+    /// Ran to completion.
+    Exited,
+}
+
+impl RunState {
+    /// True when the scheduler may pick this process (ignoring the debug
+    /// halt overlay).
+    pub fn is_runnable(&self) -> bool {
+        matches!(self, RunState::Runnable)
+    }
+
+    /// True for states a debugger resume can sensibly leave.
+    pub fn is_stopped_by_debugger(&self) -> bool {
+        matches!(self, RunState::Trapped { .. } | RunState::TraceStopped)
+    }
+
+    /// True when the process will never run again.
+    pub fn is_dead(&self) -> bool {
+        matches!(self, RunState::Faulted(_) | RunState::Exited)
+    }
+}
+
+/// The debug-halt overlay (§5.2): a halted process remembers when it was
+/// halted and, if it was waiting with a timeout, how much of the timeout
+/// remained — the supervisor "freezes" timeouts of halted processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaltInfo {
+    /// When the halt took effect (real time).
+    pub since: SimTime,
+    /// Remaining timeout at the moment of halting, for `SemWait`/`Sleeping`
+    /// states; re-applied relative to the resume time.
+    pub frozen_remaining: Option<SimDuration>,
+}
+
+/// A native (Rust) process body: a state machine resumed by the scheduler.
+///
+/// Native processes exist so that infrastructure — shared servers, RPC
+/// worker pools — can be written in Rust while being scheduled, blocked,
+/// halted and debugged through exactly the same supervisor paths as user
+/// code. Implementations receive the values produced by their last blocking
+/// system call in `resume` (e.g. the `bool` from a semaphore wait).
+pub trait NativeProcess {
+    /// Runs one slice of the process. Use the [`ExecEnv::sys`] interface
+    /// for anything blocking and return the corresponding outcome.
+    fn step(&mut self, resume: Vec<pilgrim_cclu::Value>, env: &mut ExecEnv<'_>) -> StepOutcome;
+
+    /// Diagnostic name shown by the debugger.
+    fn name(&self) -> &str {
+        "native"
+    }
+}
+
+/// The body of a process.
+pub enum ProcBody {
+    /// A Concurrent CLU VM process.
+    Vm(VmProcess),
+    /// A native state machine.
+    Native(Box<dyn NativeProcess>),
+}
+
+impl fmt::Debug for ProcBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcBody::Vm(vm) => write!(f, "Vm({} frames)", vm.frames.len()),
+            ProcBody::Native(n) => write!(f, "Native({})", n.name()),
+        }
+    }
+}
+
+/// A supervisor process record.
+#[derive(Debug)]
+pub struct Process {
+    /// Identifier.
+    pub pid: Pid,
+    /// Human-readable name (entry procedure or native name).
+    pub name: String,
+    /// The executable body.
+    pub body: ProcBody,
+    /// Scheduler state.
+    pub state: RunState,
+    /// Debug-halt overlay; `Some` while halted by the debugger.
+    pub halted: Option<HaltInfo>,
+    /// When set, a halt was requested while the process was inside the
+    /// heap-allocator critical region; it is applied as soon as the
+    /// process leaves the allocator (§5.5).
+    pub halt_pending: bool,
+    /// The paper's supervisor bit: "specifying whether or not the process
+    /// it describes should be halted" upon debugging (§5.2). Agent and
+    /// runtime-support processes set this.
+    pub no_halt: bool,
+    /// Scheduling priority (informational; exposed via the §5.4 primitive).
+    pub priority: u8,
+    /// Values to hand the process when it next runs (results of the
+    /// blocking operation that woke it).
+    pub resume_values: Vec<pilgrim_cclu::Value>,
+    /// Redirect console output into a buffer (agent-invoked print
+    /// operations, §3); the buffer is keyed by this token.
+    pub print_redirect: Option<u64>,
+}
+
+impl Process {
+    /// True when the scheduler may run this process right now.
+    pub fn schedulable(&self) -> bool {
+        self.state.is_runnable() && self.halted.is_none()
+    }
+
+    /// The VM body, if this is a VM process.
+    pub fn vm(&self) -> Option<&VmProcess> {
+        match &self.body {
+            ProcBody::Vm(vm) => Some(vm),
+            ProcBody::Native(_) => None,
+        }
+    }
+
+    /// Mutable VM body, if this is a VM process.
+    pub fn vm_mut(&mut self) -> Option<&mut VmProcess> {
+        match &mut self.body {
+            ProcBody::Vm(vm) => Some(vm),
+            ProcBody::Native(_) => None,
+        }
+    }
+
+    /// The code address the process is executing, for VM processes.
+    pub fn addr(&self) -> Option<CodeAddr> {
+        self.vm().and_then(|vm| vm.addr())
+    }
+
+    /// True while the process is inside the allocator critical region.
+    pub fn in_allocator(&self) -> bool {
+        self.vm().map(|vm| vm.in_allocator).unwrap_or(false)
+    }
+}
+
+/// A snapshot of the supervisor's view of one process, as returned by the
+/// §5.4 query primitive.
+#[derive(Debug, Clone)]
+pub struct ProcessInfo {
+    /// Identifier.
+    pub pid: Pid,
+    /// Name.
+    pub name: String,
+    /// Supervisor state.
+    pub state: RunState,
+    /// Whether the debugger has halted it.
+    pub halted: bool,
+    /// The no-halt bit.
+    pub no_halt: bool,
+    /// Priority.
+    pub priority: u8,
+    /// Current code address (VM processes only) — the "register set".
+    pub addr: Option<CodeAddr>,
+    /// Call-stack depth (VM processes only).
+    pub frames: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_state_predicates() {
+        assert!(RunState::Runnable.is_runnable());
+        assert!(!RunState::Exited.is_runnable());
+        assert!(RunState::Trapped { bp: 0 }.is_stopped_by_debugger());
+        assert!(RunState::TraceStopped.is_stopped_by_debugger());
+        assert!(RunState::Exited.is_dead());
+        assert!(RunState::Faulted(Fault {
+            kind: pilgrim_cclu::FaultKind::Explicit,
+            message: "x".into()
+        })
+        .is_dead());
+        assert!(!RunState::Sleeping {
+            until: SimTime::ZERO
+        }
+        .is_dead());
+    }
+
+    #[test]
+    fn schedulable_requires_runnable_and_unhalted() {
+        let mut p = Process {
+            pid: Pid(1),
+            name: "t".into(),
+            body: ProcBody::Vm(VmProcess::default()),
+            state: RunState::Runnable,
+            halted: None,
+            halt_pending: false,
+            no_halt: false,
+            priority: 1,
+            resume_values: vec![],
+            print_redirect: None,
+        };
+        assert!(p.schedulable());
+        p.halted = Some(HaltInfo {
+            since: SimTime::ZERO,
+            frozen_remaining: None,
+        });
+        assert!(!p.schedulable());
+        p.halted = None;
+        p.state = RunState::Sleeping {
+            until: SimTime::ZERO,
+        };
+        assert!(!p.schedulable());
+    }
+}

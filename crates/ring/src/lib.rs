@@ -1,0 +1,628 @@
+//! A Cambridge Ring network simulator.
+//!
+//! Pilgrim's nodes communicate over the Cambridge Ring (paper §2, §5.2).
+//! The properties of that network that the paper's analysis depends on are
+//! modelled directly:
+//!
+//! * **Basic blocks** take about **3.5 ms** to reach their destination —
+//!   the smallest generally available protocol unit (§5.2).
+//! * **No data-link broadcast**: halting N nodes requires N serial
+//!   transmissions, each occupying the sender's transmitter (§5.2).
+//! * **Hardware negative acknowledgement**: "the transmitting hardware is
+//!   informed if the packet just sent was not received by the destination
+//!   network interface" (§5.2). Senders therefore *know* about
+//!   interface-level loss and can retransmit; this is what makes the halt
+//!   broadcast reliable.
+//! * Packets can still be lost *silently* above the interface (buffer
+//!   overruns and the like) — this is how `maybe`-protocol RPCs lose call
+//!   or reply packets (§4.1).
+//!
+//! An Ethernet-style [`Medium::Ethernet`] variant provides the broadcast
+//! facility the paper contrasts against ("something approaching this can be
+//! achieved on a single broadcast network such as Ethernet"), including its
+//! lack of reliable broadcast: a broadcast can be lost per-receiver with no
+//! indication to the sender.
+//!
+//! # Examples
+//!
+//! ```
+//! use pilgrim_ring::{Network, NetworkConfig, NodeId, TxStatus};
+//! use pilgrim_sim::SimTime;
+//!
+//! let mut net: Network<&str> = Network::new(NetworkConfig::default(), 3);
+//! let status = net.send(SimTime::ZERO, NodeId(0), NodeId(2), "hello", 32);
+//! assert!(matches!(status, TxStatus::Queued { .. }));
+//! let (deliveries, _) = net.poll(SimTime::from_millis(10));
+//! assert_eq!(deliveries.len(), 1);
+//! assert_eq!(deliveries[0].dst, NodeId(2));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pilgrim_sim::{DetRng, EventQueue, SimDuration, SimTime};
+
+/// Identifies a node (a station) on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Which physical network is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Medium {
+    /// The Cambridge Ring: serial unicasts, hardware NACK, no broadcast.
+    #[default]
+    CambridgeRing,
+    /// An Ethernet-like broadcast network: true broadcast, but no
+    /// negative acknowledgement — loss is silent.
+    Ethernet,
+}
+
+/// Tuning knobs for the network model.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Fixed per-packet latency. Default 3.308 ms, so that a small
+    /// (32-byte) basic block arrives in the paper's 3.5 ms.
+    pub base_latency: SimDuration,
+    /// Additional latency per payload byte. Default 6 µs.
+    pub per_byte: SimDuration,
+    /// Probability the destination interface refuses a packet (reported to
+    /// the sender as a NACK on the ring; silent on Ethernet).
+    pub p_interface_loss: f64,
+    /// Probability a packet is lost *after* the interface accepted it
+    /// (never reported to the sender).
+    pub p_silent_loss: f64,
+    /// Physical medium.
+    pub medium: Medium,
+    /// Seed for the loss model.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            base_latency: SimDuration::from_micros(3_308),
+            per_byte: SimDuration::from_micros(6),
+            p_interface_loss: 0.0,
+            p_silent_loss: 0.0,
+            medium: Medium::CambridgeRing,
+            seed: 0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Transmission latency for a payload of `bytes`.
+    pub fn latency(&self, bytes: usize) -> SimDuration {
+        self.base_latency + self.per_byte * bytes as u64
+    }
+}
+
+/// Result of handing a packet to the transmitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Accepted by the destination interface; will be delivered (unless it
+    /// is lost silently) at the given time.
+    Queued {
+        /// Expected arrival time.
+        deliver_at: SimTime,
+    },
+    /// The destination network interface did not receive the packet — the
+    /// Cambridge Ring hardware reports this to the sender (§5.2), who may
+    /// retransmit.
+    Nack,
+}
+
+/// A packet delivered by [`Network::poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Arrival time.
+    pub at: SimTime,
+    /// The payload.
+    pub payload: P,
+}
+
+/// Counters describing everything the network has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Packets handed to the transmitter.
+    pub sent: u64,
+    /// Packets delivered to a destination.
+    pub delivered: u64,
+    /// Interface-level refusals reported to senders.
+    pub nacked: u64,
+    /// Packets lost silently in transit.
+    pub silently_lost: u64,
+    /// Broadcasts transmitted (Ethernet only).
+    pub broadcasts: u64,
+}
+
+/// Which transmitter a packet uses. Basic-block data and tiny
+/// control/debug messages are assembled at different protocol levels on
+/// the ring, so a control message never queues behind a data transfer
+/// already in progress (the paper's 3.5 ms-per-halt-message arithmetic
+/// presumes this); messages of the *same* class still serialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxClass {
+    /// Ordinary basic-block data (RPC packets).
+    Data,
+    /// Small control messages (debugger–agent traffic, halt broadcast).
+    Control,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Station {
+    up: bool,
+    tx_free_at: [SimTime; 2],
+}
+
+fn class_index(class: TxClass) -> usize {
+    match class {
+        TxClass::Data => 0,
+        TxClass::Control => 1,
+    }
+}
+
+/// The simulated network, generic over the payload type carried in packets.
+#[derive(Debug)]
+pub struct Network<P> {
+    config: NetworkConfig,
+    stations: Vec<Station>,
+    queue: EventQueue<Delivery<P>>,
+    rng: DetRng,
+    forced_drops: HashMap<(NodeId, NodeId), u32>,
+    stats: NetStats,
+}
+
+impl<P> Network<P> {
+    /// Creates a network with `nodes` stations, all up.
+    pub fn new(config: NetworkConfig, nodes: u32) -> Network<P> {
+        let rng = DetRng::seed(config.seed ^ 0x5049_4c47); // "PILG"
+        Network {
+            config,
+            stations: vec![
+                Station {
+                    up: true,
+                    tx_free_at: [SimTime::ZERO; 2]
+                };
+                nodes as usize
+            ],
+            queue: EventQueue::new(),
+            rng,
+            forced_drops: HashMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of stations.
+    pub fn nodes(&self) -> u32 {
+        self.stations.len() as u32
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Marks a node's interface up or down (a crashed node refuses
+    /// packets, which senders on the ring observe as NACKs).
+    pub fn set_up(&mut self, node: NodeId, up: bool) {
+        self.stations[node.0 as usize].up = up;
+    }
+
+    /// Is the node's interface up?
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.stations[node.0 as usize].up
+    }
+
+    /// Forces the next `count` packets from `src` to `dst` to be lost
+    /// silently (after interface acceptance). Deterministic fault
+    /// injection for the lost-call / lost-reply experiments (§4.1).
+    pub fn drop_next(&mut self, src: NodeId, dst: NodeId, count: u32) {
+        *self.forced_drops.entry((src, dst)).or_insert(0) += count;
+    }
+
+    fn take_forced_drop(&mut self, src: NodeId, dst: NodeId) -> bool {
+        match self.forced_drops.get_mut(&(src, dst)) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Transmits one packet from `src` to `dst`.
+    ///
+    /// The transmitter is serial: if it is still busy with a previous
+    /// packet, this one starts when it frees up (§5.2's "a number of
+    /// messages must be sent serially"). On the ring an interface-level
+    /// refusal is reported synchronously as [`TxStatus::Nack`]; on
+    /// Ethernet the same loss is silent and the status still reads
+    /// `Queued`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a station on this network.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        bytes: usize,
+    ) -> TxStatus {
+        self.send_class(now, src, dst, payload, bytes, TxClass::Data)
+    }
+
+    /// [`Network::send`] on a chosen transmitter class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a station on this network.
+    pub fn send_class(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        bytes: usize,
+        class: TxClass,
+    ) -> TxStatus {
+        assert!((src.0 as usize) < self.stations.len(), "unknown src {src}");
+        assert!((dst.0 as usize) < self.stations.len(), "unknown dst {dst}");
+        self.stats.sent += 1;
+        let ci = class_index(class);
+        let start = now.max(self.stations[src.0 as usize].tx_free_at[ci]);
+        let latency = self.config.latency(bytes);
+        let arrive = start + latency;
+        // The class's transmitter is occupied for the whole transmission.
+        self.stations[src.0 as usize].tx_free_at[ci] = arrive;
+
+        let interface_lost =
+            !self.stations[dst.0 as usize].up || self.rng.chance(self.config.p_interface_loss);
+        if interface_lost {
+            match self.config.medium {
+                Medium::CambridgeRing => {
+                    self.stats.nacked += 1;
+                    return TxStatus::Nack;
+                }
+                Medium::Ethernet => {
+                    // No NACK on Ethernet: the sender believes it was sent.
+                    self.stats.silently_lost += 1;
+                    return TxStatus::Queued { deliver_at: arrive };
+                }
+            }
+        }
+        if self.take_forced_drop(src, dst) || self.rng.chance(self.config.p_silent_loss) {
+            self.stats.silently_lost += 1;
+            return TxStatus::Queued { deliver_at: arrive };
+        }
+        self.queue.schedule(
+            arrive,
+            Delivery {
+                src,
+                dst,
+                at: arrive,
+                payload,
+            },
+        );
+        TxStatus::Queued { deliver_at: arrive }
+    }
+
+    /// The earliest pending delivery, if any.
+    pub fn next_delivery_at(&mut self) -> Option<SimTime> {
+        self.queue.next_time()
+    }
+
+    /// Removes and returns every packet due at or before `now`, along with
+    /// the updated statistics. Deliveries come out in arrival order.
+    pub fn poll(&mut self, now: SimTime) -> (Vec<Delivery<P>>, NetStats) {
+        let mut out = Vec::new();
+        while let Some((_, d)) = self.queue.pop_due(now) {
+            self.stats.delivered += 1;
+            out.push(d);
+        }
+        (out, self.stats)
+    }
+}
+
+impl<P: Clone> Network<P> {
+    /// Ethernet-style broadcast: one transmission reaches every other *up*
+    /// station, but each receiver may silently miss it (per-receiver
+    /// interface/silent loss). Not available on the Cambridge Ring, which
+    /// "does not provide a broadcast facility at the data-link layer"
+    /// (§5.2).
+    ///
+    /// Returns the arrival time, or `None` when the medium has no
+    /// broadcast facility.
+    pub fn broadcast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        payload: P,
+        bytes: usize,
+    ) -> Option<SimTime> {
+        if self.config.medium != Medium::Ethernet {
+            return None;
+        }
+        self.stats.sent += 1;
+        self.stats.broadcasts += 1;
+        let ci = class_index(TxClass::Control);
+        let start = now.max(self.stations[src.0 as usize].tx_free_at[ci]);
+        let arrive = start + self.config.latency(bytes);
+        self.stations[src.0 as usize].tx_free_at[ci] = arrive;
+        for i in 0..self.stations.len() {
+            let dst = NodeId(i as u32);
+            if dst == src || !self.stations[i].up {
+                continue;
+            }
+            let lost = self.rng.chance(self.config.p_interface_loss)
+                || self.rng.chance(self.config.p_silent_loss)
+                || self.take_forced_drop(src, dst);
+            if lost {
+                self.stats.silently_lost += 1;
+                continue;
+            }
+            self.queue.schedule(
+                arrive,
+                Delivery {
+                    src,
+                    dst,
+                    at: arrive,
+                    payload: payload.clone(),
+                },
+            );
+        }
+        Some(arrive)
+    }
+
+    /// Reliable unicast on the ring: retransmits on NACK until the
+    /// destination interface accepts, or `max_attempts` is exhausted (e.g.
+    /// the node has crashed). This is exactly the halt-broadcast protocol's
+    /// negative-acknowledgement scheme (§5.2).
+    ///
+    /// Returns `(status, attempts)`.
+    pub fn send_with_retransmit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        bytes: usize,
+        max_attempts: u32,
+    ) -> (TxStatus, u32) {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            // Each attempt starts when the transmitter frees up. Reliable
+            // sends are control traffic (the halt protocol, §5.2).
+            let status = self.send_class(now, src, dst, payload.clone(), bytes, TxClass::Control);
+            match status {
+                TxStatus::Queued { .. } => return (status, attempts),
+                TxStatus::Nack if attempts < max_attempts => continue,
+                TxStatus::Nack => return (TxStatus::Nack, attempts),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(cfg: NetworkConfig) -> Network<u32> {
+        Network::new(cfg, 4)
+    }
+
+    #[test]
+    fn small_basic_block_takes_3_5_ms() {
+        let mut n = net(NetworkConfig::default());
+        let st = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 7, 32);
+        match st {
+            TxStatus::Queued { deliver_at } => {
+                assert_eq!(deliver_at, SimTime::from_micros(3_500));
+            }
+            TxStatus::Nack => panic!("unexpected NACK"),
+        }
+    }
+
+    #[test]
+    fn serial_transmission_spaces_arrivals() {
+        // Halting three remote nodes: arrivals at 3.5, 7.0, 10.5 ms — the
+        // paper's "confident of contacting only two nodes" within the 8 ms
+        // RPC latency window.
+        let mut n = net(NetworkConfig::default());
+        let mut arrivals = Vec::new();
+        for dst in 1..4 {
+            if let TxStatus::Queued { deliver_at } =
+                n.send(SimTime::ZERO, NodeId(0), NodeId(dst), dst, 32)
+            {
+                arrivals.push(deliver_at.as_micros());
+            }
+        }
+        assert_eq!(arrivals, vec![3_500, 7_000, 10_500]);
+        let within_8ms = arrivals.iter().filter(|a| **a <= 8_000).count();
+        assert_eq!(within_8ms, 2);
+    }
+
+    #[test]
+    fn poll_delivers_in_order() {
+        let mut n = net(NetworkConfig::default());
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1, 32);
+        n.send(SimTime::ZERO, NodeId(2), NodeId(1), 2, 16);
+        let (due, stats) = n.poll(SimTime::from_millis(20));
+        assert_eq!(due.len(), 2);
+        // The 16-byte packet from the idle transmitter of node 2 wins.
+        assert_eq!(due[0].payload, 2);
+        assert_eq!(due[1].payload, 1);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.sent, 2);
+    }
+
+    #[test]
+    fn poll_respects_now() {
+        let mut n = net(NetworkConfig::default());
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 9, 32);
+        let (due, _) = n.poll(SimTime::from_millis(3));
+        assert!(due.is_empty());
+        assert_eq!(n.next_delivery_at(), Some(SimTime::from_micros(3_500)));
+        let (due, _) = n.poll(SimTime::from_millis(4));
+        assert_eq!(due.len(), 1);
+    }
+
+    #[test]
+    fn down_interface_nacks_on_ring() {
+        let mut n = net(NetworkConfig::default());
+        n.set_up(NodeId(1), false);
+        assert!(!n.is_up(NodeId(1)));
+        let st = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 32);
+        assert_eq!(st, TxStatus::Nack);
+        assert_eq!(n.stats().nacked, 1);
+    }
+
+    #[test]
+    fn down_interface_is_silent_on_ethernet() {
+        let mut n = net(NetworkConfig {
+            medium: Medium::Ethernet,
+            ..Default::default()
+        });
+        n.set_up(NodeId(1), false);
+        let st = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 32);
+        assert!(
+            matches!(st, TxStatus::Queued { .. }),
+            "Ethernet gives no NACK"
+        );
+        let (due, stats) = n.poll(SimTime::from_millis(20));
+        assert!(due.is_empty());
+        assert_eq!(stats.silently_lost, 1);
+    }
+
+    #[test]
+    fn retransmit_overcomes_interface_loss() {
+        let mut n = net(NetworkConfig {
+            p_interface_loss: 0.5,
+            seed: 42,
+            ..Default::default()
+        });
+        let mut max_attempts_seen = 0;
+        let mut delivered = 0;
+        for i in 0..50 {
+            let (st, attempts) = n.send_with_retransmit(
+                SimTime::from_millis(i * 20),
+                NodeId(0),
+                NodeId(1),
+                i as u32,
+                32,
+                100,
+            );
+            assert!(matches!(st, TxStatus::Queued { .. }));
+            max_attempts_seen = max_attempts_seen.max(attempts);
+            delivered += 1;
+        }
+        assert_eq!(delivered, 50);
+        assert!(
+            max_attempts_seen > 1,
+            "loss model must have forced retransmissions"
+        );
+    }
+
+    #[test]
+    fn retransmit_gives_up_on_crashed_node() {
+        let mut n = net(NetworkConfig::default());
+        n.set_up(NodeId(3), false);
+        let (st, attempts) = n.send_with_retransmit(SimTime::ZERO, NodeId(0), NodeId(3), 0, 32, 5);
+        assert_eq!(st, TxStatus::Nack);
+        assert_eq!(attempts, 5);
+    }
+
+    #[test]
+    fn forced_drops_lose_exact_packets() {
+        let mut n = net(NetworkConfig::default());
+        n.drop_next(NodeId(0), NodeId(1), 1);
+        let st1 = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1, 32);
+        assert!(
+            matches!(st1, TxStatus::Queued { .. }),
+            "silent loss looks fine to sender"
+        );
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 2, 32);
+        let (due, stats) = n.poll(SimTime::from_millis(20));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].payload, 2);
+        assert_eq!(stats.silently_lost, 1);
+    }
+
+    #[test]
+    fn ring_has_no_broadcast() {
+        let mut n = net(NetworkConfig::default());
+        assert_eq!(n.broadcast(SimTime::ZERO, NodeId(0), 0, 16), None);
+    }
+
+    #[test]
+    fn ethernet_broadcast_reaches_all_up_nodes_at_once() {
+        let mut n = net(NetworkConfig {
+            medium: Medium::Ethernet,
+            ..Default::default()
+        });
+        n.set_up(NodeId(2), false);
+        let at = n.broadcast(SimTime::ZERO, NodeId(0), 7, 32).unwrap();
+        assert_eq!(at, SimTime::from_micros(3_500));
+        let (due, _) = n.poll(SimTime::from_millis(10));
+        let dsts: Vec<NodeId> = due.iter().map(|d| d.dst).collect();
+        assert_eq!(dsts, vec![NodeId(1), NodeId(3)]);
+        assert!(
+            due.iter().all(|d| d.at == at),
+            "broadcast arrives everywhere at once"
+        );
+    }
+
+    #[test]
+    fn latency_scales_with_size() {
+        let cfg = NetworkConfig::default();
+        assert!(cfg.latency(1024) > cfg.latency(32));
+        assert_eq!(
+            cfg.latency(0).as_micros() + 6 * 100,
+            cfg.latency(100).as_micros()
+        );
+    }
+
+    #[test]
+    fn same_seed_same_losses() {
+        let run = |seed| {
+            let mut n = net(NetworkConfig {
+                p_silent_loss: 0.3,
+                seed,
+                ..Default::default()
+            });
+            for i in 0..100 {
+                n.send(
+                    SimTime::from_millis(i * 10),
+                    NodeId(0),
+                    NodeId(1),
+                    i as u32,
+                    32,
+                );
+            }
+            let (due, _) = n.poll(SimTime::from_secs(10));
+            due.iter().map(|d| d.payload).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

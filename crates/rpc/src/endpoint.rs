@@ -1,0 +1,1026 @@
+//! The per-node Mayflower RPC runtime, with the paper's debugging
+//! instrumentation (§4.3).
+//!
+//! Each node has one [`RpcEndpoint`] combining the client and server halves
+//! of the RPC mechanism:
+//!
+//! * a **client table** associating call identifiers with the client
+//!   process issuing the call;
+//! * a **server table** associating the server process handling a call
+//!   with the call identifier;
+//! * **information blocks** placed in a known position of the client's top
+//!   stack frame and the server's bottom stack frame (Figure 1), holding
+//!   the process identifier, remote procedure name, call identifier, and
+//!   protocol state;
+//! * the **ten-slot cyclic buffer** of recent call outcomes;
+//! * both protocols: **exactly-once** (retransmit + duplicate suppression
+//!   + reply cache) and **maybe** (single transmission, reply deadline).
+//!
+//! The debug instrumentation costs simulated time — 240 µs client-side and
+//! 160 µs server-side per call, the paper's 400 µs — and can be compiled
+//! out ([`RpcConfig::debug_support`]) to measure the difference (E1). The
+//! rejected packet-monitor design (§4.2) can be switched on as an ablation
+//! ([`RpcConfig::monitor`], E2).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pilgrim_cclu::{
+    Fault, FaultKind, FrameKind, RpcCallState, RpcInfoBlock, RpcProtocol, RpcRequest, Signature,
+    Type, Value,
+};
+use pilgrim_mayflower::{Node, Pid, SpawnOpts};
+use pilgrim_ring::NodeId;
+use pilgrim_sim::{EventQueue, SimDuration, SimTime, TraceCategory, Tracer};
+
+use crate::marshal::{default_for, marshal, unmarshal, wire_matches_type, WireValue};
+use crate::monitor::PacketMonitor;
+use crate::packet::{make_call_id, CallId, RecentCalls, RpcConfig, RpcPacket};
+
+/// The network interface the endpoint sends packets through. Implemented
+/// by the world, which wraps the ring.
+pub trait RpcNet {
+    /// Hands a packet to the network at time `at` (processing offsets are
+    /// already folded in by the endpoint).
+    fn send_rpc(&mut self, at: SimTime, src: NodeId, dst: NodeId, pkt: RpcPacket, bytes: usize);
+    /// Number of nodes on the network (for destination validation).
+    fn node_count(&self) -> u32;
+}
+
+/// A native (Rust) RPC handler — how simulated Cambridge services and the
+/// Pilgrim agent export procedures callable from any node.
+pub trait NativeHandler {
+    /// The procedure's type-checked signature.
+    fn signature(&self) -> Signature;
+    /// Executes the call. Values live in the serving node's heap.
+    ///
+    /// # Errors
+    ///
+    /// A returned `Err` becomes an RPC failure at the caller (a fault for
+    /// exactly-once, `ok = false` for maybe).
+    fn handle(&mut self, ctx: &mut HandlerCtx<'_>, args: Vec<Value>) -> Result<Vec<Value>, String>;
+}
+
+/// Context passed to a [`NativeHandler`].
+pub struct HandlerCtx<'a> {
+    /// The serving node.
+    pub node: &'a mut Node,
+    /// Who is calling.
+    pub caller: NodeId,
+    /// The call identifier.
+    pub call_id: CallId,
+    /// Real time at dispatch.
+    pub now: SimTime,
+}
+
+impl std::fmt::Debug for HandlerCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HandlerCtx(caller={}, call={})",
+            self.caller, self.call_id
+        )
+    }
+}
+
+/// What a server node knows about a call id — the basis for diagnosing
+/// maybe-protocol failures ("the debugger ought to allow the programmer to
+/// find out which is the case", §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKnowledge {
+    /// The call packet never arrived: the *call* was lost.
+    NeverSeen,
+    /// The call is currently executing.
+    Executing,
+    /// The server executed the call and sent a reply; if the client saw a
+    /// failure anyway, the *reply* was lost.
+    Replied(bool),
+}
+
+/// Client-side view of an in-progress call, assembled from the call table
+/// and the information block (what the debugger displays).
+#[derive(Debug, Clone)]
+pub struct CallDebug {
+    /// Call identifier.
+    pub call_id: CallId,
+    /// Remote procedure name.
+    pub proc: Rc<str>,
+    /// Protocol.
+    pub protocol: RpcProtocol,
+    /// Protocol state from the information block.
+    pub state: RpcCallState,
+    /// Retransmissions so far.
+    pub retries: u32,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// Aggregate endpoint statistics (the measurement surface for E1/E2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RpcStats {
+    /// Calls issued from this node.
+    pub started: u64,
+    /// Calls completed successfully.
+    pub completed: u64,
+    /// Calls that failed (including maybe-protocol losses).
+    pub failed: u64,
+    /// Call retransmissions.
+    pub retransmits: u64,
+    /// Sum of client-observed latency over completed calls.
+    pub total_latency: SimDuration,
+    /// Calls served by this node.
+    pub served: u64,
+}
+
+impl RpcStats {
+    /// Mean client-observed latency of completed calls.
+    pub fn mean_latency(&self) -> SimDuration {
+        match self.total_latency.as_micros().checked_div(self.completed) {
+            Some(mean) => SimDuration::from_micros(mean),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ClientCall {
+    pid: Pid,
+    token: u64,
+    proc: Rc<str>,
+    protocol: RpcProtocol,
+    ret_types: Vec<Type>,
+    attempts: u32,
+    info: Option<Rc<RpcInfoBlock>>,
+    done: bool,
+    dst: NodeId,
+    pkt: RpcPacket,
+    bytes: usize,
+    started: SimTime,
+}
+
+#[derive(Debug)]
+struct ServerCall {
+    pid: Pid,
+    caller: NodeId,
+    info: Option<Rc<RpcInfoBlock>>,
+}
+
+#[derive(Debug, Default)]
+struct ServerSeen {
+    reply: Option<(RpcPacket, usize)>,
+}
+
+#[derive(Debug)]
+enum Timer {
+    Dispatch {
+        src: NodeId,
+        call_id: CallId,
+        proc: Rc<str>,
+        args: Vec<WireValue>,
+        protocol: RpcProtocol,
+    },
+    Retry(CallId),
+    MaybeDeadline(CallId),
+    Complete {
+        call_id: CallId,
+        kind: Completion,
+    },
+}
+
+#[derive(Debug)]
+enum Completion {
+    Success(Vec<WireValue>),
+    MaybeFail(String),
+    Hard(String),
+}
+
+/// The per-node RPC runtime.
+pub struct RpcEndpoint {
+    node_id: NodeId,
+    config: RpcConfig,
+    counter: u64,
+    client: HashMap<CallId, ClientCall>,
+    by_pid: HashMap<Pid, CallId>,
+    client_recent: RecentCalls,
+    server_exec: HashMap<CallId, ServerCall>,
+    server_by_pid: HashMap<Pid, CallId>,
+    seen: HashMap<CallId, ServerSeen>,
+    server_recent: RecentCalls,
+    handlers: HashMap<String, Box<dyn NativeHandler>>,
+    timers: EventQueue<Timer>,
+    monitor: PacketMonitor,
+    stats: RpcStats,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for RpcEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcEndpoint")
+            .field("node", &self.node_id)
+            .field("outstanding", &self.client.len())
+            .field("serving", &self.server_exec.len())
+            .finish()
+    }
+}
+
+impl RpcEndpoint {
+    /// Creates the endpoint for `node_id`.
+    pub fn new(node_id: NodeId, config: RpcConfig, tracer: Tracer) -> RpcEndpoint {
+        RpcEndpoint {
+            node_id,
+            config,
+            counter: 0,
+            client: HashMap::new(),
+            by_pid: HashMap::new(),
+            client_recent: RecentCalls::new(),
+            server_exec: HashMap::new(),
+            server_by_pid: HashMap::new(),
+            seen: HashMap::new(),
+            server_recent: RecentCalls::new(),
+            handlers: HashMap::new(),
+            timers: EventQueue::new(),
+            monitor: PacketMonitor::new(),
+            stats: RpcStats::default(),
+            tracer,
+        }
+    }
+
+    /// The endpoint's configuration.
+    pub fn config(&self) -> &RpcConfig {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RpcStats {
+        self.stats
+    }
+
+    /// Registers a native handler under `name` (services, agent support
+    /// procedures).
+    pub fn register_handler(&mut self, name: &str, handler: Box<dyn NativeHandler>) {
+        self.handlers.insert(name.to_string(), handler);
+    }
+
+    /// The earliest pending protocol timer.
+    pub fn next_timer(&mut self) -> Option<SimTime> {
+        self.timers.next_time()
+    }
+
+    /// Debug view of the call a client process is blocked in, if any —
+    /// what the paper's client table + information block provide.
+    pub fn call_for_process(&self, pid: Pid) -> Option<CallDebug> {
+        let id = self.by_pid.get(&pid)?;
+        let c = self.client.get(id)?;
+        Some(CallDebug {
+            call_id: *id,
+            proc: c.proc.clone(),
+            protocol: c.protocol,
+            state: c
+                .info
+                .as_ref()
+                .map(|i| i.state.get())
+                .unwrap_or(RpcCallState::CallSent),
+            retries: c
+                .info
+                .as_ref()
+                .map(|i| i.retries.get())
+                .unwrap_or(c.attempts - 1),
+            dst: c.dst,
+        })
+    }
+
+    /// The server process handling `call_id`, if this node is serving it —
+    /// the paper's server table, used for cross-node backtraces.
+    pub fn serving_process(&self, call_id: CallId) -> Option<Pid> {
+        self.server_exec.get(&call_id).map(|s| s.pid)
+    }
+
+    /// The node that issued `call_id`, if this node is serving it
+    /// (cross-node backtraces walk upwards through this).
+    pub fn caller_of(&self, call_id: CallId) -> Option<NodeId> {
+        self.server_exec.get(&call_id).map(|s| s.caller)
+    }
+
+    /// The client process with `call_id` outstanding, if any (reverse
+    /// lookup of the client table).
+    pub fn client_process(&self, call_id: CallId) -> Option<Pid> {
+        self.client.get(&call_id).map(|c| c.pid)
+    }
+
+    /// What this node knows about `call_id` as a server (maybe-protocol
+    /// failure diagnosis, §4.1).
+    pub fn server_knowledge(&self, call_id: CallId) -> ServerKnowledge {
+        if self.server_exec.contains_key(&call_id) {
+            return ServerKnowledge::Executing;
+        }
+        match self.seen.get(&call_id) {
+            Some(s) if s.reply.is_some() => {
+                ServerKnowledge::Replied(self.server_recent.outcome(call_id).unwrap_or(true))
+            }
+            Some(_) => ServerKnowledge::Executing,
+            None => ServerKnowledge::NeverSeen,
+        }
+    }
+
+    /// Client-side recent-call outcomes (ten-slot cyclic buffer, §4.3).
+    pub fn recent_client_calls(&self) -> Vec<(CallId, bool)> {
+        self.client_recent.entries()
+    }
+
+    /// Server-side recent-call outcomes.
+    pub fn recent_served_calls(&self) -> Vec<(CallId, bool)> {
+        self.server_recent.entries()
+    }
+
+    /// The packet monitor's reconstruction (only meaningful when the E2
+    /// ablation is enabled).
+    pub fn monitor(&self) -> &PacketMonitor {
+        &self.monitor
+    }
+
+    /// Starts a call on behalf of process `pid` (the world routes the
+    /// supervisor's RPC outcall here).
+    pub fn start_call(
+        &mut self,
+        now: SimTime,
+        node: &mut Node,
+        pid: Pid,
+        token: u64,
+        req: &RpcRequest,
+        net: &mut dyn RpcNet,
+    ) {
+        self.stats.started += 1;
+        // Destination validation.
+        if req.node < 0 || req.node >= i64::from(net.node_count()) {
+            self.fail_now(
+                now,
+                node,
+                pid,
+                token,
+                req,
+                format!("no such node {}", req.node),
+            );
+            return;
+        }
+        let dst = NodeId(req.node as u32);
+        // Marshal the arguments out of the client heap.
+        let mut args = Vec::with_capacity(req.args.len());
+        for a in &req.args {
+            match marshal(node.heap(), a) {
+                Ok(w) => args.push(w),
+                Err(e) => {
+                    self.fail_now(now, node, pid, token, req, e.to_string());
+                    return;
+                }
+            }
+        }
+        let ret_types = node
+            .program()
+            .signature_of(&req.proc_name)
+            .map(|s| s.returns.clone())
+            .unwrap_or_default();
+
+        self.counter += 1;
+        let call_id = make_call_id(self.node_id, self.counter);
+        let mut delay = self.config.client_send;
+
+        // §4.3 debug support: information block in a known position of the
+        // client's (stub) stack frame, plus the call-table insert.
+        let info = if self.config.debug_support {
+            delay += self.config.debug_client_call;
+            let info = Rc::new(RpcInfoBlock {
+                process: pid.0,
+                remote_proc: req.proc_name.clone(),
+                call_id,
+                protocol: req.protocol,
+                state: Cell::new(RpcCallState::Marshalling),
+                retries: Cell::new(0),
+            });
+            push_stub_frame(node, pid, info.clone());
+            Some(info)
+        } else {
+            None
+        };
+
+        let pkt = RpcPacket::Call {
+            call_id,
+            proc: req.proc_name.clone(),
+            args,
+            protocol: req.protocol,
+            attempt: 0,
+        };
+        let bytes = pkt.wire_bytes(self.config.header_bytes);
+
+        // §4.2 ablation: the device-driver hook sees the outgoing packet.
+        if self.config.monitor {
+            self.monitor.observe(&pkt);
+            delay += self.config.monitor_per_packet;
+        }
+
+        let send_at = now + delay;
+        net.send_rpc(send_at, self.node_id, dst, pkt.clone(), bytes);
+        if let Some(i) = &info {
+            i.state.set(RpcCallState::CallSent);
+        }
+        match req.protocol {
+            RpcProtocol::ExactlyOnce => {
+                self.timers
+                    .schedule(send_at + self.config.retry_interval, Timer::Retry(call_id));
+            }
+            RpcProtocol::Maybe => {
+                self.timers.schedule(
+                    send_at + self.config.maybe_timeout,
+                    Timer::MaybeDeadline(call_id),
+                );
+            }
+        }
+        self.tracer.record(
+            now,
+            TraceCategory::Rpc,
+            Some(self.node_id.0),
+            format!(
+                "call {call_id} {}({}) -> {dst} [{}]",
+                req.proc_name,
+                req.args.len(),
+                req.protocol
+            ),
+        );
+        self.client.insert(
+            call_id,
+            ClientCall {
+                pid,
+                token,
+                proc: req.proc_name.clone(),
+                protocol: req.protocol,
+                ret_types,
+                attempts: 1,
+                info,
+                done: false,
+                dst,
+                pkt,
+                bytes,
+                started: now,
+            },
+        );
+        self.by_pid.insert(pid, call_id);
+    }
+
+    fn fail_now(
+        &mut self,
+        now: SimTime,
+        node: &mut Node,
+        _pid: Pid,
+        token: u64,
+        req: &RpcRequest,
+        reason: String,
+    ) {
+        self.stats.failed += 1;
+        match req.protocol {
+            RpcProtocol::ExactlyOnce => node.fail_rpc(
+                token,
+                Fault {
+                    kind: FaultKind::RemoteCall,
+                    message: reason,
+                },
+            ),
+            RpcProtocol::Maybe => {
+                let mut values = vec![Value::Bool(false)];
+                let rets = node
+                    .program()
+                    .signature_of(&req.proc_name)
+                    .map(|s| s.returns.clone())
+                    .unwrap_or_default();
+                for t in &rets {
+                    let w = default_for(t);
+                    values.push(unmarshal(node.heap_mut(), &w));
+                }
+                let _ = now;
+                node.resume_rpc(token, values);
+            }
+        }
+    }
+
+    /// Handles an RPC packet arriving from the network.
+    pub fn on_packet(
+        &mut self,
+        now: SimTime,
+        node: &mut Node,
+        src: NodeId,
+        pkt: RpcPacket,
+        net: &mut dyn RpcNet,
+    ) {
+        let mut now = now;
+        if self.config.monitor {
+            self.monitor.observe(&pkt);
+            now += self.config.monitor_per_packet;
+        }
+        match pkt {
+            RpcPacket::Call {
+                call_id,
+                proc,
+                args,
+                protocol,
+                attempt: _,
+            } => {
+                // Exactly-once duplicate suppression and reply cache.
+                if protocol == RpcProtocol::ExactlyOnce {
+                    if let Some(seen) = self.seen.get(&call_id) {
+                        if let Some((reply, bytes)) = &seen.reply {
+                            let (reply, bytes) = (reply.clone(), *bytes);
+                            net.send_rpc(
+                                now + self.config.server_send,
+                                self.node_id,
+                                src,
+                                reply,
+                                bytes,
+                            );
+                        }
+                        return; // executing or re-replied; drop duplicate
+                    }
+                }
+                // Fully type-checked dispatch: resolve the target signature
+                // and validate the decoded arguments against it.
+                let sig: Option<Signature> = if let Some(h) = self.handlers.get(&*proc) {
+                    Some(h.signature())
+                } else {
+                    node.program()
+                        .proc_by_name(&proc)
+                        .map(|id| node.program().proc(id).debug.sig.clone())
+                };
+                let Some(sig) = sig else {
+                    self.reply_failure(
+                        now,
+                        src,
+                        call_id,
+                        format!("unknown remote procedure `{proc}`"),
+                        net,
+                    );
+                    return;
+                };
+                if sig.params.len() != args.len()
+                    || !args
+                        .iter()
+                        .zip(sig.params.iter())
+                        .all(|(a, t)| wire_matches_type(a, t, &node.program().records))
+                {
+                    self.reply_failure(
+                        now,
+                        src,
+                        call_id,
+                        format!("arguments do not match `{proc}` signature {sig}"),
+                        net,
+                    );
+                    return;
+                }
+                self.seen.insert(call_id, ServerSeen { reply: None });
+                let mut delay = self.config.server_recv;
+                if self.config.debug_support {
+                    delay += self.config.debug_server;
+                }
+                self.timers.schedule(
+                    now + delay,
+                    Timer::Dispatch {
+                        src,
+                        call_id,
+                        proc,
+                        args,
+                        protocol,
+                    },
+                );
+            }
+            RpcPacket::Reply { call_id, results } => {
+                self.client_reply(now, call_id, Completion::Success(results));
+            }
+            RpcPacket::ReplyFailure { call_id, reason } => {
+                let kind = match self.client.get(&call_id).map(|c| c.protocol) {
+                    Some(RpcProtocol::Maybe) => Completion::MaybeFail(reason),
+                    _ => Completion::Hard(reason),
+                };
+                self.client_reply(now, call_id, kind);
+            }
+        }
+    }
+
+    fn client_reply(&mut self, now: SimTime, call_id: CallId, kind: Completion) {
+        let Some(call) = self.client.get_mut(&call_id) else {
+            return;
+        };
+        if call.done {
+            return; // duplicate reply
+        }
+        call.done = true;
+        if let Some(i) = &call.info {
+            i.state.set(RpcCallState::ReplyReceived);
+        }
+        let mut delay = self.config.client_recv;
+        if self.config.debug_support {
+            delay += self.config.debug_client_done;
+        }
+        self.timers
+            .schedule(now + delay, Timer::Complete { call_id, kind });
+    }
+
+    fn reply_failure(
+        &mut self,
+        now: SimTime,
+        dst: NodeId,
+        call_id: CallId,
+        reason: String,
+        net: &mut dyn RpcNet,
+    ) {
+        let pkt = RpcPacket::ReplyFailure { call_id, reason };
+        let bytes = pkt.wire_bytes(self.config.header_bytes);
+        let mut now = now;
+        if self.config.monitor {
+            self.monitor.observe(&pkt);
+            now += self.config.monitor_per_packet;
+        }
+        self.server_recent.record(call_id, false);
+        self.seen.entry(call_id).or_default().reply = Some((pkt.clone(), bytes));
+        net.send_rpc(now + self.config.server_send, self.node_id, dst, pkt, bytes);
+    }
+
+    /// Fires every protocol timer due at or before `now`.
+    pub fn on_timers(&mut self, now: SimTime, node: &mut Node, net: &mut dyn RpcNet) {
+        while let Some((at, timer)) = self.timers.pop_due(now) {
+            match timer {
+                Timer::Dispatch {
+                    src,
+                    call_id,
+                    proc,
+                    args,
+                    protocol,
+                } => {
+                    self.dispatch(at, node, src, call_id, &proc, args, protocol, net);
+                }
+                Timer::Retry(call_id) => {
+                    // §5.2's frozen timeouts extend to the RPC runtime: a
+                    // call whose client process is halted by the debugger
+                    // must not burn its retransmission budget (the callee
+                    // is very likely halted under the same session).
+                    if self.client_halted(node, call_id) {
+                        self.timers
+                            .schedule(at + self.config.retry_interval, Timer::Retry(call_id));
+                        continue;
+                    }
+                    self.retry(at, node, call_id, net);
+                }
+                Timer::MaybeDeadline(call_id) => {
+                    if self.client_halted(node, call_id) {
+                        self.timers.schedule(
+                            at + self.config.maybe_timeout,
+                            Timer::MaybeDeadline(call_id),
+                        );
+                        continue;
+                    }
+                    let done = self.client.get(&call_id).map(|c| c.done).unwrap_or(true);
+                    if !done {
+                        self.deliver(at, node, call_id, Completion::MaybeFail("no reply".into()));
+                    }
+                }
+                Timer::Complete { call_id, kind } => self.deliver(at, node, call_id, kind),
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        node: &mut Node,
+        src: NodeId,
+        call_id: CallId,
+        proc: &Rc<str>,
+        args: Vec<WireValue>,
+        protocol: RpcProtocol,
+        net: &mut dyn RpcNet,
+    ) {
+        self.stats.served += 1;
+        // Native handler: runs to completion at dispatch time.
+        if let Some(mut handler) = self.handlers.remove(&**proc) {
+            let values: Vec<Value> = args.iter().map(|w| unmarshal(node.heap_mut(), w)).collect();
+            let mut ctx = HandlerCtx {
+                node,
+                caller: src,
+                call_id,
+                now,
+            };
+            let result = handler.handle(&mut ctx, values);
+            self.handlers.insert(proc.to_string(), handler);
+            match result {
+                Ok(rets) => {
+                    let wire: Result<Vec<WireValue>, _> =
+                        rets.iter().map(|v| marshal(node.heap(), v)).collect();
+                    match wire {
+                        Ok(results) => self.send_reply(now, node, src, call_id, results, net),
+                        Err(e) => self.reply_failure(now, src, call_id, e.to_string(), net),
+                    }
+                }
+                Err(reason) => self.reply_failure(now, src, call_id, reason, net),
+            }
+            return;
+        }
+
+        // CCLU procedure: unmarshal the arguments into the server heap and
+        // spawn a server process to execute the call (the paper's "server
+        // process handling the call").
+        let Some(proc_id) = node.program().proc_by_name(proc) else {
+            self.reply_failure(
+                now,
+                src,
+                call_id,
+                format!("unknown procedure `{proc}`"),
+                net,
+            );
+            return;
+        };
+        let values: Vec<Value> = args.iter().map(|w| unmarshal(node.heap_mut(), w)).collect();
+        let pid = node.spawn_proc(
+            proc_id,
+            values,
+            SpawnOpts {
+                name: Some(format!("rpc:{proc}")),
+                ..Default::default()
+            },
+        );
+        // Figure 1, right-hand side: the information block sits at the
+        // bottom of the server process's stack.
+        let info = if self.config.debug_support {
+            let info = Rc::new(RpcInfoBlock {
+                process: pid.0,
+                remote_proc: proc.clone(),
+                call_id,
+                protocol,
+                state: Cell::new(RpcCallState::ServerExecuting),
+                retries: Cell::new(0),
+            });
+            if let Some(p) = node.process_mut(pid) {
+                if let Some(vm) = p.vm_mut() {
+                    if let Some(root) = vm.frames.first_mut() {
+                        root.kind = FrameKind::ServerRoot;
+                        root.rpc_info = Some(info.clone());
+                    }
+                }
+            }
+            Some(info)
+        } else {
+            None
+        };
+        self.server_exec.insert(
+            call_id,
+            ServerCall {
+                pid,
+                caller: src,
+                info,
+            },
+        );
+        self.server_by_pid.insert(pid, call_id);
+    }
+
+    /// Is the calling process of `call_id` currently halted (or
+    /// halt-pending) under the debugger?
+    fn client_halted(&self, node: &Node, call_id: CallId) -> bool {
+        self.client
+            .get(&call_id)
+            .filter(|c| !c.done)
+            .and_then(|c| node.process(c.pid))
+            .map(|p| p.halted.is_some() || p.halt_pending)
+            .unwrap_or(false)
+    }
+
+    fn retry(&mut self, now: SimTime, node: &mut Node, call_id: CallId, net: &mut dyn RpcNet) {
+        let Some(call) = self.client.get_mut(&call_id) else {
+            return;
+        };
+        if call.done {
+            return;
+        }
+        if call.attempts >= self.config.max_attempts {
+            let reason = format!(
+                "no response from {} after {} attempts",
+                call.dst, call.attempts
+            );
+            self.deliver(now, node, call_id, Completion::Hard(reason));
+            return;
+        }
+        call.attempts += 1;
+        self.stats.retransmits += 1;
+        if let Some(i) = &call.info {
+            i.retries.set(i.retries.get() + 1);
+            i.state.set(RpcCallState::Retransmitting(i.retries.get()));
+        }
+        let pkt = match &call.pkt {
+            RpcPacket::Call {
+                call_id,
+                proc,
+                args,
+                protocol,
+                ..
+            } => RpcPacket::Call {
+                call_id: *call_id,
+                proc: proc.clone(),
+                args: args.clone(),
+                protocol: *protocol,
+                attempt: call.attempts - 1,
+            },
+            other => other.clone(),
+        };
+        let (dst, bytes) = (call.dst, call.bytes);
+        if self.config.monitor {
+            self.monitor.observe(&pkt);
+        }
+        net.send_rpc(now, self.node_id, dst, pkt, bytes);
+        self.timers
+            .schedule(now + self.config.retry_interval, Timer::Retry(call_id));
+    }
+
+    fn send_reply(
+        &mut self,
+        now: SimTime,
+        _node: &mut Node,
+        dst: NodeId,
+        call_id: CallId,
+        results: Vec<WireValue>,
+        net: &mut dyn RpcNet,
+    ) {
+        let pkt = RpcPacket::Reply { call_id, results };
+        let bytes = pkt.wire_bytes(self.config.header_bytes);
+        let mut now = now;
+        if self.config.monitor {
+            self.monitor.observe(&pkt);
+            now += self.config.monitor_per_packet;
+        }
+        if self.config.debug_support {
+            self.server_recent.record(call_id, true);
+        }
+        // Cache for exactly-once duplicate calls.
+        self.seen.insert(
+            call_id,
+            ServerSeen {
+                reply: Some((pkt.clone(), bytes)),
+            },
+        );
+        net.send_rpc(now + self.config.server_send, self.node_id, dst, pkt, bytes);
+    }
+
+    /// Tells the endpoint a process on this node exited; if it was a
+    /// server process, its results are marshalled and the reply sent.
+    /// Returns true when the process belonged to the RPC runtime.
+    pub fn on_proc_exited(
+        &mut self,
+        now: SimTime,
+        node: &mut Node,
+        pid: Pid,
+        net: &mut dyn RpcNet,
+    ) -> bool {
+        let Some(call_id) = self.server_by_pid.remove(&pid) else {
+            return false;
+        };
+        let Some(call) = self.server_exec.remove(&call_id) else {
+            return false;
+        };
+        if let Some(i) = &call.info {
+            i.state.set(RpcCallState::Succeeded);
+        }
+        let results: Vec<WireValue> = node
+            .exit_values(pid)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|v| marshal(node.heap(), v).ok())
+            .collect();
+        self.send_reply(now, node, call.caller, call_id, results, net);
+        true
+    }
+
+    /// Tells the endpoint a process faulted; if it was a server process,
+    /// the caller gets a failure reply ("the callee faulted").
+    pub fn on_proc_faulted(
+        &mut self,
+        now: SimTime,
+        node: &mut Node,
+        pid: Pid,
+        fault: &Fault,
+        net: &mut dyn RpcNet,
+    ) -> bool {
+        let Some(call_id) = self.server_by_pid.remove(&pid) else {
+            return false;
+        };
+        let Some(call) = self.server_exec.remove(&call_id) else {
+            return false;
+        };
+        if let Some(i) = &call.info {
+            i.state.set(RpcCallState::Failed);
+        }
+        let _ = node;
+        self.reply_failure(
+            now,
+            call.caller,
+            call_id,
+            format!("remote fault: {fault}"),
+            net,
+        );
+        true
+    }
+
+    fn deliver(&mut self, now: SimTime, node: &mut Node, call_id: CallId, kind: Completion) {
+        let Some(call) = self.client.remove(&call_id) else {
+            return;
+        };
+        self.by_pid.remove(&call.pid);
+        pop_stub_frame(node, call.pid);
+        match kind {
+            Completion::Success(results) => {
+                self.stats.completed += 1;
+                self.stats.total_latency += now.saturating_since(call.started);
+                if let Some(i) = &call.info {
+                    i.state.set(RpcCallState::Succeeded);
+                }
+                if self.config.debug_support {
+                    self.client_recent.record(call_id, true);
+                }
+                let mut values = Vec::with_capacity(results.len() + 1);
+                if call.protocol == RpcProtocol::Maybe {
+                    values.push(Value::Bool(true));
+                }
+                for w in &results {
+                    values.push(unmarshal(node.heap_mut(), w));
+                }
+                node.resume_rpc(call.token, values);
+            }
+            Completion::MaybeFail(reason) => {
+                self.stats.failed += 1;
+                if let Some(i) = &call.info {
+                    i.state.set(RpcCallState::Failed);
+                }
+                if self.config.debug_support {
+                    self.client_recent.record(call_id, false);
+                }
+                self.tracer.record(
+                    now,
+                    TraceCategory::Rpc,
+                    Some(self.node_id.0),
+                    format!("maybe call {call_id} failed: {reason}"),
+                );
+                let mut values = vec![Value::Bool(false)];
+                for t in &call.ret_types {
+                    let w = default_for(t);
+                    values.push(unmarshal(node.heap_mut(), &w));
+                }
+                node.resume_rpc(call.token, values);
+            }
+            Completion::Hard(reason) => {
+                self.stats.failed += 1;
+                if let Some(i) = &call.info {
+                    i.state.set(RpcCallState::Failed);
+                }
+                if self.config.debug_support {
+                    self.client_recent.record(call_id, false);
+                }
+                node.fail_rpc(
+                    call.token,
+                    Fault {
+                        kind: FaultKind::RemoteCall,
+                        message: reason,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Pushes the client-side RPC stub frame (Figure 1, left): the top of the
+/// client process's stack while the call is outstanding, with the
+/// information block in a known position.
+fn push_stub_frame(node: &mut Node, pid: Pid, info: Rc<RpcInfoBlock>) {
+    if let Some(p) = node.process_mut(pid) {
+        if let Some(vm) = p.vm_mut() {
+            let proc = vm
+                .frames
+                .last()
+                .map(|f| f.proc)
+                .unwrap_or(pilgrim_cclu::ProcId(0));
+            let mut frame = pilgrim_cclu::Frame::activation(proc, Vec::new());
+            frame.kind = FrameKind::RpcStub;
+            frame.well_formed = true;
+            frame.rpc_info = Some(info);
+            vm.frames.push(frame);
+        }
+    }
+}
+
+/// Removes the stub frame on call completion.
+fn pop_stub_frame(node: &mut Node, pid: Pid) {
+    if let Some(p) = node.process_mut(pid) {
+        if let Some(vm) = p.vm_mut() {
+            if vm
+                .frames
+                .last()
+                .map(|f| f.kind == FrameKind::RpcStub)
+                .unwrap_or(false)
+            {
+                vm.frames.pop();
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Marshalling of Concurrent CLU values for transmission between nodes.
+//!
+//! The Mayflower RPC mechanism "is fully type-checked and permits
+//! arbitrarily complex objects of user defined type to be transmitted
+//! between nodes" (paper §2). Values are encoded into a heap-independent
+//! wire form on the sending node and decoded into the receiving node's
+//! heap; the receiving dispatcher re-checks the decoded values against the
+//! target procedure's signature (the run-time half of "fully
+//! type-checked").
+
+use std::rc::Rc;
+
+use pilgrim_cclu::{Heap, HeapObject, RecordType, Type, Value};
+
+/// A value in wire form: self-contained, heap-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    /// `nil`
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(Rc<str>),
+    /// Record instance (nominal type name + field values).
+    Record {
+        /// The record's typedef name.
+        type_name: Rc<str>,
+        /// Field values in declaration order.
+        fields: Vec<WireValue>,
+    },
+    /// Array.
+    Array(Vec<WireValue>),
+}
+
+impl WireValue {
+    /// Encoded size in bytes, used for network-latency modelling.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            WireValue::Null => 1,
+            WireValue::Int(_) => 4,
+            WireValue::Bool(_) => 1,
+            WireValue::Str(s) => 2 + s.len(),
+            WireValue::Record { type_name, fields } => {
+                2 + type_name.len() + fields.iter().map(WireValue::wire_bytes).sum::<usize>()
+            }
+            WireValue::Array(items) => 4 + items.iter().map(WireValue::wire_bytes).sum::<usize>(),
+        }
+    }
+}
+
+/// Error from [`marshal`]: the value contains something node-local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarshalError(pub String);
+
+impl std::fmt::Display for MarshalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot marshal: {}", self.0)
+    }
+}
+impl std::error::Error for MarshalError {}
+
+/// Encodes `v` (rooted in `heap`) into wire form.
+///
+/// # Errors
+///
+/// Fails on semaphore or mutex handles, which are node-local and rejected
+/// by the compiler in remote signatures — this is a defence-in-depth check.
+pub fn marshal(heap: &Heap, v: &Value) -> Result<WireValue, MarshalError> {
+    match v {
+        Value::Null => Ok(WireValue::Null),
+        Value::Int(i) => Ok(WireValue::Int(*i)),
+        Value::Bool(b) => Ok(WireValue::Bool(*b)),
+        Value::Str(s) => Ok(WireValue::Str(s.clone())),
+        Value::Sem(_) => Err(MarshalError("semaphore handles are node-local".into())),
+        Value::Mutex(_) => Err(MarshalError("mutex handles are node-local".into())),
+        Value::Ref(r) => match heap.get(*r) {
+            HeapObject::Record { type_name, fields } => Ok(WireValue::Record {
+                type_name: type_name.clone(),
+                fields: fields
+                    .iter()
+                    .map(|f| marshal(heap, f))
+                    .collect::<Result<_, _>>()?,
+            }),
+            HeapObject::Array(items) => Ok(WireValue::Array(
+                items
+                    .iter()
+                    .map(|f| marshal(heap, f))
+                    .collect::<Result<_, _>>()?,
+            )),
+        },
+    }
+}
+
+/// Decodes a wire value into `heap`, allocating records and arrays.
+pub fn unmarshal(heap: &mut Heap, w: &WireValue) -> Value {
+    match w {
+        WireValue::Null => Value::Null,
+        WireValue::Int(i) => Value::Int(*i),
+        WireValue::Bool(b) => Value::Bool(*b),
+        WireValue::Str(s) => Value::Str(s.clone()),
+        WireValue::Record { type_name, fields } => {
+            let fields = fields.iter().map(|f| unmarshal(heap, f)).collect();
+            Value::Ref(heap.alloc(HeapObject::Record {
+                type_name: type_name.clone(),
+                fields,
+            }))
+        }
+        WireValue::Array(items) => {
+            let items = items.iter().map(|f| unmarshal(heap, f)).collect();
+            Value::Ref(heap.alloc(HeapObject::Array(items)))
+        }
+    }
+}
+
+/// Checks a decoded wire value against a declared type — the receiving
+/// side of the fully type-checked RPC.
+pub fn wire_matches_type(w: &WireValue, ty: &Type, records: &[Rc<RecordType>]) -> bool {
+    match (w, ty) {
+        (WireValue::Null, Type::Null) => true,
+        (WireValue::Int(_), Type::Int) => true,
+        (WireValue::Bool(_), Type::Bool) => true,
+        (WireValue::Str(_), Type::Str) => true,
+        (WireValue::Array(items), Type::Array(elem)) => {
+            items.iter().all(|i| wire_matches_type(i, elem, records))
+        }
+        (WireValue::Record { type_name, fields }, Type::Record(rt)) => {
+            if **type_name != *rt.name {
+                return false;
+            }
+            // Check against the *receiver's* definition of the type.
+            let def = records.iter().find(|r| r.name == rt.name).unwrap_or(rt);
+            fields.len() == def.fields.len()
+                && fields
+                    .iter()
+                    .zip(def.fields.iter())
+                    .all(|(f, (_, fty))| wire_matches_type(f, fty, records))
+        }
+        _ => false,
+    }
+}
+
+/// A neutral default for a declared return type, used to fill the results
+/// of a failed `maybe` call (the leading success flag tells the program
+/// not to trust them).
+pub fn default_for(ty: &Type) -> WireValue {
+    match ty {
+        Type::Int => WireValue::Int(0),
+        Type::Bool => WireValue::Bool(false),
+        Type::Str => WireValue::Str("".into()),
+        Type::Null => WireValue::Null,
+        Type::Array(_) => WireValue::Array(Vec::new()),
+        // Sem/Mutex cannot appear (checked at compile time); records get a
+        // nil reference the program must not touch without checking `ok`.
+        Type::Record(_) | Type::Sem | Type::Mutex => WireValue::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> (Heap, Value) {
+        let mut heap = Heap::new();
+        let arr = heap.alloc(HeapObject::Array(vec![Value::Int(1), Value::Bool(true)]));
+        let rec = heap.alloc(HeapObject::Record {
+            type_name: "pair".into(),
+            fields: vec![Value::Str("s".into()), Value::Ref(arr)],
+        });
+        (heap, Value::Ref(rec))
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let (heap, v) = sample();
+        let w = marshal(&heap, &v).unwrap();
+        let mut dst = Heap::new();
+        let v2 = unmarshal(&mut dst, &w);
+        assert_eq!(
+            pilgrim_cclu::format_value(&heap, &v),
+            pilgrim_cclu::format_value(&dst, &v2)
+        );
+    }
+
+    #[test]
+    fn node_local_handles_are_rejected() {
+        let heap = Heap::new();
+        assert!(marshal(&heap, &Value::Sem(1)).is_err());
+        assert!(marshal(&heap, &Value::Mutex(1)).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_counts_structure() {
+        let (heap, v) = sample();
+        let w = marshal(&heap, &v).unwrap();
+        // record: 2 + 4 ("pair") + str (2+1) + array (4 + 4 + 1) = 18
+        assert_eq!(w.wire_bytes(), 18);
+    }
+
+    #[test]
+    fn type_checking_on_the_wire() {
+        let int_arr = WireValue::Array(vec![WireValue::Int(1)]);
+        assert!(wire_matches_type(
+            &int_arr,
+            &Type::Array(Rc::new(Type::Int)),
+            &[]
+        ));
+        assert!(!wire_matches_type(
+            &int_arr,
+            &Type::Array(Rc::new(Type::Bool)),
+            &[]
+        ));
+        let rec = WireValue::Record {
+            type_name: "point".into(),
+            fields: vec![WireValue::Int(1), WireValue::Int(2)],
+        };
+        let point = Rc::new(RecordType {
+            name: "point".into(),
+            fields: vec![("x".into(), Type::Int), ("y".into(), Type::Int)],
+        });
+        assert!(wire_matches_type(
+            &rec,
+            &Type::Record(point.clone()),
+            std::slice::from_ref(&point)
+        ));
+        let wrong = Rc::new(RecordType {
+            name: "point".into(),
+            fields: vec![("x".into(), Type::Int), ("y".into(), Type::Bool)],
+        });
+        assert!(!wire_matches_type(
+            &rec,
+            &Type::Record(wrong.clone()),
+            &[wrong]
+        ));
+    }
+
+    #[test]
+    fn defaults_match_their_types() {
+        assert!(wire_matches_type(&default_for(&Type::Int), &Type::Int, &[]));
+        assert!(wire_matches_type(&default_for(&Type::Str), &Type::Str, &[]));
+        assert!(wire_matches_type(
+            &default_for(&Type::Array(Rc::new(Type::Int))),
+            &Type::Array(Rc::new(Type::Int)),
+            &[]
+        ));
+    }
+
+    fn arb_wire() -> impl Strategy<Value = WireValue> {
+        let leaf = prop_oneof![
+            Just(WireValue::Null),
+            any::<i64>().prop_map(WireValue::Int),
+            any::<bool>().prop_map(WireValue::Bool),
+            "[a-z]{0,12}".prop_map(|s| WireValue::Str(s.into())),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..4).prop_map(WireValue::Array),
+                (prop::collection::vec(inner, 0..4), "[a-z]{1,8}").prop_map(|(fields, name)| {
+                    WireValue::Record {
+                        type_name: name.into(),
+                        fields,
+                    }
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        /// unmarshal → marshal is the identity on wire values.
+        #[test]
+        fn prop_roundtrip(w in arb_wire()) {
+            let mut heap = Heap::new();
+            let v = unmarshal(&mut heap, &w);
+            let w2 = marshal(&heap, &v).unwrap();
+            prop_assert_eq!(w, w2);
+        }
+
+        /// Encoded size is positive and grows monotonically with nesting.
+        #[test]
+        fn prop_wire_bytes_positive(w in arb_wire()) {
+            prop_assert!(w.wire_bytes() >= 1);
+            let arr = WireValue::Array(vec![w.clone()]);
+            prop_assert!(arr.wire_bytes() > w.wire_bytes());
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! RPC wire packets, protocol configuration, and the ten-slot cyclic
+//! buffer of recent call outcomes (§4.3).
+
+use std::rc::Rc;
+
+use pilgrim_cclu::RpcProtocol;
+use pilgrim_ring::NodeId;
+use pilgrim_sim::SimDuration;
+
+use crate::marshal::WireValue;
+
+/// A call identifier: "call identifiers ... uniquely name a particular
+/// invocation of a remote procedure" (§4.3). The top bits carry the
+/// originating node so identifiers are unique network-wide.
+pub type CallId = u64;
+
+/// Builds a network-unique call id.
+pub fn make_call_id(node: NodeId, counter: u64) -> CallId {
+    (u64::from(node.0) << 40) | (counter & 0xff_ffff_ffff)
+}
+
+/// The node a call id was minted on.
+pub fn call_id_node(id: CallId) -> NodeId {
+    NodeId((id >> 40) as u32)
+}
+
+/// An RPC packet on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcPacket {
+    /// A call request.
+    Call {
+        /// Call identifier.
+        call_id: CallId,
+        /// Remote procedure name.
+        proc: Rc<str>,
+        /// Marshalled arguments.
+        args: Vec<WireValue>,
+        /// Protocol in use.
+        protocol: RpcProtocol,
+        /// Retransmission ordinal (0 for the first transmission).
+        attempt: u32,
+    },
+    /// A successful reply.
+    Reply {
+        /// Call identifier.
+        call_id: CallId,
+        /// Marshalled results.
+        results: Vec<WireValue>,
+    },
+    /// A failure reply (remote fault, type mismatch, unknown procedure).
+    ReplyFailure {
+        /// Call identifier.
+        call_id: CallId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl RpcPacket {
+    /// The call this packet belongs to.
+    pub fn call_id(&self) -> CallId {
+        match self {
+            RpcPacket::Call { call_id, .. }
+            | RpcPacket::Reply { call_id, .. }
+            | RpcPacket::ReplyFailure { call_id, .. } => *call_id,
+        }
+    }
+
+    /// Payload size in bytes, for latency modelling (header included).
+    pub fn wire_bytes(&self, header: usize) -> usize {
+        header
+            + match self {
+                RpcPacket::Call { proc, args, .. } => {
+                    proc.len() + args.iter().map(WireValue::wire_bytes).sum::<usize>()
+                }
+                RpcPacket::Reply { results, .. } => {
+                    results.iter().map(WireValue::wire_bytes).sum::<usize>()
+                }
+                RpcPacket::ReplyFailure { reason, .. } => reason.len(),
+            }
+    }
+}
+
+/// Timing and behaviour of the RPC runtime.
+///
+/// The endpoint processing costs are calibrated so a null exactly-once RPC
+/// round trip takes the paper's ~16 ms (two 3.5 ms basic blocks plus 9 ms
+/// of protocol processing), and the debugging support adds the paper's
+/// 400 µs (§4.3): 240 µs on the client (information block, call table,
+/// completion bookkeeping and cyclic buffer) and 160 µs on the server.
+#[derive(Debug, Clone)]
+pub struct RpcConfig {
+    /// Client-side processing before the call packet is transmitted
+    /// (marshalling, protocol setup).
+    pub client_send: SimDuration,
+    /// Server-side processing between packet arrival and the server
+    /// process starting (unmarshal, dispatch, process allocation).
+    pub server_recv: SimDuration,
+    /// Server-side processing between procedure return and reply
+    /// transmission.
+    pub server_send: SimDuration,
+    /// Client-side processing between reply arrival and the calling
+    /// process resuming.
+    pub client_recv: SimDuration,
+    /// Extra client cost of debug support at call time (info block +
+    /// call-table insert).
+    pub debug_client_call: SimDuration,
+    /// Extra client cost of debug support at completion (table removal +
+    /// cyclic-buffer write).
+    pub debug_client_done: SimDuration,
+    /// Extra server cost of debug support (info block + server table).
+    pub debug_server: SimDuration,
+    /// Whether the §4.3 debug support is compiled in.
+    pub debug_support: bool,
+    /// Whether the rejected §4.2 packet-monitor design is active
+    /// (the E2 ablation).
+    pub monitor: bool,
+    /// Per-packet cost of the packet monitor's state machine.
+    pub monitor_per_packet: SimDuration,
+    /// Retransmission interval for the exactly-once protocol.
+    pub retry_interval: SimDuration,
+    /// Maximum transmissions (first + retries) for exactly-once.
+    pub max_attempts: u32,
+    /// Reply deadline for the maybe protocol.
+    pub maybe_timeout: SimDuration,
+    /// Packet header size in bytes.
+    pub header_bytes: usize,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            client_send: SimDuration::from_micros(2_500),
+            server_recv: SimDuration::from_micros(2_500),
+            server_send: SimDuration::from_micros(2_000),
+            client_recv: SimDuration::from_micros(2_000),
+            debug_client_call: SimDuration::from_micros(180),
+            debug_client_done: SimDuration::from_micros(60),
+            debug_server: SimDuration::from_micros(160),
+            debug_support: true,
+            monitor: false,
+            monitor_per_packet: SimDuration::from_micros(4_000),
+            retry_interval: SimDuration::from_millis(200),
+            max_attempts: 4,
+            maybe_timeout: SimDuration::from_millis(40),
+            header_bytes: 32,
+        }
+    }
+}
+
+/// The ten-slot cyclic buffer describing the outcomes of the ten most
+/// recent RPCs: "The only information maintained is the call identifier
+/// and whether the call failed or succeeded" (§4.3).
+#[derive(Debug, Clone, Default)]
+pub struct RecentCalls {
+    slots: Vec<(CallId, bool)>,
+    next: usize,
+}
+
+/// Number of slots in [`RecentCalls`] — ten, per the paper.
+pub const RECENT_SLOTS: usize = 10;
+
+impl RecentCalls {
+    /// An empty buffer.
+    pub fn new() -> RecentCalls {
+        RecentCalls::default()
+    }
+
+    /// Records the outcome of a call.
+    pub fn record(&mut self, call_id: CallId, succeeded: bool) {
+        if self.slots.len() < RECENT_SLOTS {
+            self.slots.push((call_id, succeeded));
+            self.next = self.slots.len() % RECENT_SLOTS;
+        } else {
+            self.slots[self.next] = (call_id, succeeded);
+            self.next = (self.next + 1) % RECENT_SLOTS;
+        }
+    }
+
+    /// The recorded outcome for `call_id`, if it is still in the buffer.
+    pub fn outcome(&self, call_id: CallId) -> Option<bool> {
+        self.slots
+            .iter()
+            .find(|(id, _)| *id == call_id)
+            .map(|(_, ok)| *ok)
+    }
+
+    /// All slots, oldest first.
+    pub fn entries(&self) -> Vec<(CallId, bool)> {
+        if self.slots.len() < RECENT_SLOTS {
+            self.slots.clone()
+        } else {
+            let mut out = Vec::with_capacity(RECENT_SLOTS);
+            for i in 0..RECENT_SLOTS {
+                out.push(self.slots[(self.next + i) % RECENT_SLOTS]);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_ids_are_node_unique() {
+        let a = make_call_id(NodeId(1), 7);
+        let b = make_call_id(NodeId(2), 7);
+        assert_ne!(a, b);
+        assert_eq!(call_id_node(a), NodeId(1));
+        assert_eq!(call_id_node(b), NodeId(2));
+    }
+
+    #[test]
+    fn recent_buffer_holds_exactly_ten() {
+        let mut r = RecentCalls::new();
+        for i in 0..15u64 {
+            r.record(i, i % 2 == 0);
+        }
+        let e = r.entries();
+        assert_eq!(e.len(), RECENT_SLOTS);
+        // The five oldest (0..5) have been overwritten.
+        assert_eq!(e[0].0, 5);
+        assert_eq!(e[9].0, 14);
+        assert_eq!(r.outcome(3), None, "evicted");
+        assert_eq!(r.outcome(14), Some(true));
+        assert_eq!(r.outcome(13), Some(false));
+    }
+
+    #[test]
+    fn packet_sizes_include_payload() {
+        let call = RpcPacket::Call {
+            call_id: 1,
+            proc: "square".into(),
+            args: vec![WireValue::Int(4)],
+            protocol: RpcProtocol::ExactlyOnce,
+            attempt: 0,
+        };
+        assert_eq!(call.wire_bytes(32), 32 + 6 + 4);
+        let reply = RpcPacket::Reply {
+            call_id: 1,
+            results: vec![WireValue::Int(16)],
+        };
+        assert_eq!(reply.wire_bytes(32), 36);
+        assert_eq!(call.call_id(), reply.call_id());
+    }
+}

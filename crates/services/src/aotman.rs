@@ -1,0 +1,307 @@
+//! AOTMan, the authentication manager (§6.2).
+//!
+//! "The authentication manager, AOTMan, issues temporary unique
+//! identifiers or TUIDs which are capability-like objects describing
+//! rights of access or service. TUIDs must be continually refreshed before
+//! their timeouts, typically two to five minutes long, expire."
+//!
+//! Clients call the RPC endpoints:
+//!
+//! * `aot_issue() returns (tuid, lifetime_ms)` — mint a TUID for the
+//!   calling node;
+//! * `aot_refresh(tuid) returns (ok)` — reset its timeout;
+//! * `aot_check(tuid) returns (valid)` — is it still live?
+//!
+//! Each TUID is guarded by a [`Watcher`] process running the configured
+//! [`TimeoutStrategy`]; with a debug-aware strategy, a client halted at a
+//! breakpoint keeps its TUIDs (experiment E6).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pilgrim::World;
+use pilgrim_cclu::{Signature, Type, Value};
+use pilgrim_mayflower::{SemId, SpawnOpts};
+use pilgrim_ring::NodeId;
+use pilgrim_rpc::{HandlerCtx, NativeHandler};
+use pilgrim_sim::{SimDuration, SimTime};
+
+use crate::strategy::{GrantHooks, StrategyEvent, StrategyStats, TimeoutStrategy, Watcher};
+
+/// AOTMan configuration.
+#[derive(Debug, Clone)]
+pub struct AotConfig {
+    /// TUID lifetime (the paper: two to five minutes; default 2 minutes).
+    pub lifetime: SimDuration,
+    /// The paper's `clock_tolerance` (default 100 ms).
+    pub clock_tolerance: SimDuration,
+    /// How timeouts of debugged clients are treated.
+    pub strategy: TimeoutStrategy,
+}
+
+impl Default for AotConfig {
+    fn default() -> Self {
+        AotConfig {
+            lifetime: SimDuration::from_mins(2),
+            clock_tolerance: SimDuration::from_millis(100),
+            strategy: TimeoutStrategy::StatusAndConvert,
+        }
+    }
+}
+
+/// One issued TUID.
+#[derive(Debug, Clone)]
+pub struct TuidRecord {
+    /// Owning client node.
+    pub client: NodeId,
+    /// Still valid?
+    pub valid: bool,
+    /// Refresh semaphore (signalled by `aot_refresh`).
+    pub sem: SemId,
+    /// Number of refreshes seen.
+    pub refreshes: u64,
+    /// When it was issued.
+    pub issued_at: SimTime,
+    /// When it was revoked, if it was.
+    pub revoked_at: Option<SimTime>,
+}
+
+#[derive(Debug, Default)]
+struct AotState {
+    tuids: HashMap<u64, TuidRecord>,
+    next_tuid: u64,
+    stats: StrategyStats,
+}
+
+/// The authentication manager service.
+#[derive(Debug, Clone)]
+pub struct AotMan {
+    state: Rc<RefCell<AotState>>,
+    config: AotConfig,
+    node: u32,
+}
+
+impl AotMan {
+    /// Installs AOTMan on `node` of `world`, registering its RPC handlers.
+    pub fn install(world: &mut World, node: u32, config: AotConfig) -> AotMan {
+        let state = Rc::new(RefCell::new(AotState::default()));
+        let svc = AotMan {
+            state: state.clone(),
+            config: config.clone(),
+            node,
+        };
+        world.endpoint_mut(node).register_handler(
+            "aot_issue",
+            Box::new(IssueHandler {
+                state: state.clone(),
+                config: config.clone(),
+            }),
+        );
+        world.endpoint_mut(node).register_handler(
+            "aot_refresh",
+            Box::new(RefreshHandler {
+                state: state.clone(),
+            }),
+        );
+        world
+            .endpoint_mut(node)
+            .register_handler("aot_check", Box::new(CheckHandler { state }));
+        svc
+    }
+
+    /// The node the service runs on.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AotConfig {
+        &self.config
+    }
+
+    /// Strategy counters (status calls, extensions, revocations...).
+    pub fn stats(&self) -> StrategyStats {
+        self.state.borrow().stats
+    }
+
+    /// Snapshot of one TUID.
+    pub fn tuid(&self, id: u64) -> Option<TuidRecord> {
+        self.state.borrow().tuids.get(&id).cloned()
+    }
+
+    /// Is `id` still valid?
+    pub fn is_valid(&self, id: u64) -> bool {
+        self.state
+            .borrow()
+            .tuids
+            .get(&id)
+            .map(|t| t.valid)
+            .unwrap_or(false)
+    }
+
+    /// Ids of all TUIDs ever issued.
+    pub fn issued(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.state.borrow().tuids.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Hook adapter: the watcher revokes one TUID.
+struct TuidHooks {
+    state: Rc<RefCell<AotState>>,
+    tuid: u64,
+    revoked_at: SimTime,
+}
+
+impl GrantHooks for TuidHooks {
+    fn revoke(&mut self) {
+        let mut s = self.state.borrow_mut();
+        if let Some(t) = s.tuids.get_mut(&self.tuid) {
+            t.valid = false;
+            t.revoked_at = Some(self.revoked_at);
+        }
+    }
+    fn active(&self) -> bool {
+        self.state
+            .borrow()
+            .tuids
+            .get(&self.tuid)
+            .map(|t| t.valid)
+            .unwrap_or(false)
+    }
+    fn record(&mut self, ev: StrategyEvent) {
+        self.state.borrow_mut().stats.apply(ev);
+    }
+}
+
+struct IssueHandler {
+    state: Rc<RefCell<AotState>>,
+    config: AotConfig,
+}
+
+impl NativeHandler for IssueHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![],
+            returns: vec![Type::Int, Type::Int],
+        }
+    }
+
+    fn handle(
+        &mut self,
+        ctx: &mut HandlerCtx<'_>,
+        _args: Vec<Value>,
+    ) -> Result<Vec<Value>, String> {
+        let sem = ctx.node.make_sem(0);
+        let tuid = {
+            let mut s = self.state.borrow_mut();
+            s.next_tuid += 1;
+            let id = s.next_tuid;
+            s.tuids.insert(
+                id,
+                TuidRecord {
+                    client: ctx.caller,
+                    valid: true,
+                    sem,
+                    refreshes: 0,
+                    issued_at: ctx.now,
+                    revoked_at: None,
+                },
+            );
+            id
+        };
+        let hooks = Rc::new(RefCell::new(TuidHooks {
+            state: self.state.clone(),
+            tuid,
+            revoked_at: ctx.now,
+        }));
+        // Keep the revocation timestamp fresh: GrantHooks::revoke records
+        // `revoked_at` captured at issue; good enough for ordering, the
+        // precise expiry instant is in the watcher trace.
+        let watcher = Watcher::new(
+            hooks,
+            format!("aot:watch#{tuid}"),
+            sem,
+            i64::from(ctx.caller.0),
+            self.config.lifetime.as_millis() as i64,
+            self.config.clock_tolerance.as_millis() as i64,
+            self.config.strategy,
+        );
+        ctx.node.spawn_native(
+            Box::new(watcher),
+            SpawnOpts {
+                no_halt: true,
+                ..Default::default()
+            },
+        );
+        Ok(vec![
+            Value::Int(tuid as i64),
+            Value::Int(self.config.lifetime.as_millis() as i64),
+        ])
+    }
+}
+
+struct RefreshHandler {
+    state: Rc<RefCell<AotState>>,
+}
+
+impl NativeHandler for RefreshHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![Type::Int],
+            returns: vec![Type::Bool],
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut HandlerCtx<'_>, args: Vec<Value>) -> Result<Vec<Value>, String> {
+        let id = args[0].as_int().ok_or("tuid must be int")? as u64;
+        let sem = {
+            let mut s = self.state.borrow_mut();
+            match s.tuids.get_mut(&id) {
+                Some(t) if t.valid => {
+                    t.refreshes += 1;
+                    Some(t.sem)
+                }
+                _ => None,
+            }
+        };
+        match sem {
+            Some(sem) => {
+                ctx.node.signal_sem(sem);
+                Ok(vec![Value::Bool(true)])
+            }
+            None => Ok(vec![Value::Bool(false)]),
+        }
+    }
+}
+
+struct CheckHandler {
+    state: Rc<RefCell<AotState>>,
+}
+
+impl NativeHandler for CheckHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![Type::Int],
+            returns: vec![Type::Bool],
+        }
+    }
+
+    fn handle(
+        &mut self,
+        _ctx: &mut HandlerCtx<'_>,
+        args: Vec<Value>,
+    ) -> Result<Vec<Value>, String> {
+        let id = args[0].as_int().ok_or("tuid must be int")? as u64;
+        let valid = self
+            .state
+            .borrow()
+            .tuids
+            .get(&id)
+            .map(|t| t.valid)
+            .unwrap_or(false);
+        Ok(vec![Value::Bool(valid)])
+    }
+}

@@ -1,0 +1,96 @@
+//! A simple file server demonstrating §6.2's "Converting date/time data".
+//!
+//! The server is written in Concurrent CLU and runs as an ordinary user
+//! program on its node — which means it can itself be debugged, and more
+//! importantly it exercises the support procedures *from the source
+//! language*: `fs_read` calls `get_debuggee_status` at its caller and,
+//! when the caller turns out to be under a debugger, converts the file's
+//! modification time into the caller's logical time scale with
+//! `convert_debuggee_time` (the paper's exact prescription).
+
+/// The file server's Concurrent CLU program. Install it on a node with
+/// [`pilgrim::WorldBuilder::program_for`]; clients declare the externs in
+/// [`CLIENT_EXTERNS`].
+pub const FILE_SERVER_SOURCE: &str = "\
+% A small file server (Cambridge Distributed Computing System flavour).
+% Files live in three parallel arrays; mtimes are date values (ms).
+extern get_debuggee_status = proc () returns (int, int)
+extern convert_debuggee_time = proc (d: int) returns (int)
+
+own fnames: array[string] := array$new()
+own fdata: array[string] := array$new()
+own fmtime: array[int] := array$new()
+
+find_file = proc (name: string) returns (int)
+ n: int := len(fnames)
+ for i: int := 0 to n - 1 do
+  if fnames[i] = name then
+   return (i)
+  end
+ end
+ return (0 - 1)
+end
+
+fs_write = proc (name: string, data: string) returns (bool)
+ i: int := find_file(name)
+ if i < 0 then
+  append(fnames, name)
+  append(fdata, data)
+  append(fmtime, now())
+ else
+  fdata[i] := data
+  fmtime[i] := now()
+ end
+ return (true)
+end
+
+% fs_read returns (found, data, mtime). When the caller is under a
+% debugger, mtime is converted into the caller's logical time scale
+% (PAPER 6.2, \"Converting date/time data\").
+fs_read = proc (name: string, caller: int) returns (bool, string, int)
+ i: int := find_file(name)
+ if i < 0 then
+  return (false, \"\", 0)
+ end
+ mt: int := fmtime[i]
+ dbg: int := 0
+ t: int := 0
+ dbg, t := call get_debuggee_status() at caller
+ if dbg >= 0 then
+  mt := call convert_debuggee_time(mt) at dbg
+ end
+ return (true, fdata[i], mt)
+end
+
+fs_count = proc () returns (int)
+ return (len(fnames))
+end
+";
+
+/// Extern declarations a client program needs to call the file server.
+pub const CLIENT_EXTERNS: &str = "\
+extern fs_write = proc (name: string, data: string) returns (bool)
+extern fs_read = proc (name: string, caller: int) returns (bool, string, int)
+extern fs_count = proc () returns (int)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_program_compiles() {
+        let p = pilgrim_cclu::compile(FILE_SERVER_SOURCE).expect("file server compiles");
+        assert!(p.proc_by_name("fs_read").is_some());
+        assert!(p.proc_by_name("fs_write").is_some());
+        assert_eq!(p.globals.len(), 3);
+    }
+
+    #[test]
+    fn client_externs_compile_alongside_a_client() {
+        let src = format!(
+            "{CLIENT_EXTERNS}\nmain = proc ()\n ok: bool := call fs_write(\"a\", \"b\") at 1\nend"
+        );
+        pilgrim_cclu::compile(&src).expect("client compiles");
+    }
+}

@@ -1,0 +1,240 @@
+//! A name server, the remaining Cambridge Distributed Computing System
+//! staple (§6: "file servers, name servers, print servers and so on cannot
+//! be halted since other users would be denied service").
+//!
+//! Programs register services by name and look them up instead of
+//! hard-coding node ids:
+//!
+//! * `ns_register(name, node) returns (ok)`
+//! * `ns_lookup(name) returns (found, node)`
+//! * `ns_unregister(name) returns (ok)`
+//!
+//! The name server is deliberately debugger-*unaware*: it holds no client
+//! timeouts, so it needs none of the §6 machinery — a useful contrast with
+//! AOTMan and the Resource Manager in the examples.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pilgrim::World;
+use pilgrim_cclu::{Signature, Type, Value};
+use pilgrim_ring::NodeId;
+use pilgrim_rpc::{HandlerCtx, NativeHandler};
+
+/// Extern declarations a client program needs to talk to the name server.
+pub const NAME_SERVER_EXTERNS: &str = "\
+extern ns_register = proc (name: string, node: int) returns (bool)
+extern ns_lookup = proc (name: string) returns (bool, int)
+extern ns_unregister = proc (name: string) returns (bool)
+";
+
+#[derive(Debug, Default)]
+struct NsState {
+    names: HashMap<String, i64>,
+    registrations: u64,
+    lookups: u64,
+}
+
+/// The name server service.
+#[derive(Debug, Clone)]
+pub struct NameServer {
+    state: Rc<RefCell<NsState>>,
+    node: u32,
+}
+
+impl NameServer {
+    /// Installs the name server on `node` of `world`.
+    pub fn install(world: &mut World, node: u32) -> NameServer {
+        let state = Rc::new(RefCell::new(NsState::default()));
+        let svc = NameServer {
+            state: state.clone(),
+            node,
+        };
+        world.endpoint_mut(node).register_handler(
+            "ns_register",
+            Box::new(RegisterHandler {
+                state: state.clone(),
+            }),
+        );
+        world.endpoint_mut(node).register_handler(
+            "ns_lookup",
+            Box::new(LookupHandler {
+                state: state.clone(),
+            }),
+        );
+        world
+            .endpoint_mut(node)
+            .register_handler("ns_unregister", Box::new(UnregisterHandler { state }));
+        svc
+    }
+
+    /// The node the service runs on.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Rust-side lookup (for tests and harnesses).
+    pub fn resolve(&self, name: &str) -> Option<NodeId> {
+        self.state
+            .borrow()
+            .names
+            .get(name)
+            .map(|n| NodeId(*n as u32))
+    }
+
+    /// Rust-side registration (service bootstrap).
+    pub fn register(&self, name: &str, node: NodeId) {
+        let mut s = self.state.borrow_mut();
+        s.names.insert(name.to_string(), i64::from(node.0));
+        s.registrations += 1;
+    }
+
+    /// Counters: `(registrations, lookups)`.
+    pub fn stats(&self) -> (u64, u64) {
+        let s = self.state.borrow();
+        (s.registrations, s.lookups)
+    }
+}
+
+struct RegisterHandler {
+    state: Rc<RefCell<NsState>>,
+}
+
+impl NativeHandler for RegisterHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![Type::Str, Type::Int],
+            returns: vec![Type::Bool],
+        }
+    }
+    fn handle(
+        &mut self,
+        _ctx: &mut HandlerCtx<'_>,
+        args: Vec<Value>,
+    ) -> Result<Vec<Value>, String> {
+        let name = args[0].as_str().ok_or("name must be a string")?.to_string();
+        let node = args[1].as_int().ok_or("node must be an int")?;
+        let mut s = self.state.borrow_mut();
+        let fresh = !s.names.contains_key(&name);
+        if fresh {
+            s.names.insert(name, node);
+            s.registrations += 1;
+        }
+        Ok(vec![Value::Bool(fresh)])
+    }
+}
+
+struct LookupHandler {
+    state: Rc<RefCell<NsState>>,
+}
+
+impl NativeHandler for LookupHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![Type::Str],
+            returns: vec![Type::Bool, Type::Int],
+        }
+    }
+    fn handle(
+        &mut self,
+        _ctx: &mut HandlerCtx<'_>,
+        args: Vec<Value>,
+    ) -> Result<Vec<Value>, String> {
+        let name = args[0].as_str().ok_or("name must be a string")?;
+        let mut s = self.state.borrow_mut();
+        s.lookups += 1;
+        match s.names.get(name) {
+            Some(node) => Ok(vec![Value::Bool(true), Value::Int(*node)]),
+            None => Ok(vec![Value::Bool(false), Value::Int(-1)]),
+        }
+    }
+}
+
+struct UnregisterHandler {
+    state: Rc<RefCell<NsState>>,
+}
+
+impl NativeHandler for UnregisterHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![Type::Str],
+            returns: vec![Type::Bool],
+        }
+    }
+    fn handle(
+        &mut self,
+        _ctx: &mut HandlerCtx<'_>,
+        args: Vec<Value>,
+    ) -> Result<Vec<Value>, String> {
+        let name = args[0].as_str().ok_or("name must be a string")?;
+        let removed = self.state.borrow_mut().names.remove(name).is_some();
+        Ok(vec![Value::Bool(removed)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilgrim::{SimTime, Value as V};
+
+    #[test]
+    fn register_lookup_unregister_from_cclu() {
+        let src = format!(
+            "{NAME_SERVER_EXTERNS}
+main = proc (ns: int)
+ ok: bool := call ns_register(\"printer\", 7) at ns
+ print(ok)
+ dup: bool := call ns_register(\"printer\", 8) at ns
+ print(dup)
+ found: bool := false
+ node: int := 0
+ found, node := call ns_lookup(\"printer\") at ns
+ print(node)
+ gone: bool := call ns_unregister(\"printer\") at ns
+ found, node := call ns_lookup(\"printer\") at ns
+ print(found)
+end"
+        );
+        let mut w = pilgrim::World::builder()
+            .nodes(2)
+            .program(&src)
+            .debugger(false)
+            .build()
+            .unwrap();
+        let ns = NameServer::install(&mut w, 1);
+        w.spawn(0, "main", vec![V::Int(1)]);
+        w.run_until_idle(SimTime::from_secs(10));
+        assert_eq!(w.console(0), vec!["true", "false", "7", "false"]);
+        let (regs, lookups) = ns.stats();
+        assert_eq!(regs, 1);
+        assert_eq!(lookups, 2);
+    }
+
+    #[test]
+    fn rust_side_bootstrap_registration() {
+        let src = format!(
+            "{NAME_SERVER_EXTERNS}
+main = proc (ns: int)
+ found: bool := false
+ node: int := 0
+ found, node := call ns_lookup(\"aotman\") at ns
+ if found then
+  print(\"aotman at \" || int$unparse(node))
+ end
+end"
+        );
+        let mut w = pilgrim::World::builder()
+            .nodes(2)
+            .program(&src)
+            .debugger(false)
+            .build()
+            .unwrap();
+        let ns = NameServer::install(&mut w, 1);
+        ns.register("aotman", NodeId(3));
+        assert_eq!(ns.resolve("aotman"), Some(NodeId(3)));
+        w.spawn(0, "main", vec![V::Int(1)]);
+        w.run_until_idle(SimTime::from_secs(10));
+        assert_eq!(w.console(0), vec!["aotman at 3"]);
+    }
+}

@@ -1,0 +1,424 @@
+//! The Resource Manager (§6.2).
+//!
+//! "The Resource Manager allocates machines to users and programs. These
+//! resources are reclaimed by the manager after long timeouts (typically
+//! three hours) have expired." The §6.2 contention refinement is also
+//! implemented: a debug-extended allocation is kept "until a client, not
+//! under control of the same debugger, requests the resource. At that
+//! point the resource is reclaimed and reallocated."
+//!
+//! RPC endpoints:
+//!
+//! * `rm_request() returns (resource)` — allocate, `-1` when none free;
+//! * `rm_renew(resource) returns (ok)` — reset the lease;
+//! * `rm_release(resource) returns (ok)` — give it back.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pilgrim::World;
+use pilgrim_cclu::{Signature, Type, Value};
+use pilgrim_mayflower::{SemId, SpawnOpts};
+use pilgrim_ring::NodeId;
+use pilgrim_rpc::{HandlerCtx, NativeHandler};
+use pilgrim_sim::{SimDuration, SimTime};
+
+use crate::strategy::{GrantHooks, StrategyEvent, StrategyStats, TimeoutStrategy, Watcher};
+
+/// Resource Manager configuration.
+#[derive(Debug, Clone)]
+pub struct RmConfig {
+    /// Number of machines in the pool.
+    pub resources: u32,
+    /// Lease length before reclamation (the paper: typically three hours).
+    pub lease: SimDuration,
+    /// The paper's `clock_tolerance`.
+    pub clock_tolerance: SimDuration,
+    /// Timeout strategy for debugged holders.
+    pub strategy: TimeoutStrategy,
+    /// Reclaim a debug-extended allocation when another client wants the
+    /// resource (§6.2 "Resource contention with other users").
+    pub reclaim_on_contention: bool,
+}
+
+impl Default for RmConfig {
+    fn default() -> Self {
+        RmConfig {
+            resources: 1,
+            lease: SimDuration::from_hours(3),
+            clock_tolerance: SimDuration::from_millis(100),
+            strategy: TimeoutStrategy::StatusAndConvert,
+            reclaim_on_contention: true,
+        }
+    }
+}
+
+/// Something that happened in the manager, for experiment logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmEvent {
+    /// Resource granted to a node.
+    Granted {
+        /// Which resource.
+        resource: u32,
+        /// New holder.
+        to: NodeId,
+    },
+    /// A request could not be satisfied.
+    Denied {
+        /// The requester.
+        to: NodeId,
+    },
+    /// An extended allocation was reclaimed because someone else asked.
+    ReclaimedForContention {
+        /// Which resource.
+        resource: u32,
+        /// Previous holder (who was being debugged).
+        from: NodeId,
+        /// New holder.
+        to: NodeId,
+    },
+    /// A lease genuinely expired.
+    Expired {
+        /// Which resource.
+        resource: u32,
+        /// The holder that lost it.
+        from: NodeId,
+    },
+    /// Voluntarily released.
+    Released {
+        /// Which resource.
+        resource: u32,
+        /// Former holder.
+        from: NodeId,
+    },
+}
+
+#[derive(Debug)]
+struct Allocation {
+    holder: NodeId,
+    sem: SemId,
+    /// Set when the watcher has extended the lease because the holder is
+    /// being debugged — the contention policy only preempts these.
+    extended: bool,
+    /// Epoch guard: bumped on every grant so a stale watcher cannot
+    /// revoke a re-allocated resource.
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct RmState {
+    allocations: HashMap<u32, Allocation>,
+    free: Vec<u32>,
+    events: Vec<(SimTime, RmEvent)>,
+    stats: StrategyStats,
+}
+
+/// The Resource Manager service.
+#[derive(Debug, Clone)]
+pub struct ResourceManager {
+    state: Rc<RefCell<RmState>>,
+    config: RmConfig,
+    node: u32,
+}
+
+impl ResourceManager {
+    /// Installs the manager on `node` of `world`.
+    pub fn install(world: &mut World, node: u32, config: RmConfig) -> ResourceManager {
+        let state = Rc::new(RefCell::new(RmState {
+            free: (0..config.resources).rev().collect(),
+            ..Default::default()
+        }));
+        let svc = ResourceManager {
+            state: state.clone(),
+            config: config.clone(),
+            node,
+        };
+        world.endpoint_mut(node).register_handler(
+            "rm_request",
+            Box::new(RequestHandler {
+                state: state.clone(),
+                config: config.clone(),
+            }),
+        );
+        world.endpoint_mut(node).register_handler(
+            "rm_renew",
+            Box::new(RenewHandler {
+                state: state.clone(),
+            }),
+        );
+        world
+            .endpoint_mut(node)
+            .register_handler("rm_release", Box::new(ReleaseHandler { state }));
+        svc
+    }
+
+    /// The node the service runs on.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RmConfig {
+        &self.config
+    }
+
+    /// Strategy counters.
+    pub fn stats(&self) -> StrategyStats {
+        self.state.borrow().stats
+    }
+
+    /// The event log, in order.
+    pub fn events(&self) -> Vec<(SimTime, RmEvent)> {
+        self.state.borrow().events.clone()
+    }
+
+    /// Current holder of `resource`.
+    pub fn holder(&self, resource: u32) -> Option<NodeId> {
+        self.state
+            .borrow()
+            .allocations
+            .get(&resource)
+            .map(|a| a.holder)
+    }
+
+    /// Number of unallocated resources.
+    pub fn free_count(&self) -> usize {
+        self.state.borrow().free.len()
+    }
+}
+
+struct AllocHooks {
+    state: Rc<RefCell<RmState>>,
+    resource: u32,
+    epoch: u64,
+    at_hint: SimTime,
+}
+
+impl GrantHooks for AllocHooks {
+    fn revoke(&mut self) {
+        let mut s = self.state.borrow_mut();
+        let Some(a) = s.allocations.get(&self.resource) else {
+            return;
+        };
+        if a.epoch != self.epoch {
+            return; // resource was reallocated; stale watcher
+        }
+        let from = a.holder;
+        s.allocations.remove(&self.resource);
+        s.free.push(self.resource);
+        s.events.push((
+            self.at_hint,
+            RmEvent::Expired {
+                resource: self.resource,
+                from,
+            },
+        ));
+    }
+    fn active(&self) -> bool {
+        self.state
+            .borrow()
+            .allocations
+            .get(&self.resource)
+            .map(|a| a.epoch == self.epoch)
+            .unwrap_or(false)
+    }
+    fn record(&mut self, ev: StrategyEvent) {
+        let mut s = self.state.borrow_mut();
+        s.stats.apply(ev);
+        // The contention policy keys off "this allocation has been
+        // extended for a debugged holder".
+        if ev == StrategyEvent::Extension {
+            if let Some(a) = s.allocations.get_mut(&self.resource) {
+                if a.epoch == self.epoch {
+                    a.extended = true;
+                }
+            }
+        }
+    }
+}
+
+struct RequestHandler {
+    state: Rc<RefCell<RmState>>,
+    config: RmConfig,
+}
+
+impl RequestHandler {
+    fn grant(&self, ctx: &mut HandlerCtx<'_>, resource: u32, epoch: u64) -> Vec<Value> {
+        let sem = ctx.node.make_sem(0);
+        {
+            let mut s = self.state.borrow_mut();
+            s.allocations.insert(
+                resource,
+                Allocation {
+                    holder: ctx.caller,
+                    sem,
+                    extended: false,
+                    epoch,
+                },
+            );
+            s.events.push((
+                ctx.now,
+                RmEvent::Granted {
+                    resource,
+                    to: ctx.caller,
+                },
+            ));
+        }
+        let hooks = Rc::new(RefCell::new(AllocHooks {
+            state: self.state.clone(),
+            resource,
+            epoch,
+            at_hint: ctx.now,
+        }));
+        let watcher = Watcher::new(
+            hooks,
+            format!("rm:watch#{resource}"),
+            sem,
+            i64::from(ctx.caller.0),
+            self.config.lease.as_millis() as i64,
+            self.config.clock_tolerance.as_millis() as i64,
+            self.config.strategy,
+        );
+        ctx.node.spawn_native(
+            Box::new(watcher),
+            SpawnOpts {
+                no_halt: true,
+                ..Default::default()
+            },
+        );
+        vec![Value::Int(i64::from(resource))]
+    }
+}
+
+impl NativeHandler for RequestHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![],
+            returns: vec![Type::Int],
+        }
+    }
+
+    fn handle(
+        &mut self,
+        ctx: &mut HandlerCtx<'_>,
+        _args: Vec<Value>,
+    ) -> Result<Vec<Value>, String> {
+        // Epoch = a unique stamp per grant; use the event count.
+        let (free, epoch) = {
+            let s = self.state.borrow();
+            (s.free.last().copied(), s.events.len() as u64 + 1)
+        };
+        if let Some(resource) = free {
+            self.state.borrow_mut().free.pop();
+            return Ok(self.grant(ctx, resource, epoch));
+        }
+        // Contention (§6.2): preempt a debug-extended allocation held by
+        // somebody else.
+        if self.config.reclaim_on_contention {
+            let victim = {
+                let s = self.state.borrow();
+                s.allocations
+                    .iter()
+                    .find(|(_, a)| a.extended && a.holder != ctx.caller)
+                    .map(|(r, a)| (*r, a.holder, a.sem))
+            };
+            if let Some((resource, from, sem)) = victim {
+                {
+                    let mut s = self.state.borrow_mut();
+                    s.allocations.remove(&resource);
+                    s.events.push((
+                        ctx.now,
+                        RmEvent::ReclaimedForContention {
+                            resource,
+                            from,
+                            to: ctx.caller,
+                        },
+                    ));
+                }
+                // Wake the old watcher so it notices the allocation is
+                // gone and exits.
+                ctx.node.signal_sem(sem);
+                return Ok(self.grant(ctx, resource, epoch));
+            }
+        }
+        self.state
+            .borrow_mut()
+            .events
+            .push((ctx.now, RmEvent::Denied { to: ctx.caller }));
+        Ok(vec![Value::Int(-1)])
+    }
+}
+
+struct RenewHandler {
+    state: Rc<RefCell<RmState>>,
+}
+
+impl NativeHandler for RenewHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![Type::Int],
+            returns: vec![Type::Bool],
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut HandlerCtx<'_>, args: Vec<Value>) -> Result<Vec<Value>, String> {
+        let r = args[0].as_int().ok_or("resource must be int")? as u32;
+        let sem = {
+            let mut s = self.state.borrow_mut();
+            match s.allocations.get_mut(&r) {
+                Some(a) if a.holder == ctx.caller => {
+                    a.extended = false;
+                    Some(a.sem)
+                }
+                _ => None,
+            }
+        };
+        match sem {
+            Some(sem) => {
+                ctx.node.signal_sem(sem);
+                Ok(vec![Value::Bool(true)])
+            }
+            None => Ok(vec![Value::Bool(false)]),
+        }
+    }
+}
+
+struct ReleaseHandler {
+    state: Rc<RefCell<RmState>>,
+}
+
+impl NativeHandler for ReleaseHandler {
+    fn signature(&self) -> Signature {
+        Signature {
+            params: vec![Type::Int],
+            returns: vec![Type::Bool],
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut HandlerCtx<'_>, args: Vec<Value>) -> Result<Vec<Value>, String> {
+        let r = args[0].as_int().ok_or("resource must be int")? as u32;
+        let freed = {
+            let mut s = self.state.borrow_mut();
+            match s.allocations.get(&r) {
+                Some(a) if a.holder == ctx.caller => {
+                    let sem = a.sem;
+                    let from = a.holder;
+                    s.allocations.remove(&r);
+                    s.free.push(r);
+                    s.events
+                        .push((ctx.now, RmEvent::Released { resource: r, from }));
+                    Some(sem)
+                }
+                _ => None,
+            }
+        };
+        match freed {
+            Some(sem) => {
+                ctx.node.signal_sem(sem);
+                Ok(vec![Value::Bool(true)])
+            }
+            None => Ok(vec![Value::Bool(false)]),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic discrete-event simulation kernel for the Pilgrim
+//! reproduction.
+//!
+//! The original Pilgrim system (Cooper, ICDCS 1987) ran on 8 MHz MC68000
+//! nodes attached to a Cambridge Ring. That platform is gone, so the
+//! reproduction executes the entire distributed system — every node, the
+//! network, and the debugger itself — inside a single-threaded,
+//! deterministic simulation. This crate provides the primitives everything
+//! else is built from:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time;
+//! * [`EventQueue`] — a future-event list with FIFO tie-breaking, so
+//!   identical seeds give identical runs;
+//! * [`DetRng`] — seeded, forkable randomness for loss models and jitter;
+//! * [`Tracer`] — structured event recording that tests assert against.
+//!
+//! # Examples
+//!
+//! ```
+//! use pilgrim_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut clock = SimTime::ZERO;
+//! let mut queue = EventQueue::new();
+//! queue.schedule(clock + SimDuration::from_millis(3), "basic block arrives");
+//! while let Some((when, what)) = queue.pop() {
+//!     clock = when;
+//!     assert_eq!(what, "basic block arrives");
+//! }
+//! assert_eq!(clock, SimTime::from_millis(3));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod rng;
+mod time;
+mod trace;
+
+pub use event::{EventId, EventQueue};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceCategory, TraceEvent, Tracer};

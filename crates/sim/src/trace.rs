@@ -1,0 +1,255 @@
+//! Structured simulation tracing.
+//!
+//! Components record [`TraceEvent`]s into a shared [`Tracer`]; tests and the
+//! experiment harnesses assert on the recorded history rather than parsing
+//! printed output. Tracing is always cheap: when no subscriber wants a
+//! category the event is dropped without formatting.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// Category of a trace event, used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    /// Scheduler decisions and process state changes.
+    Sched,
+    /// Network transmission, delivery, loss, NACK.
+    Net,
+    /// RPC protocol steps.
+    Rpc,
+    /// Debugger/agent interactions.
+    Debug,
+    /// Clock and time-consistency bookkeeping.
+    Clock,
+    /// User program output and VM-level happenings.
+    Vm,
+    /// Shared-service activity.
+    Service,
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::Sched => "sched",
+            TraceCategory::Net => "net",
+            TraceCategory::Rpc => "rpc",
+            TraceCategory::Debug => "debug",
+            TraceCategory::Clock => "clock",
+            TraceCategory::Vm => "vm",
+            TraceCategory::Service => "service",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened in simulated time.
+    pub time: SimTime,
+    /// Which subsystem produced it.
+    pub category: TraceCategory,
+    /// Node the event is attributed to, if any.
+    pub node: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(
+                f,
+                "[{} {} n{}] {}",
+                self.time, self.category, n, self.message
+            ),
+            None => write!(f, "[{} {}] {}", self.time, self.category, self.message),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    events: Vec<TraceEvent>,
+    enabled: Option<Vec<TraceCategory>>, // None = everything
+    echo: bool,
+    capacity: usize,
+}
+
+/// A shared, clonable event recorder.
+///
+/// # Examples
+///
+/// ```
+/// use pilgrim_sim::{Tracer, TraceCategory, SimTime};
+/// let tracer = Tracer::new();
+/// tracer.record(SimTime::ZERO, TraceCategory::Net, Some(1), "packet sent");
+/// assert_eq!(tracer.events_in(TraceCategory::Net).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Rc<RefCell<TracerInner>>,
+}
+
+impl Tracer {
+    /// Creates a tracer that records every category, bounded to a large
+    /// default capacity (1 million events, oldest discarded first).
+    pub fn new() -> Tracer {
+        let inner = TracerInner {
+            capacity: 1_000_000,
+            ..Default::default()
+        };
+        Tracer {
+            inner: Rc::new(RefCell::new(inner)),
+        }
+    }
+
+    /// Restricts recording to the given categories.
+    pub fn set_filter(&self, categories: &[TraceCategory]) {
+        self.inner.borrow_mut().enabled = Some(categories.to_vec());
+    }
+
+    /// Records all categories again.
+    pub fn clear_filter(&self) {
+        self.inner.borrow_mut().enabled = None;
+    }
+
+    /// When `true`, also prints each event to stdout as it is recorded.
+    pub fn set_echo(&self, echo: bool) {
+        self.inner.borrow_mut().echo = echo;
+    }
+
+    /// Returns whether `category` is currently recorded.
+    pub fn wants(&self, category: TraceCategory) -> bool {
+        match &self.inner.borrow().enabled {
+            None => true,
+            Some(cats) => cats.contains(&category),
+        }
+    }
+
+    /// Records an event.
+    pub fn record(
+        &self,
+        time: SimTime,
+        category: TraceCategory,
+        node: Option<u32>,
+        message: impl Into<String>,
+    ) {
+        if !self.wants(category) {
+            return;
+        }
+        let ev = TraceEvent {
+            time,
+            category,
+            node,
+            message: message.into(),
+        };
+        let mut inner = self.inner.borrow_mut();
+        if inner.echo {
+            println!("{ev}");
+        }
+        if inner.events.len() >= inner.capacity {
+            inner.events.remove(0);
+        }
+        inner.events.push(ev);
+    }
+
+    /// A snapshot of every recorded event, in order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// A snapshot of the events in one category.
+    pub fn events_in(&self, category: TraceCategory) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// True when some recorded message contains `needle`.
+    pub fn saw(&self, needle: &str) -> bool {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .any(|e| e.message.contains(needle))
+    }
+
+    /// Number of recorded events whose message contains `needle`.
+    pub fn count(&self, needle: &str) -> usize {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.message.contains(needle))
+            .count()
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&self) {
+        self.inner.borrow_mut().events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let t = Tracer::new();
+        t.record(SimTime::ZERO, TraceCategory::Net, None, "a");
+        t.record(SimTime::ZERO, TraceCategory::Rpc, Some(2), "b");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events_in(TraceCategory::Rpc).len(), 1);
+        assert!(t.saw("a"));
+        assert_eq!(t.count("b"), 1);
+    }
+
+    #[test]
+    fn filter_suppresses_categories() {
+        let t = Tracer::new();
+        t.set_filter(&[TraceCategory::Clock]);
+        t.record(SimTime::ZERO, TraceCategory::Net, None, "dropped");
+        t.record(SimTime::ZERO, TraceCategory::Clock, None, "kept");
+        assert_eq!(t.events().len(), 1);
+        assert!(t.saw("kept"));
+        t.clear_filter();
+        t.record(SimTime::ZERO, TraceCategory::Net, None, "now kept");
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        t2.record(SimTime::ZERO, TraceCategory::Vm, None, "shared");
+        assert!(t.saw("shared"));
+    }
+
+    #[test]
+    fn clear_discards() {
+        let t = Tracer::new();
+        t.record(SimTime::ZERO, TraceCategory::Vm, None, "x");
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn display_includes_node_and_category() {
+        let ev = TraceEvent {
+            time: SimTime::from_millis(1),
+            category: TraceCategory::Debug,
+            node: Some(3),
+            message: "hello".into(),
+        };
+        assert_eq!(ev.to_string(), "[T+1.000ms debug n3] hello");
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 1: stack backtraces that cross node boundaries.
+//!
+//! A three-tier distributed program — `main` on node 0 calls `middle` on
+//! node 1, which calls `storage` on node 2. While the innermost call is
+//! executing, the debugger reconstructs the *whole* distributed call chain
+//! by following the RPC information blocks (client stub frames) and the
+//! server call tables, exactly as §4.3 describes. The in-progress call's
+//! protocol state and retransmission count are shown along the way.
+//!
+//! Run with: `cargo run --example cross_node_backtrace`
+
+use pilgrim::{SimDuration, SimTime, World};
+
+const PROGRAM: &str = "\
+storage = proc (key: int) returns (int)
+ sleep(120)                      % pretend to fetch from disk
+ return (key * 10)
+end
+
+middle = proc (key: int) returns (int)
+ cached: int := call storage(key) at 2
+ return (cached + 1)
+end
+
+main = proc ()
+ answer: int := call middle(4) at 1
+ print(\"answer = \" || int$unparse(answer))
+end";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut world = World::builder().nodes(3).program(PROGRAM).build()?;
+    world.debug_connect(&[0, 1, 2], false)?;
+
+    let client = world.spawn(0, "main", vec![]).0;
+
+    // Let the chain build up: main → middle (node 1) → storage (node 2).
+    world.run_for(SimDuration::from_millis(50));
+
+    println!("== the client's in-progress RPC (from the information block) ==");
+    if let Some(call) = world.rpc_status(0, client)? {
+        println!(
+            "  p{client} is inside call#{} `{}` to {} [{}] — state: {}, retries: {}",
+            call.call_id, call.proc, call.dst, call.protocol, call.state, call.retries
+        );
+    }
+
+    println!("\n== distributed backtrace across three nodes ==");
+    let chain = world.distributed_backtrace(0, client)?;
+    for frame in &chain {
+        println!("  {frame}");
+    }
+
+    // Sanity: the chain spans all three nodes, storage deepest.
+    let nodes: Vec<u32> = chain.iter().map(|f| f.node).collect();
+    assert!(nodes.contains(&0) && nodes.contains(&1) && nodes.contains(&2));
+    assert_eq!(chain.last().unwrap().proc_name, "storage");
+
+    // Inspect a variable *in the middle tier* from the same session — no
+    // mode switch, same source-level interface (§4.1).
+    let middle_frame = chain
+        .iter()
+        .find(|f| f.node == 1 && f.kind == "server-root")
+        .unwrap();
+    let key = world.inspect(1, middle_frame.pid, "key")?;
+    println!("\nmiddle tier's `key` = {key}");
+
+    world.run_until_idle(SimTime::from_secs(5));
+    println!("\nprogram output: {:?}", world.console(0));
+    assert_eq!(world.console(0), vec!["answer = 41"]);
+    Ok(())
+}

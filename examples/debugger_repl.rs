@@ -1,0 +1,79 @@
+//! An interactive Pilgrim session: drive the debugger with textual
+//! commands against a live three-node distributed program.
+//!
+//! Run with: `cargo run --example debugger_repl`           (demo script)
+//!           `cargo run --example debugger_repl -- -i`     (interactive)
+//!
+//! Type `help` for the command list.
+
+use std::io::{self, BufRead, Write};
+
+use pilgrim::{DebugCli, World};
+
+const PROGRAM: &str = "\
+% A three-tier lookup: front end -> cache -> storage.
+storage = proc (key: int) returns (int)
+ sleep(100)
+ return (key * 111)
+end
+
+cache_get = proc (key: int) returns (int)
+ v: int := call storage(key) at 2
+ return (v)
+end
+
+main = proc ()
+ for key: int := 1 to 3 do
+  v: int := call cache_get(key) at 1
+  print(\"key \" || int$unparse(key) || \" -> \" || int$unparse(v))
+ end
+end";
+
+const DEMO: &str = "\
+help
+connect
+break 2 storage
+run 0 main
+wait-stop
+btd
+print key
+set key 9
+breakpoints
+clear 2 0
+cont
+wait 4000
+console 0
+time 0
+disconnect";
+
+fn main() -> io::Result<()> {
+    let interactive = std::env::args().any(|a| a == "-i" || a == "--interactive");
+    let mut world = World::builder()
+        .nodes(3)
+        .program(PROGRAM)
+        .build()
+        .expect("program compiles");
+    let mut cli = DebugCli::new();
+
+    println!("Pilgrim debugger — 3 nodes on a simulated Cambridge Ring.");
+    println!("(front end on node0, cache on node1, storage on node2)\n");
+
+    if interactive {
+        let stdin = io::stdin();
+        print!("pilgrim> ");
+        io::stdout().flush()?;
+        for line in stdin.lock().lines() {
+            let line = line?;
+            if line.trim() == "quit" || line.trim() == "exit" {
+                break;
+            }
+            println!("{}", cli.exec(&mut world, &line));
+            print!("pilgrim> ");
+            io::stdout().flush()?;
+        }
+    } else {
+        print!("{}", cli.exec_script(&mut world, DEMO));
+        println!("\n(pass -i for an interactive prompt)");
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Figure 2: the breakpoint/semaphore-timeout race, with and without
+//! Pilgrim's time-consistent halting.
+//!
+//! Process Q on node B waits on a semaphore with a timeout; process P on
+//! node A calls a remote procedure on B that signals it. If a breakpoint
+//! halts the program and the debugger does *not* freeze timeouts, Q "sees"
+//! that P has halted: its wait times out during the interruption and the
+//! computation after the breakpoint differs from any computation that
+//! could have occurred without the debugger — an *atypical* computation
+//! (§5.1).
+//!
+//! This example runs the same scenario twice: once with a naive halt
+//! (frozen timeouts disabled) and once with Pilgrim's supervisor support.
+//!
+//! Run with: `cargo run --example figure2_race`
+
+use pilgrim::{NodeConfig, SimDuration, World};
+
+/// Node 0 = A (runs P), node 1 = B (runs Q and the remote procedure).
+const PROGRAM: &str = "\
+% Q: waits up to 10 seconds for the semaphore (Figure 2).
+q_process = proc (s: sem)
+ ok: bool := sem$wait(s, 10000)
+ if ok then
+  print(\"Q: signalled by P\")
+ else
+  print(\"Q: TIMED OUT — atypical computation!\")
+ end
+end
+
+% Remote procedure on B: create the semaphore, fork Q, then wait for P's
+% signal call.
+arm = proc () returns (bool)
+ s: sem := sem$create(0)
+ fork q_process(s)
+ fork deliverer(s)
+ return (true)
+end
+
+% Stands in for the arrival of P's signalling RPC 2 seconds later.
+deliverer = proc (s: sem)
+ sleep(2000)
+ sem$signal(s)
+end
+
+% P on node A.
+p_process = proc ()
+ ok: bool := call arm() at 1
+ print(\"P: armed the race on node B\")
+end";
+
+fn run_scenario(freeze: bool) -> Vec<String> {
+    let mut world = World::builder()
+        .nodes(2)
+        .program(PROGRAM)
+        .node_config(NodeConfig {
+            freeze_timeouts_on_halt: freeze,
+            ..Default::default()
+        })
+        .build()
+        .expect("world builds");
+    world.debug_connect(&[0, 1], false).expect("connect");
+    world.spawn(0, "p_process", vec![]);
+    world.run_for(SimDuration::from_millis(500));
+
+    // The programmer halts everything at a breakpoint and thinks for 15
+    // simulated seconds — longer than Q's whole 10-second timeout.
+    world.debug_halt_all(0).expect("halt");
+    world.run_for(SimDuration::from_secs(15));
+    world.debug_resume_all().expect("resume");
+
+    world.run_until_idle(world.now() + SimDuration::from_secs(20));
+    world.console(1)
+}
+
+fn main() {
+    println!("== naive halting (timeouts keep running while halted) ==");
+    let naive = run_scenario(false);
+    for line in &naive {
+        println!("  node B: {line}");
+    }
+
+    println!("\n== Pilgrim halting (supervisor freezes timeouts, §5.2) ==");
+    let pilgrim = run_scenario(true);
+    for line in &pilgrim {
+        println!("  node B: {line}");
+    }
+
+    assert!(naive.iter().any(|l| l.contains("TIMED OUT")));
+    assert!(pilgrim.iter().any(|l| l.contains("signalled")));
+    println!("\nWith Pilgrim, the 15-second interruption is invisible to the");
+    println!("program: Q still gets its signal — a typical computation.");
+}

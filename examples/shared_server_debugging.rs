@@ -1,0 +1,92 @@
+//! Debugging a client of a shared server (§6): AOTMan TUIDs.
+//!
+//! A client holds a TUID from the authentication manager and must refresh
+//! it every second or lose it. The programmer halts the client at a
+//! "breakpoint" for five seconds — far longer than the TUID lifetime.
+//!
+//! * A **naive** server revokes the TUID during the halt: the debugging
+//!   session has destroyed the program's credentials.
+//! * A server using the **Figure 4** algorithm asks the client's agent
+//!   (`get_debuggee_status`) and the debugger (`convert_debuggee_time`)
+//!   and extends the timeout by exactly the halted time.
+//!
+//! Run with: `cargo run --example shared_server_debugging`
+
+use pilgrim::{SimDuration, Value, World};
+use pilgrim_services::{AotConfig, AotMan, TimeoutStrategy};
+
+const CLIENT: &str = "\
+extern aot_issue = proc () returns (int, int)
+extern aot_refresh = proc (t: int) returns (bool)
+extern aot_check = proc (t: int) returns (bool)
+
+main = proc (svc: int)
+ t: int := 0
+ life: int := 0
+ t, life := call aot_issue() at svc
+ print(\"got TUID \" || int$unparse(t) || \" (lifetime \" || int$unparse(life) || \" ms)\")
+ for i: int := 1 to 8 do
+  sleep(1000)
+  ok: bool := call aot_refresh(t) at svc
+  if ~ok then
+   print(\"refresh REJECTED — our TUID was revoked while we were halted\")
+   return
+  end
+ end
+ valid: bool := call aot_check(t) at svc
+ if valid then
+  print(\"TUID survived the whole session\")
+ else
+  print(\"TUID lost\")
+ end
+end";
+
+fn run(strategy: TimeoutStrategy) -> (Vec<String>, pilgrim_services::StrategyStats) {
+    let mut world = World::builder()
+        .nodes(2)
+        .program(CLIENT)
+        .build()
+        .expect("world");
+    let aot = AotMan::install(
+        &mut world,
+        1,
+        AotConfig {
+            lifetime: SimDuration::from_secs(2),
+            strategy,
+            ..Default::default()
+        },
+    );
+    world.debug_connect(&[0], false).expect("connect");
+    world.spawn(0, "main", vec![Value::Int(1)]);
+    world.run_for(SimDuration::from_millis(2_500));
+
+    // Halt the client for 5 s — more than twice the TUID lifetime.
+    world.debug_halt_all(0).expect("halt");
+    world.run_for(SimDuration::from_secs(5));
+    world.debug_resume_all().expect("resume");
+
+    world.run_until_idle(world.now() + SimDuration::from_secs(30));
+    (world.console(0), aot.stats())
+}
+
+fn main() {
+    for strategy in [
+        TimeoutStrategy::Naive,
+        TimeoutStrategy::IgnoreWhileDebugged,
+        TimeoutStrategy::StatusOnly,
+        TimeoutStrategy::StatusAndConvert,
+    ] {
+        println!("== server strategy: {strategy} ==");
+        let (console, stats) = run(strategy);
+        for line in &console {
+            println!("  client: {line}");
+        }
+        println!(
+            "  server work: {} status calls, {} convert calls, {} extensions, {} revocations\n",
+            stats.status_calls, stats.convert_calls, stats.extensions, stats.revocations
+        );
+    }
+    println!("Naive loses the TUID; every debug-aware strategy keeps it.");
+    println!("Figure 3 pays a status RPC per timeout even when idle; Figure 4");
+    println!("pays only when a timeout actually expires (§6.2).");
+}

@@ -1,0 +1,358 @@
+//! Concurrent CLU language semantics, exercised through the full world
+//! (compiler → supervisor → VM → ring), not just the bare VM.
+
+use pilgrim::{SimTime, Value, World};
+
+fn run(src: &str, entry: &str, args: Vec<Value>) -> Vec<String> {
+    let mut w = World::builder()
+        .nodes(1)
+        .program(src)
+        .debugger(false)
+        .build()
+        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    w.spawn(0, entry, args);
+    w.run_until_idle(SimTime::from_secs(120));
+    w.console(0)
+}
+
+#[test]
+fn arithmetic_precedence_and_modulo() {
+    let out = run(
+        "main = proc ()
+ print(2 + 3 * 4)
+ print((2 + 3) * 4)
+ print(17 // 5)
+ print(17 / 5)
+ print(0 - 7 // 3)
+ print(-(3 + 4))
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["14", "20", "2", "3", "-1", "-7"]);
+}
+
+#[test]
+fn string_operations() {
+    let out = run(
+        "main = proc ()
+ a: string := \"foo\"
+ b: string := a || \"bar\"
+ print(b)
+ print(int$unparse(123) || \"!\")
+ if b = \"foobar\" then
+  print(\"eq works\")
+ end
+ if a ~= b then
+  print(\"ne works\")
+ end
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["foobar", "123!", "eq works", "ne works"]);
+}
+
+#[test]
+fn nested_records_and_arrays() {
+    let out = run(
+        "point = record[x: int, y: int]
+segment = record[a: point, b: point, name: string]
+main = proc ()
+ s: segment := segment${a: point${x: 0, y: 0}, b: point${x: 3, y: 4}, name: \"diag\"}
+ s.b.x := s.b.x + 7
+ pts: array[point] := array$new()
+ append(pts, s.a)
+ append(pts, s.b)
+ print(len(pts))
+ print(pts[1].x)
+ print(s)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out[0], "2");
+    assert_eq!(out[1], "10");
+    assert_eq!(out[2], "segment${point${0, 0}, point${10, 4}, \"diag\"}");
+}
+
+#[test]
+fn records_are_shared_references_within_a_node() {
+    // CLU records are heap objects: two variables naming the same record
+    // see each other's mutations.
+    let out = run(
+        "box = record[v: int]
+main = proc ()
+ a: box := box${v: 1}
+ b: box := a
+ b.v := 99
+ print(a.v)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["99"]);
+}
+
+#[test]
+fn rpc_arguments_are_deep_copied_between_nodes() {
+    // ...but transmission between nodes copies (marshalled), so remote
+    // mutation cannot alias the caller's heap.
+    let src = "\
+box = record[v: int]
+poke = proc (b: box) returns (int)
+ b.v := 42
+ return (b.v)
+end
+main = proc ()
+ a: box := box${v: 1}
+ r: int := call poke(a) at 1
+ print(r)
+ print(a.v)
+end";
+    let mut w = World::builder()
+        .nodes(2)
+        .program(src)
+        .debugger(false)
+        .build()
+        .unwrap();
+    w.spawn(0, "main", vec![]);
+    w.run_until_idle(SimTime::from_secs(10));
+    assert_eq!(w.console(0), vec!["42", "1"]);
+}
+
+#[test]
+fn recursion_and_mutual_recursion() {
+    let out = run(
+        "is_even = proc (n: int) returns (bool)
+ if n = 0 then
+  return (true)
+ end
+ return (is_odd(n - 1))
+end
+is_odd = proc (n: int) returns (bool)
+ if n = 0 then
+  return (false)
+ end
+ return (is_even(n - 1))
+end
+main = proc ()
+ print(is_even(10))
+ print(is_odd(7))
+ print(is_even(3))
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["true", "true", "false"]);
+}
+
+#[test]
+fn while_with_complex_conditions() {
+    let out = run(
+        "main = proc ()
+ i: int := 0
+ n: int := 0
+ while i < 100 & n < 5 do
+  i := i + 7
+  n := n + 1
+ end
+ print(i)
+ print(n)
+ flag: bool := false
+ j: int := 0
+ while ~flag | j = 0 do
+  j := j + 1
+  flag := j >= 3
+ end
+ print(j)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["35", "5", "3"]);
+}
+
+#[test]
+fn for_loops_with_dynamic_bounds_and_empty_ranges() {
+    let out = run(
+        "main = proc ()
+ t: int := 0
+ lo: int := 3
+ hi: int := 6
+ for i: int := lo to hi do
+  t := t + i
+ end
+ print(t)
+ u: int := 0
+ for i: int := 5 to 1 do
+  u := u + 1
+ end
+ print(u)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["18", "0"]);
+}
+
+#[test]
+fn multiple_returns_and_multi_assignment() {
+    let out = run(
+        "divmod = proc (a: int, b: int) returns (int, int)
+ return (a / b, a // b)
+end
+main = proc ()
+ q: int := 0
+ r: int := 0
+ q, r := divmod(17, 5)
+ print(q)
+ print(r)
+ r, q := divmod(9, 2)
+ print(q)
+ print(r)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["3", "2", "1", "4"]);
+}
+
+#[test]
+fn own_globals_shared_across_processes() {
+    let out = run(
+        "own hits: array[int] := array$new()
+own total: int := 0
+worker = proc (n: int, d: sem)
+ append(hits, n)
+ total := total + n
+ sem$signal(d)
+end
+main = proc ()
+ d: sem := sem$create(0)
+ for i: int := 1 to 4 do
+  fork worker(i, d)
+ end
+ for i: int := 1 to 4 do
+  ok: bool := sem$wait(d, 0 - 1)
+ end
+ print(len(hits))
+ print(total)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["4", "10"]);
+}
+
+#[test]
+fn shadowing_in_nested_blocks() {
+    let out = run(
+        "main = proc ()
+ x: int := 1
+ if true then
+  x: string := \"inner\"
+  print(x)
+ end
+ print(x)
+ for x: int := 9 to 9 do
+  print(x)
+ end
+ print(x)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["inner", "1", "9", "1"]);
+}
+
+#[test]
+fn boolean_short_circuit_guards_division() {
+    let out = run(
+        "main = proc ()
+ d: int := 0
+ ok: bool := d ~= 0 & 10 / d > 1
+ print(ok)
+ ok2: bool := d = 0 | 10 / d > 1
+ print(ok2)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["false", "true"]);
+}
+
+#[test]
+fn random_is_deterministic_per_seed() {
+    let src = "main = proc ()
+ for i: int := 1 to 5 do
+  print(random(1000))
+ end
+end";
+    let run_seeded = |seed| {
+        let mut w = World::builder()
+            .nodes(1)
+            .program(src)
+            .debugger(false)
+            .seed(seed)
+            .build()
+            .unwrap();
+        w.spawn(0, "main", vec![]);
+        w.run_until_idle(SimTime::from_secs(5));
+        w.console(0)
+    };
+    assert_eq!(run_seeded(1), run_seeded(1));
+    assert_ne!(run_seeded(1), run_seeded(2));
+}
+
+#[test]
+fn spawn_arguments_flow_into_entry() {
+    let out = run(
+        "main = proc (label: string, n: int, flag: bool)
+ if flag then
+  print(label || \"/\" || int$unparse(n))
+ end
+end",
+        "main",
+        vec![Value::Str("job".into()), Value::Int(7), Value::Bool(true)],
+    );
+    assert_eq!(out, vec!["job/7"]);
+}
+
+#[test]
+fn deep_call_chains_near_the_frame_limit_work() {
+    let out = run(
+        "down = proc (n: int) returns (int)
+ if n = 0 then
+  return (0)
+ end
+ return (down(n - 1) + 1)
+end
+main = proc ()
+ print(down(400))
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["400"]);
+}
+
+#[test]
+fn type_aliases_interoperate_with_base_types() {
+    let out = run(
+        "date = int
+ms = int
+add_ms = proc (d: date, delta: ms) returns (date)
+ return (d + delta)
+end
+main = proc ()
+ d: date := 1000
+ print(add_ms(d, 500))
+ plain: int := d
+ print(plain)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["1500", "1000"]);
+}

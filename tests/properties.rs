@@ -1,0 +1,257 @@
+//! Property-based tests over the whole stack: compiler robustness,
+//! arithmetic fidelity against a Rust reference, marshalling through real
+//! RPC, determinism, and time-consistency invariants.
+
+use pilgrim::{SimTime, Value, World};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Compiler robustness: arbitrary input must never panic.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiler_never_panics_on_arbitrary_text(src in "\\PC{0,200}") {
+        let _ = pilgrim::compile(&src);
+    }
+
+    #[test]
+    fn compiler_never_panics_on_keyword_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "proc", "end", "if", "then", "else", "while", "do", "return",
+                "fork", "call", "at", "maybecall", "int", "bool", "string",
+                "sem", "record", "array", "own", "extern", ":=", "(", ")",
+                "[", "]", "x", "main", "=", "+", "$", "{", "}", "\n", "1",
+                "\"s\"", ",", ":",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = pilgrim::compile(&src);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arithmetic fidelity: CCLU expressions agree with a Rust reference.
+// ---------------------------------------------------------------------
+
+/// A tiny expression AST we can both render to CCLU and evaluate in Rust.
+#[derive(Debug, Clone)]
+enum E {
+    N(i64),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Mod(Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::N(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -v)
+                } else {
+                    v.to_string()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Div(a, b) => format!("({} / {})", a.render(), b.render()),
+            E::Mod(a, b) => format!("({} // {})", a.render(), b.render()),
+            E::Neg(a) => format!("(-{})", a.render()),
+        }
+    }
+
+    /// Rust-reference evaluation with the VM's semantics (wrapping ops,
+    /// `None` = division by zero fault).
+    fn eval(&self) -> Option<i64> {
+        Some(match self {
+            E::N(v) => *v,
+            E::Add(a, b) => a.eval()?.wrapping_add(b.eval()?),
+            E::Sub(a, b) => a.eval()?.wrapping_sub(b.eval()?),
+            E::Mul(a, b) => a.eval()?.wrapping_mul(b.eval()?),
+            E::Div(a, b) => {
+                let (x, y) = (a.eval()?, b.eval()?);
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_div(y)
+            }
+            E::Mod(a, b) => {
+                let (x, y) = (a.eval()?, b.eval()?);
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_rem(y)
+            }
+            E::Neg(a) => a.eval()?.wrapping_neg(),
+        })
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (-1000i64..1000).prop_map(E::N);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mod(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vm_arithmetic_matches_rust_reference(e in arb_expr()) {
+        let src = format!("main = proc ()\n print({})\nend", e.render());
+        let mut w = World::builder()
+            .nodes(1)
+            .program(&src)
+            .debugger(false)
+            .build()
+            .expect("generated program compiles");
+        w.spawn(0, "main", vec![]);
+        w.run_until_idle(SimTime::from_secs(60));
+        match e.eval() {
+            Some(v) => prop_assert_eq!(w.console(0), vec![v.to_string()]),
+            None => prop_assert!(w.console(0).is_empty(), "division by zero must fault"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Marshalling through a real RPC round trip.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn strings_round_trip_through_rpc(s in "[a-zA-Z0-9 _.,!?-]{0,300}") {
+        let src = "\
+echo = proc (s: string) returns (string)
+ return (s)
+end
+main = proc (payload: string)
+ r: string := call echo(payload) at 1
+ if r = payload then
+  print(\"match\")
+ else
+  print(\"MISMATCH\")
+ end
+end";
+        let mut w = World::builder().nodes(2).program(src).debugger(false).build().unwrap();
+        w.spawn(0, "main", vec![Value::Str(s.as_str().into())]);
+        w.run_until_idle(SimTime::from_secs(60));
+        prop_assert_eq!(w.console(0), vec!["match".to_string()]);
+    }
+
+    #[test]
+    fn int_arrays_round_trip_through_rpc(xs in prop::collection::vec(-10000i64..10000, 0..50)) {
+        let src = "\
+total = proc (xs: array[int]) returns (int, int)
+ t: int := 0
+ n: int := len(xs)
+ for i: int := 0 to n - 1 do
+  t := t + xs[i]
+ end
+ return (t, n)
+end
+main = proc (xs: array[int])
+ t: int := 0
+ n: int := 0
+ t, n := call total(xs) at 1
+ print(t)
+ print(n)
+end";
+        let mut w = World::builder().nodes(2).program(src).debugger(false).build().unwrap();
+        let arr = {
+            use pilgrim_cclu::{HeapObject, Value as V};
+            let items: Vec<V> = xs.iter().map(|v| V::Int(*v)).collect();
+            V::Ref(w.node_mut(0).heap_mut().alloc(HeapObject::Array(items)))
+        };
+        w.spawn(0, "main", vec![arr]);
+        w.run_until_idle(SimTime::from_secs(60));
+        let sum: i64 = xs.iter().sum();
+        prop_assert_eq!(
+            w.console(0),
+            vec![sum.to_string(), xs.len().to_string()]
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism and time consistency.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn worlds_are_deterministic_under_loss(seed in 0u64..1000) {
+        let run = || {
+            let mut w = World::builder()
+                .nodes(2)
+                .program(
+                    "pong = proc (n: int) returns (int)\n return (n)\nend\n\
+                     main = proc ()\n\
+                     for i: int := 1 to 10 do\n\
+                      ok: bool := true\n r: int := 0\n\
+                      ok, r := maybecall pong(i) at 1\n\
+                      if ok then\n print(r)\n else\n print(0 - i)\n end\n\
+                     end\nend",
+                )
+                .network(pilgrim::NetworkConfig {
+                    p_silent_loss: 0.3,
+                    seed,
+                    ..Default::default()
+                })
+                .debugger(false)
+                .build()
+                .unwrap();
+            w.spawn(0, "main", vec![]);
+            w.run_until_idle(SimTime::from_secs(120));
+            (w.console(0), w.now())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn logical_time_hides_halts_of_any_length(halt_ms in 100u64..8000) {
+        let mut w = World::builder()
+            .nodes(1)
+            .program(
+                "main = proc ()\n\
+                 a: int := now()\n\
+                 sleep(300)\n\
+                 b: int := now()\n\
+                 print(int$unparse(b - a))\nend",
+            )
+            .build()
+            .unwrap();
+        w.debug_connect(&[0], false).unwrap();
+        w.spawn(0, "main", vec![]);
+        // Halt somewhere inside the sleep.
+        w.run_for(pilgrim::SimDuration::from_millis(100));
+        w.debug_halt_all(0).unwrap();
+        w.run_for(pilgrim::SimDuration::from_millis(halt_ms));
+        w.debug_resume_all().unwrap();
+        w.run_until_idle(w.now() + pilgrim::SimDuration::from_secs(30));
+        let observed: i64 = w.console(0)[0].parse().unwrap();
+        // The program must observe ~300 ms regardless of the halt length.
+        prop_assert!((300..330).contains(&observed), "observed {observed}ms");
+    }
+}

@@ -1,0 +1,332 @@
+//! CLU signal semantics (`signal` / `except when`), up to and including
+//! the paper's Figure 3 algorithm written in Concurrent CLU itself.
+
+use pilgrim::{SimDuration, SimTime, Value, World};
+
+fn run(src: &str, entry: &str, args: Vec<Value>) -> Vec<String> {
+    let mut w = World::builder()
+        .nodes(1)
+        .program(src)
+        .debugger(false)
+        .build()
+        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    w.spawn(0, entry, args);
+    w.run_until_idle(SimTime::from_secs(60));
+    w.console(0)
+}
+
+#[test]
+fn signal_caught_by_local_handler() {
+    let out = run(
+        "risky = proc (n: int) returns (int) signals (too_big)
+ if n > 10 then
+  signal too_big
+ end
+ return (n * 2)
+end
+main = proc ()
+ x: int := risky(3)
+ print(x)
+ y: int := risky(99)
+ except when too_big:
+  print(\"caught too_big\")
+ end
+ print(\"after\")
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["6", "caught too_big", "after"]);
+}
+
+#[test]
+fn signal_unwinds_through_intermediate_frames() {
+    let out = run(
+        "deep = proc () signals (boom)
+ signal boom
+end
+middle = proc ()
+ deep()
+ print(\"unreachable\")
+end
+main = proc ()
+ middle()
+ except when boom:
+  print(\"caught two frames up\")
+ end
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["caught two frames up"]);
+}
+
+#[test]
+fn multiple_arms_select_by_name() {
+    let out = run(
+        "pick = proc (n: int) signals (low, high)
+ if n < 0 then
+  signal low
+ end
+ if n > 9 then
+  signal high
+ end
+ print(\"ok\")
+end
+try = proc (n: int)
+ pick(n)
+ except when low:
+  print(\"low\")
+ when high:
+  print(\"high\")
+ end
+end
+main = proc ()
+ try(5)
+ try(0 - 1)
+ try(50)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["ok", "low", "high"]);
+}
+
+#[test]
+fn one_arm_can_name_several_signals() {
+    let out = run(
+        "pick = proc (n: int) signals (a, b)
+ if n = 0 then
+  signal a
+ end
+ signal b
+end
+main = proc ()
+ pick(0)
+ except when a, b:
+  print(\"either\")
+ end
+ pick(1)
+ except when a, b:
+  print(\"either again\")
+ end
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["either", "either again"]);
+}
+
+#[test]
+fn uncaught_signal_faults_the_process() {
+    let src = "\
+boom = proc () signals (disaster)
+ signal disaster
+end
+main = proc ()
+ boom()
+ print(\"unreachable\")
+end";
+    let mut w = World::builder().nodes(1).program(src).build().unwrap();
+    w.debug_connect(&[0], false).unwrap();
+    w.spawn(0, "main", vec![]);
+    let ev = w.wait_for_stop(SimDuration::from_secs(2)).unwrap();
+    match ev {
+        pilgrim::DebugEvent::ProcessFaulted { message, .. } => {
+            assert!(message.contains("UncaughtSignal"), "{message}");
+            assert!(message.contains("disaster"), "{message}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn undeclared_signal_is_a_compile_error() {
+    let err = pilgrim::compile(
+        "f = proc ()
+ signal whoops
+end",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("not declared"), "{err}");
+}
+
+#[test]
+fn handlers_are_scoped_to_their_statement() {
+    let out = run(
+        "go = proc (n: int) signals (s)
+ if n = 1 then
+  signal s
+ end
+ print(\"ran \" || int$unparse(n))
+end
+outer = proc () signals (s)
+ go(0)
+ except when s:
+  print(\"inner handler\")
+ end
+ go(1)
+end
+main = proc ()
+ outer()
+ except when s:
+  print(\"outer handler\")
+ end
+end",
+        "main",
+        vec![],
+    );
+    // The first handler protects only go(0); the signal from go(1)
+    // propagates out of `outer` to main's handler.
+    assert_eq!(out, vec!["ran 0", "outer handler"]);
+}
+
+#[test]
+fn nested_handlers_pick_the_innermost() {
+    let out = run(
+        "raisekind = proc () signals (s)
+ signal s
+end
+main = proc ()
+ raisekind()
+ except when s:
+  raisekind()
+  except when s:
+   print(\"innermost\")
+  end
+  print(\"outer arm continues\")
+ end
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["innermost", "outer arm continues"]);
+}
+
+#[test]
+fn loop_state_survives_a_handled_signal() {
+    // The Figure 3 shape: a loop whose body signals and whose handler
+    // decides whether to keep looping.
+    let out = run(
+        "tick = proc (n: int) signals (timed_out)
+ if n // 2 = 0 then
+  signal timed_out
+ end
+end
+main = proc ()
+ hits: int := 0
+ for i: int := 1 to 6 do
+  tick(i)
+  except when timed_out:
+   hits := hits + 1
+  end
+ end
+ print(hits)
+end",
+        "main",
+        vec![],
+    );
+    assert_eq!(out, vec!["3"]);
+}
+
+/// The paper's Figure 3, transliterated into Concurrent CLU: a server-side
+/// loop extending a timeout using only `get_debuggee_status`. This runs on
+/// a "server" node while the client node is halted at a breakpoint for
+/// longer than the whole timeout — the loop must extend rather than
+/// expire, and the total logical wait must match the timeout.
+#[test]
+fn figure3_algorithm_in_concurrent_clu() {
+    let server = "\
+extern get_debuggee_status = proc () returns (int, int)
+
+% wait_with_timeout signals timed_out when the semaphore wait expires
+% (CLU's semaphore_wait surfaced as a signal, as the paper writes it).
+wait_with_timeout = proc (s: sem, t: int) signals (timed_out)
+ ok: bool := sem$wait(s, t)
+ if ~ok then
+  signal timed_out
+ end
+end
+
+% Figure 3, using only get_debuggee_status.
+guard = proc (client: int, original_timeout: int)
+ timeout: int := original_timeout
+ tolerance: int := 100
+ s: sem := sem$create(0)
+ ok: bool := true
+ client_start: int := 0
+ dbg: int := 0
+ ok, dbg, client_start := status(client)
+ keep_waiting: bool := true
+ while keep_waiting do
+  keep_waiting := false
+  wait_with_timeout(s, timeout)
+  except when timed_out:
+   client_now: int := 0
+   ok, dbg, client_now := status(client)
+   if now() > client_now + tolerance then
+    % Client logical time is slow: client may have been breakpointed
+    % during the timeout. Compute how much of the timeout remains.
+    time_left: int := timeout - (client_now - client_start)
+    if time_left > tolerance then
+     timeout := time_left
+     client_start := client_now
+     keep_waiting := true
+    end
+   end
+  end
+ end
+ print(\"timeout expired after logical \" || int$unparse(now() - 0))
+ print(\"revoking\")
+end
+
+% maybecall wrapper so a failed status probe reads as not-debugged.
+status = proc (client: int) returns (bool, int, int)
+ ok: bool := true
+ dbg: int := 0
+ t: int := 0
+ ok, dbg, t := maybecall get_debuggee_status() at client
+ return (ok, dbg, t)
+end";
+    let client = "\
+idle = proc ()
+ i: int := 0
+ while i < 1000000 do
+  i := i + 1
+  sleep(50)
+ end
+end";
+    let mut w = World::builder()
+        .nodes(2)
+        .program_for(0, client)
+        .program_for(1, server)
+        .build()
+        .unwrap();
+    w.debug_connect(&[0], false).unwrap();
+    w.spawn(0, "idle", vec![]);
+    // The Figure 3 guard on node 1 watches a 2-second timeout for client 0.
+    w.spawn(1, "guard", vec![Value::Int(0), Value::Int(2_000)]);
+    w.run_for(SimDuration::from_millis(500));
+
+    // Halt the client for 5 s (longer than the whole timeout).
+    w.debug_halt_all(0).unwrap();
+    w.run_for(SimDuration::from_secs(5));
+    assert!(
+        w.console(1).is_empty(),
+        "the guard must still be extending, not revoking: {:?}",
+        w.console(1)
+    );
+    w.debug_resume_all().unwrap();
+
+    w.run_until_idle(w.now() + SimDuration::from_secs(30));
+    let out = w.console(1);
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert_eq!(out[1], "revoking");
+    // Total real time spent: ~2s timeout + ~5s halt; the guard revoked
+    // only after the *logical* timeout ran out.
+    let real_elapsed = w.now().as_millis();
+    assert!(
+        real_elapsed >= 7_000,
+        "guard revoked too early at {real_elapsed}ms"
+    );
+}
