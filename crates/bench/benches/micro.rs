@@ -1,12 +1,16 @@
-//! M1 — Criterion micro-benchmarks of the simulation substrate.
+//! M1 — micro-benchmarks of the simulation substrate.
 //!
 //! These measure the *harness's* wall-clock performance (how fast the
 //! reproduction simulates), not any paper number: compiler throughput, VM
-//! stepping, marshalling, the event queue, the ring, and a full null-RPC
-//! round trip through the whole world.
+//! stepping, marshalling, the event queue, and a full null-RPC round trip
+//! through the whole world. Timing uses the in-repo
+//! [`pilgrim_bench::runner`] (warmup + sampled min/median/p95); results
+//! are printed as a table and written to `BENCH_micro.json` at the
+//! workspace root so the bench trajectory is tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pilgrim::{SimTime, Value, World};
+use pilgrim_bench::runner::{self, BenchResult};
+use pilgrim_bench::Table;
 use pilgrim_cclu::{compile, ExecEnv, Heap, StepOutcome, VmProcess};
 use pilgrim_rpc::{marshal, unmarshal};
 use pilgrim_sim::{EventQueue, SimDuration};
@@ -22,13 +26,10 @@ main = proc () returns (int)
  return (fib(15))
 end";
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compiler");
-    g.throughput(Throughput::Bytes(FIB.len() as u64));
-    g.bench_function("compile_fib", |b| {
-        b.iter(|| compile(std::hint::black_box(FIB)).unwrap())
-    });
-    g.finish();
+fn bench_compile() -> BenchResult {
+    runner::run("compiler/compile_fib", || {
+        std::hint::black_box(compile(std::hint::black_box(FIB)).unwrap());
+    })
 }
 
 /// A no-op syscall provider for raw VM stepping.
@@ -72,34 +73,32 @@ impl pilgrim_cclu::Syscalls for NullSys {
     }
 }
 
-fn bench_vm(c: &mut Criterion) {
+fn bench_vm() -> BenchResult {
     let program = compile(FIB).unwrap();
     let entry = program.proc_by_name("main").unwrap();
-    c.bench_function("vm/fib15_to_completion", |b| {
-        b.iter(|| {
-            let mut heap = Heap::new();
-            let mut globals: Vec<Value> = vec![];
-            let mut sys = NullSys;
-            let mut p = VmProcess::spawn(entry, vec![]);
-            loop {
-                let mut env = ExecEnv {
-                    heap: &mut heap,
-                    program: &program,
-                    globals: &mut globals,
-                    sys: &mut sys,
-                };
-                match pilgrim_cclu::step(&mut p, &mut env) {
-                    StepOutcome::Exited { .. } => break,
-                    StepOutcome::Faulted { fault, .. } => panic!("{fault}"),
-                    _ => {}
-                }
+    runner::run("vm/fib15_to_completion", || {
+        let mut heap = Heap::new();
+        let mut globals: Vec<Value> = vec![];
+        let mut sys = NullSys;
+        let mut p = VmProcess::spawn(entry, vec![]);
+        loop {
+            let mut env = ExecEnv {
+                heap: &mut heap,
+                program: &program,
+                globals: &mut globals,
+                sys: &mut sys,
+            };
+            match pilgrim_cclu::step(&mut p, &mut env) {
+                StepOutcome::Exited { .. } => break,
+                StepOutcome::Faulted { fault, .. } => panic!("{fault}"),
+                _ => {}
             }
-            std::hint::black_box(p.exit_values)
-        })
-    });
+        }
+        std::hint::black_box(&p.exit_values);
+    })
 }
 
-fn bench_marshal(c: &mut Criterion) {
+fn bench_marshal() -> BenchResult {
     let mut heap = Heap::new();
     let arr = heap.alloc(pilgrim_cclu::HeapObject::Array(
         (0..64).map(Value::Int).collect(),
@@ -113,32 +112,28 @@ fn bench_marshal(c: &mut Criterion) {
         ],
     });
     let v = Value::Ref(rec);
-    c.bench_function("rpc/marshal_unmarshal_record", |b| {
-        b.iter(|| {
-            let w = marshal(&heap, std::hint::black_box(&v)).unwrap();
-            let mut dst = Heap::new();
-            std::hint::black_box(unmarshal(&mut dst, &w))
-        })
-    });
+    runner::run("rpc/marshal_unmarshal_record", || {
+        let w = marshal(&heap, std::hint::black_box(&v)).unwrap();
+        let mut dst = Heap::new();
+        std::hint::black_box(unmarshal(&mut dst, &w));
+    })
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim/event_queue_1k_schedule_pop", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(SimTime::from_micros((i * 7) % 997), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            std::hint::black_box(sum)
-        })
-    });
+fn bench_event_queue() -> BenchResult {
+    runner::run("sim/event_queue_1k_schedule_pop", || {
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::from_micros((i * 7) % 997), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        std::hint::black_box(sum);
+    })
 }
 
-fn bench_world_rpc(c: &mut Criterion) {
+fn bench_world_rpc() -> BenchResult {
     const PROGRAM: &str = "\
 ping = proc ()
 end
@@ -147,26 +142,52 @@ main = proc (n: int)
   call ping() at 1
  end
 end";
-    c.bench_function("world/20_null_rpcs_simulated", |b| {
-        b.iter(|| {
-            let mut w = World::builder()
-                .nodes(2)
-                .program(PROGRAM)
-                .debugger(false)
-                .build()
-                .unwrap();
-            w.spawn(0, "main", vec![Value::Int(20)]);
-            w.run_until_idle(SimTime::from_secs(60));
-            assert_eq!(w.endpoint(0).stats().completed, 20);
-            std::hint::black_box(w.now())
-        })
+    let result = runner::run("world/20_null_rpcs_simulated", || {
+        let mut w = World::builder()
+            .nodes(2)
+            .program(PROGRAM)
+            .debugger(false)
+            .build()
+            .unwrap();
+        w.spawn(0, "main", vec![Value::Int(20)]);
+        w.run_until_idle(SimTime::from_secs(60));
+        assert_eq!(w.endpoint(0).stats().completed, 20);
+        std::hint::black_box(w.now());
     });
     let _ = SimDuration::ZERO;
+    result
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_compile, bench_vm, bench_marshal, bench_event_queue, bench_world_rpc
+fn main() {
+    let results = vec![
+        bench_compile(),
+        bench_vm(),
+        bench_marshal(),
+        bench_event_queue(),
+        bench_world_rpc(),
+    ];
+
+    let mut table = Table::new(
+        "M1 — substrate micro-benchmarks",
+        "harness speed, not a paper claim (per-iteration wall clock)",
+    )
+    .headers(["benchmark", "min", "median", "p95", "iters/sample"]);
+    for r in &results {
+        table.row([
+            r.name.clone(),
+            runner::fmt_ns(r.min_ns),
+            runner::fmt_ns(r.median_ns),
+            runner::fmt_ns(r.p95_ns),
+            r.iters_per_sample.to_string(),
+        ]);
+    }
+    table.print();
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_micro.json");
+    match runner::write_json(&path, &results) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
 }
-criterion_main!(benches);

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod runner;
+
 use std::fmt::Display;
 
 /// A printable experiment table.

@@ -1,0 +1,211 @@
+//! A small wall-clock timing runner, in-repo.
+//!
+//! Replaces the former criterion dev-dependency for the micro-benchmarks:
+//! each benchmark is auto-calibrated so one sample takes a few
+//! milliseconds, warmed up, then sampled repeatedly; the per-iteration
+//! minimum, median, and p95 across samples are reported. Results print as
+//! the repo's usual paper-style tables and can be written to a JSON file
+//! (`BENCH_micro.json`) so successive PRs leave a comparable trajectory.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name, e.g. `vm/fib15_to_completion`.
+    pub name: String,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations of the benchmarked closure per sample.
+    pub iters_per_sample: u64,
+    /// Fastest observed per-iteration time, nanoseconds.
+    pub min_ns: u64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: u64,
+    /// 95th-percentile per-iteration time, nanoseconds.
+    pub p95_ns: u64,
+}
+
+impl BenchResult {
+    /// `min / median / p95` formatted human-readably.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} / {} / {}",
+            fmt_ns(self.min_ns),
+            fmt_ns(self.median_ns),
+            fmt_ns(self.p95_ns)
+        )
+    }
+}
+
+/// Formats nanoseconds as a human-readable duration.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Tuning knobs for [`run_with`]; [`run`] uses the defaults.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Timed samples to take.
+    pub samples: usize,
+    /// Warmup samples (run, discarded).
+    pub warmup_samples: usize,
+    /// Target wall-clock duration of one sample; iterations are
+    /// calibrated to roughly hit this.
+    pub target_sample: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            samples: 20,
+            warmup_samples: 3,
+            target_sample: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Times one closure with the default [`Config`].
+pub fn run(name: &str, f: impl FnMut()) -> BenchResult {
+    run_with(name, &Config::default(), f)
+}
+
+/// Times one closure: calibrate, warm up, sample, summarise.
+pub fn run_with(name: &str, cfg: &Config, mut f: impl FnMut()) -> BenchResult {
+    // Calibrate: double the iteration count until one batch is ~1/4 of
+    // the target, then scale up to the target.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= cfg.target_sample / 4 || iters >= 1 << 30 {
+            if !elapsed.is_zero() {
+                let scale = cfg.target_sample.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                iters = ((iters as f64 * scale).round() as u64).max(1);
+            }
+            break;
+        }
+        iters *= 2;
+    }
+
+    for _ in 0..cfg.warmup_samples {
+        for _ in 0..iters {
+            f();
+        }
+    }
+
+    let mut per_iter_ns: Vec<u64> = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter_ns.push((t.elapsed().as_nanos() / u128::from(iters)) as u64);
+    }
+    per_iter_ns.sort_unstable();
+
+    let pct = |p: f64| {
+        let idx = ((per_iter_ns.len() - 1) as f64 * p).round() as usize;
+        per_iter_ns[idx]
+    };
+    BenchResult {
+        name: name.to_string(),
+        samples: cfg.samples,
+        iters_per_sample: iters,
+        min_ns: per_iter_ns[0],
+        median_ns: pct(0.5),
+        p95_ns: pct(0.95),
+    }
+}
+
+/// Renders results as a JSON document (hand-written — no serde in the
+/// hermetic workspace; names are plain ASCII benchmark ids).
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+             \"min_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}}}{}\n",
+            r.name,
+            r.samples,
+            r.iters_per_sample,
+            r.min_ns,
+            r.median_ns,
+            r.p95_ns,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`to_json`] output to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json(path: &std::path::Path, results: &[BenchResult]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_orders_statistics() {
+        let mut x = 0u64;
+        let r = run_with(
+            "spin",
+            &Config {
+                samples: 5,
+                warmup_samples: 1,
+                target_sample: Duration::from_micros(200),
+            },
+            || {
+                for i in 0..100 {
+                    x = x.wrapping_add(i);
+                }
+                std::hint::black_box(x);
+            },
+        );
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+        assert!(r.iters_per_sample >= 1);
+        assert_eq!(r.samples, 5);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = BenchResult {
+            name: "a/b".into(),
+            samples: 20,
+            iters_per_sample: 7,
+            min_ns: 1,
+            median_ns: 2,
+            p95_ns: 3,
+        };
+        let j = to_json(&[r.clone(), r]);
+        assert_eq!(j.matches("\"name\": \"a/b\"").count(), 2);
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_ns(950), "950ns");
+        assert_eq!(fmt_ns(1_500), "1.500us");
+        assert_eq!(fmt_ns(2_000_000), "2.000ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+}

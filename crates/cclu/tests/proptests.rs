@@ -4,7 +4,7 @@
 //! tests additionally pin down "never panic" for arbitrary input.
 
 use pilgrim_cclu::{compile, verify};
-use proptest::prelude::*;
+use pilgrim_sim::check::{byte, check_n, ensure, ensure_eq, vecs};
 
 /// A deterministic, byte-driven generator of well-typed programs.
 ///
@@ -161,76 +161,87 @@ impl<'a> Gen<'a> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+/// Byte driver shared by every property: up to 256 arbitrary bytes.
+fn driver(max: usize) -> pilgrim_sim::check::Vecs<pilgrim_sim::check::Bytes> {
+    vecs(byte(), max)
+}
 
-    /// Every generated program compiles and the bytecode verifies.
-    #[test]
-    fn generated_programs_compile_and_verify(data in prop::collection::vec(any::<u8>(), 0..256)) {
-        let src = Gen::new(&data).program();
+const CASES: u32 = 192;
+
+/// Every generated program compiles and the bytecode verifies.
+#[test]
+fn generated_programs_compile_and_verify() {
+    check_n("generated_programs_compile_and_verify", CASES, &driver(256), |data| {
+        let src = Gen::new(data).program();
         let program = compile(&src)
-            .unwrap_or_else(|e| panic!("generator produced a rejected program: {e}\n{src}"));
-        verify(&program).unwrap_or_else(|e| panic!("verifier rejected output: {e}\n{src}"));
-    }
+            .map_err(|e| format!("generator produced a rejected program: {e}\n{src}"))?;
+        verify(&program).map_err(|e| format!("verifier rejected output: {e}\n{src}"))
+    });
+}
 
-    /// Compilation is deterministic: identical source, identical code.
-    #[test]
-    fn compilation_is_deterministic(data in prop::collection::vec(any::<u8>(), 0..128)) {
-        let src = Gen::new(&data).program();
+/// Compilation is deterministic: identical source, identical code.
+#[test]
+fn compilation_is_deterministic() {
+    check_n("compilation_is_deterministic", CASES, &driver(128), |data| {
+        let src = Gen::new(data).program();
         let a = compile(&src).unwrap();
         let b = compile(&src).unwrap();
-        prop_assert_eq!(a.code_len(), b.code_len());
+        ensure_eq(a.code_len(), b.code_len())?;
         for (pa, pb) in a.procs.iter().zip(b.procs.iter()) {
-            prop_assert_eq!(&pa.code, &pb.code);
-            prop_assert_eq!(&pa.debug.lines, &pb.debug.lines);
+            ensure_eq(&pa.code, &pb.code)?;
+            ensure_eq(&pa.debug.lines, &pb.debug.lines)?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The lexer/parser never panic on arbitrary bytes-as-text.
-    #[test]
-    fn compile_never_panics_on_noise(data in prop::collection::vec(any::<u8>(), 0..512)) {
-        let src = String::from_utf8_lossy(&data);
+/// The lexer/parser never panic on arbitrary bytes-as-text.
+#[test]
+fn compile_never_panics_on_noise() {
+    check_n("compile_never_panics_on_noise", CASES, &driver(512), |data| {
+        let src = String::from_utf8_lossy(data);
         let _ = compile(&src);
+        Ok(())
+    });
+}
+
+/// Generated programs execute to completion or fault cleanly — the VM
+/// never panics or wedges on any well-typed program. (Unbounded
+/// recursion is possible and must surface as a StackOverflow fault.)
+#[test]
+fn generated_programs_run_without_vm_panics() {
+    use pilgrim_cclu::{ExecEnv, Heap, HeapObject, StepOutcome, Value, VmProcess};
+
+    struct Sys;
+    impl pilgrim_cclu::Syscalls for Sys {
+        fn now_ms(&mut self) -> i64 { 0 }
+        fn pid(&mut self) -> i64 { 1 }
+        fn node_id(&mut self) -> i64 { 0 }
+        fn random(&mut self, bound: i64) -> i64 { bound - 1 }
+        fn print(&mut self, _text: &str) {}
+        fn sem_create(&mut self, _count: i64) -> u32 { 0 }
+        fn sem_wait(&mut self, _s: u32, _t: i64) -> pilgrim_cclu::SysReply {
+            pilgrim_cclu::SysReply::Val(vec![Value::Bool(false)])
+        }
+        fn sem_signal(&mut self, _s: u32) {}
+        fn mutex_create(&mut self) -> u32 { 0 }
+        fn mutex_lock(&mut self, _m: u32) -> pilgrim_cclu::SysReply {
+            pilgrim_cclu::SysReply::Val(vec![])
+        }
+        fn mutex_unlock(&mut self, _m: u32) {}
+        fn fork(&mut self, _p: pilgrim_cclu::ProcId, _a: Vec<Value>) -> i64 { 2 }
+        fn sleep(&mut self, _ms: i64) -> pilgrim_cclu::SysReply {
+            pilgrim_cclu::SysReply::Val(vec![])
+        }
+        fn rpc(&mut self, req: pilgrim_cclu::RpcRequest) -> pilgrim_cclu::SysReply {
+            // Generated programs only issue local calls; be safe anyway.
+            let n = usize::from(req.nrets);
+            pilgrim_cclu::SysReply::Val(vec![Value::Int(0); n])
+        }
     }
 
-    /// Generated programs execute to completion or fault cleanly — the VM
-    /// never panics or wedges on any well-typed program. (Unbounded
-    /// recursion is possible and must surface as a StackOverflow fault.)
-    #[test]
-    fn generated_programs_run_without_vm_panics(
-        data in prop::collection::vec(any::<u8>(), 0..160)
-    ) {
-        use pilgrim_cclu::{ExecEnv, Heap, HeapObject, StepOutcome, Value, VmProcess};
-
-        struct Sys;
-        impl pilgrim_cclu::Syscalls for Sys {
-            fn now_ms(&mut self) -> i64 { 0 }
-            fn pid(&mut self) -> i64 { 1 }
-            fn node_id(&mut self) -> i64 { 0 }
-            fn random(&mut self, bound: i64) -> i64 { bound - 1 }
-            fn print(&mut self, _text: &str) {}
-            fn sem_create(&mut self, _count: i64) -> u32 { 0 }
-            fn sem_wait(&mut self, _s: u32, _t: i64) -> pilgrim_cclu::SysReply {
-                pilgrim_cclu::SysReply::Val(vec![Value::Bool(false)])
-            }
-            fn sem_signal(&mut self, _s: u32) {}
-            fn mutex_create(&mut self) -> u32 { 0 }
-            fn mutex_lock(&mut self, _m: u32) -> pilgrim_cclu::SysReply {
-                pilgrim_cclu::SysReply::Val(vec![])
-            }
-            fn mutex_unlock(&mut self, _m: u32) {}
-            fn fork(&mut self, _p: pilgrim_cclu::ProcId, _a: Vec<Value>) -> i64 { 2 }
-            fn sleep(&mut self, _ms: i64) -> pilgrim_cclu::SysReply {
-                pilgrim_cclu::SysReply::Val(vec![])
-            }
-            fn rpc(&mut self, req: pilgrim_cclu::RpcRequest) -> pilgrim_cclu::SysReply {
-                // Generated programs only issue local calls; be safe anyway.
-                let n = usize::from(req.nrets);
-                pilgrim_cclu::SysReply::Val(vec![Value::Int(0); n])
-            }
-        }
-
-        let src = Gen::new(&data).program();
+    check_n("generated_programs_run_without_vm_panics", CASES, &driver(160), |data| {
+        let src = Gen::new(data).program();
         let program = compile(&src).unwrap();
         let entry = program.proc_by_name("p0").unwrap();
         let mut heap = Heap::new();
@@ -264,20 +275,22 @@ proptest! {
                 _ => {}
             }
         }
-        prop_assert!(done, "program wedged:\n{}", src);
-    }
+        ensure(done, format!("program wedged:\n{src}"))
+    });
+}
 
-    /// Line tables of generated programs resolve every executable line to
-    /// an address that maps back to the same line.
-    #[test]
-    fn line_table_roundtrips(data in prop::collection::vec(any::<u8>(), 0..128)) {
-        let src = Gen::new(&data).program();
+/// Line tables of generated programs resolve every executable line to
+/// an address that maps back to the same line.
+#[test]
+fn line_table_roundtrips() {
+    check_n("line_table_roundtrips", CASES, &driver(128), |data| {
+        let src = Gen::new(data).program();
         let program = compile(&src).unwrap();
         for code in &program.procs {
             for (pc, line) in &code.debug.lines {
-                let back = code.debug.line_for_pc(*pc);
-                prop_assert_eq!(back, Some(*line));
+                ensure_eq(code.debug.line_for_pc(*pc), Some(*line))?;
             }
         }
-    }
+        Ok(())
+    });
 }

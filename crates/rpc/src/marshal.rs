@@ -160,7 +160,8 @@ pub fn default_for(ty: &Type) -> WireValue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pilgrim_sim::check::{check_n, ensure, ensure_eq, Case, Gen};
+    use pilgrim_sim::DetRng;
 
     fn sample() -> (Heap, Value) {
         let mut heap = Heap::new();
@@ -247,42 +248,88 @@ mod tests {
         ));
     }
 
-    fn arb_wire() -> impl Strategy<Value = WireValue> {
-        let leaf = prop_oneof![
-            Just(WireValue::Null),
-            any::<i64>().prop_map(WireValue::Int),
-            any::<bool>().prop_map(WireValue::Bool),
-            "[a-z]{0,12}".prop_map(|s| WireValue::Str(s.into())),
-        ];
-        leaf.prop_recursive(3, 24, 4, |inner| {
-            prop_oneof![
-                prop::collection::vec(inner.clone(), 0..4).prop_map(WireValue::Array),
-                (prop::collection::vec(inner, 0..4), "[a-z]{1,8}").prop_map(|(fields, name)| {
-                    WireValue::Record {
-                        type_name: name.into(),
-                        fields,
-                    }
-                }),
-            ]
-        })
+    /// Arbitrary wire values, up to three levels deep with 0..4 children
+    /// per composite — the same shape space the old proptest strategy
+    /// covered. Shrinking drops children, shrinks them recursively, and
+    /// simplifies leaf payloads.
+    #[derive(Debug, Clone, Copy)]
+    struct WireGen;
+
+    fn wire_case(rng: &mut DetRng, depth: u32) -> Case<WireValue> {
+        use pilgrim_sim::check::{int_range, string_of, vec_of_cases, zip_cases};
+        // Composites become less likely as depth runs out (0..=1 at the
+        // leaves), matching the old generator's bounded recursion.
+        let variant = if depth == 0 { rng.below(4) } else { rng.below(6) };
+        match variant {
+            0 => Case::leaf(WireValue::Null),
+            1 => int_range(i64::MIN / 2, i64::MAX / 2)
+                .generate(rng)
+                .map(std::rc::Rc::new(|v: &i64| WireValue::Int(*v))),
+            2 => pilgrim_sim::check::boolean()
+                .generate(rng)
+                .map(std::rc::Rc::new(|b: &bool| WireValue::Bool(*b))),
+            3 => string_of("abcdefghijklmnopqrstuvwxyz", 12)
+                .generate(rng)
+                .map(std::rc::Rc::new(|s: &String| WireValue::Str(s.as_str().into()))),
+            4 => {
+                let n = rng.below(4) as usize;
+                let items: Vec<Case<WireValue>> =
+                    (0..n).map(|_| wire_case(rng, depth - 1)).collect();
+                vec_of_cases(items).map(std::rc::Rc::new(|items: &Vec<WireValue>| {
+                    WireValue::Array(items.clone())
+                }))
+            }
+            _ => {
+                let n = rng.below(4) as usize;
+                let fields: Vec<Case<WireValue>> =
+                    (0..n).map(|_| wire_case(rng, depth - 1)).collect();
+                let name = string_of("abcdefghijklmnopqrstuvwxyz", 8)
+                    .generate(rng)
+                    .map(std::rc::Rc::new(|s: &String| {
+                        if s.is_empty() {
+                            "r".to_string()
+                        } else {
+                            s.clone()
+                        }
+                    }));
+                zip_cases(name, vec_of_cases(fields)).map(std::rc::Rc::new(
+                    |(name, fields): &(String, Vec<WireValue>)| WireValue::Record {
+                        type_name: name.as_str().into(),
+                        fields: fields.clone(),
+                    },
+                ))
+            }
+        }
     }
 
-    proptest! {
-        /// unmarshal → marshal is the identity on wire values.
-        #[test]
-        fn prop_roundtrip(w in arb_wire()) {
-            let mut heap = Heap::new();
-            let v = unmarshal(&mut heap, &w);
-            let w2 = marshal(&heap, &v).unwrap();
-            prop_assert_eq!(w, w2);
+    impl Gen for WireGen {
+        type Value = WireValue;
+        fn generate(&self, rng: &mut DetRng) -> Case<WireValue> {
+            wire_case(rng, 3)
         }
+    }
 
-        /// Encoded size is positive and grows monotonically with nesting.
-        #[test]
-        fn prop_wire_bytes_positive(w in arb_wire()) {
-            prop_assert!(w.wire_bytes() >= 1);
+    /// unmarshal → marshal is the identity on wire values.
+    #[test]
+    fn prop_roundtrip() {
+        check_n("marshal_prop_roundtrip", 256, &WireGen, |w| {
+            let mut heap = Heap::new();
+            let v = unmarshal(&mut heap, w);
+            let w2 = marshal(&heap, &v).unwrap();
+            ensure_eq(w.clone(), w2)
+        });
+    }
+
+    /// Encoded size is positive and grows monotonically with nesting.
+    #[test]
+    fn prop_wire_bytes_positive() {
+        check_n("marshal_prop_wire_bytes_positive", 256, &WireGen, |w| {
+            ensure(w.wire_bytes() >= 1, "zero-size encoding".to_string())?;
             let arr = WireValue::Array(vec![w.clone()]);
-            prop_assert!(arr.wire_bytes() > w.wire_bytes());
-        }
+            ensure(
+                arr.wire_bytes() > w.wire_bytes(),
+                "nesting did not grow the encoding".to_string(),
+            )
+        });
     }
 }

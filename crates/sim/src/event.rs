@@ -54,8 +54,11 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     next_seq: u64,
+    /// Ids scheduled but not yet delivered or cancelled. Distinguishing
+    /// "cancelled" from "already delivered" exactly keeps stale-id cancels
+    /// harmless in every interleaving.
+    pending: std::collections::HashSet<EventId>,
     cancelled: std::collections::HashSet<EventId>,
-    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -70,8 +73,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            pending: std::collections::HashSet::new(),
             cancelled: std::collections::HashSet::new(),
-            live: 0,
         }
     }
 
@@ -86,25 +89,18 @@ impl<E> EventQueue<E> {
             payload,
         }));
         self.next_seq += 1;
-        self.live += 1;
+        self.pending.insert(id);
         id
     }
 
     /// Cancels a previously scheduled event.
     ///
-    /// Returns `true` if the event had not yet been delivered or cancelled.
-    /// Cancellation is lazy: the slot is skipped when it reaches the head.
+    /// Returns `true` if the event had not yet been delivered or cancelled;
+    /// unknown and already-delivered ids are harmless no-ops. Cancellation
+    /// is lazy: the slot is skipped when it reaches the head.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        if self.cancelled.insert(id) {
-            if self.live == 0 {
-                // Already delivered: undo the mark so a stale id is harmless.
-                self.cancelled.remove(&id);
-                return false;
-            }
-            self.live -= 1;
+        if self.pending.remove(&id) {
+            self.cancelled.insert(id);
             true
         } else {
             false
@@ -121,7 +117,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         let Reverse(s) = self.heap.pop()?;
-        self.live -= 1;
+        self.pending.remove(&s.id);
         Some((s.time, s.payload))
     }
 
@@ -136,12 +132,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live
+        self.pending.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.pending.is_empty()
     }
 
     fn skip_cancelled(&mut self) {
@@ -227,6 +223,56 @@ mod tests {
     fn unknown_id_cancel_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn cancel_after_pop_with_other_events_live() {
+        // Regression: cancelling an already-delivered id while other events
+        // are pending used to corrupt the live count and poison later
+        // delivery with a stale cancellation mark.
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(a), "cancel after delivery is a no-op");
+        assert_eq!(q.len(), 1, "live count must be unaffected");
+        assert_eq!(q.pop().unwrap().1, "b", "b must still be delivered");
+        assert!(!q.cancel(b));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_of_unknown_id_is_false_and_harmless() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), "a");
+        assert!(!q.cancel(EventId(12345)), "never-scheduled id");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(EventId(0)), "id already delivered");
+    }
+
+    #[test]
+    fn fifo_ordering_survives_interleaved_cancellation() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..6).map(|i| q.schedule(t(7), i)).collect();
+        assert!(q.cancel(ids[0]));
+        assert!(q.cancel(ids[3]));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 4, 5], "schedule order minus cancelled");
+    }
+
+    #[test]
+    fn pop_due_at_exact_deadline_drains_everything_due() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "exact1");
+        q.schedule(t(5), "exact2");
+        q.schedule(t(5) + SimDuration::from_micros(1), "just after");
+        // Exactly-at-deadline events are due, in FIFO order.
+        assert_eq!(q.pop_due(t(5)).unwrap().1, "exact1");
+        assert_eq!(q.pop_due(t(5)).unwrap().1, "exact2");
+        assert!(q.pop_due(t(5)).is_none(), "1us later is not yet due");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(t(6)).unwrap().1, "just after");
     }
 
     #[test]

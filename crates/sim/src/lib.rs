@@ -12,7 +12,9 @@
 //! * [`EventQueue`] — a future-event list with FIFO tie-breaking, so
 //!   identical seeds give identical runs;
 //! * [`DetRng`] — seeded, forkable randomness for loss models and jitter;
-//! * [`Tracer`] — structured event recording that tests assert against.
+//! * [`Tracer`] — structured event recording that tests assert against;
+//! * [`check`] — deterministic property-based testing with shrinking,
+//!   used by the workspace's test suites (no external crates).
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod check;
 mod event;
 mod rng;
 mod time;

@@ -6,6 +6,7 @@
 //! category the event is dropped without formatting.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
@@ -73,7 +74,7 @@ impl fmt::Display for TraceEvent {
 
 #[derive(Debug, Default)]
 struct TracerInner {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     enabled: Option<Vec<TraceCategory>>, // None = everything
     echo: bool,
     capacity: usize,
@@ -98,8 +99,14 @@ impl Tracer {
     /// Creates a tracer that records every category, bounded to a large
     /// default capacity (1 million events, oldest discarded first).
     pub fn new() -> Tracer {
+        Tracer::with_capacity(1_000_000)
+    }
+
+    /// Creates a tracer bounded to `capacity` events; when full, the oldest
+    /// event is discarded (in O(1): the buffer is a ring).
+    pub fn with_capacity(capacity: usize) -> Tracer {
         let inner = TracerInner {
-            capacity: 1_000_000,
+            capacity,
             ..Default::default()
         };
         Tracer {
@@ -151,15 +158,15 @@ impl Tracer {
         if inner.echo {
             println!("{ev}");
         }
-        if inner.events.len() >= inner.capacity {
-            inner.events.remove(0);
+        while inner.events.len() >= inner.capacity.max(1) {
+            inner.events.pop_front();
         }
-        inner.events.push(ev);
+        inner.events.push_back(ev);
     }
 
     /// A snapshot of every recorded event, in order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.clone()
+        self.inner.borrow().events.iter().cloned().collect()
     }
 
     /// A snapshot of the events in one category.
@@ -240,6 +247,25 @@ mod tests {
         t.record(SimTime::ZERO, TraceCategory::Vm, None, "x");
         t.clear();
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn eviction_drops_oldest_first() {
+        let t = Tracer::with_capacity(3);
+        for i in 0..7 {
+            t.record(
+                SimTime::from_millis(i),
+                TraceCategory::Vm,
+                None,
+                format!("e{i}"),
+            );
+        }
+        let kept: Vec<String> = t.events().into_iter().map(|e| e.message).collect();
+        assert_eq!(kept, vec!["e4", "e5", "e6"], "oldest events evicted first");
+        // Recording continues to rotate the window.
+        t.record(SimTime::from_millis(7), TraceCategory::Vm, None, "e7");
+        let kept: Vec<String> = t.events().into_iter().map(|e| e.message).collect();
+        assert_eq!(kept, vec!["e5", "e6", "e7"]);
     }
 
     #[test]

@@ -1,38 +1,54 @@
 //! Property-based tests over the whole stack: compiler robustness,
 //! arithmetic fidelity against a Rust reference, marshalling through real
-//! RPC, determinism, and time-consistency invariants.
+//! RPC, determinism, and time-consistency invariants. Driven by the
+//! in-repo `pilgrim_sim::check` harness; a failure prints a
+//! `PILGRIM_CHECK_SEED` that replays it exactly.
 
 use pilgrim::{SimTime, Value, World};
-use proptest::prelude::*;
+use pilgrim_sim::check::{
+    check_n, choice, ensure, ensure_eq, int_range, map, string_of, u64_range, vecs, zip_cases,
+    Case, Gen,
+};
+use pilgrim_sim::DetRng;
+use std::rc::Rc;
 
 // ---------------------------------------------------------------------
 // Compiler robustness: arbitrary input must never panic.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn compiler_never_panics_on_arbitrary_text() {
+    // Printable ASCII plus a spread of multi-byte characters, standing in
+    // for the old `\PC{0,200}` (any printable char) strategy.
+    let mut alphabet: String = (b' '..=b'~').map(char::from).collect();
+    alphabet.push_str("äßπ€中日🦀\u{2028}");
+    check_n(
+        "compiler_never_panics_on_arbitrary_text",
+        256,
+        &string_of(&alphabet, 200),
+        |src| {
+            let _ = pilgrim::compile(src);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn compiler_never_panics_on_arbitrary_text(src in "\\PC{0,200}") {
-        let _ = pilgrim::compile(&src);
-    }
-
-    #[test]
-    fn compiler_never_panics_on_keyword_soup(
-        words in prop::collection::vec(
-            prop::sample::select(vec![
-                "proc", "end", "if", "then", "else", "while", "do", "return",
-                "fork", "call", "at", "maybecall", "int", "bool", "string",
-                "sem", "record", "array", "own", "extern", ":=", "(", ")",
-                "[", "]", "x", "main", "=", "+", "$", "{", "}", "\n", "1",
-                "\"s\"", ",", ":",
-            ]),
-            0..60,
-        )
-    ) {
-        let src = words.join(" ");
-        let _ = pilgrim::compile(&src);
-    }
+#[test]
+fn compiler_never_panics_on_keyword_soup() {
+    let words = vec![
+        "proc", "end", "if", "then", "else", "while", "do", "return", "fork", "call", "at",
+        "maybecall", "int", "bool", "string", "sem", "record", "array", "own", "extern", ":=",
+        "(", ")", "[", "]", "x", "main", "=", "+", "$", "{", "}", "\n", "1", "\"s\"", ",", ":",
+    ];
+    check_n(
+        "compiler_never_panics_on_keyword_soup",
+        256,
+        &map(vecs(choice(words), 60), |ws: &Vec<&str>| ws.join(" ")),
+        |src| {
+            let _ = pilgrim::compile(src);
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -97,51 +113,91 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = (-1000i64..1000).prop_map(E::N);
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mod(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| E::Neg(Box::new(a))),
-        ]
+/// Adds extra shrink candidates in front of a case's own.
+fn with_extra_shrinks<T: Clone + 'static>(case: Case<T>, extra: Vec<Case<T>>) -> Case<T> {
+    let value = case.value.clone();
+    Case::with_shrinks(value, move || {
+        extra.iter().cloned().chain(case.shrink()).collect()
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Random arithmetic expressions up to depth 4, shrinking a composite to
+/// either operand (then its leaves toward zero) — a structural port of
+/// the old `prop_recursive` strategy.
+#[derive(Debug, Clone, Copy)]
+struct ExprGen;
 
-    #[test]
-    fn vm_arithmetic_matches_rust_reference(e in arb_expr()) {
+fn expr_case(rng: &mut DetRng, depth: u32) -> Case<E> {
+    let leafy = depth == 0 || rng.chance(0.3);
+    if leafy {
+        return int_range(-1000, 1000)
+            .generate(rng)
+            .map(Rc::new(|v: &i64| E::N(*v)));
+    }
+    if rng.below(7) == 6 {
+        let a = expr_case(rng, depth - 1);
+        let mapped = a.map(Rc::new(|a: &E| E::Neg(Box::new(a.clone()))));
+        return with_extra_shrinks(mapped, vec![a]);
+    }
+    let a = expr_case(rng, depth - 1);
+    let b = expr_case(rng, depth - 1);
+    let op = rng.below(5);
+    let build = move |(a, b): &(E, E)| -> E {
+        let (a, b) = (Box::new(a.clone()), Box::new(b.clone()));
+        match op {
+            0 => E::Add(a, b),
+            1 => E::Sub(a, b),
+            2 => E::Mul(a, b),
+            3 => E::Div(a, b),
+            _ => E::Mod(a, b),
+        }
+    };
+    let mapped = zip_cases(a.clone(), b.clone()).map(Rc::new(build));
+    with_extra_shrinks(mapped, vec![a, b])
+}
+
+impl Gen for ExprGen {
+    type Value = E;
+    fn generate(&self, rng: &mut DetRng) -> Case<E> {
+        expr_case(rng, 4)
+    }
+}
+
+#[test]
+fn vm_arithmetic_matches_rust_reference() {
+    check_n("vm_arithmetic_matches_rust_reference", 48, &ExprGen, |e| {
         let src = format!("main = proc ()\n print({})\nend", e.render());
         let mut w = World::builder()
             .nodes(1)
             .program(&src)
             .debugger(false)
             .build()
-            .expect("generated program compiles");
+            .map_err(|err| format!("generated program rejected: {err}"))?;
         w.spawn(0, "main", vec![]);
         w.run_until_idle(SimTime::from_secs(60));
         match e.eval() {
-            Some(v) => prop_assert_eq!(w.console(0), vec![v.to_string()]),
-            None => prop_assert!(w.console(0).is_empty(), "division by zero must fault"),
+            Some(v) => ensure_eq(w.console(0), vec![v.to_string()]),
+            None => ensure(
+                w.console(0).is_empty(),
+                "division by zero must fault".to_string(),
+            ),
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Marshalling through a real RPC round trip.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn strings_round_trip_through_rpc(s in "[a-zA-Z0-9 _.,!?-]{0,300}") {
-        let src = "\
+#[test]
+fn strings_round_trip_through_rpc() {
+    let alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.,!?-";
+    check_n(
+        "strings_round_trip_through_rpc",
+        24,
+        &string_of(alphabet, 300),
+        |s| {
+            let src = "\
 echo = proc (s: string) returns (string)
  return (s)
 end
@@ -153,15 +209,27 @@ main = proc (payload: string)
   print(\"MISMATCH\")
  end
 end";
-        let mut w = World::builder().nodes(2).program(src).debugger(false).build().unwrap();
-        w.spawn(0, "main", vec![Value::Str(s.as_str().into())]);
-        w.run_until_idle(SimTime::from_secs(60));
-        prop_assert_eq!(w.console(0), vec!["match".to_string()]);
-    }
+            let mut w = World::builder()
+                .nodes(2)
+                .program(src)
+                .debugger(false)
+                .build()
+                .unwrap();
+            w.spawn(0, "main", vec![Value::Str(s.as_str().into())]);
+            w.run_until_idle(SimTime::from_secs(60));
+            ensure_eq(w.console(0), vec!["match".to_string()])
+        },
+    );
+}
 
-    #[test]
-    fn int_arrays_round_trip_through_rpc(xs in prop::collection::vec(-10000i64..10000, 0..50)) {
-        let src = "\
+#[test]
+fn int_arrays_round_trip_through_rpc() {
+    check_n(
+        "int_arrays_round_trip_through_rpc",
+        24,
+        &vecs(int_range(-10_000, 10_000), 50),
+        |xs| {
+            let src = "\
 total = proc (xs: array[int]) returns (int, int)
  t: int := 0
  n: int := len(xs)
@@ -177,81 +245,97 @@ main = proc (xs: array[int])
  print(t)
  print(n)
 end";
-        let mut w = World::builder().nodes(2).program(src).debugger(false).build().unwrap();
-        let arr = {
-            use pilgrim_cclu::{HeapObject, Value as V};
-            let items: Vec<V> = xs.iter().map(|v| V::Int(*v)).collect();
-            V::Ref(w.node_mut(0).heap_mut().alloc(HeapObject::Array(items)))
-        };
-        w.spawn(0, "main", vec![arr]);
-        w.run_until_idle(SimTime::from_secs(60));
-        let sum: i64 = xs.iter().sum();
-        prop_assert_eq!(
-            w.console(0),
-            vec![sum.to_string(), xs.len().to_string()]
-        );
-    }
+            let mut w = World::builder()
+                .nodes(2)
+                .program(src)
+                .debugger(false)
+                .build()
+                .unwrap();
+            let arr = {
+                use pilgrim_cclu::{HeapObject, Value as V};
+                let items: Vec<V> = xs.iter().map(|v| V::Int(*v)).collect();
+                V::Ref(w.node_mut(0).heap_mut().alloc(HeapObject::Array(items)))
+            };
+            w.spawn(0, "main", vec![arr]);
+            w.run_until_idle(SimTime::from_secs(60));
+            let sum: i64 = xs.iter().sum();
+            ensure_eq(w.console(0), vec![sum.to_string(), xs.len().to_string()])
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Determinism and time consistency.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn worlds_are_deterministic_under_loss() {
+    check_n(
+        "worlds_are_deterministic_under_loss",
+        12,
+        &u64_range(0, 1000),
+        |seed| {
+            let run = || {
+                let mut w = World::builder()
+                    .nodes(2)
+                    .program(
+                        "pong = proc (n: int) returns (int)\n return (n)\nend\n\
+                         main = proc ()\n\
+                         for i: int := 1 to 10 do\n\
+                          ok: bool := true\n r: int := 0\n\
+                          ok, r := maybecall pong(i) at 1\n\
+                          if ok then\n print(r)\n else\n print(0 - i)\n end\n\
+                         end\nend",
+                    )
+                    .network(pilgrim::NetworkConfig {
+                        p_silent_loss: 0.3,
+                        seed: *seed,
+                        ..Default::default()
+                    })
+                    .debugger(false)
+                    .build()
+                    .unwrap();
+                w.spawn(0, "main", vec![]);
+                w.run_until_idle(SimTime::from_secs(120));
+                (w.console(0), w.now())
+            };
+            ensure_eq(run(), run())
+        },
+    );
+}
 
-    #[test]
-    fn worlds_are_deterministic_under_loss(seed in 0u64..1000) {
-        let run = || {
+#[test]
+fn logical_time_hides_halts_of_any_length() {
+    check_n(
+        "logical_time_hides_halts_of_any_length",
+        12,
+        &u64_range(100, 8000),
+        |halt_ms| {
             let mut w = World::builder()
-                .nodes(2)
+                .nodes(1)
                 .program(
-                    "pong = proc (n: int) returns (int)\n return (n)\nend\n\
-                     main = proc ()\n\
-                     for i: int := 1 to 10 do\n\
-                      ok: bool := true\n r: int := 0\n\
-                      ok, r := maybecall pong(i) at 1\n\
-                      if ok then\n print(r)\n else\n print(0 - i)\n end\n\
-                     end\nend",
+                    "main = proc ()\n\
+                     a: int := now()\n\
+                     sleep(300)\n\
+                     b: int := now()\n\
+                     print(int$unparse(b - a))\nend",
                 )
-                .network(pilgrim::NetworkConfig {
-                    p_silent_loss: 0.3,
-                    seed,
-                    ..Default::default()
-                })
-                .debugger(false)
                 .build()
                 .unwrap();
+            w.debug_connect(&[0], false).unwrap();
             w.spawn(0, "main", vec![]);
-            w.run_until_idle(SimTime::from_secs(120));
-            (w.console(0), w.now())
-        };
-        prop_assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn logical_time_hides_halts_of_any_length(halt_ms in 100u64..8000) {
-        let mut w = World::builder()
-            .nodes(1)
-            .program(
-                "main = proc ()\n\
-                 a: int := now()\n\
-                 sleep(300)\n\
-                 b: int := now()\n\
-                 print(int$unparse(b - a))\nend",
+            // Halt somewhere inside the sleep.
+            w.run_for(pilgrim::SimDuration::from_millis(100));
+            w.debug_halt_all(0).unwrap();
+            w.run_for(pilgrim::SimDuration::from_millis(*halt_ms));
+            w.debug_resume_all().unwrap();
+            w.run_until_idle(w.now() + pilgrim::SimDuration::from_secs(30));
+            let observed: i64 = w.console(0)[0].parse().unwrap();
+            // The program must observe ~300 ms regardless of the halt length.
+            ensure(
+                (300..330).contains(&observed),
+                format!("observed {observed}ms"),
             )
-            .build()
-            .unwrap();
-        w.debug_connect(&[0], false).unwrap();
-        w.spawn(0, "main", vec![]);
-        // Halt somewhere inside the sleep.
-        w.run_for(pilgrim::SimDuration::from_millis(100));
-        w.debug_halt_all(0).unwrap();
-        w.run_for(pilgrim::SimDuration::from_millis(halt_ms));
-        w.debug_resume_all().unwrap();
-        w.run_until_idle(w.now() + pilgrim::SimDuration::from_secs(30));
-        let observed: i64 = w.console(0)[0].parse().unwrap();
-        // The program must observe ~300 ms regardless of the halt length.
-        prop_assert!((300..330).contains(&observed), "observed {observed}ms");
-    }
+        },
+    );
 }
