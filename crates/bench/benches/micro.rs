@@ -2,170 +2,19 @@
 //!
 //! These measure the *harness's* wall-clock performance (how fast the
 //! reproduction simulates), not any paper number: compiler throughput, VM
-//! stepping, marshalling, the event queue, and a full null-RPC round trip
-//! through the whole world. Timing uses the in-repo
-//! [`pilgrim_bench::runner`] (warmup + sampled min/median/p95); results
-//! are printed as a table and written to `BENCH_micro.json` at the
-//! workspace root so the bench trajectory is tracked across PRs.
+//! stepping, marshalling, the event queue (plain and cancel-heavy), bare
+//! node stepping, and whole-world scenarios. The benchmark bodies live in
+//! [`pilgrim_bench::suite`] (shared with the `compare` smoke binary);
+//! timing uses the in-repo [`pilgrim_bench::runner`] (warmup + sampled
+//! min/median/p95). Results are printed as a table and written to
+//! `BENCH_micro.json` at the workspace root so the bench trajectory is
+//! tracked across PRs.
 
-use pilgrim::{SimTime, Value, World};
-use pilgrim_bench::runner::{self, BenchResult};
-use pilgrim_bench::Table;
-use pilgrim_cclu::{compile, ExecEnv, Heap, StepOutcome, VmProcess};
-use pilgrim_rpc::{marshal, unmarshal};
-use pilgrim_sim::{EventQueue, SimDuration};
-
-const FIB: &str = "\
-fib = proc (n: int) returns (int)
- if n < 2 then
-  return (n)
- end
- return (fib(n - 1) + fib(n - 2))
-end
-main = proc () returns (int)
- return (fib(15))
-end";
-
-fn bench_compile() -> BenchResult {
-    runner::run("compiler/compile_fib", || {
-        std::hint::black_box(compile(std::hint::black_box(FIB)).unwrap());
-    })
-}
-
-/// A no-op syscall provider for raw VM stepping.
-struct NullSys;
-impl pilgrim_cclu::Syscalls for NullSys {
-    fn now_ms(&mut self) -> i64 {
-        0
-    }
-    fn pid(&mut self) -> i64 {
-        1
-    }
-    fn node_id(&mut self) -> i64 {
-        0
-    }
-    fn random(&mut self, bound: i64) -> i64 {
-        bound - 1
-    }
-    fn print(&mut self, _text: &str) {}
-    fn sem_create(&mut self, _count: i64) -> u32 {
-        0
-    }
-    fn sem_wait(&mut self, _s: u32, _t: i64) -> pilgrim_cclu::SysReply {
-        pilgrim_cclu::SysReply::Val(vec![Value::Bool(true)])
-    }
-    fn sem_signal(&mut self, _s: u32) {}
-    fn mutex_create(&mut self) -> u32 {
-        0
-    }
-    fn mutex_lock(&mut self, _m: u32) -> pilgrim_cclu::SysReply {
-        pilgrim_cclu::SysReply::Val(vec![])
-    }
-    fn mutex_unlock(&mut self, _m: u32) {}
-    fn fork(&mut self, _p: pilgrim_cclu::ProcId, _a: Vec<Value>) -> i64 {
-        2
-    }
-    fn sleep(&mut self, _ms: i64) -> pilgrim_cclu::SysReply {
-        pilgrim_cclu::SysReply::Val(vec![])
-    }
-    fn rpc(&mut self, _r: pilgrim_cclu::RpcRequest) -> pilgrim_cclu::SysReply {
-        unreachable!("no rpc in fib")
-    }
-}
-
-fn bench_vm() -> BenchResult {
-    let program = compile(FIB).unwrap();
-    let entry = program.proc_by_name("main").unwrap();
-    runner::run("vm/fib15_to_completion", || {
-        let mut heap = Heap::new();
-        let mut globals: Vec<Value> = vec![];
-        let mut sys = NullSys;
-        let mut p = VmProcess::spawn(entry, vec![]);
-        loop {
-            let mut env = ExecEnv {
-                heap: &mut heap,
-                program: &program,
-                globals: &mut globals,
-                sys: &mut sys,
-            };
-            match pilgrim_cclu::step(&mut p, &mut env) {
-                StepOutcome::Exited { .. } => break,
-                StepOutcome::Faulted { fault, .. } => panic!("{fault}"),
-                _ => {}
-            }
-        }
-        std::hint::black_box(&p.exit_values);
-    })
-}
-
-fn bench_marshal() -> BenchResult {
-    let mut heap = Heap::new();
-    let arr = heap.alloc(pilgrim_cclu::HeapObject::Array(
-        (0..64).map(Value::Int).collect(),
-    ));
-    let rec = heap.alloc(pilgrim_cclu::HeapObject::Record {
-        type_name: "blob".into(),
-        fields: vec![
-            Value::Str("payload".into()),
-            Value::Ref(arr),
-            Value::Bool(true),
-        ],
-    });
-    let v = Value::Ref(rec);
-    runner::run("rpc/marshal_unmarshal_record", || {
-        let w = marshal(&heap, std::hint::black_box(&v)).unwrap();
-        let mut dst = Heap::new();
-        std::hint::black_box(unmarshal(&mut dst, &w));
-    })
-}
-
-fn bench_event_queue() -> BenchResult {
-    runner::run("sim/event_queue_1k_schedule_pop", || {
-        let mut q = EventQueue::new();
-        for i in 0..1_000u64 {
-            q.schedule(SimTime::from_micros((i * 7) % 997), i);
-        }
-        let mut sum = 0u64;
-        while let Some((_, v)) = q.pop() {
-            sum = sum.wrapping_add(v);
-        }
-        std::hint::black_box(sum);
-    })
-}
-
-fn bench_world_rpc() -> BenchResult {
-    const PROGRAM: &str = "\
-ping = proc ()
-end
-main = proc (n: int)
- for i: int := 1 to n do
-  call ping() at 1
- end
-end";
-    let result = runner::run("world/20_null_rpcs_simulated", || {
-        let mut w = World::builder()
-            .nodes(2)
-            .program(PROGRAM)
-            .debugger(false)
-            .build()
-            .unwrap();
-        w.spawn(0, "main", vec![Value::Int(20)]);
-        w.run_until_idle(SimTime::from_secs(60));
-        assert_eq!(w.endpoint(0).stats().completed, 20);
-        std::hint::black_box(w.now());
-    });
-    let _ = SimDuration::ZERO;
-    result
-}
+use pilgrim_bench::runner::{self, Config};
+use pilgrim_bench::{suite, Table};
 
 fn main() {
-    let results = vec![
-        bench_compile(),
-        bench_vm(),
-        bench_marshal(),
-        bench_event_queue(),
-        bench_world_rpc(),
-    ];
+    let results = suite::all(&Config::default());
 
     let mut table = Table::new(
         "M1 — substrate micro-benchmarks",

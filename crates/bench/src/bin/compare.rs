@@ -1,0 +1,44 @@
+//! Bench-smoke: run the micro suite quickly and diff against the
+//! committed `BENCH_micro.json` baseline.
+//!
+//! `cargo run --release -p pilgrim-bench --bin compare`
+//!
+//! Uses a smoke configuration (1 warmup + 3 samples per benchmark) so the
+//! whole run finishes in seconds; prints per-benchmark deltas with no
+//! pass/fail thresholds. Re-baselining stays the job of
+//! `cargo bench -p pilgrim-bench --bench micro`.
+
+use std::time::Duration;
+
+use pilgrim_bench::runner::Config;
+use pilgrim_bench::{compare, suite, Table};
+
+fn main() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_micro.json");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(json) => compare::parse_baseline(&json),
+        Err(e) => {
+            eprintln!("no baseline at {}: {e}", path.display());
+            Vec::new()
+        }
+    };
+
+    let cfg = Config {
+        samples: 3,
+        warmup_samples: 1,
+        target_sample: Duration::from_millis(2),
+    };
+    let fresh = suite::all(&cfg);
+
+    let mut table = Table::new(
+        "bench-smoke — fresh medians vs committed BENCH_micro.json",
+        "trend read only; no thresholds (re-baseline with `cargo bench --bench micro`)",
+    )
+    .headers(["benchmark", "baseline", "fresh", "delta"]);
+    for d in compare::diff(&baseline, &fresh) {
+        table.row(compare::row(&d));
+    }
+    table.print();
+}

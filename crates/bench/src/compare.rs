@@ -1,0 +1,181 @@
+//! Diffing a fresh benchmark run against the committed baseline.
+//!
+//! `BENCH_micro.json` (workspace root) is written by `benches/micro.rs`
+//! via [`crate::runner::to_json`]; this module parses it back (hand-rolled
+//! — the workspace is hermetic, so no serde) and reports per-benchmark
+//! deltas. There are no pass/fail thresholds: the binary exists so CI can
+//! prove the suite executes offline and so humans get a quick trend read
+//! without a full re-baseline.
+
+use crate::runner::{fmt_ns, BenchResult};
+
+/// One benchmark's median from a parsed baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Benchmark name, e.g. `vm/fib15_to_completion`.
+    pub name: String,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: u64,
+}
+
+/// Parses the `(name, median_ns)` pairs out of a `BENCH_micro.json`
+/// document. Tolerant of field order within an object as long as `name`
+/// precedes the next object's `name` (which [`crate::runner::to_json`]
+/// guarantees: one object per line).
+pub fn parse_baseline(json: &str) -> Vec<Baseline> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(median_ns) = field_u64(line, "median_ns") else {
+            continue;
+        };
+        out.push(Baseline {
+            name: name.to_string(),
+            median_ns,
+        });
+    }
+    out
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// A fresh result lined up against its baseline entry (if one exists).
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Benchmark name.
+    pub name: String,
+    /// Committed median, when the baseline has this benchmark.
+    pub baseline_ns: Option<u64>,
+    /// Fresh median from this run.
+    pub fresh_ns: u64,
+}
+
+impl Delta {
+    /// Signed percent change versus the baseline (positive = slower).
+    pub fn percent(&self) -> Option<f64> {
+        let base = self.baseline_ns?;
+        if base == 0 {
+            return None;
+        }
+        Some((self.fresh_ns as f64 - base as f64) / base as f64 * 100.0)
+    }
+
+    /// Human-readable delta column: `+12.3%`, `-40.1%`, or `new` when the
+    /// baseline predates this benchmark.
+    pub fn describe(&self) -> String {
+        match self.percent() {
+            Some(p) => format!("{p:+.1}%"),
+            None => "new".to_string(),
+        }
+    }
+}
+
+/// Lines up fresh results against the baseline by name, preserving the
+/// fresh run's order.
+pub fn diff(baseline: &[Baseline], fresh: &[BenchResult]) -> Vec<Delta> {
+    fresh
+        .iter()
+        .map(|r| Delta {
+            name: r.name.clone(),
+            baseline_ns: baseline
+                .iter()
+                .find(|b| b.name == r.name)
+                .map(|b| b.median_ns),
+            fresh_ns: r.median_ns,
+        })
+        .collect()
+}
+
+/// Renders one delta as a table row: name, baseline, fresh, delta.
+pub fn row(d: &Delta) -> [String; 4] {
+    [
+        d.name.clone(),
+        d.baseline_ns.map(fmt_ns).unwrap_or_else(|| "-".into()),
+        fmt_ns(d.fresh_ns),
+        d.describe(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::to_json;
+
+    fn result(name: &str, median: u64) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            samples: 3,
+            iters_per_sample: 1,
+            min_ns: median,
+            median_ns: median,
+            p95_ns: median,
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_runner_json() {
+        let json = to_json(&[result("a/b", 120), result("c/d", 99)]);
+        let parsed = parse_baseline(&json);
+        assert_eq!(
+            parsed,
+            vec![
+                Baseline {
+                    name: "a/b".into(),
+                    median_ns: 120
+                },
+                Baseline {
+                    name: "c/d".into(),
+                    median_ns: 99
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_matches_by_name_and_flags_new_benchmarks() {
+        let base = vec![Baseline {
+            name: "a/b".into(),
+            median_ns: 200,
+        }];
+        let fresh = vec![result("a/b", 100), result("x/new", 7)];
+        let deltas = diff(&base, &fresh);
+        assert_eq!(deltas[0].percent(), Some(-50.0));
+        assert_eq!(deltas[0].describe(), "-50.0%");
+        assert_eq!(deltas[1].baseline_ns, None);
+        assert_eq!(deltas[1].describe(), "new");
+    }
+
+    #[test]
+    fn zero_baseline_reports_as_new() {
+        let base = vec![Baseline {
+            name: "a".into(),
+            median_ns: 0,
+        }];
+        let deltas = diff(&base, &[result("a", 5)]);
+        assert_eq!(deltas[0].percent(), None);
+    }
+
+    #[test]
+    fn parse_skips_malformed_lines() {
+        let parsed = parse_baseline("{\n  \"benchmarks\": [\n  ]\n}\nnot json at all");
+        assert!(parsed.is_empty());
+    }
+}

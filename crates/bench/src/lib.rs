@@ -7,7 +7,9 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod runner;
+pub mod suite;
 
 use std::fmt::Display;
 

@@ -275,16 +275,82 @@ impl ProcDebug {
     }
 }
 
+/// Per-instruction execution metadata, precomputed at load so the VM's
+/// dispatch loop reads one table entry instead of matching on the op twice
+/// (once for its simulated cost, once for the two-phase-allocation check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCost {
+    /// Baseline simulated cost of the instruction, microseconds.
+    pub cost: u32,
+    /// Whether the instruction allocates (and therefore runs the VM's
+    /// two-phase allocator critical region).
+    pub allocates: bool,
+}
+
+/// Baseline instruction costs in simulated microseconds, calibrated so that
+/// bytecode executes at roughly the speed of compiled CLU on the paper's
+/// 8 MHz MC68000 (a few microseconds per source-level operation).
+pub fn op_cost(op: &Op) -> OpCost {
+    let cost: u32 = match op {
+        Op::PushInt(_) | Op::PushBool(_) | Op::PushStr(_) | Op::PushNull | Op::Pop(_) => 2,
+        Op::LoadLocal(_) | Op::StoreLocal(_) | Op::LoadGlobal(_) | Op::StoreGlobal(_) => 2,
+        Op::LoadField(_) | Op::StoreField(_) | Op::LoadIndex | Op::StoreIndex | Op::Len => 3,
+        Op::Add | Op::Sub | Op::Neg | Op::Not => 2,
+        Op::Mul => 5,
+        Op::Div | Op::Mod => 8,
+        Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::CmpEq | Op::CmpNe => 2,
+        Op::Concat | Op::Unparse => 12,
+        Op::NewRecord { .. } | Op::NewArray | Op::Append => 10,
+        Op::Jump(_) | Op::JumpIfFalse(_) | Op::JumpIfTrue(_) | Op::Nop => 2,
+        Op::Call { .. } => 12,
+        Op::Enter { .. } => 6,
+        Op::Ret { .. } => 10,
+        Op::Fork { .. } => 60,
+        Op::Rpc { .. } => 25,
+        Op::SemCreate | Op::SemWait | Op::SemSignal => 8,
+        Op::MutexCreate | Op::MutexLock | Op::MutexUnlock => 8,
+        Op::Sleep => 8,
+        Op::Now | Op::Pid | Op::MyNode | Op::Random => 4,
+        Op::Print => 40,
+        Op::Fail => 5,
+        Op::Signal(_) => 10,
+        Op::Trap(_) => 0,
+    };
+    let allocates = matches!(
+        op,
+        Op::NewRecord { .. } | Op::NewArray | Op::Append | Op::Concat | Op::Unparse
+    );
+    OpCost { cost, allocates }
+}
+
 /// A compiled procedure: code plus debug tables.
 #[derive(Debug, Clone)]
 pub struct ProcCode {
     /// The instructions. Mutable at run time only through breakpoint
     /// planting ([`Program::replace_op`]).
     pub code: Vec<Op>,
+    /// Per-instruction cost metadata; always the same length as `code`,
+    /// with `costs[pc] == op_cost(&code[pc])`. Build through
+    /// [`ProcCode::new`] and mutate code only through
+    /// [`Program::replace_op`] to keep the tables in sync.
+    pub costs: Vec<OpCost>,
     /// Signal-handler regions, innermost regions having larger `from_pc`.
     pub handlers: Vec<HandlerEntry>,
     /// Debug tables.
     pub debug: ProcDebug,
+}
+
+impl ProcCode {
+    /// Builds a procedure, deriving the per-instruction cost table.
+    pub fn new(code: Vec<Op>, handlers: Vec<HandlerEntry>, debug: ProcDebug) -> ProcCode {
+        let costs = code.iter().map(op_cost).collect();
+        ProcCode {
+            code,
+            costs,
+            handlers,
+            debug,
+        }
+    }
 }
 
 /// How a node-global variable starts life.
@@ -403,7 +469,9 @@ impl Program {
     ///
     /// Panics if `addr` is out of range.
     pub fn replace_op(&mut self, addr: CodeAddr, op: Op) -> Op {
-        let slot = &mut self.procs[addr.proc.0 as usize].code[addr.pc as usize];
+        let proc = &mut self.procs[addr.proc.0 as usize];
+        proc.costs[addr.pc as usize] = op_cost(&op);
+        let slot = &mut proc.code[addr.pc as usize];
         std::mem::replace(slot, op)
     }
 
@@ -485,15 +553,15 @@ mod tests {
     #[test]
     fn replace_op_roundtrip() {
         let mut prog = Program::default();
-        prog.procs.push(ProcCode {
-            code: vec![
+        prog.procs.push(ProcCode::new(
+            vec![
                 Op::Enter { nlocals: 0 },
                 Op::PushInt(1),
                 Op::Ret { nvals: 0 },
             ],
-            handlers: Vec::new(),
-            debug: debug(&[(0, 1)]),
-        });
+            Vec::new(),
+            debug(&[(0, 1)]),
+        ));
         let addr = CodeAddr {
             proc: ProcId(0),
             pc: 1,
@@ -501,18 +569,33 @@ mod tests {
         let old = prog.replace_op(addr, Op::Trap(0));
         assert_eq!(old, Op::PushInt(1));
         assert_eq!(prog.op_at(addr), Some(&Op::Trap(0)));
+        assert_eq!(prog.procs[0].costs[1], op_cost(&Op::Trap(0)));
         let trap = prog.replace_op(addr, old);
         assert_eq!(trap, Op::Trap(0));
+        assert_eq!(prog.procs[0].costs[1], op_cost(&Op::PushInt(1)));
+    }
+
+    #[test]
+    fn cost_table_matches_code() {
+        let p = ProcCode::new(
+            vec![Op::Enter { nlocals: 1 }, Op::Concat, Op::Ret { nvals: 1 }],
+            Vec::new(),
+            debug(&[(0, 1)]),
+        );
+        assert_eq!(p.costs.len(), p.code.len());
+        assert_eq!(p.costs[0], OpCost { cost: 6, allocates: false });
+        assert_eq!(p.costs[1], OpCost { cost: 12, allocates: true });
+        assert_eq!(p.costs[2], OpCost { cost: 10, allocates: false });
     }
 
     #[test]
     fn entry_sequence_detection() {
         let mut prog = Program::default();
-        prog.procs.push(ProcCode {
-            code: vec![Op::Enter { nlocals: 2 }, Op::Nop],
-            handlers: Vec::new(),
-            debug: debug(&[(0, 1)]),
-        });
+        prog.procs.push(ProcCode::new(
+            vec![Op::Enter { nlocals: 2 }, Op::Nop],
+            Vec::new(),
+            debug(&[(0, 1)]),
+        ));
         assert!(prog.in_entry_sequence(CodeAddr {
             proc: ProcId(0),
             pc: 0

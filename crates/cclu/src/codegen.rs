@@ -440,10 +440,10 @@ impl Compiler {
                 v.to_pc = e.code.len() as u32;
             }
         }
-        Ok(ProcCode {
-            code: e.code,
-            handlers: e.handlers,
-            debug: ProcDebug {
+        Ok(ProcCode::new(
+            e.code,
+            e.handlers,
+            ProcDebug {
                 name: p.name.clone(),
                 sig,
                 line: p.line,
@@ -452,7 +452,7 @@ impl Compiler {
                 lines: e.lines,
                 entry_end: 1,
             },
-        })
+        ))
     }
 
     fn block(&mut self, e: &mut Emit, stmts: &[Stmt]) -> Result<(), CompileError> {

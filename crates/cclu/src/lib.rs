@@ -58,7 +58,8 @@ use std::fmt;
 
 pub use ast::RpcProtocol;
 pub use bytecode::{
-    CodeAddr, GlobalDebug, GlobalInit, Op, ProcCode, ProcDebug, ProcId, Program, VarDebug,
+    op_cost, CodeAddr, GlobalDebug, GlobalInit, Op, OpCost, ProcCode, ProcDebug, ProcId, Program,
+    VarDebug,
 };
 pub use codegen::compile;
 pub use types::{RecordType, Signature, Type};

@@ -262,8 +262,9 @@ pub enum StepOutcome {
     },
     /// The process faulted.
     Faulted {
-        /// The failure.
-        fault: Fault,
+        /// The failure. Boxed to keep the (hot) non-fault outcomes small
+        /// enough to return in registers.
+        fault: Box<Fault>,
         /// Simulated cost in microseconds.
         cost: u64,
     },
@@ -294,6 +295,11 @@ pub struct VmProcess {
     /// True while the process is inside the heap-allocator critical region
     /// (§5.5); the supervisor must let it exit before halting it.
     pub in_allocator: bool,
+    /// Retired activation frames kept for reuse so the call/return hot
+    /// path does not allocate: a recycled frame keeps its `locals`/`stack`
+    /// capacity. Never observable — frames are fully reinitialised before
+    /// going back on [`frames`](VmProcess::frames).
+    pub frame_pool: Vec<Frame>,
     /// Set by the agent to execute exactly one instruction in "trace mode"
     /// when stepping a process over a breakpoint (§5.5).
     pub trace_once: bool,
@@ -328,48 +334,39 @@ impl VmProcess {
     }
 }
 
-/// Baseline instruction costs in simulated microseconds, calibrated so that
-/// bytecode executes at roughly the speed of compiled CLU on the paper's
-/// 8 MHz MC68000 (a few microseconds per source-level operation).
-fn base_cost(op: &Op) -> u64 {
-    match op {
-        Op::PushInt(_) | Op::PushBool(_) | Op::PushStr(_) | Op::PushNull | Op::Pop(_) => 2,
-        Op::LoadLocal(_) | Op::StoreLocal(_) | Op::LoadGlobal(_) | Op::StoreGlobal(_) => 2,
-        Op::LoadField(_) | Op::StoreField(_) | Op::LoadIndex | Op::StoreIndex | Op::Len => 3,
-        Op::Add | Op::Sub | Op::Neg | Op::Not => 2,
-        Op::Mul => 5,
-        Op::Div | Op::Mod => 8,
-        Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::CmpEq | Op::CmpNe => 2,
-        Op::Concat | Op::Unparse => 12,
-        Op::NewRecord { .. } | Op::NewArray | Op::Append => 10,
-        Op::Jump(_) | Op::JumpIfFalse(_) | Op::JumpIfTrue(_) | Op::Nop => 2,
-        Op::Call { .. } => 12,
-        Op::Enter { .. } => 6,
-        Op::Ret { .. } => 10,
-        Op::Fork { .. } => 60,
-        Op::Rpc { .. } => 25,
-        Op::SemCreate | Op::SemWait | Op::SemSignal => 8,
-        Op::MutexCreate | Op::MutexLock | Op::MutexUnlock => 8,
-        Op::Sleep => 8,
-        Op::Now | Op::Pid | Op::MyNode | Op::Random => 4,
-        Op::Print => 40,
-        Op::Fail => 5,
-        Op::Signal(_) => 10,
-        Op::Trap(_) => 0,
-    }
-}
-
 /// Cost of the second (commit) phase of an allocating instruction.
 const ALLOC_COMMIT_COST: u64 = 10;
 
+#[cold]
+#[inline(never)]
 fn fault(kind: FaultKind, message: impl Into<String>, cost: u64) -> StepOutcome {
     StepOutcome::Faulted {
-        fault: Fault {
+        fault: Box::new(Fault {
             kind,
             message: message.into(),
-        },
+        }),
         cost,
     }
+}
+
+/// Out-of-line constructor for operand-type faults so the `format!`
+/// machinery is not expanded at every `pop_int!`/`pop_bool!` site in the
+/// hot dispatch loop.
+#[cold]
+#[inline(never)]
+fn type_fault(expected: &str, found: &Value, cost: u64) -> StepOutcome {
+    fault(
+        FaultKind::Internal,
+        format!("expected {expected} on stack, found {found}"),
+        cost,
+    )
+}
+
+/// Out-of-line constructor for the pc-out-of-range fault.
+#[cold]
+#[inline(never)]
+fn range_fault(addr: CodeAddr) -> StepOutcome {
+    fault(FaultKind::Internal, format!("pc out of range at {addr}"), 0)
 }
 
 /// Executes one instruction of `p`.
@@ -377,6 +374,13 @@ fn fault(kind: FaultKind, message: impl Into<String>, cost: u64) -> StepOutcome 
 /// The caller (the supervisor) is responsible for only stepping processes
 /// it considers runnable, for applying the returned cost to the node clock,
 /// and for honouring trap/fault outcomes.
+///
+/// The dispatch is zero-clone: the instruction executes as a borrowed
+/// [`&Op`](Op) out of the program (copying `env.program`, a shared
+/// reference, keeps the op borrow independent of `env`'s mutable fields),
+/// the top frame is borrowed `&mut` exactly once, and cost/allocation
+/// metadata comes from the [`ProcCode::costs`](crate::ProcCode) side table
+/// instead of matching on the op.
 pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
     // Deliver results of a completed blocking operation.
     if !p.pending_push.is_empty() {
@@ -386,45 +390,39 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
         }
     }
 
-    let Some(frame) = p.frames.last() else {
+    let program = env.program;
+    let depth = p.frames.len();
+    let Some(frame) = p.frames.last_mut() else {
         return fault(FaultKind::Internal, "process has no frames", 0);
     };
     let addr = frame.addr();
-    let Some(op) = env.program.op_at(addr) else {
-        return fault(FaultKind::Internal, format!("pc out of range at {addr}"), 0);
+    let pc = addr.pc as usize;
+    let (op, meta) = match program.procs.get(addr.proc.0 as usize) {
+        Some(code) if pc < code.code.len() && pc < code.costs.len() => {
+            (&code.code[pc], code.costs[pc])
+        }
+        _ => return range_fault(addr),
     };
-    let op = op.clone();
 
     // Two-phase allocation: the first visit marks the process inside the
     // allocator critical region and does not advance the pc; the second
     // visit commits the allocation.
-    let allocates = matches!(
-        op,
-        Op::NewRecord { .. } | Op::NewArray | Op::Append | Op::Concat | Op::Unparse
-    );
-    if allocates && !p.in_allocator {
+    if meta.allocates && !p.in_allocator {
         p.in_allocator = true;
         return StepOutcome::Ran {
-            cost: base_cost(&op),
+            cost: u64::from(meta.cost),
         };
     }
-    let cost = if allocates {
+    let cost = if meta.allocates {
+        p.in_allocator = false;
         ALLOC_COMMIT_COST
     } else {
-        base_cost(&op)
+        u64::from(meta.cost)
     };
-    if allocates {
-        p.in_allocator = false;
-    }
 
-    macro_rules! top_frame {
-        () => {
-            p.frames.last_mut().expect("frame checked above")
-        };
-    }
     macro_rules! pop {
         () => {
-            match top_frame!().stack.pop() {
+            match frame.stack.pop() {
                 Some(v) => v,
                 None => return fault(FaultKind::Internal, "operand stack underflow", cost),
             }
@@ -434,13 +432,7 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
         () => {
             match pop!() {
                 Value::Int(v) => v,
-                other => {
-                    return fault(
-                        FaultKind::Internal,
-                        format!("expected int on stack, found {other}"),
-                        cost,
-                    )
-                }
+                other => return type_fault("int", &other, cost),
             }
         };
     }
@@ -448,24 +440,219 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
         () => {
             match pop!() {
                 Value::Bool(v) => v,
-                other => {
-                    return fault(
-                        FaultKind::Internal,
-                        format!("expected bool on stack, found {other}"),
-                        cost,
-                    )
-                }
+                other => return type_fault("bool", &other, cost),
             }
         };
     }
     macro_rules! push {
         ($v:expr) => {
-            top_frame!().stack.push($v)
+            frame.stack.push($v)
         };
     }
     macro_rules! advance {
         () => {
-            top_frame!().pc += 1
+            frame.pc += 1
+        };
+    }
+    match op {
+        Op::Trap(bp) => return StepOutcome::Trapped { bp: *bp },
+        Op::Nop => {
+            advance!();
+        }
+        Op::PushInt(v) => {
+            push!(Value::Int(*v));
+            advance!();
+        }
+        Op::PushBool(v) => {
+            push!(Value::Bool(*v));
+            advance!();
+        }
+        Op::PushNull => {
+            push!(Value::Null);
+            advance!();
+        }
+        Op::Pop(n) => {
+            for _ in 0..*n {
+                let _ = pop!();
+            }
+            advance!();
+        }
+        Op::LoadLocal(slot) => {
+            let v = frame.locals[*slot as usize].clone();
+            push!(v);
+            advance!();
+        }
+        Op::StoreLocal(slot) => {
+            let v = pop!();
+            frame.locals[*slot as usize] = v;
+            advance!();
+        }
+        Op::LoadGlobal(slot) => {
+            let v = env.globals[*slot as usize].clone();
+            push!(v);
+            advance!();
+        }
+        Op::StoreGlobal(slot) => {
+            let v = pop!();
+            env.globals[*slot as usize] = v;
+            advance!();
+        }
+        Op::Add => {
+            let b = pop_int!();
+            let a = pop_int!();
+            push!(Value::Int(a.wrapping_add(b)));
+            advance!();
+        }
+        Op::Sub => {
+            let b = pop_int!();
+            let a = pop_int!();
+            push!(Value::Int(a.wrapping_sub(b)));
+            advance!();
+        }
+        Op::Mul => {
+            let b = pop_int!();
+            let a = pop_int!();
+            push!(Value::Int(a.wrapping_mul(b)));
+            advance!();
+        }
+        Op::Neg => {
+            let a = pop_int!();
+            push!(Value::Int(a.wrapping_neg()));
+            advance!();
+        }
+        Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+            let b = pop_int!();
+            let a = pop_int!();
+            let r = match op {
+                Op::Lt => a < b,
+                Op::Le => a <= b,
+                Op::Gt => a > b,
+                _ => a >= b,
+            };
+            push!(Value::Bool(r));
+            advance!();
+        }
+        Op::CmpEq | Op::CmpNe => {
+            let b = pop!();
+            let a = pop!();
+            let eq = match (&a, &b) {
+                (Value::Int(x), Value::Int(y)) => x == y,
+                (Value::Bool(x), Value::Bool(y)) => x == y,
+                (Value::Str(x), Value::Str(y)) => x == y,
+                _ => return fault(FaultKind::Internal, format!("compare of {a} and {b}"), cost),
+            };
+            push!(Value::Bool(if matches!(op, Op::CmpEq) { eq } else { !eq }));
+            advance!();
+        }
+        Op::Not => {
+            let a = pop_bool!();
+            push!(Value::Bool(!a));
+            advance!();
+        }
+        Op::Jump(t) => {
+            frame.pc = *t;
+        }
+        Op::JumpIfFalse(t) => {
+            let c = pop_bool!();
+            if c {
+                advance!();
+            } else {
+                frame.pc = *t;
+            }
+        }
+        Op::JumpIfTrue(t) => {
+            let c = pop_bool!();
+            if c {
+                frame.pc = *t;
+            } else {
+                advance!();
+            }
+        }
+        Op::Call { proc, nargs } => {
+            if depth >= MAX_FRAMES {
+                return fault(FaultKind::StackOverflow, "call stack exhausted", cost);
+            }
+            let at = frame.stack.len() - *nargs as usize;
+            frame.pc += 1; // return continues after the call
+            let callee = match p.frame_pool.pop() {
+                Some(mut f) => {
+                    f.proc = *proc;
+                    f.pc = 0;
+                    f.locals.extend(frame.stack.drain(at..));
+                    f.well_formed = false;
+                    f.kind = FrameKind::Normal;
+                    f.rpc_info = None;
+                    f
+                }
+                None => Frame::activation(*proc, frame.stack.split_off(at)),
+            };
+            p.frames.push(callee);
+        }
+        Op::Enter { nlocals } => {
+            frame.locals.resize(*nlocals as usize, Value::Null);
+            frame.well_formed = true;
+            frame.pc += 1;
+        }
+        Op::Ret { nvals } => {
+            let at = frame.stack.len() - *nvals as usize;
+            let mut returning = p.frames.pop().expect("frame checked above");
+            match p.frames.last_mut() {
+                Some(caller) => {
+                    caller.stack.extend(returning.stack.drain(at..));
+                    returning.locals.clear();
+                    returning.stack.clear();
+                    returning.rpc_info = None;
+                    if p.frame_pool.len() < MAX_FRAMES {
+                        p.frame_pool.push(returning);
+                    }
+                }
+                None => {
+                    p.exit_values = returning.stack.split_off(at);
+                    return StepOutcome::Exited { cost };
+                }
+            }
+        }
+        // Everything else is comparatively rare (heap traffic, strings,
+        // syscalls): it lives in a separate non-inlined handler so the hot
+        // dispatch loop above stays small enough to be cache-resident.
+        _ => return step_cold(op, p, env, cost),
+    }
+    StepOutcome::Ran { cost }
+}
+
+/// The cold half of [`step`]: heap-touching, string-building, and
+/// syscall-issuing instructions. `#[inline(never)]` keeps their (large)
+/// bodies — fault `format!`s, marshalling, `dyn Syscalls` plumbing — out
+/// of the hot dispatch loop's instruction footprint.
+#[inline(never)]
+fn step_cold(op: &Op, p: &mut VmProcess, env: &mut ExecEnv<'_>, cost: u64) -> StepOutcome {
+    let program = env.program;
+    let frame = p.frames.last_mut().expect("step checked the frame");
+
+    macro_rules! pop {
+        () => {
+            match frame.stack.pop() {
+                Some(v) => v,
+                None => return fault(FaultKind::Internal, "operand stack underflow", cost),
+            }
+        };
+    }
+    macro_rules! pop_int {
+        () => {
+            match pop!() {
+                Value::Int(v) => v,
+                other => return type_fault("int", &other, cost),
+            }
+        };
+    }
+    macro_rules! push {
+        ($v:expr) => {
+            frame.stack.push($v)
+        };
+    }
+    macro_rules! advance {
+        () => {
+            frame.pc += 1
         };
     }
     macro_rules! sysreply {
@@ -487,50 +674,8 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
     }
 
     match op {
-        Op::Trap(bp) => return StepOutcome::Trapped { bp },
-        Op::Nop => {
-            advance!();
-        }
-        Op::PushInt(v) => {
-            push!(Value::Int(v));
-            advance!();
-        }
-        Op::PushBool(v) => {
-            push!(Value::Bool(v));
-            advance!();
-        }
         Op::PushStr(s) => {
-            push!(Value::Str(s));
-            advance!();
-        }
-        Op::PushNull => {
-            push!(Value::Null);
-            advance!();
-        }
-        Op::Pop(n) => {
-            for _ in 0..n {
-                let _ = pop!();
-            }
-            advance!();
-        }
-        Op::LoadLocal(slot) => {
-            let v = top_frame!().locals[slot as usize].clone();
-            push!(v);
-            advance!();
-        }
-        Op::StoreLocal(slot) => {
-            let v = pop!();
-            top_frame!().locals[slot as usize] = v;
-            advance!();
-        }
-        Op::LoadGlobal(slot) => {
-            let v = env.globals[slot as usize].clone();
-            push!(v);
-            advance!();
-        }
-        Op::StoreGlobal(slot) => {
-            let v = pop!();
-            env.globals[slot as usize] = v;
+            push!(Value::Str(s.clone()));
             advance!();
         }
         Op::LoadField(idx) => {
@@ -545,7 +690,7 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
                 }
             };
             let v = match env.heap.get(r) {
-                HeapObject::Record { fields, .. } => fields[idx as usize].clone(),
+                HeapObject::Record { fields, .. } => fields[*idx as usize].clone(),
                 HeapObject::Array(_) => {
                     return fault(FaultKind::Internal, "field access on array", cost)
                 }
@@ -562,7 +707,7 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
                 }
             };
             match env.heap.get_mut(r) {
-                HeapObject::Record { fields, .. } => fields[idx as usize] = v,
+                HeapObject::Record { fields, .. } => fields[*idx as usize] = v,
                 HeapObject::Array(_) => {
                     return fault(FaultKind::Internal, "field store on array", cost)
                 }
@@ -620,10 +765,9 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
             advance!();
         }
         Op::NewRecord { type_id, nfields } => {
-            let frame = top_frame!();
-            let at = frame.stack.len() - nfields as usize;
+            let at = frame.stack.len() - *nfields as usize;
             let fields = frame.stack.split_off(at);
-            let type_name = env.program.records[type_id as usize].name.clone();
+            let type_name = program.records[*type_id as usize].name.clone();
             let r = env.heap.alloc(HeapObject::Record { type_name, fields });
             push!(Value::Ref(r));
             advance!();
@@ -661,24 +805,6 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
             push!(Value::Int(n));
             advance!();
         }
-        Op::Add => {
-            let b = pop_int!();
-            let a = pop_int!();
-            push!(Value::Int(a.wrapping_add(b)));
-            advance!();
-        }
-        Op::Sub => {
-            let b = pop_int!();
-            let a = pop_int!();
-            push!(Value::Int(a.wrapping_sub(b)));
-            advance!();
-        }
-        Op::Mul => {
-            let b = pop_int!();
-            let a = pop_int!();
-            push!(Value::Int(a.wrapping_mul(b)));
-            advance!();
-        }
         Op::Div => {
             let b = pop_int!();
             let a = pop_int!();
@@ -697,11 +823,6 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
             push!(Value::Int(a.wrapping_rem(b)));
             advance!();
         }
-        Op::Neg => {
-            let a = pop_int!();
-            push!(Value::Int(a.wrapping_neg()));
-            advance!();
-        }
         Op::Concat => {
             let b = pop!();
             let a = pop!();
@@ -715,88 +836,10 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
             }
             advance!();
         }
-        Op::Lt | Op::Le | Op::Gt | Op::Ge => {
-            let b = pop_int!();
-            let a = pop_int!();
-            let r = match op {
-                Op::Lt => a < b,
-                Op::Le => a <= b,
-                Op::Gt => a > b,
-                _ => a >= b,
-            };
-            push!(Value::Bool(r));
-            advance!();
-        }
-        Op::CmpEq | Op::CmpNe => {
-            let b = pop!();
-            let a = pop!();
-            let eq = match (&a, &b) {
-                (Value::Int(x), Value::Int(y)) => x == y,
-                (Value::Bool(x), Value::Bool(y)) => x == y,
-                (Value::Str(x), Value::Str(y)) => x == y,
-                _ => return fault(FaultKind::Internal, format!("compare of {a} and {b}"), cost),
-            };
-            push!(Value::Bool(if matches!(op, Op::CmpEq) { eq } else { !eq }));
-            advance!();
-        }
-        Op::Not => {
-            let a = pop_bool!();
-            push!(Value::Bool(!a));
-            advance!();
-        }
-        Op::Jump(t) => {
-            top_frame!().pc = t;
-        }
-        Op::JumpIfFalse(t) => {
-            let c = pop_bool!();
-            if c {
-                advance!();
-            } else {
-                top_frame!().pc = t;
-            }
-        }
-        Op::JumpIfTrue(t) => {
-            let c = pop_bool!();
-            if c {
-                top_frame!().pc = t;
-            } else {
-                advance!();
-            }
-        }
-        Op::Call { proc, nargs } => {
-            if p.frames.len() >= MAX_FRAMES {
-                return fault(FaultKind::StackOverflow, "call stack exhausted", cost);
-            }
-            let frame = top_frame!();
-            let at = frame.stack.len() - nargs as usize;
-            let args = frame.stack.split_off(at);
-            frame.pc += 1; // return continues after the call
-            p.frames.push(Frame::activation(proc, args));
-        }
-        Op::Enter { nlocals } => {
-            let frame = top_frame!();
-            frame.locals.resize(nlocals as usize, Value::Null);
-            frame.well_formed = true;
-            frame.pc += 1;
-        }
-        Op::Ret { nvals } => {
-            let frame = top_frame!();
-            let at = frame.stack.len() - nvals as usize;
-            let vals = frame.stack.split_off(at);
-            p.frames.pop();
-            match p.frames.last_mut() {
-                Some(caller) => caller.stack.extend(vals),
-                None => {
-                    p.exit_values = vals;
-                    return StepOutcome::Exited { cost };
-                }
-            }
-        }
         Op::Fork { proc, nargs } => {
-            let frame = top_frame!();
-            let at = frame.stack.len() - nargs as usize;
+            let at = frame.stack.len() - *nargs as usize;
             let args = frame.stack.split_off(at);
-            let pid = env.sys.fork(proc, args);
+            let pid = env.sys.fork(*proc, args);
             push!(Value::Int(pid));
             advance!();
         }
@@ -806,23 +849,22 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
             nrets,
             protocol,
         } => {
-            let frame = top_frame!();
             let node = match frame.stack.pop() {
                 Some(Value::Int(n)) => n,
                 other => {
                     return fault(FaultKind::Internal, format!("bad rpc node {other:?}"), cost)
                 }
             };
-            let at = frame.stack.len() - nargs as usize;
+            let at = frame.stack.len() - *nargs as usize;
             let args = frame.stack.split_off(at);
-            let proc_name = env.program.rpc_names[name_idx as usize].clone();
+            let proc_name = program.rpc_names[*name_idx as usize].clone();
             advance!();
             let reply = env.sys.rpc(RpcRequest {
                 proc_name,
                 args,
                 node,
-                protocol,
-                nrets,
+                protocol: *protocol,
+                nrets: *nrets,
             });
             return match reply {
                 SysReply::Val(vals) => {
@@ -939,8 +981,9 @@ pub fn step(p: &mut VmProcess, env: &mut ExecEnv<'_>) -> StepOutcome {
             return fault(FaultKind::Explicit, msg, cost);
         }
         Op::Signal(idx) => {
-            return raise_signal(p, env, idx, cost);
+            return raise_signal(p, env, *idx, cost);
         }
+        _ => unreachable!("hot instruction routed to step_cold"),
     }
     StepOutcome::Ran { cost }
 }
@@ -1123,7 +1166,7 @@ mod tests {
                     return Finished {
                         prints: sys.prints,
                         exit_values: vec![],
-                        fault: Some(fault),
+                        fault: Some(*fault),
                         steps,
                         cost: total,
                     };

@@ -381,7 +381,13 @@ impl WorldBuilder {
             tracer,
             now: SimTime::ZERO,
             user_nodes: self.nodes,
-            window: self.window,
+            // Conservative-window lookahead: every cross-node delivery
+            // arrives at least `base_latency` after it was sent (interface
+            // refusals are synchronous sender-side statuses, not
+            // deliveries), so lockstep windows up to that latency cannot
+            // let a node advance past an incoming packet. Degenerate
+            // low-latency configurations keep the builder's floor.
+            window: self.window.max(self.net.base_latency),
         })
     }
 }

@@ -11,7 +11,7 @@
 //! hits, faults, process lifecycle — is reported back as [`Outcall`]s for
 //! the upper layers (RPC runtime, Pilgrim agent) to handle.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use pilgrim_cclu::{
     CodeAddr, ExecEnv, Fault, Heap, ProcId, Program, RpcRequest, StepOutcome, SysReply, Syscalls,
@@ -148,7 +148,11 @@ pub struct Node {
     program: Program,
     heap: Heap,
     globals: Vec<Value>,
-    procs: BTreeMap<Pid, Process>,
+    /// Slot-addressed process arena. Pids are handed out sequentially from
+    /// 1 and a record is never removed (dead processes are retained for
+    /// post-mortem examination), so process `pid` lives at slot
+    /// `pid.0 - 1` and every lookup is a direct index.
+    procs: Vec<Process>,
     run_queue: VecDeque<Pid>,
     sems: Vec<Semaphore>,
     locks: Vec<MonitorLock>,
@@ -162,6 +166,11 @@ pub struct Node {
     outcalls: Vec<Outcall>,
     slice_used: SimDuration,
     halt_marker: Option<SimTime>,
+    /// Conservative earliest timer deadline across eligible processes:
+    /// never later than the true earliest (it may be stale-early after a
+    /// timer is cancelled), so the per-tick expiry check is a single
+    /// comparison instead of a process-table scan.
+    timer_cache: Option<SimTime>,
 }
 
 impl std::fmt::Debug for Node {
@@ -203,7 +212,7 @@ impl Node {
             program,
             heap,
             globals,
-            procs: BTreeMap::new(),
+            procs: Vec::new(),
             run_queue: VecDeque::new(),
             sems,
             locks: Vec::new(),
@@ -217,7 +226,34 @@ impl Node {
             outcalls: Vec::new(),
             slice_used: SimDuration::ZERO,
             halt_marker: None,
+            timer_cache: None,
         }
+    }
+
+    /// The arena slot for `pid`. `Pid(0)` wraps to `usize::MAX`, which no
+    /// slot can reach, so out-of-range pids simply miss.
+    #[inline]
+    fn slot(pid: Pid) -> usize {
+        pid.0.wrapping_sub(1) as usize
+    }
+
+    #[inline]
+    fn proc_at(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(Self::slot(pid))
+    }
+
+    #[inline]
+    fn proc_at_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(Self::slot(pid))
+    }
+
+    /// Folds a new timer deadline into the conservative cache.
+    #[inline]
+    fn note_timer(cache: &mut Option<SimTime>, deadline: SimTime) {
+        *cache = Some(match *cache {
+            Some(c) if c <= deadline => c,
+            _ => deadline,
+        });
     }
 
     /// This node's identifier.
@@ -374,21 +410,20 @@ impl Node {
             }),
             _ => None,
         };
-        self.procs.insert(
+        debug_assert_eq!(Self::slot(pid), self.procs.len());
+        self.procs.push(Process {
             pid,
-            Process {
-                pid,
-                name: name.clone(),
-                body,
-                state: RunState::Runnable,
-                halted,
-                halt_pending: false,
-                no_halt: opts.no_halt,
-                priority: opts.priority,
-                resume_values: Vec::new(),
-                print_redirect,
-            },
-        );
+            name: name.clone(),
+            body,
+            state: RunState::Runnable,
+            halted,
+            halt_pending: false,
+            no_halt: opts.no_halt,
+            priority: opts.priority,
+            resume_values: Vec::new(),
+            print_redirect,
+            queued: true,
+        });
         self.run_queue.push_back(pid);
         self.outcalls.push(Outcall::ProcCreated { pid, name });
         pid
@@ -396,23 +431,23 @@ impl Node {
 
     /// Direct access to a process record.
     pub fn process(&self, pid: Pid) -> Option<&Process> {
-        self.procs.get(&pid)
+        self.proc_at(pid)
     }
 
     /// Mutable access to a process record (agent memory access path).
     pub fn process_mut(&mut self, pid: Pid) -> Option<&mut Process> {
-        self.procs.get_mut(&pid)
+        self.proc_at_mut(pid)
     }
 
     /// All process ids, in creation order.
     pub fn pids(&self) -> Vec<Pid> {
-        self.procs.keys().copied().collect()
+        self.procs.iter().map(|p| p.pid).collect()
     }
 
     /// The §5.4 supervisor primitive: everything the supervisor knows about
     /// a process.
     pub fn process_info(&self, pid: Pid) -> Option<ProcessInfo> {
-        self.procs.get(&pid).map(|p| ProcessInfo {
+        self.proc_at(pid).map(|p| ProcessInfo {
             pid,
             name: p.name.clone(),
             state: p.state.clone(),
@@ -426,7 +461,7 @@ impl Node {
 
     /// Sets a process's no-halt bit (§5.2).
     pub fn set_no_halt(&mut self, pid: Pid, no_halt: bool) {
-        if let Some(p) = self.procs.get_mut(&pid) {
+        if let Some(p) = self.proc_at_mut(pid) {
             p.no_halt = no_halt;
         }
     }
@@ -469,13 +504,13 @@ impl Node {
     /// The redirected output captured for `pid`, when it was spawned with
     /// [`SpawnOpts::redirect_output`].
     pub fn redirected_output(&self, pid: Pid) -> Option<&str> {
-        let token = self.procs.get(&pid)?.print_redirect?;
+        let token = self.proc_at(pid)?.print_redirect?;
         self.buffers.get(&token).map(|s| s.as_str())
     }
 
     /// A finished process's return values.
     pub fn exit_values(&self, pid: Pid) -> Option<&[Value]> {
-        let p = self.procs.get(&pid)?;
+        let p = self.proc_at(pid)?;
         match &p.body {
             ProcBody::Vm(vm) if p.state == RunState::Exited => Some(&vm.exit_values),
             _ => None,
@@ -497,7 +532,7 @@ impl Node {
         let Some(pid) = self.pid_waiting_on(token) else {
             return;
         };
-        if let Some(p) = self.procs.get_mut(&pid) {
+        if let Some(p) = self.proc_at_mut(pid) {
             p.state = RunState::Faulted(fault.clone());
             let at = self.clock;
             self.outcalls.push(Outcall::Fault { pid, fault, at });
@@ -506,14 +541,14 @@ impl Node {
 
     /// The process blocked on RPC token `token`, if any.
     pub fn pid_waiting_on(&self, token: u64) -> Option<Pid> {
-        self.procs.iter().find_map(|(pid, p)| match p.state {
-            RunState::RpcWait { token: t } if t == token => Some(*pid),
+        self.procs.iter().find_map(|p| match p.state {
+            RunState::RpcWait { token: t } if t == token => Some(p.pid),
             _ => None,
         })
     }
 
     fn wake(&mut self, pid: Pid, values: Vec<Value>) {
-        let Some(p) = self.procs.get_mut(&pid) else {
+        let Some(p) = self.procs.get_mut(Self::slot(pid)) else {
             return;
         };
         if p.state.is_dead() {
@@ -524,11 +559,18 @@ impl Node {
             ProcBody::Vm(vm) => vm.pending_push.extend(values),
             ProcBody::Native(_) => p.resume_values.extend(values),
         }
-        self.ensure_queued(pid);
+        if !p.queued {
+            p.queued = true;
+            self.run_queue.push_back(pid);
+        }
     }
 
     fn ensure_queued(&mut self, pid: Pid) {
-        if !self.run_queue.contains(&pid) {
+        let Some(p) = self.procs.get_mut(Self::slot(pid)) else {
+            return;
+        };
+        if !p.queued {
+            p.queued = true;
             self.run_queue.push_back(pid);
         }
     }
@@ -543,10 +585,10 @@ impl Node {
     /// soon as they leave it (§5.5). Returns how many processes were
     /// halted (or marked halt-pending).
     pub fn halt_all(&mut self) -> usize {
-        let pids: Vec<Pid> = self.procs.keys().copied().collect();
+        let count = self.procs.len() as u64;
         let mut n = 0;
-        for pid in pids {
-            if self.halt_one(pid) {
+        for i in 1..=count {
+            if self.halt_one(Pid(i)) {
                 n += 1;
             }
         }
@@ -564,7 +606,7 @@ impl Node {
     /// already halted.
     pub fn halt_one(&mut self, pid: Pid) -> bool {
         let clock = self.clock;
-        let Some(p) = self.procs.get_mut(&pid) else {
+        let Some(p) = self.procs.get_mut(Self::slot(pid)) else {
             return false;
         };
         if p.no_halt || p.halted.is_some() || p.state.is_dead() {
@@ -601,10 +643,10 @@ impl Node {
     /// Resumes every halted process, re-applying frozen timeouts relative
     /// to the current time (§5.2).
     pub fn resume_all(&mut self) -> usize {
-        let pids: Vec<Pid> = self.procs.keys().copied().collect();
+        let count = self.procs.len() as u64;
         let mut n = 0;
-        for pid in pids {
-            if self.resume_one(pid) {
+        for i in 1..=count {
+            if self.resume_one(Pid(i)) {
                 n += 1;
             }
         }
@@ -614,7 +656,7 @@ impl Node {
     /// Resumes a single halted process.
     pub fn resume_one(&mut self, pid: Pid) -> bool {
         let clock = self.clock;
-        let Some(p) = self.procs.get_mut(&pid) else {
+        let Some(p) = self.procs.get_mut(Self::slot(pid)) else {
             return false;
         };
         p.halt_pending = false;
@@ -629,6 +671,7 @@ impl Node {
                 } => *d = clock + rem,
                 _ => {}
             }
+            Self::note_timer(&mut self.timer_cache, clock + rem);
         }
         if p.state.is_runnable() {
             self.ensure_queued(pid);
@@ -639,14 +682,14 @@ impl Node {
     /// True when any process is currently halted (or halt-pending).
     pub fn any_halted(&self) -> bool {
         self.procs
-            .values()
+            .iter()
             .any(|p| p.halted.is_some() || p.halt_pending)
     }
 
     /// Releases a process stopped at a trap or after a trace step back to
     /// the run queue.
     pub fn release_stopped(&mut self, pid: Pid) -> bool {
-        let Some(p) = self.procs.get_mut(&pid) else {
+        let Some(p) = self.proc_at_mut(pid) else {
             return false;
         };
         if p.state.is_stopped_by_debugger() {
@@ -663,7 +706,7 @@ impl Node {
     /// waiting on a semaphore is removed from that semaphore's queue; its
     /// pending wait is answered with `false` (as if timed out).
     pub fn force_runnable(&mut self, pid: Pid) -> bool {
-        let Some(p) = self.procs.get_mut(&pid) else {
+        let Some(p) = self.proc_at_mut(pid) else {
             return false;
         };
         match p.state.clone() {
@@ -692,8 +735,7 @@ impl Node {
     /// earliest timer deadline otherwise, `None` when fully idle.
     pub fn next_activity(&self) -> Option<SimTime> {
         if self.run_queue.iter().any(|pid| {
-            self.procs
-                .get(pid)
+            self.proc_at(*pid)
                 .map(|p| p.schedulable())
                 .unwrap_or(false)
         }) {
@@ -704,7 +746,7 @@ impl Node {
 
     fn next_deadline(&self) -> Option<SimTime> {
         self.procs
-            .values()
+            .iter()
             .filter(|p| p.halted.is_none())
             .filter_map(|p| match &p.state {
                 RunState::Sleeping { until } => Some(*until),
@@ -717,11 +759,18 @@ impl Node {
     }
 
     fn expire_timers(&mut self) {
+        // Cheap early-out on the hot scheduling path: the cache is a
+        // conservative lower bound, so nothing can be due when it sits in
+        // the future (or no timer was ever armed).
+        match self.timer_cache {
+            Some(t) if t <= self.clock => {}
+            _ => return,
+        }
         let clock = self.clock;
         let freeze = self.config.freeze_timeouts_on_halt;
         let due: Vec<(Pid, bool)> = self
             .procs
-            .values()
+            .iter()
             .filter(|p| p.halted.is_none() || !freeze)
             .filter_map(|p| match &p.state {
                 RunState::Sleeping { until } if *until <= clock => Some((p.pid, false)),
@@ -734,7 +783,7 @@ impl Node {
         for (pid, was_sem) in due {
             if was_sem {
                 if let Some(RunState::SemWait { sem, .. }) =
-                    self.procs.get(&pid).map(|p| p.state.clone())
+                    self.proc_at(pid).map(|p| p.state.clone())
                 {
                     if let Some(s) = self.sems.get_mut(sem as usize) {
                         s.remove_waiter(pid);
@@ -747,20 +796,37 @@ impl Node {
                 self.wake(pid, vec![]);
             }
         }
+        // Re-arm the cache with the exact earliest deadline left among
+        // eligible processes (halted-with-frozen-timeout processes rejoin
+        // via resume_one).
+        self.timer_cache = self
+            .procs
+            .iter()
+            .filter(|p| p.halted.is_none() || !freeze)
+            .filter_map(|p| match &p.state {
+                RunState::Sleeping { until } => Some(*until),
+                RunState::SemWait {
+                    deadline: Some(d), ..
+                } => Some(*d),
+                _ => None,
+            })
+            .min();
     }
 
     fn pick_next(&mut self) -> Option<Pid> {
         loop {
             let pid = *self.run_queue.front()?;
             let ok = self
-                .procs
-                .get(&pid)
+                .proc_at(pid)
                 .map(|p| p.schedulable())
                 .unwrap_or(false);
             if ok {
                 return Some(pid);
             }
             self.run_queue.pop_front();
+            if let Some(p) = self.proc_at_mut(pid) {
+                p.queued = false;
+            }
             self.slice_used = SimDuration::ZERO;
         }
     }
@@ -809,7 +875,7 @@ impl Node {
     /// stepping path). Returns false when the process is not in a state
     /// that can be stepped.
     pub fn step_one(&mut self, pid: Pid) -> bool {
-        let Some(p) = self.procs.get(&pid) else {
+        let Some(p) = self.proc_at(pid) else {
             return false;
         };
         if p.state.is_dead() {
@@ -820,7 +886,11 @@ impl Node {
     }
 
     fn step_process(&mut self, pid: Pid) {
-        let Some(mut proc) = self.procs.remove(&pid) else {
+        // The process is stepped in place: the proc borrow and the borrows
+        // handed to the system-call context are disjoint fields of `self`,
+        // so no remove/re-insert round trip is needed per instruction.
+        let logical_now = self.logical_now();
+        let Some(proc) = self.procs.get_mut(Self::slot(pid)) else {
             return;
         };
         let was_trace = proc.vm().map(|vm| vm.trace_once).unwrap_or(false);
@@ -832,7 +902,7 @@ impl Node {
             node_id: self.id,
             pid,
             now: self.clock,
-            logical_now: self.logical_now(),
+            logical_now,
             sems: &mut self.sems,
             locks: &mut self.locks,
             rng: &mut self.rng,
@@ -880,7 +950,9 @@ impl Node {
 
         match outcome {
             StepOutcome::Ran { cost } => {
-                self.bump(cost);
+                let d = SimDuration::from_micros(cost);
+                self.clock += d;
+                self.slice_used += d;
                 if was_trace {
                     if proc.state.is_runnable() {
                         proc.state = RunState::TraceStopped;
@@ -892,8 +964,19 @@ impl Node {
                 }
             }
             StepOutcome::Blocked { cost } => {
-                self.bump(cost);
+                let d = SimDuration::from_micros(cost);
+                self.clock += d;
+                self.slice_used += d;
                 proc.state = block.unwrap_or(RunState::Runnable);
+                match &proc.state {
+                    RunState::Sleeping { until } => {
+                        Self::note_timer(&mut self.timer_cache, *until);
+                    }
+                    RunState::SemWait {
+                        deadline: Some(d), ..
+                    } => Self::note_timer(&mut self.timer_cache, *d),
+                    _ => {}
+                }
                 if was_trace {
                     self.outcalls.push(Outcall::TraceStop {
                         pid,
@@ -915,7 +998,9 @@ impl Node {
                 });
             }
             StepOutcome::Exited { cost } => {
-                self.bump(cost);
+                let d = SimDuration::from_micros(cost);
+                self.clock += d;
+                self.slice_used += d;
                 proc.state = RunState::Exited;
                 self.outcalls.push(Outcall::ProcExited {
                     pid,
@@ -923,17 +1008,19 @@ impl Node {
                 });
             }
             StepOutcome::Faulted { fault, cost } => {
-                self.bump(cost);
+                let d = SimDuration::from_micros(cost);
+                self.clock += d;
+                self.slice_used += d;
                 self.tracer.record(
                     self.clock,
                     TraceCategory::Vm,
                     Some(self.id),
                     format!("{pid} faulted: {fault}"),
                 );
-                proc.state = RunState::Faulted(fault.clone());
+                proc.state = RunState::Faulted((*fault).clone());
                 self.outcalls.push(Outcall::Fault {
                     pid,
-                    fault,
+                    fault: *fault,
                     at: self.clock,
                 });
             }
@@ -943,10 +1030,9 @@ impl Node {
         // allocator; apply it the moment the allocator is exited (§5.5).
         if proc.halt_pending && !proc.in_allocator() {
             let freeze = self.config.freeze_timeouts_on_halt;
-            Self::apply_halt(&mut proc, self.clock, freeze);
+            let clock = self.clock;
+            Self::apply_halt(proc, clock, freeze);
         }
-
-        self.procs.insert(pid, proc);
 
         for (new_pid, proc_id, args) in spawns {
             let name = self.program.proc(proc_id).debug.name.to_string();
@@ -954,21 +1040,20 @@ impl Node {
                 since: self.clock,
                 frozen_remaining: None,
             });
-            self.procs.insert(
-                new_pid,
-                Process {
-                    pid: new_pid,
-                    name: name.clone(),
-                    body: ProcBody::Vm(VmProcess::spawn(proc_id, args)),
-                    state: RunState::Runnable,
-                    halted,
-                    halt_pending: false,
-                    no_halt: false,
-                    priority: 1,
-                    resume_values: Vec::new(),
-                    print_redirect: None,
-                },
-            );
+            debug_assert_eq!(Self::slot(new_pid), self.procs.len());
+            self.procs.push(Process {
+                pid: new_pid,
+                name: name.clone(),
+                body: ProcBody::Vm(VmProcess::spawn(proc_id, args)),
+                state: RunState::Runnable,
+                halted,
+                halt_pending: false,
+                no_halt: false,
+                priority: 1,
+                resume_values: Vec::new(),
+                print_redirect: None,
+                queued: true,
+            });
             self.run_queue.push_back(new_pid);
             self.outcalls
                 .push(Outcall::ProcCreated { pid: new_pid, name });
@@ -976,12 +1061,6 @@ impl Node {
         for (wpid, values) in wakes {
             self.wake(wpid, values);
         }
-    }
-
-    fn bump(&mut self, cost: u64) {
-        let d = SimDuration::from_micros(cost);
-        self.clock += d;
-        self.slice_used += d;
     }
 }
 

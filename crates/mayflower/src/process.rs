@@ -167,6 +167,10 @@ pub struct Process {
     /// Redirect console output into a buffer (agent-invoked print
     /// operations, §3); the buffer is keyed by this token.
     pub print_redirect: Option<u64>,
+    /// True while the pid sits in the node's run queue. The scheduler keeps
+    /// this in sync so re-queueing a woken process is O(1) instead of a
+    /// linear membership scan of the queue.
+    pub queued: bool,
 }
 
 impl Process {
@@ -259,6 +263,7 @@ mod tests {
             priority: 1,
             resume_values: vec![],
             print_redirect: None,
+            queued: false,
         };
         assert!(p.schedulable());
         p.halted = Some(HaltInfo {

@@ -36,14 +36,29 @@ pub enum WireValue {
 
 impl WireValue {
     /// Encoded size in bytes, used for network-latency modelling.
+    ///
+    /// The size model is self-consistent with the in-memory representation:
+    /// every value is framed by a 1-byte variant tag, and the per-variant
+    /// payloads are
+    ///
+    /// | variant  | payload                                          |
+    /// |----------|--------------------------------------------------|
+    /// | `Null`   | none                                             |
+    /// | `Bool`   | 1 byte                                           |
+    /// | `Int`    | 8 bytes (`i64`)                                  |
+    /// | `Str`    | 4-byte length + UTF-8 bytes                      |
+    /// | `Record` | 2-byte name length + name + 2-byte field count + tagged fields |
+    /// | `Array`  | 4-byte element count + tagged elements           |
     pub fn wire_bytes(&self) -> usize {
-        match self {
-            WireValue::Null => 1,
-            WireValue::Int(_) => 4,
+        1 + match self {
+            WireValue::Null => 0,
+            WireValue::Int(_) => 8,
             WireValue::Bool(_) => 1,
-            WireValue::Str(s) => 2 + s.len(),
+            WireValue::Str(s) => 4 + s.len(),
             WireValue::Record { type_name, fields } => {
-                2 + type_name.len() + fields.iter().map(WireValue::wire_bytes).sum::<usize>()
+                2 + type_name.len()
+                    + 2
+                    + fields.iter().map(WireValue::wire_bytes).sum::<usize>()
             }
             WireValue::Array(items) => 4 + items.iter().map(WireValue::wire_bytes).sum::<usize>(),
         }
@@ -196,8 +211,10 @@ mod tests {
     fn wire_bytes_counts_structure() {
         let (heap, v) = sample();
         let w = marshal(&heap, &v).unwrap();
-        // record: 2 + 4 ("pair") + str (2+1) + array (4 + 4 + 1) = 18
-        assert_eq!(w.wire_bytes(), 18);
+        // record: 1 + 2 + 4 ("pair") + 2 = 9
+        // str "s": 1 + 4 + 1 = 6
+        // array:   1 + 4 + int (1 + 8) + bool (1 + 1) = 16
+        assert_eq!(w.wire_bytes(), 9 + 6 + 16);
     }
 
     #[test]

@@ -237,12 +237,13 @@ mod tests {
             protocol: RpcProtocol::ExactlyOnce,
             attempt: 0,
         };
-        assert_eq!(call.wire_bytes(32), 32 + 6 + 4);
+        // tagged int payload: 1 tag + 8 bytes of i64
+        assert_eq!(call.wire_bytes(32), 32 + 6 + 9);
         let reply = RpcPacket::Reply {
             call_id: 1,
             results: vec![WireValue::Int(16)],
         };
-        assert_eq!(reply.wire_bytes(32), 36);
+        assert_eq!(reply.wire_bytes(32), 32 + 9);
         assert_eq!(call.call_id(), reply.call_id());
     }
 }

@@ -38,6 +38,15 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// The fate of a scheduled-but-undelivered id. Ids absent from the state
+/// map were delivered (or already reaped after cancellation), so stale-id
+/// cancels stay harmless in every interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdState {
+    Pending,
+    Cancelled,
+}
+
 /// A future-event list keyed by simulated time.
 ///
 /// # Examples
@@ -54,11 +63,12 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     next_seq: u64,
-    /// Ids scheduled but not yet delivered or cancelled. Distinguishing
-    /// "cancelled" from "already delivered" exactly keeps stale-id cancels
-    /// harmless in every interleaving.
-    pending: std::collections::HashSet<EventId>,
-    cancelled: std::collections::HashSet<EventId>,
+    /// One entry per id still in the heap — a single map probe settles both
+    /// "is this cancellable?" and "should the head be skipped?".
+    states: std::collections::HashMap<EventId, IdState>,
+    /// Number of `Pending` entries in `states`, maintained incrementally so
+    /// `len` is O(1).
+    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -73,8 +83,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            states: std::collections::HashMap::new(),
+            live: 0,
         }
     }
 
@@ -89,7 +99,8 @@ impl<E> EventQueue<E> {
             payload,
         }));
         self.next_seq += 1;
-        self.pending.insert(id);
+        self.states.insert(id, IdState::Pending);
+        self.live += 1;
         id
     }
 
@@ -99,11 +110,13 @@ impl<E> EventQueue<E> {
     /// unknown and already-delivered ids are harmless no-ops. Cancellation
     /// is lazy: the slot is skipped when it reaches the head.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.pending.remove(&id) {
-            self.cancelled.insert(id);
-            true
-        } else {
-            false
+        match self.states.get_mut(&id) {
+            Some(s @ IdState::Pending) => {
+                *s = IdState::Cancelled;
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -117,7 +130,8 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         let Reverse(s) = self.heap.pop()?;
-        self.pending.remove(&s.id);
+        self.states.remove(&s.id);
+        self.live -= 1;
         Some((s.time, s.payload))
     }
 
@@ -132,17 +146,18 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     fn skip_cancelled(&mut self) {
         while let Some(Reverse(s)) = self.heap.peek() {
-            if self.cancelled.remove(&s.id) {
+            if self.states.get(&s.id) == Some(&IdState::Cancelled) {
+                self.states.remove(&s.id);
                 self.heap.pop();
             } else {
                 break;

@@ -164,6 +164,28 @@ impl Tracer {
         inner.events.push_back(ev);
     }
 
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().events.is_empty()
+    }
+
+    /// Visits every retained event in order without cloning the ring.
+    ///
+    /// The storage sits behind a `RefCell`, so iteration is exposed as an
+    /// internal visitor rather than an `Iterator` (which would have to
+    /// either clone, as [`events`](Tracer::events) does, or leak a borrow
+    /// guard). `f` must not call back into this tracer.
+    pub fn for_each(&self, mut f: impl FnMut(&TraceEvent)) {
+        for ev in &self.inner.borrow().events {
+            f(ev);
+        }
+    }
+
     /// A snapshot of every recorded event, in order.
     pub fn events(&self) -> Vec<TraceEvent> {
         self.inner.borrow().events.iter().cloned().collect()
@@ -266,6 +288,28 @@ mod tests {
         t.record(SimTime::from_millis(7), TraceCategory::Vm, None, "e7");
         let kept: Vec<String> = t.events().into_iter().map(|e| e.message).collect();
         assert_eq!(kept, vec!["e5", "e6", "e7"]);
+    }
+
+    #[test]
+    fn len_and_for_each_track_the_ring_without_cloning() {
+        let t = Tracer::with_capacity(3);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        for i in 0..5 {
+            t.record(
+                SimTime::from_millis(i),
+                TraceCategory::Vm,
+                None,
+                format!("e{i}"),
+            );
+        }
+        assert_eq!(t.len(), 3, "capacity bounds retained events");
+        assert!(!t.is_empty());
+        let mut seen = Vec::new();
+        t.for_each(|e| seen.push(e.message.clone()));
+        assert_eq!(seen, vec!["e2", "e3", "e4"], "visits survivors in order");
+        t.clear();
+        assert!(t.is_empty());
     }
 
     #[test]
