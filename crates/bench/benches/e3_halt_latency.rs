@@ -69,9 +69,9 @@ fn run(nodes: u32, medium: Medium, broadcast_halt: bool) -> Vec<(u32, u64)> {
     // Halt instants from the structured trace.
     let mut out = Vec::new();
     for ev in w.tracer().events_in(pilgrim::TraceCategory::Debug) {
-        if ev.message.contains("local processes halted") {
+        if ev.message().contains("local processes halted") {
             out.push((ev.node.unwrap(), 0u64));
-        } else if ev.message.contains("halted by broadcast") {
+        } else if ev.message().contains("halted by broadcast") {
             out.push((
                 ev.node.unwrap(),
                 ev.time.saturating_since(origin_at).as_micros(),

@@ -4,8 +4,10 @@
 //! `cargo run --release -p pilgrim-bench --bin compare`
 //!
 //! Uses a smoke configuration (1 warmup + 3 samples per benchmark) so the
-//! whole run finishes in seconds; prints per-benchmark deltas with no
-//! pass/fail thresholds. Re-baselining stays the job of
+//! whole run finishes in seconds; prints per-benchmark deltas. Most rows
+//! are trend-read only, but the [`compare::GATED`] benchmarks (the
+//! tracing-off hot path) fail the run — exit code 1 — when they regress
+//! past their tolerance. Re-baselining stays the job of
 //! `cargo bench -p pilgrim-bench --bench micro`.
 
 use std::time::Duration;
@@ -32,13 +34,28 @@ fn main() {
     };
     let fresh = suite::all(&cfg);
 
+    let deltas = compare::diff(&baseline, &fresh);
     let mut table = Table::new(
         "bench-smoke — fresh medians vs committed BENCH_micro.json",
-        "trend read only; no thresholds (re-baseline with `cargo bench --bench micro`)",
+        "gated: tracing-off hot path; rest is trend read (re-baseline with \
+         `cargo bench --bench micro`)",
     )
     .headers(["benchmark", "baseline", "fresh", "delta"]);
-    for d in compare::diff(&baseline, &fresh) {
-        table.row(compare::row(&d));
+    for d in &deltas {
+        table.row(compare::row(d));
     }
     table.print();
+
+    let failures = compare::gate_failures(&deltas);
+    if !failures.is_empty() {
+        eprintln!("\nbench-smoke gate FAILED — tracing-off hot path regressed:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "if intentional, re-baseline with `cargo bench -p pilgrim-bench --bench micro` \
+             and commit BENCH_micro.json"
+        );
+        std::process::exit(1);
+    }
 }

@@ -3,9 +3,10 @@
 //! `BENCH_micro.json` (workspace root) is written by `benches/micro.rs`
 //! via [`crate::runner::to_json`]; this module parses it back (hand-rolled
 //! — the workspace is hermetic, so no serde) and reports per-benchmark
-//! deltas. There are no pass/fail thresholds: the binary exists so CI can
-//! prove the suite executes offline and so humans get a quick trend read
-//! without a full re-baseline.
+//! deltas. Most benchmarks are trend-read only, but the [`GATED`] set is
+//! enforced: [`gate_failures`] turns an over-tolerance regression on a
+//! gated benchmark into a CI failure, so the tracing-off hot path cannot
+//! silently absorb observability cost.
 
 use crate::runner::{fmt_ns, BenchResult};
 
@@ -104,6 +105,43 @@ pub fn diff(baseline: &[Baseline], fresh: &[BenchResult]) -> Vec<Delta> {
         .collect()
 }
 
+/// Benchmarks the smoke run refuses to let regress, with the allowed
+/// slowdown in percent. These two cover the tracing-off hot path: the
+/// observability layer promises a near-zero disabled cost, so a
+/// regression here means instrumentation leaked outside its `wants()`
+/// guards. The tolerance is deliberately generous — the smoke
+/// configuration takes only 3 samples on shared CI runners — while the
+/// precise 5% budget is measured at every re-baseline and recorded in
+/// EXPERIMENTS.md.
+pub const GATED: &[(&str, f64)] = &[
+    ("world/20_null_rpcs_simulated", 25.0),
+    ("obs/trace_off_overhead", 25.0),
+];
+
+/// One failure line per gated benchmark whose fresh median regressed
+/// past its tolerance. Benchmarks absent from the baseline (`new`) never
+/// fail the gate — they gain teeth at the next re-baseline.
+pub fn gate_failures(deltas: &[Delta]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, tolerance) in GATED {
+        let Some(d) = deltas.iter().find(|d| &d.name == name) else {
+            continue;
+        };
+        let Some(p) = d.percent() else {
+            continue;
+        };
+        if p > *tolerance {
+            out.push(format!(
+                "{name}: {} -> {} ({:+.1}% > +{tolerance:.0}% tolerance)",
+                fmt_ns(d.baseline_ns.unwrap_or(0)),
+                fmt_ns(d.fresh_ns),
+                p,
+            ));
+        }
+    }
+    out
+}
+
 /// Renders one delta as a table row: name, baseline, fresh, delta.
 pub fn row(d: &Delta) -> [String; 4] {
     [
@@ -171,6 +209,41 @@ mod tests {
         }];
         let deltas = diff(&base, &[result("a", 5)]);
         assert_eq!(deltas[0].percent(), None);
+    }
+
+    #[test]
+    fn gate_fails_only_on_over_tolerance_gated_regressions() {
+        let (gated, tol) = GATED[0];
+        let base = vec![
+            Baseline {
+                name: gated.into(),
+                median_ns: 100_000,
+            },
+            Baseline {
+                name: "vm/fib15_to_completion".into(),
+                median_ns: 100,
+            },
+        ];
+        // Ungated benchmark may regress arbitrarily; gated within
+        // tolerance passes.
+        let within = (100_000.0 * (1.0 + tol / 100.0 - 0.01)) as u64;
+        let fresh = vec![result(gated, within), result("vm/fib15_to_completion", 900)];
+        assert!(gate_failures(&diff(&base, &fresh)).is_empty());
+
+        // Gated past tolerance fails, and the line names the benchmark.
+        let beyond = (100_000.0 * (1.0 + tol / 100.0 + 0.05)) as u64;
+        let failures = gate_failures(&diff(&base, &[result(gated, beyond)]));
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains(gated));
+    }
+
+    #[test]
+    fn gate_ignores_benchmarks_missing_from_baseline() {
+        let fresh: Vec<BenchResult> = GATED
+            .iter()
+            .map(|(name, _)| result(name, 1_000_000))
+            .collect();
+        assert!(gate_failures(&diff(&[], &fresh)).is_empty());
     }
 
     #[test]

@@ -213,9 +213,9 @@ end";
     })
 }
 
-/// A full null-RPC round trip through the whole world, 20 times.
-pub fn world_20_rpcs(cfg: &Config) -> BenchResult {
-    const PROGRAM: &str = "\
+/// Null-RPC workload shared by the world/ and obs/ benchmarks: `main`
+/// issues `n` sequential empty calls from node 0 to node 1.
+const NULL_RPC_PROGRAM: &str = "\
 ping = proc ()
 end
 main = proc (n: int)
@@ -223,17 +223,53 @@ main = proc (n: int)
   call ping() at 1
  end
 end";
+
+fn null_rpc_world() -> World {
+    World::builder()
+        .nodes(2)
+        .program(NULL_RPC_PROGRAM)
+        .debugger(false)
+        .build()
+        .unwrap()
+}
+
+/// A full null-RPC round trip through the whole world, 20 times.
+pub fn world_20_rpcs(cfg: &Config) -> BenchResult {
     runner::run_with("world/20_null_rpcs_simulated", cfg, || {
-        let mut w = World::builder()
-            .nodes(2)
-            .program(PROGRAM)
-            .debugger(false)
-            .build()
-            .unwrap();
+        let mut w = null_rpc_world();
         w.spawn(0, "main", vec![Value::Int(20)]);
         w.run_until_idle(SimTime::from_secs(60));
         assert_eq!(w.endpoint(0).stats().completed, 20);
         std::hint::black_box(w.now());
+    })
+}
+
+/// The 20-RPC workload with every trace category disabled: what the
+/// observability layer costs when it is switched off. The disabled path
+/// is a single `u8` load-and-mask per potential event, so this should
+/// track `world/20_null_rpcs_simulated` (which runs with tracing on)
+/// from below.
+pub fn trace_off_overhead(cfg: &Config) -> BenchResult {
+    runner::run_with("obs/trace_off_overhead", cfg, || {
+        let mut w = null_rpc_world();
+        w.tracer().set_filter(&[]);
+        w.spawn(0, "main", vec![Value::Int(20)]);
+        w.run_until_idle(SimTime::from_secs(60));
+        assert_eq!(w.endpoint(0).stats().completed, 20);
+        std::hint::black_box(w.now());
+    })
+}
+
+/// A thousand null RPCs with every trace category enabled, finishing
+/// with a JSONL export of the whole trace — the fully-instrumented
+/// worst case (event construction, span bookkeeping, metrics, dump).
+pub fn trace_on_1k_rpcs(cfg: &Config) -> BenchResult {
+    runner::run_with("obs/trace_on_1k_rpcs", cfg, || {
+        let mut w = null_rpc_world();
+        w.spawn(0, "main", vec![Value::Int(1_000)]);
+        w.run_until_idle(SimTime::from_secs(600));
+        assert_eq!(w.endpoint(0).stats().completed, 1_000);
+        std::hint::black_box(w.trace_jsonl().len());
     })
 }
 
@@ -248,6 +284,8 @@ pub fn all(cfg: &Config) -> Vec<BenchResult> {
         node_step_storm(cfg),
         world_1k_processes(cfg),
         world_20_rpcs(cfg),
+        trace_off_overhead(cfg),
+        trace_on_1k_rpcs(cfg),
     ]
 }
 
@@ -266,10 +304,12 @@ mod tests {
             target_sample: Duration::from_micros(1),
         };
         let results = all(&cfg);
-        assert_eq!(results.len(), 8);
+        assert_eq!(results.len(), 10);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"node/step_storm"));
         assert!(names.contains(&"world/1k_processes_round_robin"));
         assert!(names.contains(&"sim/event_queue_cancel_heavy"));
+        assert!(names.contains(&"obs/trace_off_overhead"));
+        assert!(names.contains(&"obs/trace_on_1k_rpcs"));
     }
 }

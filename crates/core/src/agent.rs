@@ -30,7 +30,7 @@ use pilgrim_cclu::{CodeAddr, Fault, FrameKind, Op, ProcId, Signature, Type, Valu
 use pilgrim_mayflower::{Node, Outcall, Pid, ProcBody, RunState, SpawnOpts};
 use pilgrim_ring::{Medium, NodeId, TxStatus};
 use pilgrim_rpc::{marshal, unmarshal, HandlerCtx, NativeHandler, RpcEndpoint};
-use pilgrim_sim::{SimDuration, SimTime, TraceCategory, Tracer};
+use pilgrim_sim::{EventKind, SimDuration, SimTime, TraceCategory, Tracer};
 
 use crate::proto::{
     AgentEvent, AgentReply, AgentRequest, DebugMsg, FrameSummary, ProcView, RpcCallView,
@@ -338,12 +338,15 @@ impl Agent {
             node.mark_halted(at);
             self.halt_since = Some(at);
             self.stats.halts_initiated += 1;
-            self.tracer.record(
-                at,
-                TraceCategory::Debug,
-                Some(self.node_id.0),
-                "breakpoint: local processes halted".to_string(),
-            );
+            if self.tracer.wants(TraceCategory::Debug) {
+                self.tracer.emit(
+                    at,
+                    TraceCategory::Debug,
+                    Some(self.node_id.0),
+                    None,
+                    EventKind::BreakpointHalt,
+                );
+            }
         }
         let msg = DebugMsg::HaltBroadcast {
             session,
@@ -452,12 +455,15 @@ impl Agent {
                     node.mark_halted(now);
                     self.halt_since = Some(now);
                     self.stats.halts_received += 1;
-                    self.tracer.record(
-                        now,
-                        TraceCategory::Debug,
-                        Some(self.node_id.0),
-                        format!("halted by broadcast from {origin}"),
-                    );
+                    if self.tracer.wants(TraceCategory::Debug) {
+                        self.tracer.emit(
+                            now,
+                            TraceCategory::Debug,
+                            Some(self.node_id.0),
+                            None,
+                            EventKind::HaltBroadcast { origin: origin.0 },
+                        );
+                    }
                 }
             }
             DebugMsg::ResumeBroadcast { session, .. } => {

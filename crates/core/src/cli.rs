@@ -19,7 +19,7 @@
 //! ```
 
 use pilgrim_rpc::WireValue;
-use pilgrim_sim::SimDuration;
+use pilgrim_sim::{SimDuration, SpanId};
 
 use crate::debugger::DebugEvent;
 use crate::proto::{AgentReply, AgentRequest, StateView};
@@ -306,6 +306,50 @@ impl DebugCli {
                     other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
                 }
             }
+            "stats" => Ok(world.observability_report().trim_end().to_string()),
+            "trace" => {
+                // trace [k] | trace span <id> | trace call <id>
+                match args.first().copied() {
+                    Some("span") => {
+                        let id: u64 = parse(args.get(1).copied().unwrap_or(""), "span id")?;
+                        let evs = world.tracer().events_for_span(SpanId(id));
+                        if evs.is_empty() {
+                            return Ok(format!("no events for span s{id}"));
+                        }
+                        Ok(evs
+                            .iter()
+                            .map(|e| e.to_string())
+                            .collect::<Vec<_>>()
+                            .join("\n"))
+                    }
+                    Some("call") => {
+                        let id: u64 = parse(args.get(1).copied().unwrap_or(""), "call id")?;
+                        let Some(span) = world.span_of_call(id) else {
+                            return Ok(format!("no trace for call {id}"));
+                        };
+                        Ok(world
+                            .tracer()
+                            .events_for_span(span)
+                            .iter()
+                            .map(|e| e.to_string())
+                            .collect::<Vec<_>>()
+                            .join("\n"))
+                    }
+                    other => {
+                        let k: usize = other.and_then(|a| a.parse().ok()).unwrap_or(10);
+                        let evs = world.tracer().events();
+                        let tail = &evs[evs.len().saturating_sub(k)..];
+                        if tail.is_empty() {
+                            return Ok("trace is empty".into());
+                        }
+                        Ok(tail
+                            .iter()
+                            .map(|e| e.to_string())
+                            .collect::<Vec<_>>()
+                            .join("\n"))
+                    }
+                }
+            }
             "focus" => {
                 let node: u32 = parse(args.first().copied().unwrap_or(""), "node")?;
                 let pid: u64 = parse(args.get(1).copied().unwrap_or(""), "pid")?;
@@ -453,6 +497,10 @@ commands:
   time [n]               real/logical clocks and the delta (§5.2)
   console [n]            program output so far
   invoke <n> <proc> ..   run a procedure in the user program (§3)
+  stats                  metrics registry + scheduler snapshot
+  trace [k]              last k trace events (default 10)
+  trace span <id>        causal timeline of one span across nodes
+  trace call <id>        span timeline of an RPC call, by call id
   focus <n> <pid>        set the default process
 ";
 
@@ -540,9 +588,28 @@ console 0",
         let mut w = world();
         let mut cli = DebugCli::new();
         let help = cli.exec(&mut w, "help");
-        for c in ["connect", "break", "btd", "diagnose", "invoke", "resume"] {
+        for c in [
+            "connect", "break", "btd", "diagnose", "invoke", "resume", "stats", "trace",
+        ] {
             assert!(help.contains(c), "help missing {c}");
         }
+    }
+
+    #[test]
+    fn stats_and_trace_render_observability() {
+        let mut w = world();
+        let mut cli = DebugCli::new();
+        cli.exec(&mut w, "run 0 main");
+        cli.exec(&mut w, "wait 2000");
+        let stats = cli.exec(&mut w, "stats");
+        assert!(stats.contains("counter net.sent"), "{stats}");
+        assert!(stats.contains("gauge sched.node0.steps"), "{stats}");
+        let trace = cli.exec(&mut w, "trace 3");
+        assert!(!trace.starts_with("error:"), "{trace}");
+        assert!(
+            cli.exec(&mut w, "trace span 999999")
+                .contains("no events for span"),
+        );
     }
 
     #[test]

@@ -84,4 +84,7 @@ pub use pilgrim_cclu::{compile, CompileError, Program, Value};
 pub use pilgrim_mayflower::{NodeConfig, Pid, RunState, SpawnOpts};
 pub use pilgrim_ring::{Medium, NetworkConfig, NodeId};
 pub use pilgrim_rpc::{RpcConfig, WireValue};
-pub use pilgrim_sim::{SimDuration, SimTime, TraceCategory, Tracer};
+pub use pilgrim_sim::{
+    Counter, EchoBuffer, EventKind, Gauge, Histogram, Metrics, SimDuration, SimTime, SpanId,
+    TraceCategory, TraceEvent, Tracer,
+};

@@ -13,9 +13,9 @@ use std::collections::HashMap;
 
 use pilgrim_cclu::{compile, CompileError, Program, Value};
 use pilgrim_mayflower::{Node, NodeConfig, Outcall, Pid, SpawnOpts};
-use pilgrim_ring::{Medium, Network, NetworkConfig, NodeId, TxStatus};
+use pilgrim_ring::{Medium, Network, NetworkConfig, NodeId, TxClass, TxStatus};
 use pilgrim_rpc::{RpcConfig, RpcEndpoint, RpcNet, RpcPacket, WireValue};
-use pilgrim_sim::{SimDuration, SimTime, Tracer};
+use pilgrim_sim::{EventKind, Metrics, SimDuration, SimTime, SpanId, TraceCategory, Tracer};
 
 use crate::agent::{Agent, AgentConfig, DebugNet};
 use crate::debugger::{BreakpointInfo, DebugEvent, Debugger};
@@ -43,7 +43,12 @@ struct AsRpcNet<'a>(&'a mut Network<Wire>);
 
 impl RpcNet for AsRpcNet<'_> {
     fn send_rpc(&mut self, at: SimTime, src: NodeId, dst: NodeId, pkt: RpcPacket, bytes: usize) {
-        let _ = self.0.send(at, src, dst, Wire::Rpc(pkt), bytes);
+        // Lift the packet's span header onto the network layer so every
+        // wire-level event of the call shares the call's span.
+        let span = pkt.span();
+        let _ = self
+            .0
+            .send_spanned(at, src, dst, Wire::Rpc(pkt), bytes, TxClass::Data, span);
     }
     fn node_count(&self) -> u32 {
         self.0.nodes()
@@ -315,6 +320,7 @@ impl WorldBuilder {
             return Err(BuildError::NoNodes);
         }
         let tracer = Tracer::new();
+        let metrics = Metrics::new();
         let default_program = match &self.default_source {
             Some(src) => Some(compile(src).map_err(|err| BuildError::Compile { node: None, err })?),
             None => None,
@@ -333,7 +339,9 @@ impl WorldBuilder {
         let stations = self.nodes + u32::from(self.with_debugger);
         let mut netcfg = self.net.clone();
         netcfg.seed ^= self.seed;
-        let net: Network<Wire> = Network::new(netcfg, stations);
+        let mut net: Network<Wire> = Network::new(netcfg, stations);
+        net.attach_tracer(tracer.clone());
+        net.attach_metrics(&metrics);
 
         let mut nodes = Vec::new();
         let mut endpoints = Vec::new();
@@ -343,11 +351,9 @@ impl WorldBuilder {
             let mut cfg = self.node_cfg.clone();
             cfg.seed ^= self.seed.rotate_left(i % 64);
             nodes.push(Node::new(i, program, cfg, tracer.clone()));
-            endpoints.push(RpcEndpoint::new(
-                NodeId(i),
-                self.rpc.clone(),
-                tracer.clone(),
-            ));
+            let mut endpoint = RpcEndpoint::new(NodeId(i), self.rpc.clone(), tracer.clone());
+            endpoint.attach_metrics(&metrics);
+            endpoints.push(endpoint);
             let is_user = i < self.nodes;
             if is_user && self.with_agents {
                 let agent = Agent::new(NodeId(i), self.agent_cfg.clone(), tracer.clone());
@@ -379,6 +385,7 @@ impl WorldBuilder {
             debugger,
             net,
             tracer,
+            metrics,
             now: SimTime::ZERO,
             user_nodes: self.nodes,
             // Conservative-window lookahead: every cross-node delivery
@@ -400,6 +407,7 @@ pub struct World {
     debugger: Option<Debugger>,
     net: Network<Wire>,
     tracer: Tracer,
+    metrics: Metrics,
     now: SimTime,
     user_nodes: u32,
     window: SimDuration,
@@ -439,6 +447,68 @@ impl World {
     /// The shared tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The shared metrics registry (`net.*`, `rpc.*`, and the scheduler
+    /// gauges refreshed by [`World::observability_report`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The whole trace as JSON Lines, one event per line — the export
+    /// format for offline timeline reconstruction.
+    pub fn trace_jsonl(&self) -> String {
+        self.tracer.to_jsonl()
+    }
+
+    /// The span allocated for `call_id`, recovered from the trace (the
+    /// client table forgets completed calls; the trace does not).
+    pub fn span_of_call(&self, call_id: u64) -> Option<SpanId> {
+        let mut found = None;
+        self.tracer.for_each(|ev| {
+            if let EventKind::CallStarted { call_id: c, .. } = &ev.kind {
+                if *c == call_id {
+                    found = ev.span;
+                }
+            }
+        });
+        found
+    }
+
+    /// One observability snapshot: refreshes the per-node scheduler gauges
+    /// (runnable/blocked/halted process counts and total VM steps — plain
+    /// node fields read here at a sync point, never hot-path meters), then
+    /// renders the full metrics inventory, followed by per-procedure VM
+    /// profiles when [`NodeConfig::profile_vm`] is on.
+    ///
+    /// [`NodeConfig::profile_vm`]: pilgrim_mayflower::NodeConfig::profile_vm
+    pub fn observability_report(&self) -> String {
+        for n in &self.nodes {
+            let (runnable, blocked, halted) = n.state_counts();
+            let id = n.id();
+            self.metrics
+                .gauge(&format!("sched.node{id}.runnable"))
+                .set(runnable as i64);
+            self.metrics
+                .gauge(&format!("sched.node{id}.blocked"))
+                .set(blocked as i64);
+            self.metrics
+                .gauge(&format!("sched.node{id}.halted"))
+                .set(halted as i64);
+            self.metrics
+                .gauge(&format!("sched.node{id}.steps"))
+                .set(n.steps_total() as i64);
+        }
+        let mut out = self.metrics.report();
+        for n in &self.nodes {
+            for (proc, instrs, cost_us) in n.vm_profile() {
+                out.push_str(&format!(
+                    "vm node{} {proc}: {instrs} instr {cost_us}us\n",
+                    n.id()
+                ));
+            }
+        }
+        out
     }
 
     /// Immutable node access.
@@ -1185,12 +1255,30 @@ impl World {
         call_id: u64,
     ) -> Result<MaybeDiagnosis, DebugError> {
         match self.debug_request(server_node, AgentRequest::ServerKnowledge { call_id })? {
-            AgentReply::Knowledge(k) => Ok(match k {
-                KnowledgeView::NeverSeen => MaybeDiagnosis::LostCall,
-                KnowledgeView::Executing => MaybeDiagnosis::StillExecuting,
-                KnowledgeView::Replied(true) => MaybeDiagnosis::LostReply,
-                KnowledgeView::Replied(false) => MaybeDiagnosis::RemoteFailed,
-            }),
+            AgentReply::Knowledge(k) => {
+                let diagnosis = match k {
+                    KnowledgeView::NeverSeen => MaybeDiagnosis::LostCall,
+                    KnowledgeView::Executing => MaybeDiagnosis::StillExecuting,
+                    KnowledgeView::Replied(true) => MaybeDiagnosis::LostReply,
+                    KnowledgeView::Replied(false) => MaybeDiagnosis::RemoteFailed,
+                };
+                // The two §4.1 verdicts get their own event kinds, linked
+                // to the failed call's span so a post-mortem timeline ends
+                // with the diagnosis.
+                let kind = match diagnosis {
+                    MaybeDiagnosis::LostCall => Some(EventKind::MaybeLostCall { call_id }),
+                    MaybeDiagnosis::LostReply => Some(EventKind::MaybeLostReply { call_id }),
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    if self.tracer.wants(TraceCategory::Rpc) {
+                        let span = self.span_of_call(call_id);
+                        self.tracer
+                            .emit(self.now, TraceCategory::Rpc, Some(server_node), span, kind);
+                    }
+                }
+                Ok(diagnosis)
+            }
             other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }

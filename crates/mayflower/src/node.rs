@@ -17,7 +17,7 @@ use pilgrim_cclu::{
     CodeAddr, ExecEnv, Fault, Heap, ProcId, Program, RpcRequest, StepOutcome, SysReply, Syscalls,
     Value, VmProcess,
 };
-use pilgrim_sim::{DetRng, SimDuration, SimTime, TraceCategory, Tracer};
+use pilgrim_sim::{DetRng, EventKind, SimDuration, SimTime, SpanId, TraceCategory, Tracer};
 
 use crate::process::{
     HaltInfo, MutexId, NativeProcess, Pid, ProcBody, Process, ProcessInfo, RunState, SemId,
@@ -35,6 +35,10 @@ pub struct NodeConfig {
     /// models a naive debugger without the paper's supervisor support —
     /// the experiment-E4 ablation in which halted waiters still time out.
     pub freeze_timeouts_on_halt: bool,
+    /// Accumulate per-procedure instruction and cost counters while
+    /// stepping ([`Node::vm_profile`]). Off by default: the profiling
+    /// hook sits on the per-instruction hot path.
+    pub profile_vm: bool,
 }
 
 impl Default for NodeConfig {
@@ -43,6 +47,7 @@ impl Default for NodeConfig {
             time_slice: SimDuration::from_millis(10),
             seed: 0,
             freeze_timeouts_on_halt: true,
+            profile_vm: false,
         }
     }
 }
@@ -171,6 +176,12 @@ pub struct Node {
     /// timer is cancelled), so the per-tick expiry check is a single
     /// comparison instead of a process-table scan.
     timer_cache: Option<SimTime>,
+    /// Total step_process invocations — one add per instruction, read at
+    /// sync points by the world's metrics instead of a hot-path counter.
+    steps_total: u64,
+    /// Per-procedure `(instructions, cost_us)` accumulation, indexed by
+    /// `ProcId`; populated only when [`NodeConfig::profile_vm`] is set.
+    vm_profile: Vec<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Node {
@@ -227,6 +238,8 @@ impl Node {
             slice_used: SimDuration::ZERO,
             halt_marker: None,
             timer_cache: None,
+            steps_total: 0,
+            vm_profile: Vec::new(),
         }
     }
 
@@ -275,12 +288,18 @@ impl Node {
     /// from a breakpoint with the halt duration.
     pub fn add_delta(&mut self, d: SimDuration) {
         self.delta += d;
-        self.tracer.record(
-            self.clock,
-            TraceCategory::Clock,
-            Some(self.id),
-            format!("delta += {d}, now {}", self.delta),
-        );
+        if self.tracer.wants(TraceCategory::Clock) {
+            self.tracer.emit(
+                self.clock,
+                TraceCategory::Clock,
+                Some(self.id),
+                None,
+                EventKind::ClockAdjusted {
+                    delta: d,
+                    now: self.delta,
+                },
+            );
+        }
     }
 
     /// Resets the logical clock to real time (end of a debugging session;
@@ -423,8 +442,21 @@ impl Node {
             resume_values: Vec::new(),
             print_redirect,
             queued: true,
+            span: None,
         });
         self.run_queue.push_back(pid);
+        if self.tracer.wants(TraceCategory::Sched) {
+            self.tracer.emit(
+                self.clock,
+                TraceCategory::Sched,
+                Some(self.id),
+                None,
+                EventKind::ProcessSpawned {
+                    pid: pid.0,
+                    proc: name.clone(),
+                },
+            );
+        }
         self.outcalls.push(Outcall::ProcCreated { pid, name });
         pid
     }
@@ -592,12 +624,15 @@ impl Node {
                 n += 1;
             }
         }
-        self.tracer.record(
-            self.clock,
-            TraceCategory::Debug,
-            Some(self.id),
-            format!("halted {n} processes"),
-        );
+        if self.tracer.wants(TraceCategory::Debug) {
+            self.tracer.emit(
+                self.clock,
+                TraceCategory::Debug,
+                Some(self.id),
+                None,
+                EventKind::ProcessesHalted { count: n as u64 },
+            );
+        }
         n
     }
 
@@ -650,6 +685,15 @@ impl Node {
                 n += 1;
             }
         }
+        if self.tracer.wants(TraceCategory::Debug) {
+            self.tracer.emit(
+                self.clock,
+                TraceCategory::Debug,
+                Some(self.id),
+                None,
+                EventKind::ProcessesResumed { count: n as u64 },
+            );
+        }
         n
     }
 
@@ -684,6 +728,56 @@ impl Node {
         self.procs
             .iter()
             .any(|p| p.halted.is_some() || p.halt_pending)
+    }
+
+    /// Total instructions stepped on this node so far (every process,
+    /// VM and native). A plain field add on the step path; the world's
+    /// metrics read it at sync points.
+    pub fn steps_total(&self) -> u64 {
+        self.steps_total
+    }
+
+    /// `(runnable, blocked, halted)` process counts right now: runnable =
+    /// schedulable, halted = under a debug halt (or halt-pending), blocked
+    /// = alive but waiting (sleep, semaphore, RPC, trap). Dead processes
+    /// are in none of the buckets.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let (mut runnable, mut blocked, mut halted) = (0, 0, 0);
+        for p in &self.procs {
+            if p.state.is_dead() {
+                continue;
+            }
+            if p.halted.is_some() || p.halt_pending {
+                halted += 1;
+            } else if p.schedulable() {
+                runnable += 1;
+            } else {
+                blocked += 1;
+            }
+        }
+        (runnable, blocked, halted)
+    }
+
+    /// The per-procedure profile accumulated while
+    /// [`NodeConfig::profile_vm`] was set: `(procedure name,
+    /// instructions, simulated cost µs)`, hottest first. Empty when
+    /// profiling is off.
+    pub fn vm_profile(&self) -> Vec<(String, u64, u64)> {
+        let mut out: Vec<(String, u64, u64)> = self
+            .vm_profile
+            .iter()
+            .enumerate()
+            .filter(|(_, (instr, _))| *instr > 0)
+            .map(|(i, (instr, cost))| {
+                (
+                    self.program.proc(ProcId(i as u16)).debug.name.to_string(),
+                    *instr,
+                    *cost,
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        out
     }
 
     /// Releases a process stopped at a trap or after a trace step back to
@@ -889,6 +983,7 @@ impl Node {
         // The process is stepped in place: the proc borrow and the borrows
         // handed to the system-call context are disjoint fields of `self`,
         // so no remove/re-insert round trip is needed per instruction.
+        self.steps_total += 1;
         let logical_now = self.logical_now();
         let Some(proc) = self.procs.get_mut(Self::slot(pid)) else {
             return;
@@ -897,6 +992,11 @@ impl Node {
         if let Some(vm) = proc.vm_mut() {
             vm.trace_once = false;
         }
+        let profiled = if self.config.profile_vm {
+            proc.vm().and_then(|vm| vm.addr()).map(|a| a.proc)
+        } else {
+            None
+        };
 
         let mut ctx = SysCtx {
             node_id: self.id,
@@ -909,6 +1009,7 @@ impl Node {
             console: &mut self.console,
             tracer: &self.tracer,
             redirect: proc.print_redirect,
+            span: proc.span,
             buffers: &mut self.buffers,
             outcalls: &mut self.outcalls,
             next_pid: &mut self.next_pid,
@@ -947,6 +1048,23 @@ impl Node {
         let spawns = std::mem::take(&mut ctx.spawns);
         let wakes = std::mem::take(&mut ctx.wakes);
         drop(ctx);
+
+        if let Some(proc_id) = profiled {
+            let cost = match &outcome {
+                StepOutcome::Ran { cost }
+                | StepOutcome::Blocked { cost }
+                | StepOutcome::Exited { cost } => *cost,
+                StepOutcome::Faulted { cost, .. } => *cost,
+                _ => 0,
+            };
+            let slot = proc_id.0 as usize;
+            if self.vm_profile.len() <= slot {
+                self.vm_profile.resize(slot + 1, (0, 0));
+            }
+            let entry = &mut self.vm_profile[slot];
+            entry.0 += 1;
+            entry.1 += cost;
+        }
 
         match outcome {
             StepOutcome::Ran { cost } => {
@@ -1002,6 +1120,15 @@ impl Node {
                 self.clock += d;
                 self.slice_used += d;
                 proc.state = RunState::Exited;
+                if self.tracer.wants(TraceCategory::Sched) {
+                    self.tracer.emit(
+                        self.clock,
+                        TraceCategory::Sched,
+                        Some(self.id),
+                        proc.span,
+                        EventKind::ProcessExited { pid: pid.0 },
+                    );
+                }
                 self.outcalls.push(Outcall::ProcExited {
                     pid,
                     at: self.clock,
@@ -1011,12 +1138,18 @@ impl Node {
                 let d = SimDuration::from_micros(cost);
                 self.clock += d;
                 self.slice_used += d;
-                self.tracer.record(
-                    self.clock,
-                    TraceCategory::Vm,
-                    Some(self.id),
-                    format!("{pid} faulted: {fault}"),
-                );
+                if self.tracer.wants(TraceCategory::Vm) {
+                    self.tracer.emit(
+                        self.clock,
+                        TraceCategory::Vm,
+                        Some(self.id),
+                        proc.span,
+                        EventKind::Faulted {
+                            pid: pid.0,
+                            fault: fault.to_string(),
+                        },
+                    );
+                }
                 proc.state = RunState::Faulted((*fault).clone());
                 self.outcalls.push(Outcall::Fault {
                     pid,
@@ -1034,6 +1167,10 @@ impl Node {
             Self::apply_halt(proc, clock, freeze);
         }
 
+        let parent_span = self
+            .procs
+            .get(Self::slot(pid))
+            .and_then(|p| p.span);
         for (new_pid, proc_id, args) in spawns {
             let name = self.program.proc(proc_id).debug.name.to_string();
             let halted = self.halt_marker.map(|_| HaltInfo {
@@ -1053,8 +1190,23 @@ impl Node {
                 resume_values: Vec::new(),
                 print_redirect: None,
                 queued: true,
+                // A forked worker belongs to the same causal activity as
+                // its parent (e.g. a server process forking helpers).
+                span: parent_span,
             });
             self.run_queue.push_back(new_pid);
+            if self.tracer.wants(TraceCategory::Sched) {
+                self.tracer.emit(
+                    self.clock,
+                    TraceCategory::Sched,
+                    Some(self.id),
+                    parent_span,
+                    EventKind::ProcessSpawned {
+                        pid: new_pid.0,
+                        proc: name.clone(),
+                    },
+                );
+            }
             self.outcalls
                 .push(Outcall::ProcCreated { pid: new_pid, name });
         }
@@ -1079,6 +1231,7 @@ struct SysCtx<'a> {
     console: &'a mut Vec<(SimTime, String)>,
     tracer: &'a Tracer,
     redirect: Option<u64>,
+    span: Option<SpanId>,
     buffers: &'a mut HashMap<u64, String>,
     outcalls: &'a mut Vec<Outcall>,
     next_pid: &'a mut u64,
@@ -1115,12 +1268,18 @@ impl Syscalls for SysCtx<'_> {
             buf.push_str(text);
         } else {
             self.console.push((self.now, text.to_string()));
-            self.tracer.record(
-                self.now,
-                TraceCategory::Vm,
-                Some(self.node_id),
-                format!("{}: {text}", self.pid),
-            );
+            if self.tracer.wants(TraceCategory::Vm) {
+                self.tracer.emit(
+                    self.now,
+                    TraceCategory::Vm,
+                    Some(self.node_id),
+                    self.span,
+                    EventKind::Print {
+                        pid: self.pid.0,
+                        text: text.to_string(),
+                    },
+                );
+            }
             self.outcalls.push(Outcall::Print {
                 pid: self.pid,
                 text: text.to_string(),

@@ -10,7 +10,7 @@
 use std::fmt;
 
 use pilgrim_cclu::{CodeAddr, ExecEnv, Fault, StepOutcome, VmProcess};
-use pilgrim_sim::{SimDuration, SimTime};
+use pilgrim_sim::{SimDuration, SimTime, SpanId};
 
 /// A process identifier, unique per node for the lifetime of the node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -171,6 +171,10 @@ pub struct Process {
     /// this in sync so re-queueing a woken process is O(1) instead of a
     /// linear membership scan of the queue.
     pub queued: bool,
+    /// Causal span this process executes under: set on server processes
+    /// spawned to run an RPC call, so nested calls they issue link back
+    /// to the originating call's span.
+    pub span: Option<SpanId>,
 }
 
 impl Process {
@@ -264,6 +268,7 @@ mod tests {
             resume_values: vec![],
             print_redirect: None,
             queued: false,
+            span: None,
         };
         assert!(p.schedulable());
         p.halted = Some(HaltInfo {

@@ -42,7 +42,10 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use pilgrim_sim::{DetRng, EventQueue, SimDuration, SimTime};
+use pilgrim_sim::{
+    Counter, DetRng, EventKind, EventQueue, Metrics, SimDuration, SimTime, SpanId, TraceCategory,
+    Tracer,
+};
 
 /// Identifies a node (a station) on the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -129,6 +132,11 @@ pub struct Delivery<P> {
     pub dst: NodeId,
     /// Arrival time.
     pub at: SimTime,
+    /// Causal span the packet belongs to, if any — carried unchanged from
+    /// sender to receiver, the wire leg of cross-node trace propagation.
+    pub span: Option<SpanId>,
+    /// Wire size the packet was sent with, bytes.
+    pub bytes: u32,
     /// The payload.
     pub payload: P,
 }
@@ -146,6 +154,31 @@ pub struct NetStats {
     pub silently_lost: u64,
     /// Broadcasts transmitted (Ethernet only).
     pub broadcasts: u64,
+    /// Total payload bytes handed to the transmitter.
+    pub bytes_sent: u64,
+}
+
+/// Metrics handles the network bumps directly; registered once by
+/// [`Network::attach_metrics`] so the hot path never does a name lookup.
+#[derive(Debug, Clone)]
+struct NetMeters {
+    sent: Counter,
+    delivered: Counter,
+    nacked: Counter,
+    silently_lost: Counter,
+    bytes_sent: Counter,
+}
+
+impl NetMeters {
+    fn new(metrics: &Metrics) -> NetMeters {
+        NetMeters {
+            sent: metrics.counter("net.sent"),
+            delivered: metrics.counter("net.delivered"),
+            nacked: metrics.counter("net.nacked"),
+            silently_lost: metrics.counter("net.silently_lost"),
+            bytes_sent: metrics.counter("net.bytes_sent"),
+        }
+    }
 }
 
 /// Which transmitter a packet uses. Basic-block data and tiny
@@ -183,6 +216,8 @@ pub struct Network<P> {
     rng: DetRng,
     forced_drops: HashMap<(NodeId, NodeId), u32>,
     stats: NetStats,
+    tracer: Option<Tracer>,
+    meters: Option<NetMeters>,
 }
 
 impl<P> Network<P> {
@@ -202,7 +237,22 @@ impl<P> Network<P> {
             rng,
             forced_drops: HashMap::new(),
             stats: NetStats::default(),
+            tracer: None,
+            meters: None,
         }
+    }
+
+    /// Attaches a tracer; packet send/NACK/loss/delivery become typed
+    /// `net`-category events (span-stamped when the sender supplied one).
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Registers this network's counters in `metrics` and starts bumping
+    /// them (`net.sent`, `net.delivered`, `net.nacked`,
+    /// `net.silently_lost`, `net.bytes_sent`).
+    pub fn attach_metrics(&mut self, metrics: &Metrics) {
+        self.meters = Some(NetMeters::new(metrics));
     }
 
     /// The active configuration.
@@ -268,7 +318,7 @@ impl<P> Network<P> {
         payload: P,
         bytes: usize,
     ) -> TxStatus {
-        self.send_class(now, src, dst, payload, bytes, TxClass::Data)
+        self.send_spanned(now, src, dst, payload, bytes, TxClass::Data, None)
     }
 
     /// [`Network::send`] on a chosen transmitter class.
@@ -285,9 +335,69 @@ impl<P> Network<P> {
         bytes: usize,
         class: TxClass,
     ) -> TxStatus {
+        self.send_spanned(now, src, dst, payload, bytes, class, None)
+    }
+
+    /// One packet-level trace event; the `wants` check happened already.
+    #[cold]
+    fn trace_packet(
+        &self,
+        time: SimTime,
+        node: u32,
+        span: Option<SpanId>,
+        kind: EventKind,
+    ) {
+        if let Some(t) = &self.tracer {
+            t.emit(time, TraceCategory::Net, Some(node), span, kind);
+        }
+    }
+
+    fn wants_net(&self) -> bool {
+        self.tracer
+            .as_ref()
+            .is_some_and(|t| t.wants(TraceCategory::Net))
+    }
+
+    /// [`Network::send_class`] carrying a causal span: the span rides the
+    /// packet to the receiver (via [`Delivery::span`]) and stamps every
+    /// packet-level trace event, so one RPC call's wire activity — across
+    /// nodes, including retransmissions — shares one span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a station on this network.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_spanned(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        bytes: usize,
+        class: TxClass,
+        span: Option<SpanId>,
+    ) -> TxStatus {
         assert!((src.0 as usize) < self.stations.len(), "unknown src {src}");
         assert!((dst.0 as usize) < self.stations.len(), "unknown dst {dst}");
         self.stats.sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        if let Some(m) = &self.meters {
+            m.sent.inc();
+            m.bytes_sent.add(bytes as u64);
+        }
+        let traced = self.wants_net();
+        if traced {
+            self.trace_packet(
+                now,
+                src.0,
+                span,
+                EventKind::PacketSent {
+                    src: src.0,
+                    dst: dst.0,
+                    bytes: bytes as u32,
+                },
+            );
+        }
         let ci = class_index(class);
         let start = now.max(self.stations[src.0 as usize].tx_free_at[ci]);
         let latency = self.config.latency(bytes);
@@ -301,17 +411,32 @@ impl<P> Network<P> {
             match self.config.medium {
                 Medium::CambridgeRing => {
                     self.stats.nacked += 1;
+                    if let Some(m) = &self.meters {
+                        m.nacked.inc();
+                    }
+                    if traced {
+                        self.trace_packet(
+                            now,
+                            src.0,
+                            span,
+                            EventKind::PacketNacked {
+                                src: src.0,
+                                dst: dst.0,
+                                bytes: bytes as u32,
+                            },
+                        );
+                    }
                     return TxStatus::Nack;
                 }
                 Medium::Ethernet => {
                     // No NACK on Ethernet: the sender believes it was sent.
-                    self.stats.silently_lost += 1;
+                    self.lose_silently(now, src, dst, bytes as u32, span, traced);
                     return TxStatus::Queued { deliver_at: arrive };
                 }
             }
         }
         if self.take_forced_drop(src, dst) || self.rng.chance(self.config.p_silent_loss) {
-            self.stats.silently_lost += 1;
+            self.lose_silently(now, src, dst, bytes as u32, span, traced);
             return TxStatus::Queued { deliver_at: arrive };
         }
         self.queue.schedule(
@@ -320,10 +445,39 @@ impl<P> Network<P> {
                 src,
                 dst,
                 at: arrive,
+                span,
+                bytes: bytes as u32,
                 payload,
             },
         );
         TxStatus::Queued { deliver_at: arrive }
+    }
+
+    fn lose_silently(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        span: Option<SpanId>,
+        traced: bool,
+    ) {
+        self.stats.silently_lost += 1;
+        if let Some(m) = &self.meters {
+            m.silently_lost.inc();
+        }
+        if traced {
+            self.trace_packet(
+                now,
+                src.0,
+                span,
+                EventKind::PacketLost {
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                },
+            );
+        }
     }
 
     /// The earliest pending delivery, if any.
@@ -335,8 +489,24 @@ impl<P> Network<P> {
     /// the updated statistics. Deliveries come out in arrival order.
     pub fn poll(&mut self, now: SimTime) -> (Vec<Delivery<P>>, NetStats) {
         let mut out = Vec::new();
+        let traced = self.wants_net();
         while let Some((_, d)) = self.queue.pop_due(now) {
             self.stats.delivered += 1;
+            if let Some(m) = &self.meters {
+                m.delivered.inc();
+            }
+            if traced {
+                self.trace_packet(
+                    d.at,
+                    d.dst.0,
+                    d.span,
+                    EventKind::PacketDelivered {
+                        src: d.src.0,
+                        dst: d.dst.0,
+                        bytes: d.bytes,
+                    },
+                );
+            }
             out.push(d);
         }
         (out, self.stats)
@@ -364,6 +534,12 @@ impl<P: Clone> Network<P> {
         }
         self.stats.sent += 1;
         self.stats.broadcasts += 1;
+        self.stats.bytes_sent += bytes as u64;
+        if let Some(m) = &self.meters {
+            m.sent.inc();
+            m.bytes_sent.add(bytes as u64);
+        }
+        let traced = self.wants_net();
         let ci = class_index(TxClass::Control);
         let start = now.max(self.stations[src.0 as usize].tx_free_at[ci]);
         let arrive = start + self.config.latency(bytes);
@@ -377,7 +553,7 @@ impl<P: Clone> Network<P> {
                 || self.rng.chance(self.config.p_silent_loss)
                 || self.take_forced_drop(src, dst);
             if lost {
-                self.stats.silently_lost += 1;
+                self.lose_silently(now, src, dst, bytes as u32, None, traced);
                 continue;
             }
             self.queue.schedule(
@@ -386,6 +562,8 @@ impl<P: Clone> Network<P> {
                     src,
                     dst,
                     at: arrive,
+                    span: None,
+                    bytes: bytes as u32,
                     payload: payload.clone(),
                 },
             );
@@ -590,6 +768,67 @@ mod tests {
             due.iter().all(|d| d.at == at),
             "broadcast arrives everywhere at once"
         );
+    }
+
+    #[test]
+    fn spans_and_instruments_follow_packets() {
+        use pilgrim_sim::{EventKind, Metrics, TraceCategory, Tracer};
+        let mut n = net(NetworkConfig::default());
+        let tracer = Tracer::new();
+        let metrics = Metrics::new();
+        n.attach_tracer(tracer.clone());
+        n.attach_metrics(&metrics);
+        let span = tracer.next_span();
+        n.drop_next(NodeId(0), NodeId(1), 1);
+        n.send_spanned(SimTime::ZERO, NodeId(0), NodeId(1), 1, 32, TxClass::Data, Some(span));
+        n.send_spanned(SimTime::ZERO, NodeId(0), NodeId(1), 2, 32, TxClass::Data, Some(span));
+        let (due, _) = n.poll(SimTime::from_millis(20));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].span, Some(span), "span crosses the wire");
+        assert_eq!(due[0].bytes, 32);
+
+        let timeline = tracer.events_for_span(span);
+        let kinds: Vec<&str> = timeline.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec!["PacketSent", "PacketLost", "PacketSent", "PacketDelivered"]
+        );
+        assert_eq!(metrics.counter_value("net.sent"), Some(2));
+        assert_eq!(metrics.counter_value("net.delivered"), Some(1));
+        assert_eq!(metrics.counter_value("net.silently_lost"), Some(1));
+        assert_eq!(metrics.counter_value("net.bytes_sent"), Some(64));
+        assert_eq!(n.stats().bytes_sent, 64);
+
+        // Disabling the net category suppresses packet events entirely.
+        tracer.set_filter(&[TraceCategory::Rpc]);
+        n.send(SimTime::from_millis(30), NodeId(0), NodeId(1), 3, 32);
+        n.poll(SimTime::from_millis(60));
+        assert!(tracer
+            .events()
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::PacketSent { .. })
+                || e.time < SimTime::from_millis(30)));
+    }
+
+    #[test]
+    fn nack_is_traced_with_its_span() {
+        use pilgrim_sim::{SpanId, Tracer};
+        let mut n = net(NetworkConfig::default());
+        let tracer = Tracer::new();
+        n.attach_tracer(tracer.clone());
+        n.set_up(NodeId(1), false);
+        n.send_spanned(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            0,
+            32,
+            TxClass::Data,
+            Some(SpanId(9)),
+        );
+        let events = tracer.events_for_span(SpanId(9));
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, vec!["PacketSent", "PacketNacked"]);
     }
 
     #[test]

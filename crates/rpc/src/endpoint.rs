@@ -32,7 +32,10 @@ use pilgrim_cclu::{
 };
 use pilgrim_mayflower::{Node, Pid, SpawnOpts};
 use pilgrim_ring::NodeId;
-use pilgrim_sim::{EventQueue, SimDuration, SimTime, TraceCategory, Tracer};
+use pilgrim_sim::{
+    Counter, EventKind, EventQueue, Histogram, Metrics, SimDuration, SimTime, SpanId,
+    TraceCategory, Tracer,
+};
 
 use crate::marshal::{default_for, marshal, unmarshal, wire_matches_type, WireValue};
 use crate::monitor::PacketMonitor;
@@ -143,6 +146,20 @@ impl RpcStats {
     }
 }
 
+/// Pre-registered [`Metrics`] handles mirroring [`RpcStats`], plus a
+/// client-observed latency histogram. Held as direct handles so no call
+/// ever performs a name lookup; every node's endpoint feeds the same
+/// world-level instruments.
+#[derive(Debug, Clone)]
+struct RpcMeters {
+    started: Counter,
+    completed: Counter,
+    failed: Counter,
+    retransmits: Counter,
+    served: Counter,
+    latency_us: Histogram,
+}
+
 #[derive(Debug)]
 struct ClientCall {
     pid: Pid,
@@ -157,6 +174,9 @@ struct ClientCall {
     pkt: RpcPacket,
     bytes: usize,
     started: SimTime,
+    /// The call's causal span, born at `start_call` and carried by every
+    /// packet of the call (including retransmissions).
+    span: SpanId,
 }
 
 #[derive(Debug)]
@@ -164,6 +184,8 @@ struct ServerCall {
     pid: Pid,
     caller: NodeId,
     info: Option<Rc<RpcInfoBlock>>,
+    /// Span propagated from the caller's packet header.
+    span: Option<SpanId>,
 }
 
 #[derive(Debug, Default)]
@@ -179,6 +201,7 @@ enum Timer {
         proc: Rc<str>,
         args: Vec<WireValue>,
         protocol: RpcProtocol,
+        span: Option<SpanId>,
     },
     Retry(CallId),
     MaybeDeadline(CallId),
@@ -211,6 +234,7 @@ pub struct RpcEndpoint {
     timers: EventQueue<Timer>,
     monitor: PacketMonitor,
     stats: RpcStats,
+    meters: Option<RpcMeters>,
     tracer: Tracer,
 }
 
@@ -242,6 +266,7 @@ impl RpcEndpoint {
             timers: EventQueue::new(),
             monitor: PacketMonitor::new(),
             stats: RpcStats::default(),
+            meters: None,
             tracer,
         }
     }
@@ -254,6 +279,23 @@ impl RpcEndpoint {
     /// Statistics so far.
     pub fn stats(&self) -> RpcStats {
         self.stats
+    }
+
+    /// Registers this endpoint's instruments (`rpc.*`) with a metrics
+    /// registry. Counters mirror [`RpcStats`]; the latency histogram
+    /// records client-observed completion latency in microseconds.
+    pub fn attach_metrics(&mut self, metrics: &Metrics) {
+        self.meters = Some(RpcMeters {
+            started: metrics.counter("rpc.started"),
+            completed: metrics.counter("rpc.completed"),
+            failed: metrics.counter("rpc.failed"),
+            retransmits: metrics.counter("rpc.retransmits"),
+            served: metrics.counter("rpc.served"),
+            latency_us: metrics.histogram(
+                "rpc.latency_us",
+                &[1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000],
+            ),
+        });
     }
 
     /// Registers a native handler under `name` (services, agent support
@@ -351,6 +393,9 @@ impl RpcEndpoint {
         net: &mut dyn RpcNet,
     ) {
         self.stats.started += 1;
+        if let Some(m) = &self.meters {
+            m.started.inc();
+        }
         // Destination validation.
         if req.node < 0 || req.node >= i64::from(net.node_count()) {
             self.fail_now(
@@ -383,6 +428,11 @@ impl RpcEndpoint {
 
         self.counter += 1;
         let call_id = make_call_id(self.node_id, self.counter);
+        // The span is born with the call. If the calling process is itself
+        // serving an RPC, its inherited span becomes this call's parent —
+        // the link that chains nested cross-node calls into one tree.
+        let parent_span = node.process(pid).and_then(|p| p.span);
+        let span = self.tracer.next_span();
         let mut delay = self.config.client_send;
 
         // §4.3 debug support: information block in a known position of the
@@ -409,8 +459,26 @@ impl RpcEndpoint {
             args,
             protocol: req.protocol,
             attempt: 0,
+            span: span.0,
         };
         let bytes = pkt.wire_bytes(self.config.header_bytes);
+
+        if self.tracer.wants(TraceCategory::Rpc) {
+            self.tracer.emit(
+                now,
+                TraceCategory::Rpc,
+                Some(self.node_id.0),
+                Some(span),
+                EventKind::CallStarted {
+                    call_id,
+                    proc: req.proc_name.to_string(),
+                    args: req.args.len() as u32,
+                    dst: dst.0,
+                    protocol: req.protocol.to_string(),
+                    parent_span: SpanId::to_wire(parent_span),
+                },
+            );
+        }
 
         // §4.2 ablation: the device-driver hook sees the outgoing packet.
         if self.config.monitor {
@@ -435,17 +503,6 @@ impl RpcEndpoint {
                 );
             }
         }
-        self.tracer.record(
-            now,
-            TraceCategory::Rpc,
-            Some(self.node_id.0),
-            format!(
-                "call {call_id} {}({}) -> {dst} [{}]",
-                req.proc_name,
-                req.args.len(),
-                req.protocol
-            ),
-        );
         self.client.insert(
             call_id,
             ClientCall {
@@ -461,6 +518,7 @@ impl RpcEndpoint {
                 pkt,
                 bytes,
                 started: now,
+                span,
             },
         );
         self.by_pid.insert(pid, call_id);
@@ -476,6 +534,9 @@ impl RpcEndpoint {
         reason: String,
     ) {
         self.stats.failed += 1;
+        if let Some(m) = &self.meters {
+            m.failed.inc();
+        }
         match req.protocol {
             RpcProtocol::ExactlyOnce => node.fail_rpc(
                 token,
@@ -522,12 +583,25 @@ impl RpcEndpoint {
                 args,
                 protocol,
                 attempt: _,
+                span,
             } => {
                 // Exactly-once duplicate suppression and reply cache.
                 if protocol == RpcProtocol::ExactlyOnce {
                     if let Some(seen) = self.seen.get(&call_id) {
                         if let Some((reply, bytes)) = &seen.reply {
                             let (reply, bytes) = (reply.clone(), *bytes);
+                            if self.tracer.wants(TraceCategory::Rpc) {
+                                self.tracer.emit(
+                                    now,
+                                    TraceCategory::Rpc,
+                                    Some(self.node_id.0),
+                                    reply.span(),
+                                    EventKind::ReplySent {
+                                        call_id,
+                                        cached: true,
+                                    },
+                                );
+                            }
                             net.send_rpc(
                                 now + self.config.server_send,
                                 self.node_id,
@@ -553,6 +627,7 @@ impl RpcEndpoint {
                         now,
                         src,
                         call_id,
+                        SpanId::from_wire(span),
                         format!("unknown remote procedure `{proc}`"),
                         net,
                     );
@@ -568,6 +643,7 @@ impl RpcEndpoint {
                         now,
                         src,
                         call_id,
+                        SpanId::from_wire(span),
                         format!("arguments do not match `{proc}` signature {sig}"),
                         net,
                     );
@@ -586,13 +662,22 @@ impl RpcEndpoint {
                         proc,
                         args,
                         protocol,
+                        span: SpanId::from_wire(span),
                     },
                 );
             }
-            RpcPacket::Reply { call_id, results } => {
+            RpcPacket::Reply {
+                call_id,
+                results,
+                span: _,
+            } => {
                 self.client_reply(now, call_id, Completion::Success(results));
             }
-            RpcPacket::ReplyFailure { call_id, reason } => {
+            RpcPacket::ReplyFailure {
+                call_id,
+                reason,
+                span: _,
+            } => {
                 let kind = match self.client.get(&call_id).map(|c| c.protocol) {
                     Some(RpcProtocol::Maybe) => Completion::MaybeFail(reason),
                     _ => Completion::Hard(reason),
@@ -626,10 +711,15 @@ impl RpcEndpoint {
         now: SimTime,
         dst: NodeId,
         call_id: CallId,
+        span: Option<SpanId>,
         reason: String,
         net: &mut dyn RpcNet,
     ) {
-        let pkt = RpcPacket::ReplyFailure { call_id, reason };
+        let pkt = RpcPacket::ReplyFailure {
+            call_id,
+            reason,
+            span: SpanId::to_wire(span),
+        };
         let bytes = pkt.wire_bytes(self.config.header_bytes);
         let mut now = now;
         if self.config.monitor {
@@ -638,6 +728,18 @@ impl RpcEndpoint {
         }
         self.server_recent.record(call_id, false);
         self.seen.entry(call_id).or_default().reply = Some((pkt.clone(), bytes));
+        if self.tracer.wants(TraceCategory::Rpc) {
+            self.tracer.emit(
+                now,
+                TraceCategory::Rpc,
+                Some(self.node_id.0),
+                span,
+                EventKind::ReplySent {
+                    call_id,
+                    cached: false,
+                },
+            );
+        }
         net.send_rpc(now + self.config.server_send, self.node_id, dst, pkt, bytes);
     }
 
@@ -651,8 +753,9 @@ impl RpcEndpoint {
                     proc,
                     args,
                     protocol,
+                    span,
                 } => {
-                    self.dispatch(at, node, src, call_id, &proc, args, protocol, net);
+                    self.dispatch(at, node, src, call_id, &proc, args, protocol, span, net);
                 }
                 Timer::Retry(call_id) => {
                     // §5.2's frozen timeouts extend to the RPC runtime: a
@@ -694,9 +797,25 @@ impl RpcEndpoint {
         proc: &Rc<str>,
         args: Vec<WireValue>,
         protocol: RpcProtocol,
+        span: Option<SpanId>,
         net: &mut dyn RpcNet,
     ) {
         self.stats.served += 1;
+        if let Some(m) = &self.meters {
+            m.served.inc();
+        }
+        if self.tracer.wants(TraceCategory::Rpc) {
+            self.tracer.emit(
+                now,
+                TraceCategory::Rpc,
+                Some(self.node_id.0),
+                span,
+                EventKind::ServerDispatched {
+                    call_id,
+                    proc: proc.to_string(),
+                },
+            );
+        }
         // Native handler: runs to completion at dispatch time.
         if let Some(mut handler) = self.handlers.remove(&**proc) {
             let values: Vec<Value> = args.iter().map(|w| unmarshal(node.heap_mut(), w)).collect();
@@ -713,11 +832,11 @@ impl RpcEndpoint {
                     let wire: Result<Vec<WireValue>, _> =
                         rets.iter().map(|v| marshal(node.heap(), v)).collect();
                     match wire {
-                        Ok(results) => self.send_reply(now, node, src, call_id, results, net),
-                        Err(e) => self.reply_failure(now, src, call_id, e.to_string(), net),
+                        Ok(results) => self.send_reply(now, node, src, call_id, results, span, net),
+                        Err(e) => self.reply_failure(now, src, call_id, span, e.to_string(), net),
                     }
                 }
-                Err(reason) => self.reply_failure(now, src, call_id, reason, net),
+                Err(reason) => self.reply_failure(now, src, call_id, span, reason, net),
             }
             return;
         }
@@ -730,6 +849,7 @@ impl RpcEndpoint {
                 now,
                 src,
                 call_id,
+                span,
                 format!("unknown procedure `{proc}`"),
                 net,
             );
@@ -744,6 +864,12 @@ impl RpcEndpoint {
                 ..Default::default()
             },
         );
+        // The server process inherits the call's span: its prints, faults,
+        // and any onward calls it issues stay linked to the same causal
+        // timeline (onward calls record it as their parent span).
+        if let Some(p) = node.process_mut(pid) {
+            p.span = span;
+        }
         // Figure 1, right-hand side: the information block sits at the
         // bottom of the server process's stack.
         let info = if self.config.debug_support {
@@ -773,6 +899,7 @@ impl RpcEndpoint {
                 pid,
                 caller: src,
                 info,
+                span,
             },
         );
         self.server_by_pid.insert(pid, call_id);
@@ -801,11 +928,24 @@ impl RpcEndpoint {
                 "no response from {} after {} attempts",
                 call.dst, call.attempts
             );
+            let span = call.span;
+            if self.tracer.wants(TraceCategory::Rpc) {
+                self.tracer.emit(
+                    now,
+                    TraceCategory::Rpc,
+                    Some(self.node_id.0),
+                    Some(span),
+                    EventKind::CallTimedOut { call_id },
+                );
+            }
             self.deliver(now, node, call_id, Completion::Hard(reason));
             return;
         }
         call.attempts += 1;
         self.stats.retransmits += 1;
+        if let Some(m) = &self.meters {
+            m.retransmits.inc();
+        }
         if let Some(i) = &call.info {
             i.retries.set(i.retries.get() + 1);
             i.state.set(RpcCallState::Retransmitting(i.retries.get()));
@@ -816,6 +956,7 @@ impl RpcEndpoint {
                 proc,
                 args,
                 protocol,
+                span,
                 ..
             } => RpcPacket::Call {
                 call_id: *call_id,
@@ -823,10 +964,23 @@ impl RpcEndpoint {
                 args: args.clone(),
                 protocol: *protocol,
                 attempt: call.attempts - 1,
+                // A retransmission is the same causal activity: the span
+                // header crosses the wire unchanged.
+                span: *span,
             },
             other => other.clone(),
         };
         let (dst, bytes) = (call.dst, call.bytes);
+        let (span, attempt) = (call.span, call.attempts - 1);
+        if self.tracer.wants(TraceCategory::Rpc) {
+            self.tracer.emit(
+                now,
+                TraceCategory::Rpc,
+                Some(self.node_id.0),
+                Some(span),
+                EventKind::CallRetransmitted { call_id, attempt },
+            );
+        }
         if self.config.monitor {
             self.monitor.observe(&pkt);
         }
@@ -842,9 +996,14 @@ impl RpcEndpoint {
         dst: NodeId,
         call_id: CallId,
         results: Vec<WireValue>,
+        span: Option<SpanId>,
         net: &mut dyn RpcNet,
     ) {
-        let pkt = RpcPacket::Reply { call_id, results };
+        let pkt = RpcPacket::Reply {
+            call_id,
+            results,
+            span: SpanId::to_wire(span),
+        };
         let bytes = pkt.wire_bytes(self.config.header_bytes);
         let mut now = now;
         if self.config.monitor {
@@ -861,6 +1020,18 @@ impl RpcEndpoint {
                 reply: Some((pkt.clone(), bytes)),
             },
         );
+        if self.tracer.wants(TraceCategory::Rpc) {
+            self.tracer.emit(
+                now,
+                TraceCategory::Rpc,
+                Some(self.node_id.0),
+                span,
+                EventKind::ReplySent {
+                    call_id,
+                    cached: false,
+                },
+            );
+        }
         net.send_rpc(now + self.config.server_send, self.node_id, dst, pkt, bytes);
     }
 
@@ -889,7 +1060,7 @@ impl RpcEndpoint {
             .iter()
             .filter_map(|v| marshal(node.heap(), v).ok())
             .collect();
-        self.send_reply(now, node, call.caller, call_id, results, net);
+        self.send_reply(now, node, call.caller, call_id, results, call.span, net);
         true
     }
 
@@ -917,6 +1088,7 @@ impl RpcEndpoint {
             now,
             call.caller,
             call_id,
+            call.span,
             format!("remote fault: {fault}"),
             net,
         );
@@ -932,7 +1104,25 @@ impl RpcEndpoint {
         match kind {
             Completion::Success(results) => {
                 self.stats.completed += 1;
-                self.stats.total_latency += now.saturating_since(call.started);
+                let latency = now.saturating_since(call.started);
+                self.stats.total_latency += latency;
+                if let Some(m) = &self.meters {
+                    m.completed.inc();
+                    m.latency_us.observe(latency.as_micros());
+                }
+                if self.tracer.wants(TraceCategory::Rpc) {
+                    self.tracer.emit(
+                        now,
+                        TraceCategory::Rpc,
+                        Some(self.node_id.0),
+                        Some(call.span),
+                        EventKind::CallCompleted {
+                            call_id,
+                            ok: true,
+                            outcome: "ok".to_string(),
+                        },
+                    );
+                }
                 if let Some(i) = &call.info {
                     i.state.set(RpcCallState::Succeeded);
                 }
@@ -950,18 +1140,28 @@ impl RpcEndpoint {
             }
             Completion::MaybeFail(reason) => {
                 self.stats.failed += 1;
+                if let Some(m) = &self.meters {
+                    m.failed.inc();
+                }
                 if let Some(i) = &call.info {
                     i.state.set(RpcCallState::Failed);
                 }
                 if self.config.debug_support {
                     self.client_recent.record(call_id, false);
                 }
-                self.tracer.record(
-                    now,
-                    TraceCategory::Rpc,
-                    Some(self.node_id.0),
-                    format!("maybe call {call_id} failed: {reason}"),
-                );
+                if self.tracer.wants(TraceCategory::Rpc) {
+                    self.tracer.emit(
+                        now,
+                        TraceCategory::Rpc,
+                        Some(self.node_id.0),
+                        Some(call.span),
+                        EventKind::CallCompleted {
+                            call_id,
+                            ok: false,
+                            outcome: format!("maybe: {reason}"),
+                        },
+                    );
+                }
                 let mut values = vec![Value::Bool(false)];
                 for t in &call.ret_types {
                     let w = default_for(t);
@@ -971,11 +1171,27 @@ impl RpcEndpoint {
             }
             Completion::Hard(reason) => {
                 self.stats.failed += 1;
+                if let Some(m) = &self.meters {
+                    m.failed.inc();
+                }
                 if let Some(i) = &call.info {
                     i.state.set(RpcCallState::Failed);
                 }
                 if self.config.debug_support {
                     self.client_recent.record(call_id, false);
+                }
+                if self.tracer.wants(TraceCategory::Rpc) {
+                    self.tracer.emit(
+                        now,
+                        TraceCategory::Rpc,
+                        Some(self.node_id.0),
+                        Some(call.span),
+                        EventKind::CallCompleted {
+                            call_id,
+                            ok: false,
+                            outcome: reason.clone(),
+                        },
+                    );
                 }
                 node.fail_rpc(
                     call.token,

@@ -91,6 +91,7 @@ mod tests {
             args: vec![],
             protocol: RpcProtocol::ExactlyOnce,
             attempt,
+            span: 0,
         }
     }
 
@@ -104,6 +105,7 @@ mod tests {
         m.observe(&RpcPacket::Reply {
             call_id: 5,
             results: vec![],
+            span: 0,
         });
         assert_eq!(m.state(5), Some(&MonitorState::Replied { ok: true }));
         assert_eq!(m.observations(), 3);
@@ -115,6 +117,7 @@ mod tests {
         m.observe(&RpcPacket::ReplyFailure {
             call_id: 9,
             reason: "boom".into(),
+            span: 0,
         });
         assert_eq!(m.state(9), Some(&MonitorState::Replied { ok: false }));
         assert_eq!(m.state(8), None);

@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use pilgrim_cclu::RpcProtocol;
 use pilgrim_ring::NodeId;
-use pilgrim_sim::SimDuration;
+use pilgrim_sim::{SimDuration, SpanId};
 
 use crate::marshal::WireValue;
 
@@ -31,6 +31,10 @@ pub enum RpcPacket {
     Call {
         /// Call identifier.
         call_id: CallId,
+        /// Causal span header field (`0` = none; see [`SpanId::to_wire`]).
+        /// Retransmissions carry the originating transmission's span
+        /// unchanged, so one call is one span across the whole network.
+        span: u64,
         /// Remote procedure name.
         proc: Rc<str>,
         /// Marshalled arguments.
@@ -44,6 +48,8 @@ pub enum RpcPacket {
     Reply {
         /// Call identifier.
         call_id: CallId,
+        /// Causal span header field, echoed from the call packet.
+        span: u64,
         /// Marshalled results.
         results: Vec<WireValue>,
     },
@@ -51,6 +57,8 @@ pub enum RpcPacket {
     ReplyFailure {
         /// Call identifier.
         call_id: CallId,
+        /// Causal span header field, echoed from the call packet.
+        span: u64,
         /// Human-readable reason.
         reason: String,
     },
@@ -63,6 +71,15 @@ impl RpcPacket {
             RpcPacket::Call { call_id, .. }
             | RpcPacket::Reply { call_id, .. }
             | RpcPacket::ReplyFailure { call_id, .. } => *call_id,
+        }
+    }
+
+    /// The causal span carried in the packet header, if any.
+    pub fn span(&self) -> Option<SpanId> {
+        match self {
+            RpcPacket::Call { span, .. }
+            | RpcPacket::Reply { span, .. }
+            | RpcPacket::ReplyFailure { span, .. } => SpanId::from_wire(*span),
         }
     }
 
@@ -232,18 +249,40 @@ mod tests {
     fn packet_sizes_include_payload() {
         let call = RpcPacket::Call {
             call_id: 1,
+            span: 0,
             proc: "square".into(),
             args: vec![WireValue::Int(4)],
             protocol: RpcProtocol::ExactlyOnce,
             attempt: 0,
         };
-        // tagged int payload: 1 tag + 8 bytes of i64
+        // tagged int payload: 1 tag + 8 bytes of i64. The span rides in
+        // the fixed 32-byte header allowance, so it is free on the wire.
         assert_eq!(call.wire_bytes(32), 32 + 6 + 9);
         let reply = RpcPacket::Reply {
             call_id: 1,
+            span: 0,
             results: vec![WireValue::Int(16)],
         };
         assert_eq!(reply.wire_bytes(32), 32 + 9);
         assert_eq!(call.call_id(), reply.call_id());
+    }
+
+    #[test]
+    fn span_header_round_trips() {
+        let call = RpcPacket::Call {
+            call_id: 1,
+            span: SpanId::to_wire(Some(SpanId(5))),
+            proc: "square".into(),
+            args: vec![],
+            protocol: RpcProtocol::Maybe,
+            attempt: 0,
+        };
+        assert_eq!(call.span(), Some(SpanId(5)));
+        let bare = RpcPacket::ReplyFailure {
+            call_id: 1,
+            span: 0,
+            reason: "x".into(),
+        };
+        assert_eq!(bare.span(), None);
     }
 }

@@ -12,7 +12,10 @@
 //! * [`EventQueue`] — a future-event list with FIFO tie-breaking, so
 //!   identical seeds give identical runs;
 //! * [`DetRng`] — seeded, forkable randomness for loss models and jitter;
-//! * [`Tracer`] — structured event recording that tests assert against;
+//! * [`Tracer`] — structured, span-linked event recording that tests
+//!   assert against (typed [`EventKind`] payloads, lazy rendering);
+//! * [`Metrics`] — a hermetic registry of counters, gauges, and
+//!   fixed-bucket histograms;
 //! * [`check`] — deterministic property-based testing with shrinking,
 //!   used by the workspace's test suites (no external crates).
 //!
@@ -36,11 +39,13 @@
 
 pub mod check;
 mod event;
+mod metrics;
 mod rng;
 mod time;
 mod trace;
 
 pub use event::{EventId, EventQueue};
+pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceCategory, TraceEvent, Tracer};
+pub use trace::{EchoBuffer, EventKind, SpanId, TraceCategory, TraceEvent, Tracer};

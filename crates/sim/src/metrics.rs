@@ -1,0 +1,395 @@
+//! Hermetic metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! A [`Metrics`] registry hands out cheap handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) that subsystems keep and bump directly — an increment is
+//! one `Cell` update, no name lookup, no locking (the simulation is
+//! single-threaded). The registry remembers every instrument by name so
+//! the debugger's `stats` command and [`Metrics::report`] can render a
+//! sorted inventory at any point. No external crates, matching the
+//! workspace's zero-dependency rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use pilgrim_sim::Metrics;
+//! let m = Metrics::new();
+//! let sends = m.counter("net.sent");
+//! sends.inc();
+//! sends.add(2);
+//! assert_eq!(m.counter_value("net.sent"), Some(3));
+//! let lat = m.histogram("rpc.latency_us", &[1_000, 10_000, 100_000]);
+//! lat.observe(4_200);
+//! assert_eq!(lat.count(), 1);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get().wrapping_add(n));
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+}
+
+/// A value that can move in both directions (queue depths, live counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Rc<Cell<i64>>,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.set(v);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.set(self.value.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.get()
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds of each finite bucket, ascending. An
+    /// implicit overflow bucket catches everything above the last bound.
+    bounds: Vec<u64>,
+    /// One count per finite bucket, plus the trailing overflow bucket.
+    counts: RefCell<Vec<u64>>,
+    count: Cell<u64>,
+    sum: Cell<u64>,
+}
+
+/// A fixed-bucket histogram of `u64` observations (typically
+/// microseconds). Bucket bounds are chosen at registration and never
+/// change, so `observe` is a binary search plus two `Cell` bumps.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Rc<HistogramInner>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let n = sorted.len();
+        Histogram {
+            inner: Rc::new(HistogramInner {
+                bounds: sorted,
+                counts: RefCell::new(vec![0; n + 1]),
+                count: Cell::new(0),
+                sum: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.counts.borrow_mut()[idx] += 1;
+        self.inner.count.set(self.inner.count.get() + 1);
+        self.inner.sum.set(self.inner.sum.get().wrapping_add(v));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.get()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.get()
+    }
+
+    /// Mean observation, or 0 with no data.
+    pub fn mean(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            0
+        } else {
+            self.sum() / n
+        }
+    }
+
+    /// `(upper_bound, count)` per finite bucket, then
+    /// `(u64::MAX, overflow_count)`.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let counts = self.inner.counts.borrow();
+        let mut out: Vec<(u64, u64)> = self
+            .inner
+            .bounds
+            .iter()
+            .copied()
+            .zip(counts.iter().copied())
+            .collect();
+        out.push((u64::MAX, counts[self.inner.bounds.len()]));
+        out
+    }
+
+    /// Smallest bucket bound with at least `q` (0.0..=1.0) of the mass at
+    /// or below it — a bucket-resolution quantile. Returns `None` with no
+    /// data; the overflow bucket reports as `u64::MAX`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (bound, n) in self.buckets() {
+            seen += n;
+            if seen >= target {
+                return Some(bound);
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// A shared, clonable registry of named instruments.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    registry: Rc<RefCell<Registry>>,
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.registry.borrow();
+        f.debug_struct("Metrics")
+            .field("counters", &r.counters.len())
+            .field("gauges", &r.gauges.len())
+            .field("histograms", &r.histograms.len())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    /// Repeated calls (from any clone) return handles to the same value.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut r = self.registry.borrow_mut();
+        if let Some((_, c)) = r.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        r.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// The gauge named `name`, registering it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut r = self.registry.borrow_mut();
+        if let Some((_, g)) = r.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        r.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// The histogram named `name`, creating it with `bounds` on first
+    /// use. Later calls return the existing histogram and ignore
+    /// `bounds` (the buckets are fixed for its lifetime).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut r = self.registry.borrow_mut();
+        if let Some((_, h)) = r.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::new(bounds);
+        r.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// The value of a counter, or `None` if it was never registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.registry
+            .borrow()
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.get())
+    }
+
+    /// The value of a gauge, or `None` if it was never registered.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.registry
+            .borrow()
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, g)| g.get())
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram_named(&self, name: &str) -> Option<Histogram> {
+        self.registry
+            .borrow()
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// Every registered instrument rendered as sorted `name value` lines:
+    /// counters first, then gauges, then histograms (count / mean / p95
+    /// at bucket resolution).
+    pub fn report(&self) -> String {
+        let r = self.registry.borrow();
+        let mut out = String::new();
+        let mut counters: Vec<&(String, Counter)> = r.counters.iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, c) in counters {
+            out.push_str(&format!("counter {name} = {}\n", c.get()));
+        }
+        let mut gauges: Vec<&(String, Gauge)> = r.gauges.iter().collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, g) in gauges {
+            out.push_str(&format!("gauge {name} = {}\n", g.get()));
+        }
+        let mut hists: Vec<&(String, Histogram)> = r.histograms.iter().collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in hists {
+            let p95 = match h.quantile(0.95) {
+                Some(u64::MAX) => "overflow".to_string(),
+                Some(b) => format!("<={b}"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "histogram {name}: count {} mean {} p95 {p95}\n",
+                h.count(),
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_is_shared_by_name() {
+        let m = Metrics::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(m.counter_value("x"), Some(5));
+        assert_eq!(a.get(), 5);
+        assert_eq!(m.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let m = Metrics::new();
+        let g = m.gauge("depth");
+        g.add(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.set(-1);
+        assert_eq!(m.gauge_value("depth"), Some(-1));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m.counter("shared").inc();
+        assert_eq!(m2.counter_value("shared"), Some(1));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let m = Metrics::new();
+        let h = m.histogram("lat", &[10, 100, 1_000]);
+        for v in [5, 7, 50, 500, 5_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5_562);
+        assert_eq!(h.mean(), 1_112);
+        assert_eq!(
+            h.buckets(),
+            vec![(10, 2), (100, 1), (1_000, 1), (u64::MAX, 1)]
+        );
+        // 2/5 of mass is <=10; the median lands in the <=100 bucket.
+        assert_eq!(h.quantile(0.4), Some(10));
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        assert_eq!(m.histogram("lat", &[999]).count(), 5, "bounds fixed at creation");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let m = Metrics::new();
+        let h = m.histogram("empty", &[1]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn bucket_boundary_is_inclusive() {
+        let m = Metrics::new();
+        let h = m.histogram("edge", &[10]);
+        h.observe(10);
+        h.observe(11);
+        assert_eq!(h.buckets(), vec![(10, 1), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn report_lists_sorted_instruments() {
+        let m = Metrics::new();
+        m.counter("b.count").add(2);
+        m.counter("a.count").inc();
+        m.gauge("live").set(3);
+        m.histogram("h", &[100]).observe(7);
+        let report = m.report();
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines[0], "counter a.count = 1");
+        assert_eq!(lines[1], "counter b.count = 2");
+        assert_eq!(lines[2], "gauge live = 3");
+        assert_eq!(lines[3], "histogram h: count 1 mean 7 p95 <=100");
+    }
+}

@@ -1,16 +1,27 @@
-//! Structured simulation tracing.
+//! Structured simulation tracing with causal spans.
 //!
-//! Components record [`TraceEvent`]s into a shared [`Tracer`]; tests and the
-//! experiment harnesses assert on the recorded history rather than parsing
-//! printed output. Tracing is always cheap: when no subscriber wants a
-//! category the event is dropped without formatting.
+//! Components emit typed [`TraceEvent`]s into a shared [`Tracer`]; tests
+//! and the experiment harnesses assert on the recorded fields rather than
+//! parsing printed output. Tracing is always cheap: [`Tracer::wants`] is a
+//! single `u8` bitmask test, and callers construct the [`EventKind`]
+//! payload only after that check passes, so a disabled category costs one
+//! load-and-mask on the hot path.
+//!
+//! Causality is carried by [`SpanId`]: an RPC call allocates a span at
+//! origination ([`Tracer::next_span`]), the id rides in the packet header
+//! across nodes (surviving retransmission), and every event the call
+//! touches — send, delivery, server dispatch, reply — is stamped with it.
+//! [`Tracer::events_for_span`] then reconstructs the cross-node timeline
+//! of one call from the trace alone, the paper's client/server
+//! call-identifier tables generalized.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
+use std::io::Write;
 use std::rc::Rc;
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Category of a trace event, used for filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +42,16 @@ pub enum TraceCategory {
     Service,
 }
 
+impl TraceCategory {
+    /// This category's position in the filter bitmask.
+    const fn bit(self) -> u8 {
+        1 << self as u8
+    }
+
+    /// Every category enabled.
+    const ALL: u8 = 0x7f;
+}
+
 impl fmt::Display for TraceCategory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -46,6 +67,336 @@ impl fmt::Display for TraceCategory {
     }
 }
 
+/// Identifier linking every event produced on behalf of one causal
+/// activity (one RPC call, including retransmissions and its server-side
+/// execution on another node). Allocated by [`Tracer::next_span`]; `0` is
+/// never issued, so it can serve as a wire sentinel for "no span".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Decodes the wire form, where `0` means "no span".
+    pub fn from_wire(raw: u64) -> Option<SpanId> {
+        if raw == 0 {
+            None
+        } else {
+            Some(SpanId(raw))
+        }
+    }
+
+    /// Encodes an optional span for a packet header (`0` = none).
+    pub fn to_wire(span: Option<SpanId>) -> u64 {
+        span.map_or(0, |s| s.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Typed payload of a trace event. The string form of every variant is a
+/// *rendering* ([`EventKind::render`]), produced lazily on demand; nothing
+/// is formatted at emission time.
+///
+/// Process ids and procedure names are carried as plain `u64`/`String` so
+/// this crate stays dependency-free; a pid `n` renders as `p{n}`, matching
+/// the scheduler's `Pid` display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Free-form text — the legacy [`Tracer::record`] path and one-off
+    /// diagnostics that don't warrant a variant.
+    Message(String),
+
+    // --- Net ---
+    /// A packet entered the transmitter queue.
+    PacketSent {
+        /// Sending node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Wire size, bytes.
+        bytes: u32,
+    },
+    /// A packet reached its destination.
+    PacketDelivered {
+        /// Sending node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Wire size, bytes.
+        bytes: u32,
+    },
+    /// A packet was silently dropped in flight (Ethernet-style loss or a
+    /// forced drop).
+    PacketLost {
+        /// Sending node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Wire size, bytes.
+        bytes: u32,
+    },
+    /// The ring hardware refused the packet at the source (destination
+    /// interface down) — the sender learns immediately.
+    PacketNacked {
+        /// Sending node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Wire size, bytes.
+        bytes: u32,
+    },
+
+    // --- Rpc ---
+    /// A client originated a call; the span is born here.
+    CallStarted {
+        /// Call identifier (`node << 40 | counter`).
+        call_id: u64,
+        /// Remote procedure name.
+        proc: String,
+        /// Argument count.
+        args: u32,
+        /// Destination node.
+        dst: u32,
+        /// Protocol rendering (`exactly-once` / `maybe`).
+        protocol: String,
+        /// Span of the enclosing call when this one was issued from a
+        /// server process (`0` = root call) — the child-span link that
+        /// chains nested cross-node calls into one tree.
+        parent_span: u64,
+    },
+    /// The exactly-once protocol re-sent the request packet.
+    CallRetransmitted {
+        /// Call identifier.
+        call_id: u64,
+        /// 1-based attempt number of the retransmission.
+        attempt: u32,
+    },
+    /// The call reached a terminal state on the client.
+    CallCompleted {
+        /// Call identifier.
+        call_id: u64,
+        /// `true` when results were delivered to the caller.
+        ok: bool,
+        /// Short outcome description (`ok`, or the failure reason).
+        outcome: String,
+    },
+    /// The call exhausted its retry/deadline budget.
+    CallTimedOut {
+        /// Call identifier.
+        call_id: u64,
+    },
+    /// The server spawned a process to execute the call body.
+    ServerDispatched {
+        /// Call identifier.
+        call_id: u64,
+        /// Procedure being executed.
+        proc: String,
+    },
+    /// The server transmitted a reply (fresh or replayed from the
+    /// duplicate-suppression cache).
+    ReplySent {
+        /// Call identifier.
+        call_id: u64,
+        /// `true` when the reply came from the cache.
+        cached: bool,
+    },
+    /// Post-mortem diagnosis: a `maybe` call failed because the *request*
+    /// never reached the server (§4.3 — server has no record of it).
+    MaybeLostCall {
+        /// Call identifier.
+        call_id: u64,
+    },
+    /// Post-mortem diagnosis: a `maybe` call failed because the *reply*
+    /// was lost (§4.3 — server executed it, client never heard).
+    MaybeLostReply {
+        /// Call identifier.
+        call_id: u64,
+    },
+
+    // --- Sched ---
+    /// A process entered the arena.
+    ProcessSpawned {
+        /// New process id.
+        pid: u64,
+        /// Root procedure name.
+        proc: String,
+    },
+    /// A process left the runnable set for good.
+    ProcessExited {
+        /// Process id.
+        pid: u64,
+    },
+    /// A node-wide halt swept the arena.
+    ProcessesHalted {
+        /// Processes halted or marked halt-pending.
+        count: u64,
+    },
+    /// A node-wide resume released the arena.
+    ProcessesResumed {
+        /// Processes released.
+        count: u64,
+    },
+
+    // --- Clock ---
+    /// The logical-clock delta absorbed a halt window (§5.2).
+    ClockAdjusted {
+        /// Halt duration added to the delta.
+        delta: SimDuration,
+        /// Resulting total delta.
+        now: SimDuration,
+    },
+
+    // --- Vm ---
+    /// A user program printed to its console.
+    Print {
+        /// Printing process.
+        pid: u64,
+        /// Printed text.
+        text: String,
+    },
+    /// A process died on a VM fault.
+    Faulted {
+        /// Faulting process.
+        pid: u64,
+        /// Rendered fault.
+        fault: String,
+    },
+
+    // --- Debug ---
+    /// A breakpoint fired and the agent halted its node.
+    BreakpointHalt,
+    /// The node halted on a broadcast from a remote breakpoint.
+    HaltBroadcast {
+        /// Node whose breakpoint originated the broadcast.
+        origin: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable variant name, used by the JSONL export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Message(_) => "Message",
+            EventKind::PacketSent { .. } => "PacketSent",
+            EventKind::PacketDelivered { .. } => "PacketDelivered",
+            EventKind::PacketLost { .. } => "PacketLost",
+            EventKind::PacketNacked { .. } => "PacketNacked",
+            EventKind::CallStarted { .. } => "CallStarted",
+            EventKind::CallRetransmitted { .. } => "CallRetransmitted",
+            EventKind::CallCompleted { .. } => "CallCompleted",
+            EventKind::CallTimedOut { .. } => "CallTimedOut",
+            EventKind::ServerDispatched { .. } => "ServerDispatched",
+            EventKind::ReplySent { .. } => "ReplySent",
+            EventKind::MaybeLostCall { .. } => "MaybeLostCall",
+            EventKind::MaybeLostReply { .. } => "MaybeLostReply",
+            EventKind::ProcessSpawned { .. } => "ProcessSpawned",
+            EventKind::ProcessExited { .. } => "ProcessExited",
+            EventKind::ProcessesHalted { .. } => "ProcessesHalted",
+            EventKind::ProcessesResumed { .. } => "ProcessesResumed",
+            EventKind::ClockAdjusted { .. } => "ClockAdjusted",
+            EventKind::Print { .. } => "Print",
+            EventKind::Faulted { .. } => "Faulted",
+            EventKind::BreakpointHalt => "BreakpointHalt",
+            EventKind::HaltBroadcast { .. } => "HaltBroadcast",
+        }
+    }
+
+    /// Renders the human-readable message. Legacy call sites that used to
+    /// `format!` eagerly now map to variants whose rendering reproduces
+    /// the old string byte-for-byte (the semantics-lock snapshot depends
+    /// on `ClockAdjusted`, `Print`, and `Faulted` staying stable).
+    pub fn render(&self) -> String {
+        match self {
+            EventKind::Message(s) => s.clone(),
+            EventKind::PacketSent { src, dst, bytes } => {
+                format!("sent {bytes}B {src}->{dst}")
+            }
+            EventKind::PacketDelivered { src, dst, bytes } => {
+                format!("delivered {bytes}B {src}->{dst}")
+            }
+            EventKind::PacketLost { src, dst, bytes } => {
+                format!("lost {bytes}B {src}->{dst}")
+            }
+            EventKind::PacketNacked { src, dst, bytes } => {
+                format!("nacked {bytes}B {src}->{dst}")
+            }
+            EventKind::CallStarted {
+                call_id,
+                proc,
+                args,
+                dst,
+                protocol,
+                parent_span,
+            } => {
+                if *parent_span == 0 {
+                    format!("call {call_id} {proc}({args}) -> node{dst} [{protocol}]")
+                } else {
+                    format!(
+                        "call {call_id} {proc}({args}) -> node{dst} [{protocol}] parent s{parent_span}"
+                    )
+                }
+            }
+            EventKind::CallRetransmitted { call_id, attempt } => {
+                format!("retransmit call {call_id} attempt {attempt}")
+            }
+            EventKind::CallCompleted {
+                call_id,
+                ok,
+                outcome,
+            } => {
+                if *ok {
+                    format!("call {call_id} completed: {outcome}")
+                } else {
+                    format!("call {call_id} failed: {outcome}")
+                }
+            }
+            EventKind::CallTimedOut { call_id } => {
+                format!("call {call_id} timed out")
+            }
+            EventKind::ServerDispatched { call_id, proc } => {
+                format!("dispatch call {call_id} {proc}")
+            }
+            EventKind::ReplySent { call_id, cached } => {
+                if *cached {
+                    format!("reply call {call_id} (cached)")
+                } else {
+                    format!("reply call {call_id}")
+                }
+            }
+            EventKind::MaybeLostCall { call_id } => {
+                format!("maybe call {call_id} failed: request lost (server never heard of it)")
+            }
+            EventKind::MaybeLostReply { call_id } => {
+                format!("maybe call {call_id} failed: reply lost (server executed it)")
+            }
+            EventKind::ProcessSpawned { pid, proc } => {
+                format!("spawned p{pid} {proc}")
+            }
+            EventKind::ProcessExited { pid } => format!("p{pid} exited"),
+            EventKind::ProcessesHalted { count } => {
+                format!("halted {count} processes")
+            }
+            EventKind::ProcessesResumed { count } => {
+                format!("resumed {count} processes")
+            }
+            EventKind::ClockAdjusted { delta, now } => {
+                format!("delta += {delta}, now {now}")
+            }
+            EventKind::Print { pid, text } => format!("p{pid}: {text}"),
+            EventKind::Faulted { pid, fault } => {
+                format!("p{pid} faulted: {fault}")
+            }
+            EventKind::BreakpointHalt => "breakpoint: local processes halted".to_string(),
+            EventKind::HaltBroadcast { origin } => {
+                format!("halted by broadcast from node{origin}")
+            }
+        }
+    }
+}
+
 /// A single recorded event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -55,29 +406,138 @@ pub struct TraceEvent {
     pub category: TraceCategory,
     /// Node the event is attributed to, if any.
     pub node: Option<u32>,
-    /// Human-readable description.
-    pub message: String,
+    /// Causal span the event belongs to, if any.
+    pub span: Option<SpanId>,
+    /// Typed payload.
+    pub kind: EventKind,
 }
 
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl TraceEvent {
+    /// The human-readable description, rendered lazily from the payload.
+    pub fn message(&self) -> String {
+        self.kind.render()
+    }
+
+    /// One JSON object (no trailing newline) for the JSONL trace dump.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"time_us\": ");
+        out.push_str(&self.time.as_micros().to_string());
+        out.push_str(", \"category\": \"");
+        out.push_str(&self.category.to_string());
+        out.push_str("\", \"node\": ");
         match self.node {
-            Some(n) => write!(
-                f,
-                "[{} {} n{}] {}",
-                self.time, self.category, n, self.message
-            ),
-            None => write!(f, "[{} {}] {}", self.time, self.category, self.message),
+            Some(n) => out.push_str(&n.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"span\": ");
+        match self.span {
+            Some(s) => out.push_str(&s.0.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"kind\": \"");
+        out.push_str(self.kind.name());
+        out.push_str("\", \"message\": \"");
+        json_escape_into(&self.message(), &mut out);
+        out.push_str("\"}");
+        out
+    }
+}
+
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
         }
     }
 }
 
-#[derive(Debug, Default)]
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The span deliberately does not appear here: this framing is
+        // pinned byte-for-byte by tests/semantics_lock.snapshot.txt.
+        match self.node {
+            Some(n) => write!(
+                f,
+                "[{} {} n{}] {}",
+                self.time,
+                self.category,
+                n,
+                self.message()
+            ),
+            None => write!(f, "[{} {}] {}", self.time, self.category, self.message()),
+        }
+    }
+}
+
+/// A `Write` sink backed by a shared byte buffer, for capturing echoed
+/// trace output in tests and the REPL.
+///
+/// # Examples
+///
+/// ```
+/// use pilgrim_sim::{EchoBuffer, EventKind, TraceCategory, Tracer, SimTime};
+/// let tracer = Tracer::new();
+/// let buf = EchoBuffer::new();
+/// tracer.set_echo_writer(Box::new(buf.clone()));
+/// tracer.set_echo(true);
+/// tracer.record(SimTime::ZERO, TraceCategory::Net, Some(1), "packet sent");
+/// assert_eq!(buf.contents(), "[T+0us net n1] packet sent\n");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EchoBuffer {
+    buf: Rc<RefCell<Vec<u8>>>,
+}
+
+impl EchoBuffer {
+    /// An empty shared buffer.
+    pub fn new() -> EchoBuffer {
+        EchoBuffer::default()
+    }
+
+    /// Everything written so far, lossily decoded as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.borrow()).into_owned()
+    }
+
+    /// Discards the captured bytes.
+    pub fn clear(&self) {
+        self.buf.borrow_mut().clear();
+    }
+}
+
+impl Write for EchoBuffer {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.borrow_mut().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 struct TracerInner {
     events: VecDeque<TraceEvent>,
-    enabled: Option<Vec<TraceCategory>>, // None = everything
-    echo: bool,
     capacity: usize,
+    /// Echo destination; `None` means stdout.
+    echo_sink: Option<Box<dyn Write>>,
+}
+
+struct Shared {
+    /// Enabled-category bitmask — the whole cost of a disabled category.
+    mask: Cell<u8>,
+    echo: Cell<bool>,
+    next_span: Cell<u64>,
+    inner: RefCell<TracerInner>,
 }
 
 /// A shared, clonable event recorder.
@@ -90,9 +550,27 @@ struct TracerInner {
 /// tracer.record(SimTime::ZERO, TraceCategory::Net, Some(1), "packet sent");
 /// assert_eq!(tracer.events_in(TraceCategory::Net).len(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct Tracer {
-    inner: Rc<RefCell<TracerInner>>,
+    shared: Rc<Shared>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.shared.inner.borrow();
+        f.debug_struct("Tracer")
+            .field("events", &inner.events.len())
+            .field("mask", &self.shared.mask.get())
+            .field("echo", &self.shared.echo.get())
+            .field("capacity", &inner.capacity)
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
 }
 
 impl Tracer {
@@ -105,39 +583,104 @@ impl Tracer {
     /// Creates a tracer bounded to `capacity` events; when full, the oldest
     /// event is discarded (in O(1): the buffer is a ring).
     pub fn with_capacity(capacity: usize) -> Tracer {
-        let inner = TracerInner {
-            capacity,
-            ..Default::default()
-        };
         Tracer {
-            inner: Rc::new(RefCell::new(inner)),
+            shared: Rc::new(Shared {
+                mask: Cell::new(TraceCategory::ALL),
+                echo: Cell::new(false),
+                next_span: Cell::new(1),
+                inner: RefCell::new(TracerInner {
+                    events: VecDeque::new(),
+                    capacity,
+                    echo_sink: None,
+                }),
+            }),
         }
     }
 
     /// Restricts recording to the given categories.
     pub fn set_filter(&self, categories: &[TraceCategory]) {
-        self.inner.borrow_mut().enabled = Some(categories.to_vec());
+        let mask = categories.iter().fold(0u8, |m, c| m | c.bit());
+        self.shared.mask.set(mask);
     }
 
     /// Records all categories again.
     pub fn clear_filter(&self) {
-        self.inner.borrow_mut().enabled = None;
+        self.shared.mask.set(TraceCategory::ALL);
     }
 
-    /// When `true`, also prints each event to stdout as it is recorded.
+    /// When `true`, also prints each event to the echo sink (stdout by
+    /// default) as it is recorded.
     pub fn set_echo(&self, echo: bool) {
-        self.inner.borrow_mut().echo = echo;
+        self.shared.echo.set(echo);
     }
 
-    /// Returns whether `category` is currently recorded.
+    /// Redirects echoed output to `sink` instead of stdout. Pair with an
+    /// [`EchoBuffer`] to capture output in tests or the REPL.
+    pub fn set_echo_writer(&self, sink: Box<dyn Write>) {
+        self.shared.inner.borrow_mut().echo_sink = Some(sink);
+    }
+
+    /// Restores the default stdout echo destination.
+    pub fn clear_echo_writer(&self) {
+        self.shared.inner.borrow_mut().echo_sink = None;
+    }
+
+    /// Returns whether `category` is currently recorded — one load and
+    /// mask, no allocation, no `RefCell` borrow. Check this *before*
+    /// constructing an [`EventKind`] so disabled tracing costs nothing.
+    #[inline]
     pub fn wants(&self, category: TraceCategory) -> bool {
-        match &self.inner.borrow().enabled {
-            None => true,
-            Some(cats) => cats.contains(&category),
-        }
+        self.shared.mask.get() & category.bit() != 0
     }
 
-    /// Records an event.
+    /// Allocates a fresh causal span id. Tracers cloned from the same
+    /// root share the counter, so spans are unique across every node of a
+    /// world. Never returns id 0 (the wire sentinel for "no span").
+    pub fn next_span(&self) -> SpanId {
+        let id = self.shared.next_span.get();
+        self.shared.next_span.set(id + 1);
+        SpanId(id)
+    }
+
+    /// Records a typed event. The category check is repeated here so
+    /// callers that skipped their own `wants` guard still filter
+    /// correctly, but hot paths should guard first and only then build
+    /// `kind`.
+    pub fn emit(
+        &self,
+        time: SimTime,
+        category: TraceCategory,
+        node: Option<u32>,
+        span: Option<SpanId>,
+        kind: EventKind,
+    ) {
+        if !self.wants(category) {
+            return;
+        }
+        let ev = TraceEvent {
+            time,
+            category,
+            node,
+            span,
+            kind,
+        };
+        let mut inner = self.shared.inner.borrow_mut();
+        if self.shared.echo.get() {
+            match inner.echo_sink.as_mut() {
+                Some(sink) => {
+                    let _ = writeln!(sink, "{ev}");
+                }
+                None => println!("{ev}"),
+            }
+        }
+        while inner.events.len() >= inner.capacity.max(1) {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(ev);
+    }
+
+    /// Records a free-form event (the legacy string API, kept for
+    /// diagnostics that don't warrant a typed variant).
     pub fn record(
         &self,
         time: SimTime,
@@ -148,30 +691,17 @@ impl Tracer {
         if !self.wants(category) {
             return;
         }
-        let ev = TraceEvent {
-            time,
-            category,
-            node,
-            message: message.into(),
-        };
-        let mut inner = self.inner.borrow_mut();
-        if inner.echo {
-            println!("{ev}");
-        }
-        while inner.events.len() >= inner.capacity.max(1) {
-            inner.events.pop_front();
-        }
-        inner.events.push_back(ev);
+        self.emit(time, category, node, None, EventKind::Message(message.into()));
     }
 
     /// Number of currently retained events.
     pub fn len(&self) -> usize {
-        self.inner.borrow().events.len()
+        self.shared.inner.borrow().events.len()
     }
 
     /// True when no events are retained.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().events.is_empty()
+        self.shared.inner.borrow().events.is_empty()
     }
 
     /// Visits every retained event in order without cloning the ring.
@@ -181,19 +711,20 @@ impl Tracer {
     /// either clone, as [`events`](Tracer::events) does, or leak a borrow
     /// guard). `f` must not call back into this tracer.
     pub fn for_each(&self, mut f: impl FnMut(&TraceEvent)) {
-        for ev in &self.inner.borrow().events {
+        for ev in &self.shared.inner.borrow().events {
             f(ev);
         }
     }
 
     /// A snapshot of every recorded event, in order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.iter().cloned().collect()
+        self.shared.inner.borrow().events.iter().cloned().collect()
     }
 
     /// A snapshot of the events in one category.
     pub fn events_in(&self, category: TraceCategory) -> Vec<TraceEvent> {
-        self.inner
+        self.shared
+            .inner
             .borrow()
             .events
             .iter()
@@ -202,28 +733,55 @@ impl Tracer {
             .collect()
     }
 
-    /// True when some recorded message contains `needle`.
-    pub fn saw(&self, needle: &str) -> bool {
-        self.inner
+    /// Every retained event stamped with `span`, in recording (= time)
+    /// order: the cross-node timeline of one causal activity.
+    pub fn events_for_span(&self, span: SpanId) -> Vec<TraceEvent> {
+        self.shared
+            .inner
             .borrow()
             .events
             .iter()
-            .any(|e| e.message.contains(needle))
+            .filter(|e| e.span == Some(span))
+            .cloned()
+            .collect()
+    }
+
+    /// True when some recorded message contains `needle`.
+    pub fn saw(&self, needle: &str) -> bool {
+        self.shared
+            .inner
+            .borrow()
+            .events
+            .iter()
+            .any(|e| e.message().contains(needle))
     }
 
     /// Number of recorded events whose message contains `needle`.
     pub fn count(&self, needle: &str) -> usize {
-        self.inner
+        self.shared
+            .inner
             .borrow()
             .events
             .iter()
-            .filter(|e| e.message.contains(needle))
+            .filter(|e| e.message().contains(needle))
             .count()
+    }
+
+    /// The whole retained trace as JSON Lines — one object per event,
+    /// newline-terminated, suitable for external tooling.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.shared.inner.borrow();
+        let mut out = String::with_capacity(inner.events.len() * 96);
+        for ev in &inner.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
     }
 
     /// Discards all recorded events.
     pub fn clear(&self) {
-        self.inner.borrow_mut().events.clear();
+        self.shared.inner.borrow_mut().events.clear();
     }
 }
 
@@ -246,13 +804,44 @@ mod tests {
     fn filter_suppresses_categories() {
         let t = Tracer::new();
         t.set_filter(&[TraceCategory::Clock]);
+        assert!(t.wants(TraceCategory::Clock));
+        assert!(!t.wants(TraceCategory::Net));
         t.record(SimTime::ZERO, TraceCategory::Net, None, "dropped");
         t.record(SimTime::ZERO, TraceCategory::Clock, None, "kept");
         assert_eq!(t.events().len(), 1);
         assert!(t.saw("kept"));
         t.clear_filter();
+        assert!(t.wants(TraceCategory::Net));
         t.record(SimTime::ZERO, TraceCategory::Net, None, "now kept");
         assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn filter_mask_covers_every_category() {
+        let all = [
+            TraceCategory::Sched,
+            TraceCategory::Net,
+            TraceCategory::Rpc,
+            TraceCategory::Debug,
+            TraceCategory::Clock,
+            TraceCategory::Vm,
+            TraceCategory::Service,
+        ];
+        // Each category maps to a distinct bit inside ALL.
+        let mut seen = 0u8;
+        for c in all {
+            assert_eq!(seen & c.bit(), 0, "{c} shares a bit");
+            seen |= c.bit();
+        }
+        assert_eq!(seen, TraceCategory::ALL);
+        // A single-category filter admits exactly that category.
+        let t = Tracer::new();
+        for c in all {
+            t.set_filter(&[c]);
+            for other in all {
+                assert_eq!(t.wants(other), other == c);
+            }
+        }
     }
 
     #[test]
@@ -261,6 +850,25 @@ mod tests {
         let t2 = t.clone();
         t2.record(SimTime::ZERO, TraceCategory::Vm, None, "shared");
         assert!(t.saw("shared"));
+    }
+
+    #[test]
+    fn clones_share_span_counter() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        let a = t.next_span();
+        let b = t2.next_span();
+        assert_ne!(a, b, "span ids unique across clones");
+        assert_eq!(a, SpanId(1));
+        assert_eq!(b, SpanId(2));
+    }
+
+    #[test]
+    fn span_wire_round_trip() {
+        assert_eq!(SpanId::to_wire(None), 0);
+        assert_eq!(SpanId::from_wire(0), None);
+        assert_eq!(SpanId::from_wire(7), Some(SpanId(7)));
+        assert_eq!(SpanId::to_wire(Some(SpanId(7))), 7);
     }
 
     #[test]
@@ -282,11 +890,11 @@ mod tests {
                 format!("e{i}"),
             );
         }
-        let kept: Vec<String> = t.events().into_iter().map(|e| e.message).collect();
+        let kept: Vec<String> = t.events().into_iter().map(|e| e.message()).collect();
         assert_eq!(kept, vec!["e4", "e5", "e6"], "oldest events evicted first");
         // Recording continues to rotate the window.
         t.record(SimTime::from_millis(7), TraceCategory::Vm, None, "e7");
-        let kept: Vec<String> = t.events().into_iter().map(|e| e.message).collect();
+        let kept: Vec<String> = t.events().into_iter().map(|e| e.message()).collect();
         assert_eq!(kept, vec!["e5", "e6", "e7"]);
     }
 
@@ -306,7 +914,7 @@ mod tests {
         assert_eq!(t.len(), 3, "capacity bounds retained events");
         assert!(!t.is_empty());
         let mut seen = Vec::new();
-        t.for_each(|e| seen.push(e.message.clone()));
+        t.for_each(|e| seen.push(e.message()));
         assert_eq!(seen, vec!["e2", "e3", "e4"], "visits survivors in order");
         t.clear();
         assert!(t.is_empty());
@@ -318,8 +926,141 @@ mod tests {
             time: SimTime::from_millis(1),
             category: TraceCategory::Debug,
             node: Some(3),
-            message: "hello".into(),
+            span: None,
+            kind: EventKind::Message("hello".into()),
         };
         assert_eq!(ev.to_string(), "[T+1.000ms debug n3] hello");
+    }
+
+    #[test]
+    fn display_omits_span_to_preserve_legacy_framing() {
+        let ev = TraceEvent {
+            time: SimTime::from_millis(1),
+            category: TraceCategory::Rpc,
+            node: Some(0),
+            span: Some(SpanId(9)),
+            kind: EventKind::Message("x".into()),
+        };
+        assert_eq!(ev.to_string(), "[T+1.000ms rpc n0] x");
+    }
+
+    #[test]
+    fn legacy_renderings_are_byte_stable() {
+        // These three renderings are pinned by the semantics-lock
+        // snapshot; changing them breaks tier-1.
+        assert_eq!(
+            EventKind::ClockAdjusted {
+                delta: SimDuration::from_micros(29_926),
+                now: SimDuration::from_micros(29_926),
+            }
+            .render(),
+            "delta += 29.926ms, now 29.926ms"
+        );
+        assert_eq!(
+            EventKind::Print {
+                pid: 1,
+                text: "ping 21".into()
+            }
+            .render(),
+            "p1: ping 21"
+        );
+        assert_eq!(
+            EventKind::Faulted {
+                pid: 2,
+                fault: "Overflow: kaboom".into()
+            }
+            .render(),
+            "p2 faulted: Overflow: kaboom"
+        );
+        assert_eq!(
+            EventKind::ProcessesHalted { count: 3 }.render(),
+            "halted 3 processes"
+        );
+    }
+
+    #[test]
+    fn typed_events_stamp_spans() {
+        let t = Tracer::new();
+        let span = t.next_span();
+        t.emit(
+            SimTime::ZERO,
+            TraceCategory::Rpc,
+            Some(0),
+            Some(span),
+            EventKind::CallStarted {
+                call_id: 42,
+                proc: "ping".into(),
+                args: 0,
+                dst: 1,
+                protocol: "exactly-once".into(),
+                parent_span: 0,
+            },
+        );
+        t.emit(
+            SimTime::from_millis(4),
+            TraceCategory::Rpc,
+            Some(1),
+            Some(span),
+            EventKind::ServerDispatched {
+                call_id: 42,
+                proc: "ping".into(),
+            },
+        );
+        t.emit(
+            SimTime::from_millis(5),
+            TraceCategory::Rpc,
+            Some(0),
+            None,
+            EventKind::CallTimedOut { call_id: 7 },
+        );
+        let timeline = t.events_for_span(span);
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(timeline[0].kind.name(), "CallStarted");
+        assert_eq!(timeline[1].kind.name(), "ServerDispatched");
+        assert!(timeline[0].time <= timeline[1].time);
+    }
+
+    #[test]
+    fn echo_writes_to_pluggable_sink() {
+        let t = Tracer::new();
+        let buf = EchoBuffer::new();
+        t.set_echo_writer(Box::new(buf.clone()));
+        t.set_echo(true);
+        t.record(SimTime::from_millis(2), TraceCategory::Net, Some(1), "boop");
+        t.set_echo(false);
+        t.record(SimTime::from_millis(3), TraceCategory::Net, Some(1), "quiet");
+        assert_eq!(buf.contents(), "[T+2.000ms net n1] boop\n");
+        buf.clear();
+        assert_eq!(buf.contents(), "");
+    }
+
+    #[test]
+    fn jsonl_export_escapes_and_structures() {
+        let t = Tracer::new();
+        t.record(SimTime::from_millis(1), TraceCategory::Vm, Some(0), "say \"hi\"\n");
+        t.emit(
+            SimTime::from_millis(2),
+            TraceCategory::Net,
+            None,
+            Some(SpanId(5)),
+            EventKind::PacketSent {
+                src: 0,
+                dst: 1,
+                bytes: 32,
+            },
+        );
+        let dump = t.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"time_us\": 1000, \"category\": \"vm\", \"node\": 0, \"span\": null, \
+             \"kind\": \"Message\", \"message\": \"say \\\"hi\\\"\\n\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"time_us\": 2000, \"category\": \"net\", \"node\": null, \"span\": 5, \
+             \"kind\": \"PacketSent\", \"message\": \"sent 32B 0->1\"}"
+        );
     }
 }

@@ -3,8 +3,8 @@
 //! layer.
 
 use pilgrim::{
-    AgentRequest, DebugError, DebugEvent, NetworkConfig, NodeId, RpcConfig, RunState, SimDuration,
-    SimTime, Value, World,
+    AgentRequest, DebugError, DebugEvent, EventKind, MaybeDiagnosis, NetworkConfig, NodeId,
+    RpcConfig, RunState, SimDuration, SimTime, Value, World,
 };
 
 const PINGER: &str = "\
@@ -245,4 +245,101 @@ fn requests_to_a_crashed_node_time_out_at_the_debugger() {
         other => panic!("expected timeout, got {other:?}"),
     }
     assert!(w.now().saturating_since(before) >= SimDuration::from_secs(29));
+}
+
+#[test]
+fn retransmission_keeps_the_root_span() {
+    let src = "\
+pong = proc (n: int) returns (int)
+ return (n)
+end
+main = proc ()
+ r: int := call pong(7) at 1
+ print(r)
+end";
+    let mut w = World::builder()
+        .nodes(2)
+        .program(src)
+        .debugger(false)
+        .build()
+        .unwrap();
+    // Lose the first call packet: the exactly-once protocol retransmits,
+    // and the retransmission must carry the original span — one causal
+    // activity, not a new one.
+    w.net_mut().drop_next(NodeId(0), NodeId(1), 1);
+    w.spawn(0, "main", vec![]);
+    w.run_until_idle(SimTime::from_secs(30));
+    assert_eq!(w.console(0), vec!["7"]);
+
+    let start = w
+        .tracer()
+        .events()
+        .into_iter()
+        .find(|e| matches!(e.kind, EventKind::CallStarted { .. }))
+        .expect("the call start was traced");
+    let span = start.span.expect("a span is allocated at call origination");
+    let timeline = w.tracer().events_for_span(span);
+    let names: Vec<&str> = timeline.iter().map(|e| e.kind.name()).collect();
+    assert_eq!(
+        names.iter().filter(|n| **n == "CallStarted").count(),
+        1,
+        "a retransmission is not a new call: {names:?}"
+    );
+    assert!(names.contains(&"PacketLost"), "{names:?}");
+    assert!(names.contains(&"CallRetransmitted"), "{names:?}");
+    assert!(
+        names.iter().filter(|n| **n == "PacketSent").count() >= 3,
+        "lost call, retransmission, and reply all share the root span: {names:?}"
+    );
+    assert_eq!(names.last(), Some(&"CallCompleted"), "{names:?}");
+    assert!(
+        timeline.iter().any(|e| e.node == Some(1)),
+        "the span crosses onto the server node: {names:?}"
+    );
+}
+
+#[test]
+fn maybe_loss_diagnoses_emit_distinct_event_kinds() {
+    let src = "\
+pong = proc (n: int) returns (int)
+ return (n)
+end
+main = proc ()
+ ok: bool := true
+ r: int := 0
+ ok, r := maybecall pong(5) at 1
+ sleep(600000)
+end";
+    for drop_call in [true, false] {
+        let mut w = World::builder().nodes(2).program(src).build().unwrap();
+        w.debug_connect(&[0, 1], false).unwrap();
+        if drop_call {
+            w.net_mut().drop_next(NodeId(0), NodeId(1), 1);
+        } else {
+            w.net_mut().drop_next(NodeId(1), NodeId(0), 1);
+        }
+        w.spawn(0, "main", vec![]);
+        w.run_for(SimDuration::from_millis(300));
+        let (call_id, ok) = *w.recent_calls(0).unwrap().last().expect("one call");
+        assert!(!ok);
+        let diagnosis = w.diagnose_maybe_failure(1, call_id).unwrap();
+        let span = w.span_of_call(call_id).expect("the call's span is in the trace");
+        let timeline = w.tracer().events_for_span(span);
+        let last = timeline.last().expect("diagnosis event recorded").kind.clone();
+        // §4.1: the two verdicts are different facts with different
+        // recovery actions, so they get distinct event kinds.
+        if drop_call {
+            assert_eq!(diagnosis, MaybeDiagnosis::LostCall);
+            assert!(
+                matches!(last, EventKind::MaybeLostCall { call_id: c } if c == call_id),
+                "{last:?}"
+            );
+        } else {
+            assert_eq!(diagnosis, MaybeDiagnosis::LostReply);
+            assert!(
+                matches!(last, EventKind::MaybeLostReply { call_id: c } if c == call_id),
+                "{last:?}"
+            );
+        }
+    }
 }
