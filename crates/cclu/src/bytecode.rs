@@ -583,9 +583,27 @@ mod tests {
             debug(&[(0, 1)]),
         );
         assert_eq!(p.costs.len(), p.code.len());
-        assert_eq!(p.costs[0], OpCost { cost: 6, allocates: false });
-        assert_eq!(p.costs[1], OpCost { cost: 12, allocates: true });
-        assert_eq!(p.costs[2], OpCost { cost: 10, allocates: false });
+        assert_eq!(
+            p.costs[0],
+            OpCost {
+                cost: 6,
+                allocates: false
+            }
+        );
+        assert_eq!(
+            p.costs[1],
+            OpCost {
+                cost: 12,
+                allocates: true
+            }
+        );
+        assert_eq!(
+            p.costs[2],
+            OpCost {
+                cost: 10,
+                allocates: false
+            }
+        );
     }
 
     #[test]

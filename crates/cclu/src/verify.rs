@@ -143,11 +143,12 @@ fn verify_proc(program: &Program, id: ProcId) -> Result<(), VerifyError> {
                 return Err(err(Some(pc), format!("jump target {t} out of range")));
             }
             Op::LoadLocal(s) | Op::StoreLocal(s) if *s >= nlocals => {
-                return Err(err(Some(pc), format!("local slot {s} >= nlocals {nlocals}")));
+                return Err(err(
+                    Some(pc),
+                    format!("local slot {s} >= nlocals {nlocals}"),
+                ));
             }
-            Op::LoadGlobal(s) | Op::StoreGlobal(s)
-                if usize::from(*s) >= program.globals.len() =>
-            {
+            Op::LoadGlobal(s) | Op::StoreGlobal(s) if usize::from(*s) >= program.globals.len() => {
                 return Err(err(Some(pc), format!("global slot {s} out of range")));
             }
             Op::Call { proc, .. } | Op::Fork { proc, .. }
@@ -155,14 +156,10 @@ fn verify_proc(program: &Program, id: ProcId) -> Result<(), VerifyError> {
             {
                 return Err(err(Some(pc), format!("callee {proc} out of range")));
             }
-            Op::NewRecord { type_id, .. }
-                if usize::from(*type_id) >= program.records.len() =>
-            {
+            Op::NewRecord { type_id, .. } if usize::from(*type_id) >= program.records.len() => {
                 return Err(err(Some(pc), format!("record type {type_id} out of range")));
             }
-            Op::Rpc { name_idx, .. }
-                if usize::from(*name_idx) >= program.rpc_names.len() =>
-            {
+            Op::Rpc { name_idx, .. } if usize::from(*name_idx) >= program.rpc_names.len() => {
                 return Err(err(Some(pc), format!("rpc name {name_idx} out of range")));
             }
             Op::Signal(s) if usize::from(*s) >= program.signal_names.len() => {

@@ -171,38 +171,53 @@ const CASES: u32 = 192;
 /// Every generated program compiles and the bytecode verifies.
 #[test]
 fn generated_programs_compile_and_verify() {
-    check_n("generated_programs_compile_and_verify", CASES, &driver(256), |data| {
-        let src = Gen::new(data).program();
-        let program = compile(&src)
-            .map_err(|e| format!("generator produced a rejected program: {e}\n{src}"))?;
-        verify(&program).map_err(|e| format!("verifier rejected output: {e}\n{src}"))
-    });
+    check_n(
+        "generated_programs_compile_and_verify",
+        CASES,
+        &driver(256),
+        |data| {
+            let src = Gen::new(data).program();
+            let program = compile(&src)
+                .map_err(|e| format!("generator produced a rejected program: {e}\n{src}"))?;
+            verify(&program).map_err(|e| format!("verifier rejected output: {e}\n{src}"))
+        },
+    );
 }
 
 /// Compilation is deterministic: identical source, identical code.
 #[test]
 fn compilation_is_deterministic() {
-    check_n("compilation_is_deterministic", CASES, &driver(128), |data| {
-        let src = Gen::new(data).program();
-        let a = compile(&src).unwrap();
-        let b = compile(&src).unwrap();
-        ensure_eq(a.code_len(), b.code_len())?;
-        for (pa, pb) in a.procs.iter().zip(b.procs.iter()) {
-            ensure_eq(&pa.code, &pb.code)?;
-            ensure_eq(&pa.debug.lines, &pb.debug.lines)?;
-        }
-        Ok(())
-    });
+    check_n(
+        "compilation_is_deterministic",
+        CASES,
+        &driver(128),
+        |data| {
+            let src = Gen::new(data).program();
+            let a = compile(&src).unwrap();
+            let b = compile(&src).unwrap();
+            ensure_eq(a.code_len(), b.code_len())?;
+            for (pa, pb) in a.procs.iter().zip(b.procs.iter()) {
+                ensure_eq(&pa.code, &pb.code)?;
+                ensure_eq(&pa.debug.lines, &pb.debug.lines)?;
+            }
+            Ok(())
+        },
+    );
 }
 
 /// The lexer/parser never panic on arbitrary bytes-as-text.
 #[test]
 fn compile_never_panics_on_noise() {
-    check_n("compile_never_panics_on_noise", CASES, &driver(512), |data| {
-        let src = String::from_utf8_lossy(data);
-        let _ = compile(&src);
-        Ok(())
-    });
+    check_n(
+        "compile_never_panics_on_noise",
+        CASES,
+        &driver(512),
+        |data| {
+            let src = String::from_utf8_lossy(data);
+            let _ = compile(&src);
+            Ok(())
+        },
+    );
 }
 
 /// Generated programs execute to completion or fault cleanly — the VM
@@ -214,22 +229,36 @@ fn generated_programs_run_without_vm_panics() {
 
     struct Sys;
     impl pilgrim_cclu::Syscalls for Sys {
-        fn now_ms(&mut self) -> i64 { 0 }
-        fn pid(&mut self) -> i64 { 1 }
-        fn node_id(&mut self) -> i64 { 0 }
-        fn random(&mut self, bound: i64) -> i64 { bound - 1 }
+        fn now_ms(&mut self) -> i64 {
+            0
+        }
+        fn pid(&mut self) -> i64 {
+            1
+        }
+        fn node_id(&mut self) -> i64 {
+            0
+        }
+        fn random(&mut self, bound: i64) -> i64 {
+            bound - 1
+        }
         fn print(&mut self, _text: &str) {}
-        fn sem_create(&mut self, _count: i64) -> u32 { 0 }
+        fn sem_create(&mut self, _count: i64) -> u32 {
+            0
+        }
         fn sem_wait(&mut self, _s: u32, _t: i64) -> pilgrim_cclu::SysReply {
             pilgrim_cclu::SysReply::Val(vec![Value::Bool(false)])
         }
         fn sem_signal(&mut self, _s: u32) {}
-        fn mutex_create(&mut self) -> u32 { 0 }
+        fn mutex_create(&mut self) -> u32 {
+            0
+        }
         fn mutex_lock(&mut self, _m: u32) -> pilgrim_cclu::SysReply {
             pilgrim_cclu::SysReply::Val(vec![])
         }
         fn mutex_unlock(&mut self, _m: u32) {}
-        fn fork(&mut self, _p: pilgrim_cclu::ProcId, _a: Vec<Value>) -> i64 { 2 }
+        fn fork(&mut self, _p: pilgrim_cclu::ProcId, _a: Vec<Value>) -> i64 {
+            2
+        }
         fn sleep(&mut self, _ms: i64) -> pilgrim_cclu::SysReply {
             pilgrim_cclu::SysReply::Val(vec![])
         }
@@ -240,43 +269,48 @@ fn generated_programs_run_without_vm_panics() {
         }
     }
 
-    check_n("generated_programs_run_without_vm_panics", CASES, &driver(160), |data| {
-        let src = Gen::new(data).program();
-        let program = compile(&src).unwrap();
-        let entry = program.proc_by_name("p0").unwrap();
-        let mut heap = Heap::new();
-        let mut globals: Vec<Value> = program
-            .globals
-            .iter()
-            .map(|g| match &g.init {
-                pilgrim_cclu::GlobalInit::Literal(v) => v.clone(),
-                pilgrim_cclu::GlobalInit::EmptyArray => {
-                    Value::Ref(heap.alloc(HeapObject::Array(Vec::new())))
+    check_n(
+        "generated_programs_run_without_vm_panics",
+        CASES,
+        &driver(160),
+        |data| {
+            let src = Gen::new(data).program();
+            let program = compile(&src).unwrap();
+            let entry = program.proc_by_name("p0").unwrap();
+            let mut heap = Heap::new();
+            let mut globals: Vec<Value> = program
+                .globals
+                .iter()
+                .map(|g| match &g.init {
+                    pilgrim_cclu::GlobalInit::Literal(v) => v.clone(),
+                    pilgrim_cclu::GlobalInit::EmptyArray => {
+                        Value::Ref(heap.alloc(HeapObject::Array(Vec::new())))
+                    }
+                    pilgrim_cclu::GlobalInit::Semaphore(_) => Value::Sem(0),
+                })
+                .collect();
+            let mut sys = Sys;
+            let mut proc = VmProcess::spawn(entry, vec![Value::Int(3), Value::Int(4)]);
+            let mut done = false;
+            for _ in 0..2_000_000u32 {
+                let mut env = ExecEnv {
+                    heap: &mut heap,
+                    program: &program,
+                    globals: &mut globals,
+                    sys: &mut sys,
+                };
+                match pilgrim_cclu::step(&mut proc, &mut env) {
+                    StepOutcome::Exited { .. } | StepOutcome::Faulted { .. } => {
+                        done = true;
+                        break;
+                    }
+                    StepOutcome::Trapped { .. } => panic!("no traps planted"),
+                    _ => {}
                 }
-                pilgrim_cclu::GlobalInit::Semaphore(_) => Value::Sem(0),
-            })
-            .collect();
-        let mut sys = Sys;
-        let mut proc = VmProcess::spawn(entry, vec![Value::Int(3), Value::Int(4)]);
-        let mut done = false;
-        for _ in 0..2_000_000u32 {
-            let mut env = ExecEnv {
-                heap: &mut heap,
-                program: &program,
-                globals: &mut globals,
-                sys: &mut sys,
-            };
-            match pilgrim_cclu::step(&mut proc, &mut env) {
-                StepOutcome::Exited { .. } | StepOutcome::Faulted { .. } => {
-                    done = true;
-                    break;
-                }
-                StepOutcome::Trapped { .. } => panic!("no traps planted"),
-                _ => {}
             }
-        }
-        ensure(done, format!("program wedged:\n{src}"))
-    });
+            ensure(done, format!("program wedged:\n{src}"))
+        },
+    );
 }
 
 /// Line tables of generated programs resolve every executable line to

@@ -136,8 +136,7 @@ impl DebugCli {
                     .ok_or_else(|| usage("run <node> <proc> [args]"))?;
                 let values = args[2..].iter().map(|a| parse_value(a)).collect();
                 let pid = world
-                    .node_mut(node)
-                    .spawn(proc, values, pilgrim_mayflower::SpawnOpts::default())
+                    .try_spawn(node, proc, values)
                     .map_err(|e| DebugError::Source(e.to_string()))?;
                 Ok(format!("started p{} on node{node}", pid.0))
             }
@@ -350,6 +349,42 @@ impl DebugCli {
                     }
                 }
             }
+            "record" => {
+                let path = args
+                    .first()
+                    .copied()
+                    .ok_or_else(|| usage("record <path>"))?;
+                let artifact = world.record();
+                let stimuli = artifact.stimuli.len();
+                let events = world.tracer().events().len();
+                std::fs::write(path, artifact.render())
+                    .map_err(|e| DebugError::Source(format!("cannot write {path}: {e}")))?;
+                Ok(format!(
+                    "recorded {stimuli} stimuli and {events} trace events to {path}"
+                ))
+            }
+            "replay" => {
+                let path = args
+                    .first()
+                    .copied()
+                    .ok_or_else(|| usage("replay <path>"))?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| DebugError::Source(format!("cannot read {path}: {e}")))?;
+                let report = crate::replay::replay_artifact(&text)
+                    .map_err(|e| DebugError::Source(e.to_string()))?;
+                Ok(match report.divergence {
+                    None => format!(
+                        "replayed {} events from {path}: traces identical{}",
+                        report.recorded_events,
+                        if report.byte_identical {
+                            " (byte-for-byte)"
+                        } else {
+                            ""
+                        }
+                    ),
+                    Some(d) => format!("DIVERGENCE replaying {path}:\n{}", d.report()),
+                })
+            }
             "focus" => {
                 let node: u32 = parse(args.first().copied().unwrap_or(""), "node")?;
                 let pid: u64 = parse(args.get(1).copied().unwrap_or(""), "pid")?;
@@ -501,6 +536,8 @@ commands:
   trace [k]              last k trace events (default 10)
   trace span <id>        causal timeline of one span across nodes
   trace call <id>        span timeline of an RPC call, by call id
+  record <path>          save the session's replay artifact (recipe+stimuli+trace)
+  replay <path>          re-run a recorded artifact and diff the traces
   focus <n> <pid>        set the default process
 ";
 
@@ -606,10 +643,24 @@ console 0",
         assert!(stats.contains("gauge sched.node0.steps"), "{stats}");
         let trace = cli.exec(&mut w, "trace 3");
         assert!(!trace.starts_with("error:"), "{trace}");
-        assert!(
-            cli.exec(&mut w, "trace span 999999")
-                .contains("no events for span"),
-        );
+        assert!(cli
+            .exec(&mut w, "trace span 999999")
+            .contains("no events for span"),);
+    }
+
+    #[test]
+    fn record_and_replay_round_trip_from_the_cli() {
+        let path = std::env::temp_dir().join("pilgrim-cli-replay-test.json");
+        let path = path.to_str().unwrap().to_string();
+        let mut w = world();
+        let mut cli = DebugCli::new();
+        cli.exec(&mut w, "run 0 main");
+        cli.exec(&mut w, "wait 2000");
+        let rec = cli.exec(&mut w, &format!("record {path}"));
+        assert!(rec.contains("recorded"), "{rec}");
+        let rep = cli.exec(&mut w, &format!("replay {path}"));
+        assert!(rep.contains("traces identical (byte-for-byte)"), "{rep}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

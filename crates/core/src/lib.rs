@@ -63,6 +63,7 @@ mod agent;
 mod cli;
 mod debugger;
 pub mod proto;
+pub mod replay;
 mod timebase;
 mod world;
 
@@ -73,6 +74,7 @@ pub use proto::{
     AgentEvent, AgentReply, AgentRequest, ConvertedTime, DebugMsg, FrameSummary, KnowledgeView,
     ProcView, RpcCallView, RpcFrameView, SessionId, StateView,
 };
+pub use replay::{Artifact, Recipe, ReplayError, ReplayReport, Stimulus};
 pub use timebase::{BreakpointLog, HaltRecord};
 pub use world::{
     render_wire, BacktraceFrame, BuildError, DebugError, MaybeDiagnosis, Wire, World, WorldBuilder,

@@ -1,0 +1,1070 @@
+//! Record/replay: capture a world's full reproduction recipe and its
+//! stimulus journal, then rebuild and re-run it offline.
+//!
+//! The paper rejects reversible execution as too costly (§5.3); the cheap
+//! alternative is determinism. Every [`World`] is a closed, seeded
+//! discrete-event simulation, so the *complete* reproduction recipe is
+//! small: the builder inputs (seed, topology, configs, programs, lockstep
+//! window) plus the ordered journal of public driver calls ([`Stimulus`])
+//! that pumped it. [`World::record`] packages those alongside the emitted
+//! trace into a single self-describing [`Artifact`]; [`replay`] rebuilds
+//! the world from the artifact alone, re-applies the journal, and diffs
+//! the fresh trace against the recorded one event-by-event with
+//! [`first_divergence`] — the same idea as URDB's record/replay and
+//! out-of-place debugging's "replay away from the live system".
+//!
+//! # Examples
+//!
+//! ```
+//! use pilgrim::replay::{replay, Artifact};
+//! use pilgrim::World;
+//! use pilgrim_sim::SimTime;
+//!
+//! let mut w = World::builder()
+//!     .program("main = proc ()\n print(\"hi\")\n end")
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! w.spawn(0, "main", vec![]);
+//! w.run_until_idle(SimTime::from_secs(1));
+//!
+//! let text = w.record().render();
+//! let report = replay(&Artifact::parse(&text).unwrap()).unwrap();
+//! assert!(report.divergence.is_none());
+//! ```
+
+use std::fmt;
+
+use pilgrim_cclu::Value;
+use pilgrim_mayflower::NodeConfig;
+use pilgrim_ring::NetworkConfig;
+use pilgrim_rpc::{RpcConfig, WireValue};
+use pilgrim_sim::{first_divergence, Divergence, Json, SimDuration, TraceEvent};
+
+use crate::agent::AgentConfig;
+use crate::proto::AgentRequest;
+use crate::world::{BuildError, World};
+
+/// Artifact format tag, checked on load.
+pub const FORMAT: &str = "pilgrim-replay";
+/// Artifact format version, checked on load.
+pub const VERSION: u32 = 1;
+
+/// Everything [`crate::WorldBuilder`] needs to rebuild a world
+/// bit-for-bit: topology, seeds, configs, programs, and the lockstep
+/// window. Captured automatically by `build()`.
+#[derive(Debug, Clone)]
+pub struct Recipe {
+    /// Number of user nodes.
+    pub nodes: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Requested lockstep window (the builder still applies its
+    /// base-latency floor when rebuilding).
+    pub window: SimDuration,
+    /// The shared program source, if one was set.
+    pub default_source: Option<String>,
+    /// Per-node program overrides, sorted by node.
+    pub per_node_source: Vec<(u32, String)>,
+    /// Network model configuration.
+    pub net: NetworkConfig,
+    /// RPC runtime configuration.
+    pub rpc: RpcConfig,
+    /// Supervisor configuration.
+    pub node_cfg: NodeConfig,
+    /// Agent configuration.
+    pub agent_cfg: AgentConfig,
+    /// Whether a debugger station is attached.
+    pub with_debugger: bool,
+    /// Whether agents are linked into the nodes.
+    pub with_agents: bool,
+}
+
+impl Recipe {
+    /// The recipe as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("nodes", Json::Int(self.nodes as i128)),
+            ("seed", Json::Int(self.seed as i128)),
+            ("window_us", Json::Int(self.window.as_micros() as i128)),
+            (
+                "default_program",
+                match &self.default_source {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "programs",
+                Json::Array(
+                    self.per_node_source
+                        .iter()
+                        .map(|(node, src)| {
+                            Json::obj(vec![
+                                ("node", Json::Int(*node as i128)),
+                                ("source", Json::Str(src.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("net", self.net.to_json()),
+            ("rpc", self.rpc.to_json()),
+            ("node_cfg", self.node_cfg.to_json()),
+            ("agent", self.agent_cfg.to_json()),
+            ("debugger", Json::Bool(self.with_debugger)),
+            ("agents", Json::Bool(self.with_agents)),
+        ])
+    }
+
+    /// Rebuilds a recipe from [`to_json`](Recipe::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Recipe, String> {
+        let u32_field = |field: &str| -> Result<u32, String> {
+            v.get(field)
+                .and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("recipe: missing `{field}`"))
+        };
+        let default_source = match v.get("default_program") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(
+                s.as_str()
+                    .ok_or("recipe: non-string `default_program`")?
+                    .to_string(),
+            ),
+        };
+        let mut per_node_source = Vec::new();
+        for p in v
+            .get("programs")
+            .and_then(Json::as_array)
+            .ok_or("recipe: missing `programs`")?
+        {
+            let node = p
+                .get("node")
+                .and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or("recipe: program entry missing `node`")?;
+            let source = p
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or("recipe: program entry missing `source`")?;
+            per_node_source.push((node, source.to_string()));
+        }
+        Ok(Recipe {
+            nodes: u32_field("nodes")?,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("recipe: missing `seed`")?,
+            window: v
+                .get("window_us")
+                .and_then(Json::as_u64)
+                .map(SimDuration::from_micros)
+                .ok_or("recipe: missing `window_us`")?,
+            default_source,
+            per_node_source,
+            net: NetworkConfig::from_json(v.get("net").ok_or("recipe: missing `net`")?)?,
+            rpc: RpcConfig::from_json(v.get("rpc").ok_or("recipe: missing `rpc`")?)?,
+            node_cfg: NodeConfig::from_json(
+                v.get("node_cfg").ok_or("recipe: missing `node_cfg`")?,
+            )?,
+            agent_cfg: AgentConfig::from_json(v.get("agent").ok_or("recipe: missing `agent`")?)?,
+            with_debugger: v
+                .get("debugger")
+                .and_then(Json::as_bool)
+                .ok_or("recipe: missing `debugger`")?,
+            with_agents: v
+                .get("agents")
+                .and_then(Json::as_bool)
+                .ok_or("recipe: missing `agents`")?,
+        })
+    }
+
+    /// Builds a fresh world from the recipe.
+    ///
+    /// # Errors
+    ///
+    /// Program compilation failures and empty topologies.
+    pub fn build_world(&self) -> Result<World, BuildError> {
+        let mut b = World::builder()
+            .nodes(self.nodes)
+            .seed(self.seed)
+            .lockstep_window(self.window)
+            .network(self.net.clone())
+            .rpc(self.rpc.clone())
+            .node_config(self.node_cfg.clone())
+            .agent(self.agent_cfg.clone())
+            .debugger(self.with_debugger)
+            .agents(self.with_agents);
+        if let Some(src) = &self.default_source {
+            b = b.program(src);
+        }
+        for (node, src) in &self.per_node_source {
+            b = b.program_for(*node, src);
+        }
+        b.build()
+    }
+}
+
+/// One recorded call into the world's public driving API, with concrete
+/// arguments. Determinism makes the journal self-sufficient: replaying
+/// the same stimuli against the same recipe reproduces every pid, call
+/// id, and packet of the original run.
+#[derive(Debug, Clone)]
+pub enum Stimulus {
+    /// [`World::spawn`] / [`World::try_spawn`].
+    Spawn {
+        /// Target node.
+        node: u32,
+        /// Entry procedure.
+        entry: String,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// [`World::run_until`].
+    RunUntil {
+        /// Absolute limit, µs.
+        until_us: u64,
+    },
+    /// [`World::run_for`].
+    RunFor {
+        /// Duration, µs.
+        dur_us: u64,
+    },
+    /// [`World::run_until_idle`].
+    RunUntilIdle {
+        /// Absolute limit, µs.
+        limit_us: u64,
+    },
+    /// [`World::debug_connect`].
+    Connect {
+        /// Session cohort.
+        nodes: Vec<u32>,
+        /// Forcible connection.
+        force: bool,
+    },
+    /// [`World::debug_disconnect`].
+    Disconnect,
+    /// [`World::debug_abandon`].
+    Abandon,
+    /// [`World::debug_request`] — also the funnel for every composite
+    /// query method (backtrace, inspect, …), which records one `Request`
+    /// per wire round trip it makes.
+    Request {
+        /// Target node.
+        node: u32,
+        /// The request body.
+        req: AgentRequest,
+    },
+    /// [`World::debug_events`].
+    DrainEvents,
+    /// [`World::wait_for_stop`].
+    WaitForStop {
+        /// Timeout, µs.
+        timeout_us: u64,
+    },
+    /// [`World::break_at_line`].
+    BreakAtLine {
+        /// Target node.
+        node: u32,
+        /// Source line.
+        line: u32,
+    },
+    /// [`World::break_at_proc`].
+    BreakAtProc {
+        /// Target node.
+        node: u32,
+        /// Procedure name.
+        name: String,
+    },
+    /// [`World::clear_breakpoint`].
+    ClearBreakpoint {
+        /// Target node.
+        node: u32,
+        /// Agent breakpoint slot.
+        bp: u16,
+    },
+    /// [`World::debug_halt_all`].
+    HaltAll {
+        /// Node whose agent initiates the halt.
+        origin: u32,
+    },
+    /// [`World::debug_resume_all`].
+    ResumeAll,
+    /// [`World::diagnose_maybe_failure`].
+    Diagnose {
+        /// Server node.
+        node: u32,
+        /// The failed call.
+        call_id: u64,
+    },
+    /// [`World::inject_drop`].
+    DropNext {
+        /// Sending node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Packets to drop.
+        count: u32,
+    },
+    /// [`World::set_node_up`].
+    SetNodeUp {
+        /// Target station.
+        node: u32,
+        /// New interface state.
+        up: bool,
+    },
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::obj(vec![("kind", Json::Str("null".into()))]),
+        Value::Int(i) => Json::obj(vec![
+            ("kind", Json::Str("int".into())),
+            ("value", Json::Int(*i as i128)),
+        ]),
+        Value::Bool(b) => Json::obj(vec![
+            ("kind", Json::Str("bool".into())),
+            ("value", Json::Bool(*b)),
+        ]),
+        Value::Str(s) => Json::obj(vec![
+            ("kind", Json::Str("str".into())),
+            ("value", Json::Str(s.to_string())),
+        ]),
+        // Handles and heap references are node-local run-time state; a
+        // journal containing one cannot be replayed and says so on load.
+        Value::Sem(_) | Value::Mutex(_) | Value::Ref(_) => {
+            Json::obj(vec![("kind", Json::Str("opaque".into()))])
+        }
+    }
+}
+
+fn value_from_json(v: &Json) -> Result<Value, String> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("value: missing `kind`")?;
+    Ok(match kind {
+        "null" => Value::Null,
+        "int" => Value::Int(
+            v.get("value")
+                .and_then(Json::as_i64)
+                .ok_or("value: missing int `value`")?,
+        ),
+        "bool" => Value::Bool(
+            v.get("value")
+                .and_then(Json::as_bool)
+                .ok_or("value: missing bool `value`")?,
+        ),
+        "str" => Value::Str(
+            v.get("value")
+                .and_then(Json::as_str)
+                .ok_or("value: missing str `value`")?
+                .into(),
+        ),
+        "opaque" => {
+            return Err(
+                "value: a spawn argument was a node-local handle (semaphore, mutex, or heap \
+                 reference); such journals cannot be replayed"
+                    .to_string(),
+            )
+        }
+        other => return Err(format!("value: unknown kind `{other}`")),
+    })
+}
+
+fn request_to_json(req: &AgentRequest) -> Json {
+    let t = |name: &str| ("type", Json::Str(name.to_string()));
+    let u = |v: u64| Json::Int(v as i128);
+    match req {
+        AgentRequest::Ping => Json::obj(vec![t("Ping")]),
+        AgentRequest::SetBreakpoint { proc_id, pc } => Json::obj(vec![
+            t("SetBreakpoint"),
+            ("proc_id", u(*proc_id as u64)),
+            ("pc", u(*pc as u64)),
+        ]),
+        AgentRequest::ClearBreakpoint { bp } => {
+            Json::obj(vec![t("ClearBreakpoint"), ("bp", u(*bp as u64))])
+        }
+        AgentRequest::ListBreakpoints => Json::obj(vec![t("ListBreakpoints")]),
+        AgentRequest::HaltAll => Json::obj(vec![t("HaltAll")]),
+        AgentRequest::ResumeAll => Json::obj(vec![t("ResumeAll")]),
+        AgentRequest::ListProcesses => Json::obj(vec![t("ListProcesses")]),
+        AgentRequest::ProcessState { pid } => Json::obj(vec![t("ProcessState"), ("pid", u(*pid))]),
+        AgentRequest::ReadStack { pid } => Json::obj(vec![t("ReadStack"), ("pid", u(*pid))]),
+        AgentRequest::ReadVar { pid, frame, slot } => Json::obj(vec![
+            t("ReadVar"),
+            ("pid", u(*pid)),
+            ("frame", u(*frame as u64)),
+            ("slot", u(*slot as u64)),
+        ]),
+        AgentRequest::WriteVar {
+            pid,
+            frame,
+            slot,
+            value,
+        } => Json::obj(vec![
+            t("WriteVar"),
+            ("pid", u(*pid)),
+            ("frame", u(*frame as u64)),
+            ("slot", u(*slot as u64)),
+            ("value", value.to_json()),
+        ]),
+        AgentRequest::ReadGlobal { slot } => {
+            Json::obj(vec![t("ReadGlobal"), ("slot", u(*slot as u64))])
+        }
+        AgentRequest::WriteGlobal { slot, value } => Json::obj(vec![
+            t("WriteGlobal"),
+            ("slot", u(*slot as u64)),
+            ("value", value.to_json()),
+        ]),
+        AgentRequest::PrintVar { pid, frame, slot } => Json::obj(vec![
+            t("PrintVar"),
+            ("pid", u(*pid)),
+            ("frame", u(*frame as u64)),
+            ("slot", u(*slot as u64)),
+        ]),
+        AgentRequest::Invoke { proc, args } => Json::obj(vec![
+            t("Invoke"),
+            ("proc", Json::Str(proc.clone())),
+            (
+                "args",
+                Json::Array(args.iter().map(WireValue::to_json).collect()),
+            ),
+        ]),
+        AgentRequest::StepOver { pid } => Json::obj(vec![t("StepOver"), ("pid", u(*pid))]),
+        AgentRequest::ContinueProcess { pid } => {
+            Json::obj(vec![t("ContinueProcess"), ("pid", u(*pid))])
+        }
+        AgentRequest::ForceRunnable { pid } => {
+            Json::obj(vec![t("ForceRunnable"), ("pid", u(*pid))])
+        }
+        AgentRequest::HaltProcess { pid } => Json::obj(vec![t("HaltProcess"), ("pid", u(*pid))]),
+        AgentRequest::ResumeProcess { pid } => {
+            Json::obj(vec![t("ResumeProcess"), ("pid", u(*pid))])
+        }
+        AgentRequest::RpcStatus { pid } => Json::obj(vec![t("RpcStatus"), ("pid", u(*pid))]),
+        AgentRequest::RecentCalls => Json::obj(vec![t("RecentCalls")]),
+        AgentRequest::RecentServed => Json::obj(vec![t("RecentServed")]),
+        AgentRequest::ServingProcess { call_id } => {
+            Json::obj(vec![t("ServingProcess"), ("call_id", u(*call_id))])
+        }
+        AgentRequest::ServerKnowledge { call_id } => {
+            Json::obj(vec![t("ServerKnowledge"), ("call_id", u(*call_id))])
+        }
+        AgentRequest::ClientProcess { call_id } => {
+            Json::obj(vec![t("ClientProcess"), ("call_id", u(*call_id))])
+        }
+        AgentRequest::ReadConsole { from } => {
+            Json::obj(vec![t("ReadConsole"), ("from", u(*from as u64))])
+        }
+    }
+}
+
+fn request_from_json(v: &Json) -> Result<AgentRequest, String> {
+    let ty = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("request: missing `type`")?;
+    let u = |field: &str| -> Result<u64, String> {
+        v.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("request {ty}: missing `{field}`"))
+    };
+    let u16f = |field: &str| -> Result<u16, String> {
+        u(field).and_then(|n| {
+            u16::try_from(n).map_err(|_| format!("request {ty}: `{field}` out of range"))
+        })
+    };
+    let u32f = |field: &str| -> Result<u32, String> {
+        u(field).and_then(|n| {
+            u32::try_from(n).map_err(|_| format!("request {ty}: `{field}` out of range"))
+        })
+    };
+    let wire = |field: &str| -> Result<WireValue, String> {
+        WireValue::from_json(
+            v.get(field)
+                .ok_or_else(|| format!("request {ty}: missing `{field}`"))?,
+        )
+    };
+    Ok(match ty {
+        "Ping" => AgentRequest::Ping,
+        "SetBreakpoint" => AgentRequest::SetBreakpoint {
+            proc_id: u16f("proc_id")?,
+            pc: u32f("pc")?,
+        },
+        "ClearBreakpoint" => AgentRequest::ClearBreakpoint { bp: u16f("bp")? },
+        "ListBreakpoints" => AgentRequest::ListBreakpoints,
+        "HaltAll" => AgentRequest::HaltAll,
+        "ResumeAll" => AgentRequest::ResumeAll,
+        "ListProcesses" => AgentRequest::ListProcesses,
+        "ProcessState" => AgentRequest::ProcessState { pid: u("pid")? },
+        "ReadStack" => AgentRequest::ReadStack { pid: u("pid")? },
+        "ReadVar" => AgentRequest::ReadVar {
+            pid: u("pid")?,
+            frame: u32f("frame")?,
+            slot: u16f("slot")?,
+        },
+        "WriteVar" => AgentRequest::WriteVar {
+            pid: u("pid")?,
+            frame: u32f("frame")?,
+            slot: u16f("slot")?,
+            value: wire("value")?,
+        },
+        "ReadGlobal" => AgentRequest::ReadGlobal {
+            slot: u16f("slot")?,
+        },
+        "WriteGlobal" => AgentRequest::WriteGlobal {
+            slot: u16f("slot")?,
+            value: wire("value")?,
+        },
+        "PrintVar" => AgentRequest::PrintVar {
+            pid: u("pid")?,
+            frame: u32f("frame")?,
+            slot: u16f("slot")?,
+        },
+        "Invoke" => AgentRequest::Invoke {
+            proc: v
+                .get("proc")
+                .and_then(Json::as_str)
+                .ok_or("request Invoke: missing `proc`")?
+                .to_string(),
+            args: v
+                .get("args")
+                .and_then(Json::as_array)
+                .ok_or("request Invoke: missing `args`")?
+                .iter()
+                .map(WireValue::from_json)
+                .collect::<Result<_, _>>()?,
+        },
+        "StepOver" => AgentRequest::StepOver { pid: u("pid")? },
+        "ContinueProcess" => AgentRequest::ContinueProcess { pid: u("pid")? },
+        "ForceRunnable" => AgentRequest::ForceRunnable { pid: u("pid")? },
+        "HaltProcess" => AgentRequest::HaltProcess { pid: u("pid")? },
+        "ResumeProcess" => AgentRequest::ResumeProcess { pid: u("pid")? },
+        "RpcStatus" => AgentRequest::RpcStatus { pid: u("pid")? },
+        "RecentCalls" => AgentRequest::RecentCalls,
+        "RecentServed" => AgentRequest::RecentServed,
+        "ServingProcess" => AgentRequest::ServingProcess {
+            call_id: u("call_id")?,
+        },
+        "ServerKnowledge" => AgentRequest::ServerKnowledge {
+            call_id: u("call_id")?,
+        },
+        "ClientProcess" => AgentRequest::ClientProcess {
+            call_id: u("call_id")?,
+        },
+        "ReadConsole" => AgentRequest::ReadConsole {
+            from: u32f("from")?,
+        },
+        other => return Err(format!("request: unknown type `{other}`")),
+    })
+}
+
+impl Stimulus {
+    /// The stimulus as a tagged JSON object.
+    pub fn to_json(&self) -> Json {
+        let op = |name: &str| ("op", Json::Str(name.to_string()));
+        let u = |v: u64| Json::Int(v as i128);
+        match self {
+            Stimulus::Spawn { node, entry, args } => Json::obj(vec![
+                op("spawn"),
+                ("node", u(*node as u64)),
+                ("entry", Json::Str(entry.clone())),
+                (
+                    "args",
+                    Json::Array(args.iter().map(value_to_json).collect()),
+                ),
+            ]),
+            Stimulus::RunUntil { until_us } => {
+                Json::obj(vec![op("run_until"), ("until_us", u(*until_us))])
+            }
+            Stimulus::RunFor { dur_us } => Json::obj(vec![op("run_for"), ("dur_us", u(*dur_us))]),
+            Stimulus::RunUntilIdle { limit_us } => {
+                Json::obj(vec![op("run_until_idle"), ("limit_us", u(*limit_us))])
+            }
+            Stimulus::Connect { nodes, force } => Json::obj(vec![
+                op("connect"),
+                (
+                    "nodes",
+                    Json::Array(nodes.iter().map(|n| u(*n as u64)).collect()),
+                ),
+                ("force", Json::Bool(*force)),
+            ]),
+            Stimulus::Disconnect => Json::obj(vec![op("disconnect")]),
+            Stimulus::Abandon => Json::obj(vec![op("abandon")]),
+            Stimulus::Request { node, req } => Json::obj(vec![
+                op("request"),
+                ("node", u(*node as u64)),
+                ("req", request_to_json(req)),
+            ]),
+            Stimulus::DrainEvents => Json::obj(vec![op("drain_events")]),
+            Stimulus::WaitForStop { timeout_us } => {
+                Json::obj(vec![op("wait_for_stop"), ("timeout_us", u(*timeout_us))])
+            }
+            Stimulus::BreakAtLine { node, line } => Json::obj(vec![
+                op("break_at_line"),
+                ("node", u(*node as u64)),
+                ("line", u(*line as u64)),
+            ]),
+            Stimulus::BreakAtProc { node, name } => Json::obj(vec![
+                op("break_at_proc"),
+                ("node", u(*node as u64)),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Stimulus::ClearBreakpoint { node, bp } => Json::obj(vec![
+                op("clear_breakpoint"),
+                ("node", u(*node as u64)),
+                ("bp", u(*bp as u64)),
+            ]),
+            Stimulus::HaltAll { origin } => {
+                Json::obj(vec![op("halt_all"), ("origin", u(*origin as u64))])
+            }
+            Stimulus::ResumeAll => Json::obj(vec![op("resume_all")]),
+            Stimulus::Diagnose { node, call_id } => Json::obj(vec![
+                op("diagnose"),
+                ("node", u(*node as u64)),
+                ("call_id", u(*call_id)),
+            ]),
+            Stimulus::DropNext { src, dst, count } => Json::obj(vec![
+                op("drop_next"),
+                ("src", u(*src as u64)),
+                ("dst", u(*dst as u64)),
+                ("count", u(*count as u64)),
+            ]),
+            Stimulus::SetNodeUp { node, up } => Json::obj(vec![
+                op("set_node_up"),
+                ("node", u(*node as u64)),
+                ("up", Json::Bool(*up)),
+            ]),
+        }
+    }
+
+    /// Rebuilds a stimulus from [`to_json`](Stimulus::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ops and missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Stimulus, String> {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("stimulus: missing `op`")?;
+        let u = |field: &str| -> Result<u64, String> {
+            v.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stimulus {op}: missing `{field}`"))
+        };
+        let n32 = |field: &str| -> Result<u32, String> {
+            u(field).and_then(|n| {
+                u32::try_from(n).map_err(|_| format!("stimulus {op}: `{field}` out of range"))
+            })
+        };
+        let b = |field: &str| -> Result<bool, String> {
+            v.get(field)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("stimulus {op}: missing `{field}`"))
+        };
+        Ok(match op {
+            "spawn" => Stimulus::Spawn {
+                node: n32("node")?,
+                entry: v
+                    .get("entry")
+                    .and_then(Json::as_str)
+                    .ok_or("stimulus spawn: missing `entry`")?
+                    .to_string(),
+                args: v
+                    .get("args")
+                    .and_then(Json::as_array)
+                    .ok_or("stimulus spawn: missing `args`")?
+                    .iter()
+                    .map(value_from_json)
+                    .collect::<Result<_, _>>()?,
+            },
+            "run_until" => Stimulus::RunUntil {
+                until_us: u("until_us")?,
+            },
+            "run_for" => Stimulus::RunFor {
+                dur_us: u("dur_us")?,
+            },
+            "run_until_idle" => Stimulus::RunUntilIdle {
+                limit_us: u("limit_us")?,
+            },
+            "connect" => Stimulus::Connect {
+                nodes: v
+                    .get("nodes")
+                    .and_then(Json::as_array)
+                    .ok_or("stimulus connect: missing `nodes`")?
+                    .iter()
+                    .map(|n| {
+                        n.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or("stimulus connect: bad node".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+                force: b("force")?,
+            },
+            "disconnect" => Stimulus::Disconnect,
+            "abandon" => Stimulus::Abandon,
+            "request" => Stimulus::Request {
+                node: n32("node")?,
+                req: request_from_json(v.get("req").ok_or("stimulus request: missing `req`")?)?,
+            },
+            "drain_events" => Stimulus::DrainEvents,
+            "wait_for_stop" => Stimulus::WaitForStop {
+                timeout_us: u("timeout_us")?,
+            },
+            "break_at_line" => Stimulus::BreakAtLine {
+                node: n32("node")?,
+                line: n32("line")?,
+            },
+            "break_at_proc" => Stimulus::BreakAtProc {
+                node: n32("node")?,
+                name: v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("stimulus break_at_proc: missing `name`")?
+                    .to_string(),
+            },
+            "clear_breakpoint" => Stimulus::ClearBreakpoint {
+                node: n32("node")?,
+                bp: u("bp").and_then(|n| {
+                    u16::try_from(n)
+                        .map_err(|_| "stimulus clear_breakpoint: `bp` out of range".to_string())
+                })?,
+            },
+            "halt_all" => Stimulus::HaltAll {
+                origin: n32("origin")?,
+            },
+            "resume_all" => Stimulus::ResumeAll,
+            "diagnose" => Stimulus::Diagnose {
+                node: n32("node")?,
+                call_id: u("call_id")?,
+            },
+            "drop_next" => Stimulus::DropNext {
+                src: n32("src")?,
+                dst: n32("dst")?,
+                count: n32("count")?,
+            },
+            "set_node_up" => Stimulus::SetNodeUp {
+                node: n32("node")?,
+                up: b("up")?,
+            },
+            other => return Err(format!("stimulus: unknown op `{other}`")),
+        })
+    }
+}
+
+/// A self-describing recording: recipe + stimulus journal + the trace the
+/// original run emitted.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// World reconstruction inputs.
+    pub recipe: Recipe,
+    /// Ordered public-API calls that drove the world.
+    pub stimuli: Vec<Stimulus>,
+    /// The recorded run's `trace_jsonl()` output, byte-exact.
+    pub trace: String,
+}
+
+impl Artifact {
+    /// Renders the artifact as one self-describing JSON document
+    /// (trailing newline included).
+    pub fn render(&self) -> String {
+        let doc = Json::obj(vec![
+            ("format", Json::Str(FORMAT.to_string())),
+            ("version", Json::Int(VERSION as i128)),
+            ("recipe", self.recipe.to_json()),
+            (
+                "stimuli",
+                Json::Array(self.stimuli.iter().map(Stimulus::to_json).collect()),
+            ),
+            ("trace", Json::Str(self.trace.clone())),
+        ]);
+        let mut out = String::new();
+        doc.write(&mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Parses an artifact rendered by [`render`](Artifact::render).
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, wrong format tag or version, or bad sections.
+    pub fn parse(text: &str) -> Result<Artifact, ReplayError> {
+        let doc = Json::parse(text).map_err(|e| ReplayError::Format(e.to_string()))?;
+        let format = doc.get("format").and_then(Json::as_str).unwrap_or("");
+        if format != FORMAT {
+            return Err(ReplayError::Format(format!(
+                "not a {FORMAT} artifact (format tag `{format}`)"
+            )));
+        }
+        let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
+        if version != VERSION as u64 {
+            return Err(ReplayError::Format(format!(
+                "unsupported artifact version {version} (expected {VERSION})"
+            )));
+        }
+        let recipe = Recipe::from_json(
+            doc.get("recipe")
+                .ok_or_else(|| ReplayError::Format("missing `recipe`".to_string()))?,
+        )
+        .map_err(ReplayError::Format)?;
+        let mut stimuli = Vec::new();
+        for s in doc
+            .get("stimuli")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ReplayError::Format("missing `stimuli`".to_string()))?
+        {
+            stimuli.push(Stimulus::from_json(s).map_err(ReplayError::Format)?);
+        }
+        let trace = doc
+            .get("trace")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ReplayError::Format("missing `trace`".to_string()))?
+            .to_string();
+        Ok(Artifact {
+            recipe,
+            stimuli,
+            trace,
+        })
+    }
+}
+
+/// Errors from loading or replaying an artifact.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The artifact text is malformed or has the wrong format/version.
+    Format(String),
+    /// The recipe no longer builds (e.g. the program fails to compile).
+    Build(BuildError),
+    /// A journal entry could not be applied.
+    Stimulus(String),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Format(e) => write!(f, "artifact format: {e}"),
+            ReplayError::Build(e) => write!(f, "rebuilding world: {e}"),
+            ReplayError::Stimulus(e) => write!(f, "applying stimulus: {e}"),
+        }
+    }
+}
+impl std::error::Error for ReplayError {}
+
+/// Outcome of a replay run.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// The replayed world, positioned after the last stimulus — ready for
+    /// further interactive debugging past the recorded horizon.
+    pub world: World,
+    /// First difference between the recorded and fresh traces, if any.
+    pub divergence: Option<Divergence>,
+    /// Number of events in the recorded trace.
+    pub recorded_events: usize,
+    /// Whether the fresh trace is byte-identical to the recorded one
+    /// (stronger than `divergence.is_none()`: it also pins the JSONL
+    /// rendering itself).
+    pub byte_identical: bool,
+}
+
+/// Rebuilds the world named by `artifact` and re-runs its journal, then
+/// diffs the fresh trace against the recorded one.
+///
+/// # Errors
+///
+/// [`ReplayError::Build`] when the recipe no longer builds;
+/// [`ReplayError::Stimulus`] when a journal entry cannot be applied
+/// (e.g. a spawn argument that was recorded as opaque).
+pub fn replay(artifact: &Artifact) -> Result<ReplayReport, ReplayError> {
+    let mut world = artifact.recipe.build_world().map_err(ReplayError::Build)?;
+    for s in &artifact.stimuli {
+        world.apply(s).map_err(ReplayError::Stimulus)?;
+    }
+    let fresh = world.trace_jsonl();
+    let recorded = TraceEvent::parse_jsonl(&artifact.trace)
+        .map_err(|e| ReplayError::Format(format!("recorded trace: {e}")))?;
+    let fresh_events = TraceEvent::parse_jsonl(&fresh)
+        .map_err(|e| ReplayError::Format(format!("fresh trace: {e}")))?;
+    Ok(ReplayReport {
+        divergence: first_divergence(&recorded, &fresh_events),
+        recorded_events: recorded.len(),
+        byte_identical: fresh == artifact.trace,
+        world,
+    })
+}
+
+/// Convenience: parse + [`replay`] in one call.
+///
+/// # Errors
+///
+/// Everything [`Artifact::parse`] and [`replay`] can return.
+pub fn replay_artifact(text: &str) -> Result<ReplayReport, ReplayError> {
+    replay(&Artifact::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stimuli_round_trip_through_json() {
+        let all = vec![
+            Stimulus::Spawn {
+                node: 1,
+                entry: "main".into(),
+                args: vec![
+                    Value::Null,
+                    Value::Int(-7),
+                    Value::Bool(true),
+                    Value::Str("hi \"there\"\n".into()),
+                ],
+            },
+            Stimulus::RunUntil { until_us: u64::MAX },
+            Stimulus::RunFor { dur_us: 1 },
+            Stimulus::RunUntilIdle {
+                limit_us: 30_000_000,
+            },
+            Stimulus::Connect {
+                nodes: vec![0, 1, 2],
+                force: true,
+            },
+            Stimulus::Disconnect,
+            Stimulus::Abandon,
+            Stimulus::Request {
+                node: 0,
+                req: AgentRequest::WriteVar {
+                    pid: 3,
+                    frame: 1,
+                    slot: 2,
+                    value: WireValue::Record {
+                        type_name: "pt".into(),
+                        fields: vec![WireValue::Int(1), WireValue::Array(vec![])],
+                    },
+                },
+            },
+            Stimulus::DrainEvents,
+            Stimulus::WaitForStop {
+                timeout_us: 5_000_000,
+            },
+            Stimulus::BreakAtLine { node: 0, line: 12 },
+            Stimulus::BreakAtProc {
+                node: 1,
+                name: "ping".into(),
+            },
+            Stimulus::ClearBreakpoint { node: 1, bp: 0 },
+            Stimulus::HaltAll { origin: 0 },
+            Stimulus::ResumeAll,
+            Stimulus::Diagnose {
+                node: 1,
+                call_id: (1u64 << 40) | 5,
+            },
+            Stimulus::DropNext {
+                src: 0,
+                dst: 1,
+                count: 3,
+            },
+            Stimulus::SetNodeUp { node: 2, up: false },
+        ];
+        for s in &all {
+            let mut rendered = String::new();
+            s.to_json().write(&mut rendered);
+            let parsed = Json::parse(&rendered).expect("valid JSON");
+            let back = Stimulus::from_json(&parsed).expect("decodes");
+            let mut rendered2 = String::new();
+            back.to_json().write(&mut rendered2);
+            assert_eq!(rendered, rendered2, "stimulus did not round-trip: {s:?}");
+        }
+    }
+
+    #[test]
+    fn every_agent_request_round_trips() {
+        let reqs = vec![
+            AgentRequest::Ping,
+            AgentRequest::SetBreakpoint { proc_id: 1, pc: 2 },
+            AgentRequest::ClearBreakpoint { bp: 3 },
+            AgentRequest::ListBreakpoints,
+            AgentRequest::HaltAll,
+            AgentRequest::ResumeAll,
+            AgentRequest::ListProcesses,
+            AgentRequest::ProcessState { pid: 4 },
+            AgentRequest::ReadStack { pid: 5 },
+            AgentRequest::ReadVar {
+                pid: 6,
+                frame: 7,
+                slot: 8,
+            },
+            AgentRequest::WriteVar {
+                pid: 9,
+                frame: 10,
+                slot: 11,
+                value: WireValue::Str("x".into()),
+            },
+            AgentRequest::ReadGlobal { slot: 12 },
+            AgentRequest::WriteGlobal {
+                slot: 13,
+                value: WireValue::Null,
+            },
+            AgentRequest::PrintVar {
+                pid: 14,
+                frame: 15,
+                slot: 16,
+            },
+            AgentRequest::Invoke {
+                proc: "p".into(),
+                args: vec![WireValue::Bool(false)],
+            },
+            AgentRequest::StepOver { pid: 17 },
+            AgentRequest::ContinueProcess { pid: 18 },
+            AgentRequest::ForceRunnable { pid: 19 },
+            AgentRequest::HaltProcess { pid: 20 },
+            AgentRequest::ResumeProcess { pid: 21 },
+            AgentRequest::RpcStatus { pid: 22 },
+            AgentRequest::RecentCalls,
+            AgentRequest::RecentServed,
+            AgentRequest::ServingProcess { call_id: 23 },
+            AgentRequest::ServerKnowledge { call_id: 24 },
+            AgentRequest::ClientProcess { call_id: 25 },
+            AgentRequest::ReadConsole { from: 26 },
+        ];
+        for req in &reqs {
+            let mut rendered = String::new();
+            request_to_json(req).write(&mut rendered);
+            let parsed = Json::parse(&rendered).expect("valid JSON");
+            let back = request_from_json(&parsed).expect("decodes");
+            let mut rendered2 = String::new();
+            request_to_json(&back).write(&mut rendered2);
+            assert_eq!(rendered, rendered2, "request did not round-trip: {req:?}");
+        }
+    }
+
+    #[test]
+    fn opaque_spawn_args_fail_replay_loudly() {
+        let rendered = {
+            let mut out = String::new();
+            value_to_json(&Value::Sem(3)).write(&mut out);
+            out
+        };
+        let parsed = Json::parse(&rendered).unwrap();
+        let err = value_from_json(&parsed).unwrap_err();
+        assert!(err.contains("node-local"), "{err}");
+    }
+
+    #[test]
+    fn artifact_rejects_foreign_documents() {
+        assert!(matches!(
+            Artifact::parse("{\"format\": \"other\"}"),
+            Err(ReplayError::Format(_))
+        ));
+        assert!(matches!(
+            Artifact::parse("not json"),
+            Err(ReplayError::Format(_))
+        ));
+    }
+}

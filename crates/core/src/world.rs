@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use pilgrim_cclu::{compile, CompileError, Program, Value};
-use pilgrim_mayflower::{Node, NodeConfig, Outcall, Pid, SpawnOpts};
+use pilgrim_mayflower::{Node, NodeConfig, Outcall, Pid, SpawnOpts, UnknownProc};
 use pilgrim_ring::{Medium, Network, NetworkConfig, NodeId, TxClass, TxStatus};
 use pilgrim_rpc::{RpcConfig, RpcEndpoint, RpcNet, RpcPacket, WireValue};
 use pilgrim_sim::{EventKind, Metrics, SimDuration, SimTime, SpanId, TraceCategory, Tracer};
@@ -23,6 +23,7 @@ use crate::proto::{
     AgentReply, AgentRequest, DebugMsg, FrameSummary, KnowledgeView, ProcView, RpcFrameView,
     SessionId,
 };
+use crate::replay::{Artifact, Recipe, Stimulus};
 
 /// Everything that travels on the ring: RPC packets and debugger traffic.
 #[derive(Debug, Clone)]
@@ -297,6 +298,14 @@ impl WorldBuilder {
         self
     }
 
+    /// Lockstep window: how far a node may run ahead between sync points.
+    /// The builder still enforces its conservative floor (the network's
+    /// base latency) at build time.
+    pub fn lockstep_window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
     /// Attach a debugger station (default true).
     pub fn debugger(mut self, on: bool) -> Self {
         self.with_debugger = on;
@@ -319,6 +328,28 @@ impl WorldBuilder {
         if self.nodes == 0 {
             return Err(BuildError::NoNodes);
         }
+        // Capture the reproduction recipe before any input is consumed:
+        // these are exactly the inputs a replay needs to rebuild this
+        // world bit-for-bit.
+        let mut per_node_source: Vec<(u32, String)> = self
+            .per_node_source
+            .iter()
+            .map(|(n, s)| (*n, s.clone()))
+            .collect();
+        per_node_source.sort_by_key(|(n, _)| *n);
+        let recipe = Recipe {
+            nodes: self.nodes,
+            seed: self.seed,
+            window: self.window,
+            default_source: self.default_source.clone(),
+            per_node_source,
+            net: self.net.clone(),
+            rpc: self.rpc.clone(),
+            node_cfg: self.node_cfg.clone(),
+            agent_cfg: self.agent_cfg.clone(),
+            with_debugger: self.with_debugger,
+            with_agents: self.with_agents,
+        };
         let tracer = Tracer::new();
         let metrics = Metrics::new();
         let default_program = match &self.default_source {
@@ -395,6 +426,8 @@ impl WorldBuilder {
             // let a node advance past an incoming packet. Degenerate
             // low-latency configurations keep the builder's floor.
             window: self.window.max(self.net.base_latency),
+            recipe,
+            journal: Vec::new(),
         })
     }
 }
@@ -411,6 +444,8 @@ pub struct World {
     now: SimTime,
     user_nodes: u32,
     window: SimDuration,
+    recipe: Recipe,
+    journal: Vec<Stimulus>,
 }
 
 impl std::fmt::Debug for World {
@@ -540,9 +575,26 @@ impl World {
         self.agents.get(i as usize).and_then(Option::as_ref)
     }
 
-    /// Mutable network access (fault injection: loss, crashes).
+    /// Mutable network access. This is an *unrecorded* escape hatch:
+    /// mutations made through it are invisible to the replay journal.
+    /// Scenario drivers should prefer [`World::inject_drop`] and
+    /// [`World::set_node_up`], which record themselves.
     pub fn net_mut(&mut self) -> &mut Network<Wire> {
         &mut self.net
+    }
+
+    /// Forces the next `count` packets from `src` to `dst` to be lost
+    /// in flight — the recorded form of fault injection.
+    pub fn inject_drop(&mut self, src: u32, dst: u32, count: u32) {
+        self.journal.push(Stimulus::DropNext { src, dst, count });
+        self.net.drop_next(NodeId(src), NodeId(dst), count);
+    }
+
+    /// Marks a station's network interface up or down (a down interface
+    /// NACKs on the ring, drops silently on Ethernet) — recorded.
+    pub fn set_node_up(&mut self, node: u32, up: bool) {
+        self.journal.push(Stimulus::SetNodeUp { node, up });
+        self.net.set_up(NodeId(node), up);
     }
 
     /// The debugger proper, when attached.
@@ -562,9 +614,23 @@ impl World {
     /// Panics if the node has no such procedure (program bugs in examples
     /// should fail loudly).
     pub fn spawn(&mut self, i: u32, entry: &str, args: Vec<Value>) -> Pid {
-        self.nodes[i as usize]
-            .spawn(entry, args, SpawnOpts::default())
+        self.try_spawn(i, entry, args)
             .expect("entry procedure exists")
+    }
+
+    /// Spawns a process running `entry` on node `i`, surfacing unknown
+    /// procedures as an error (the REPL's spawn path).
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownProc`] when the node's program has no such procedure.
+    pub fn try_spawn(&mut self, i: u32, entry: &str, args: Vec<Value>) -> Result<Pid, UnknownProc> {
+        self.journal.push(Stimulus::Spawn {
+            node: i,
+            entry: entry.to_string(),
+            args: args.clone(),
+        });
+        self.nodes[i as usize].spawn(entry, args, SpawnOpts::default())
     }
 
     /// Console lines printed on node `i`.
@@ -578,6 +644,13 @@ impl World {
 
     /// Advances the world to `limit`.
     pub fn run_until(&mut self, limit: SimTime) {
+        self.journal.push(Stimulus::RunUntil {
+            until_us: limit.as_micros(),
+        });
+        self.run_until_inner(limit);
+    }
+
+    fn run_until_inner(&mut self, limit: SimTime) {
         while self.now < limit {
             self.pump_step(limit);
         }
@@ -585,13 +658,23 @@ impl World {
 
     /// Advances the world by `d`.
     pub fn run_for(&mut self, d: SimDuration) {
+        self.journal.push(Stimulus::RunFor {
+            dur_us: d.as_micros(),
+        });
         let t = self.now + d;
-        self.run_until(t);
+        self.run_until_inner(t);
     }
 
     /// Runs until nothing is runnable, no packet is in flight and no
     /// protocol timer is pending — or until `limit`.
     pub fn run_until_idle(&mut self, limit: SimTime) {
+        self.journal.push(Stimulus::RunUntilIdle {
+            limit_us: limit.as_micros(),
+        });
+        self.run_until_idle_inner(limit);
+    }
+
+    fn run_until_idle_inner(&mut self, limit: SimTime) {
         while self.now < limit {
             self.pump_step(limit);
             let nodes_idle = self.nodes.iter().all(|n| n.next_activity().is_none());
@@ -745,6 +828,14 @@ impl World {
     /// [`DebugError::Refused`] when some agent already belongs to another
     /// session and `force` is false.
     pub fn debug_connect(&mut self, nodes: &[u32], force: bool) -> Result<SessionId, DebugError> {
+        self.journal.push(Stimulus::Connect {
+            nodes: nodes.to_vec(),
+            force,
+        });
+        self.debug_connect_inner(nodes, force)
+    }
+
+    fn debug_connect_inner(&mut self, nodes: &[u32], force: bool) -> Result<SessionId, DebugError> {
         let dbg = self.debugger.as_mut().ok_or(DebugError::NoDebugger)?;
         let session = dbg.fresh_session();
         let cohort: Vec<NodeId> = nodes.iter().map(|n| NodeId(*n)).collect();
@@ -778,6 +869,7 @@ impl World {
     /// processes, and reset their logical clocks to real time (§5.2 warns
     /// the effects of continuing "may be unpredictable").
     pub fn debug_disconnect(&mut self) -> Result<(), DebugError> {
+        self.journal.push(Stimulus::Disconnect);
         let dbg = self.debugger.as_mut().ok_or(DebugError::NoDebugger)?;
         let Some(session) = dbg.session() else {
             return Ok(());
@@ -789,7 +881,8 @@ impl World {
             self.net
                 .send_debug(self.now, station, dst, DebugMsg::Disconnect { session });
         }
-        self.run_for(SimDuration::from_millis(20));
+        let t = self.now + SimDuration::from_millis(20);
+        self.run_until_inner(t);
         Ok(())
     }
 
@@ -797,6 +890,7 @@ impl World {
     /// simulates a crashed debugger. Only a forcible reconnect gets the
     /// agents back (§3).
     pub fn debug_abandon(&mut self) {
+        self.journal.push(Stimulus::Abandon);
         if let Some(d) = self.debugger.as_mut() {
             d.abandon();
         }
@@ -810,6 +904,18 @@ impl World {
     /// [`DebugError::Agent`] carries agent-side failures;
     /// [`DebugError::Timeout`] fires after 30 simulated seconds.
     pub fn debug_request(
+        &mut self,
+        node: u32,
+        req: AgentRequest,
+    ) -> Result<AgentReply, DebugError> {
+        self.journal.push(Stimulus::Request {
+            node,
+            req: req.clone(),
+        });
+        self.debug_request_inner(node, req)
+    }
+
+    fn debug_request_inner(
         &mut self,
         node: u32,
         req: AgentRequest,
@@ -844,6 +950,7 @@ impl World {
 
     /// Drains pending debugger events (breakpoint hits, faults).
     pub fn debug_events(&mut self) -> Vec<DebugEvent> {
+        self.journal.push(Stimulus::DrainEvents);
         self.debugger
             .as_mut()
             .map(Debugger::take_events)
@@ -852,6 +959,13 @@ impl World {
 
     /// Pumps the simulation until a debugger event arrives (or `timeout`).
     pub fn wait_for_stop(&mut self, timeout: SimDuration) -> Result<DebugEvent, DebugError> {
+        self.journal.push(Stimulus::WaitForStop {
+            timeout_us: timeout.as_micros(),
+        });
+        self.wait_for_stop_inner(timeout)
+    }
+
+    fn wait_for_stop_inner(&mut self, timeout: SimDuration) -> Result<DebugEvent, DebugError> {
         let deadline = self.now + timeout;
         loop {
             if let Some(ev) = self
@@ -874,6 +988,11 @@ impl World {
     /// Plants a breakpoint at the first executable address of `line` on
     /// `node`.
     pub fn break_at_line(&mut self, node: u32, line: u32) -> Result<u16, DebugError> {
+        self.journal.push(Stimulus::BreakAtLine { node, line });
+        self.break_at_line_inner(node, line)
+    }
+
+    fn break_at_line_inner(&mut self, node: u32, line: u32) -> Result<u16, DebugError> {
         let addr = self
             .debugger
             .as_ref()
@@ -885,6 +1004,14 @@ impl World {
 
     /// Plants a breakpoint at the entry of procedure `name` on `node`.
     pub fn break_at_proc(&mut self, node: u32, name: &str) -> Result<u16, DebugError> {
+        self.journal.push(Stimulus::BreakAtProc {
+            node,
+            name: name.to_string(),
+        });
+        self.break_at_proc_inner(node, name)
+    }
+
+    fn break_at_proc_inner(&mut self, node: u32, name: &str) -> Result<u16, DebugError> {
         let addr = self
             .debugger
             .as_ref()
@@ -900,7 +1027,7 @@ impl World {
         addr: pilgrim_cclu::CodeAddr,
         line: Option<u32>,
     ) -> Result<u16, DebugError> {
-        let reply = self.debug_request(
+        let reply = self.debug_request_inner(
             node,
             AgentRequest::SetBreakpoint {
                 proc_id: addr.proc.0,
@@ -925,7 +1052,12 @@ impl World {
 
     /// Clears a breakpoint by agent slot.
     pub fn clear_breakpoint(&mut self, node: u32, bp: u16) -> Result<(), DebugError> {
-        self.debug_request(node, AgentRequest::ClearBreakpoint { bp })?;
+        self.journal.push(Stimulus::ClearBreakpoint { node, bp });
+        self.clear_breakpoint_inner(node, bp)
+    }
+
+    fn clear_breakpoint_inner(&mut self, node: u32, bp: u16) -> Result<(), DebugError> {
+        self.debug_request_inner(node, AgentRequest::ClearBreakpoint { bp })?;
         if let Some(d) = self.debugger.as_mut() {
             d.forget_breakpoint(NodeId(node), bp);
         }
@@ -935,8 +1067,13 @@ impl World {
     /// Halts the whole cohort by asking `origin`'s agent to halt and
     /// broadcast (§5.2).
     pub fn debug_halt_all(&mut self, origin: u32) -> Result<usize, DebugError> {
+        self.journal.push(Stimulus::HaltAll { origin });
+        self.debug_halt_all_inner(origin)
+    }
+
+    fn debug_halt_all_inner(&mut self, origin: u32) -> Result<usize, DebugError> {
         let begin = self.now;
-        let reply = self.debug_request(origin, AgentRequest::HaltAll)?;
+        let reply = self.debug_request_inner(origin, AgentRequest::HaltAll)?;
         if let Some(d) = self.debugger.as_mut() {
             d.log().borrow_mut().begin_halt(begin);
         }
@@ -950,6 +1087,11 @@ impl World {
     /// duration into its node's logical-clock delta; the debugger closes
     /// its breakpoint-log entry with the longest reported duration.
     pub fn debug_resume_all(&mut self) -> Result<(), DebugError> {
+        self.journal.push(Stimulus::ResumeAll);
+        self.debug_resume_all_inner()
+    }
+
+    fn debug_resume_all_inner(&mut self) -> Result<(), DebugError> {
         let cohort: Vec<u32> = self
             .debugger
             .as_ref()
@@ -1254,7 +1396,19 @@ impl World {
         server_node: u32,
         call_id: u64,
     ) -> Result<MaybeDiagnosis, DebugError> {
-        match self.debug_request(server_node, AgentRequest::ServerKnowledge { call_id })? {
+        self.journal.push(Stimulus::Diagnose {
+            node: server_node,
+            call_id,
+        });
+        self.diagnose_maybe_failure_inner(server_node, call_id)
+    }
+
+    fn diagnose_maybe_failure_inner(
+        &mut self,
+        server_node: u32,
+        call_id: u64,
+    ) -> Result<MaybeDiagnosis, DebugError> {
+        match self.debug_request_inner(server_node, AgentRequest::ServerKnowledge { call_id })? {
             AgentReply::Knowledge(k) => {
                 let diagnosis = match k {
                     KnowledgeView::NeverSeen => MaybeDiagnosis::LostCall,
@@ -1273,14 +1427,108 @@ impl World {
                 if let Some(kind) = kind {
                     if self.tracer.wants(TraceCategory::Rpc) {
                         let span = self.span_of_call(call_id);
-                        self.tracer
-                            .emit(self.now, TraceCategory::Rpc, Some(server_node), span, kind);
+                        self.tracer.emit(
+                            self.now,
+                            TraceCategory::Rpc,
+                            Some(server_node),
+                            span,
+                            kind,
+                        );
                     }
                 }
                 Ok(diagnosis)
             }
             other => Err(DebugError::Protocol(format!("unexpected reply {other:?}"))),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Record / replay
+    // ------------------------------------------------------------------
+
+    /// The reproduction recipe this world was built from.
+    pub fn recipe(&self) -> &Recipe {
+        &self.recipe
+    }
+
+    /// The stimulus journal: every public driving call made so far, in
+    /// order, with concrete arguments.
+    pub fn journal(&self) -> &[Stimulus] {
+        &self.journal
+    }
+
+    /// Packages the recipe, the stimulus journal, and the trace emitted
+    /// so far into a self-describing replay artifact. Render it with
+    /// [`Artifact::render`]; reproduce it with [`crate::replay::replay`].
+    pub fn record(&self) -> Artifact {
+        Artifact {
+            recipe: self.recipe.clone(),
+            stimuli: self.journal.clone(),
+            trace: self.trace_jsonl(),
+        }
+    }
+
+    /// Re-applies one recorded stimulus through the public API, so the
+    /// call is journalled again — a replayed world can itself be
+    /// re-recorded or driven further interactively.
+    ///
+    /// Per-stimulus debugger results (`Refused`, `Timeout`, agent errors)
+    /// are deliberately discarded: determinism reproduces them exactly as
+    /// in the original run, and the trace diff is the real check.
+    ///
+    /// # Errors
+    ///
+    /// Only stimuli that cannot be applied at all fail: a spawn of a
+    /// procedure the rebuilt program does not have.
+    pub fn apply(&mut self, s: &Stimulus) -> Result<(), String> {
+        match s {
+            Stimulus::Spawn { node, entry, args } => {
+                self.try_spawn(*node, entry, args.clone())
+                    .map_err(|e| e.to_string())?;
+            }
+            Stimulus::RunUntil { until_us } => self.run_until(SimTime::from_micros(*until_us)),
+            Stimulus::RunFor { dur_us } => self.run_for(SimDuration::from_micros(*dur_us)),
+            Stimulus::RunUntilIdle { limit_us } => {
+                self.run_until_idle(SimTime::from_micros(*limit_us));
+            }
+            Stimulus::Connect { nodes, force } => {
+                let _ = self.debug_connect(nodes, *force);
+            }
+            Stimulus::Disconnect => {
+                let _ = self.debug_disconnect();
+            }
+            Stimulus::Abandon => self.debug_abandon(),
+            Stimulus::Request { node, req } => {
+                let _ = self.debug_request(*node, req.clone());
+            }
+            Stimulus::DrainEvents => {
+                let _ = self.debug_events();
+            }
+            Stimulus::WaitForStop { timeout_us } => {
+                let _ = self.wait_for_stop(SimDuration::from_micros(*timeout_us));
+            }
+            Stimulus::BreakAtLine { node, line } => {
+                let _ = self.break_at_line(*node, *line);
+            }
+            Stimulus::BreakAtProc { node, name } => {
+                let _ = self.break_at_proc(*node, name);
+            }
+            Stimulus::ClearBreakpoint { node, bp } => {
+                let _ = self.clear_breakpoint(*node, *bp);
+            }
+            Stimulus::HaltAll { origin } => {
+                let _ = self.debug_halt_all(*origin);
+            }
+            Stimulus::ResumeAll => {
+                let _ = self.debug_resume_all();
+            }
+            Stimulus::Diagnose { node, call_id } => {
+                let _ = self.diagnose_maybe_failure(*node, *call_id);
+            }
+            Stimulus::DropNext { src, dst, count } => self.inject_drop(*src, *dst, *count),
+            Stimulus::SetNodeUp { node, up } => self.set_node_up(*node, *up),
+        }
+        Ok(())
     }
 }
 

@@ -17,7 +17,7 @@ use pilgrim_cclu::{
     CodeAddr, ExecEnv, Fault, Heap, ProcId, Program, RpcRequest, StepOutcome, SysReply, Syscalls,
     Value, VmProcess,
 };
-use pilgrim_sim::{DetRng, EventKind, SimDuration, SimTime, SpanId, TraceCategory, Tracer};
+use pilgrim_sim::{DetRng, EventKind, Json, SimDuration, SimTime, SpanId, TraceCategory, Tracer};
 
 use crate::process::{
     HaltInfo, MutexId, NativeProcess, Pid, ProcBody, Process, ProcessInfo, RunState, SemId,
@@ -49,6 +49,51 @@ impl Default for NodeConfig {
             freeze_timeouts_on_halt: true,
             profile_vm: false,
         }
+    }
+}
+
+impl NodeConfig {
+    /// The config as a JSON object for the replay recipe.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "time_slice_us",
+                Json::Int(self.time_slice.as_micros() as i128),
+            ),
+            ("seed", Json::Int(self.seed as i128)),
+            (
+                "freeze_timeouts_on_halt",
+                Json::Bool(self.freeze_timeouts_on_halt),
+            ),
+            ("profile_vm", Json::Bool(self.profile_vm)),
+        ])
+    }
+
+    /// Rebuilds a config from [`to_json`](NodeConfig::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<NodeConfig, String> {
+        Ok(NodeConfig {
+            time_slice: v
+                .get("time_slice_us")
+                .and_then(Json::as_u64)
+                .map(SimDuration::from_micros)
+                .ok_or("node config: missing `time_slice_us`")?,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("node config: missing `seed`")?,
+            freeze_timeouts_on_halt: v
+                .get("freeze_timeouts_on_halt")
+                .and_then(Json::as_bool)
+                .ok_or("node config: missing `freeze_timeouts_on_halt`")?,
+            profile_vm: v
+                .get("profile_vm")
+                .and_then(Json::as_bool)
+                .ok_or("node config: missing `profile_vm`")?,
+        })
     }
 }
 
@@ -828,11 +873,11 @@ impl Node {
     /// When this node next needs CPU: now if anything is schedulable, the
     /// earliest timer deadline otherwise, `None` when fully idle.
     pub fn next_activity(&self) -> Option<SimTime> {
-        if self.run_queue.iter().any(|pid| {
-            self.proc_at(*pid)
-                .map(|p| p.schedulable())
-                .unwrap_or(false)
-        }) {
+        if self
+            .run_queue
+            .iter()
+            .any(|pid| self.proc_at(*pid).map(|p| p.schedulable()).unwrap_or(false))
+        {
             return Some(self.clock);
         }
         self.next_deadline()
@@ -910,10 +955,7 @@ impl Node {
     fn pick_next(&mut self) -> Option<Pid> {
         loop {
             let pid = *self.run_queue.front()?;
-            let ok = self
-                .proc_at(pid)
-                .map(|p| p.schedulable())
-                .unwrap_or(false);
+            let ok = self.proc_at(pid).map(|p| p.schedulable()).unwrap_or(false);
             if ok {
                 return Some(pid);
             }
@@ -1167,10 +1209,7 @@ impl Node {
             Self::apply_halt(proc, clock, freeze);
         }
 
-        let parent_span = self
-            .procs
-            .get(Self::slot(pid))
-            .and_then(|p| p.span);
+        let parent_span = self.procs.get(Self::slot(pid)).and_then(|p| p.span);
         for (new_pid, proc_id, args) in spawns {
             let name = self.program.proc(proc_id).debug.name.to_string();
             let halted = self.halt_marker.map(|_| HaltInfo {

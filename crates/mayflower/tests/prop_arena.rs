@@ -163,10 +163,7 @@ fn arena_never_reuses_pids_and_retains_every_record() {
                 node.process(Pid(observed_max + 1)).is_none(),
                 "one-past-the-end pid must miss",
             )?;
-            ensure(
-                node.process(Pid(u64::MAX)).is_none(),
-                "huge pid must miss",
-            )?;
+            ensure(node.process(Pid(u64::MAX)).is_none(), "huge pid must miss")?;
         }
         Ok(())
     });

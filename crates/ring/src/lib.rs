@@ -43,8 +43,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use pilgrim_sim::{
-    Counter, DetRng, EventKind, EventQueue, Metrics, SimDuration, SimTime, SpanId, TraceCategory,
-    Tracer,
+    Counter, DetRng, EventKind, EventQueue, Json, Metrics, SimDuration, SimTime, SpanId,
+    TraceCategory, Tracer,
 };
 
 /// Identifies a node (a station) on the network.
@@ -101,10 +101,79 @@ impl Default for NetworkConfig {
     }
 }
 
+impl Medium {
+    /// Stable wire name, used by the replay recipe format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Medium::CambridgeRing => "cambridge-ring",
+            Medium::Ethernet => "ethernet",
+        }
+    }
+
+    /// The inverse of [`name`](Medium::name).
+    pub fn parse(name: &str) -> Option<Medium> {
+        match name {
+            "cambridge-ring" => Some(Medium::CambridgeRing),
+            "ethernet" => Some(Medium::Ethernet),
+            _ => None,
+        }
+    }
+}
+
 impl NetworkConfig {
     /// Transmission latency for a payload of `bytes`.
     pub fn latency(&self, bytes: usize) -> SimDuration {
         self.base_latency + self.per_byte * bytes as u64
+    }
+
+    /// The config as a JSON object for the replay recipe.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "base_latency_us",
+                Json::Int(self.base_latency.as_micros() as i128),
+            ),
+            ("per_byte_us", Json::Int(self.per_byte.as_micros() as i128)),
+            ("p_interface_loss", Json::Float(self.p_interface_loss)),
+            ("p_silent_loss", Json::Float(self.p_silent_loss)),
+            ("medium", Json::Str(self.medium.name().to_string())),
+            ("seed", Json::Int(self.seed as i128)),
+        ])
+    }
+
+    /// Rebuilds a config from [`to_json`](NetworkConfig::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<NetworkConfig, String> {
+        let us = |field: &str| -> Result<SimDuration, String> {
+            v.get(field)
+                .and_then(Json::as_u64)
+                .map(SimDuration::from_micros)
+                .ok_or_else(|| format!("network config: missing `{field}`"))
+        };
+        Ok(NetworkConfig {
+            base_latency: us("base_latency_us")?,
+            per_byte: us("per_byte_us")?,
+            p_interface_loss: v
+                .get("p_interface_loss")
+                .and_then(Json::as_f64)
+                .ok_or("network config: missing `p_interface_loss`")?,
+            p_silent_loss: v
+                .get("p_silent_loss")
+                .and_then(Json::as_f64)
+                .ok_or("network config: missing `p_silent_loss`")?,
+            medium: v
+                .get("medium")
+                .and_then(Json::as_str)
+                .and_then(Medium::parse)
+                .ok_or("network config: missing or unknown `medium`")?,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("network config: missing `seed`")?,
+        })
     }
 }
 
@@ -340,13 +409,7 @@ impl<P> Network<P> {
 
     /// One packet-level trace event; the `wants` check happened already.
     #[cold]
-    fn trace_packet(
-        &self,
-        time: SimTime,
-        node: u32,
-        span: Option<SpanId>,
-        kind: EventKind,
-    ) {
+    fn trace_packet(&self, time: SimTime, node: u32, span: Option<SpanId>, kind: EventKind) {
         if let Some(t) = &self.tracer {
             t.emit(time, TraceCategory::Net, Some(node), span, kind);
         }
@@ -780,8 +843,24 @@ mod tests {
         n.attach_metrics(&metrics);
         let span = tracer.next_span();
         n.drop_next(NodeId(0), NodeId(1), 1);
-        n.send_spanned(SimTime::ZERO, NodeId(0), NodeId(1), 1, 32, TxClass::Data, Some(span));
-        n.send_spanned(SimTime::ZERO, NodeId(0), NodeId(1), 2, 32, TxClass::Data, Some(span));
+        n.send_spanned(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            1,
+            32,
+            TxClass::Data,
+            Some(span),
+        );
+        n.send_spanned(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            2,
+            32,
+            TxClass::Data,
+            Some(span),
+        );
         let (due, _) = n.poll(SimTime::from_millis(20));
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].span, Some(span), "span crosses the wire");
@@ -863,5 +942,27 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn network_config_round_trips_through_json() {
+        let cfg = NetworkConfig {
+            base_latency: SimDuration::from_micros(1_234),
+            per_byte: SimDuration::from_micros(7),
+            p_interface_loss: 0.125,
+            p_silent_loss: 0.0625,
+            medium: Medium::Ethernet,
+            seed: u64::MAX,
+        };
+        let mut rendered = String::new();
+        cfg.to_json().write(&mut rendered);
+        let parsed = Json::parse(&rendered).expect("valid JSON");
+        let back = NetworkConfig::from_json(&parsed).expect("decodes");
+        assert_eq!(back.base_latency, cfg.base_latency);
+        assert_eq!(back.per_byte, cfg.per_byte);
+        assert_eq!(back.p_interface_loss, cfg.p_interface_loss);
+        assert_eq!(back.p_silent_loss, cfg.p_silent_loss);
+        assert_eq!(back.medium, cfg.medium);
+        assert_eq!(back.seed, cfg.seed);
     }
 }

@@ -293,7 +293,9 @@ impl RpcEndpoint {
             served: metrics.counter("rpc.served"),
             latency_us: metrics.histogram(
                 "rpc.latency_us",
-                &[1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000],
+                &[
+                    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000,
+                ],
             ),
         });
     }
@@ -832,7 +834,7 @@ impl RpcEndpoint {
                     let wire: Result<Vec<WireValue>, _> =
                         rets.iter().map(|v| marshal(node.heap(), v)).collect();
                     match wire {
-                        Ok(results) => self.send_reply(now, node, src, call_id, results, span, net),
+                        Ok(results) => self.send_reply(now, src, call_id, results, span, net),
                         Err(e) => self.reply_failure(now, src, call_id, span, e.to_string(), net),
                     }
                 }
@@ -992,7 +994,6 @@ impl RpcEndpoint {
     fn send_reply(
         &mut self,
         now: SimTime,
-        _node: &mut Node,
         dst: NodeId,
         call_id: CallId,
         results: Vec<WireValue>,
@@ -1060,7 +1061,7 @@ impl RpcEndpoint {
             .iter()
             .filter_map(|v| marshal(node.heap(), v).ok())
             .collect();
-        self.send_reply(now, node, call.caller, call_id, results, call.span, net);
+        self.send_reply(now, call.caller, call_id, results, call.span, net);
         true
     }
 

@@ -11,6 +11,7 @@
 use std::rc::Rc;
 
 use pilgrim_cclu::{Heap, HeapObject, RecordType, Type, Value};
+use pilgrim_sim::Json;
 
 /// A value in wire form: self-contained, heap-independent.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,12 +57,99 @@ impl WireValue {
             WireValue::Bool(_) => 1,
             WireValue::Str(s) => 4 + s.len(),
             WireValue::Record { type_name, fields } => {
-                2 + type_name.len()
-                    + 2
-                    + fields.iter().map(WireValue::wire_bytes).sum::<usize>()
+                2 + type_name.len() + 2 + fields.iter().map(WireValue::wire_bytes).sum::<usize>()
             }
             WireValue::Array(items) => 4 + items.iter().map(WireValue::wire_bytes).sum::<usize>(),
         }
+    }
+
+    /// The value as tagged JSON for the replay journal. Wire values are
+    /// already heap-independent, so the encoding is a direct tree walk.
+    pub fn to_json(&self) -> Json {
+        match self {
+            WireValue::Null => Json::obj(vec![("kind", Json::Str("null".into()))]),
+            WireValue::Int(i) => Json::obj(vec![
+                ("kind", Json::Str("int".into())),
+                ("value", Json::Int(*i as i128)),
+            ]),
+            WireValue::Bool(b) => Json::obj(vec![
+                ("kind", Json::Str("bool".into())),
+                ("value", Json::Bool(*b)),
+            ]),
+            WireValue::Str(s) => Json::obj(vec![
+                ("kind", Json::Str("str".into())),
+                ("value", Json::Str(s.to_string())),
+            ]),
+            WireValue::Record { type_name, fields } => Json::obj(vec![
+                ("kind", Json::Str("record".into())),
+                ("type", Json::Str(type_name.to_string())),
+                (
+                    "fields",
+                    Json::Array(fields.iter().map(WireValue::to_json).collect()),
+                ),
+            ]),
+            WireValue::Array(items) => Json::obj(vec![
+                ("kind", Json::Str("array".into())),
+                (
+                    "items",
+                    Json::Array(items.iter().map(WireValue::to_json).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// Rebuilds a wire value from [`to_json`](WireValue::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Unknown kinds and missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<WireValue, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("wire value: missing `kind`")?;
+        Ok(match kind {
+            "null" => WireValue::Null,
+            "int" => WireValue::Int(
+                v.get("value")
+                    .and_then(Json::as_i64)
+                    .ok_or("wire value: missing int `value`")?,
+            ),
+            "bool" => WireValue::Bool(
+                v.get("value")
+                    .and_then(Json::as_bool)
+                    .ok_or("wire value: missing bool `value`")?,
+            ),
+            "str" => WireValue::Str(
+                v.get("value")
+                    .and_then(Json::as_str)
+                    .ok_or("wire value: missing str `value`")?
+                    .into(),
+            ),
+            "record" => WireValue::Record {
+                type_name: v
+                    .get("type")
+                    .and_then(Json::as_str)
+                    .ok_or("wire value: missing record `type`")?
+                    .into(),
+                fields: v
+                    .get("fields")
+                    .and_then(Json::as_array)
+                    .ok_or("wire value: missing record `fields`")?
+                    .iter()
+                    .map(WireValue::from_json)
+                    .collect::<Result<_, _>>()?,
+            },
+            "array" => WireValue::Array(
+                v.get("items")
+                    .and_then(Json::as_array)
+                    .ok_or("wire value: missing array `items`")?
+                    .iter()
+                    .map(WireValue::from_json)
+                    .collect::<Result<_, _>>()?,
+            ),
+            other => return Err(format!("wire value: unknown kind `{other}`")),
+        })
     }
 }
 
@@ -276,7 +364,11 @@ mod tests {
         use pilgrim_sim::check::{int_range, string_of, vec_of_cases, zip_cases};
         // Composites become less likely as depth runs out (0..=1 at the
         // leaves), matching the old generator's bounded recursion.
-        let variant = if depth == 0 { rng.below(4) } else { rng.below(6) };
+        let variant = if depth == 0 {
+            rng.below(4)
+        } else {
+            rng.below(6)
+        };
         match variant {
             0 => Case::leaf(WireValue::Null),
             1 => int_range(i64::MIN / 2, i64::MAX / 2)
@@ -287,7 +379,9 @@ mod tests {
                 .map(std::rc::Rc::new(|b: &bool| WireValue::Bool(*b))),
             3 => string_of("abcdefghijklmnopqrstuvwxyz", 12)
                 .generate(rng)
-                .map(std::rc::Rc::new(|s: &String| WireValue::Str(s.as_str().into()))),
+                .map(std::rc::Rc::new(|s: &String| {
+                    WireValue::Str(s.as_str().into())
+                })),
             4 => {
                 let n = rng.below(4) as usize;
                 let items: Vec<Case<WireValue>> =
@@ -333,6 +427,19 @@ mod tests {
             let mut heap = Heap::new();
             let v = unmarshal(&mut heap, w);
             let w2 = marshal(&heap, &v).unwrap();
+            ensure_eq(w.clone(), w2)
+        });
+    }
+
+    /// to_json → from_json is the identity on wire values (the replay
+    /// journal's invariant).
+    #[test]
+    fn prop_json_roundtrip() {
+        check_n("marshal_prop_json_roundtrip", 256, &WireGen, |w| {
+            let mut rendered = String::new();
+            w.to_json().write(&mut rendered);
+            let parsed = Json::parse(&rendered).map_err(|e| e.to_string())?;
+            let w2 = WireValue::from_json(&parsed)?;
             ensure_eq(w.clone(), w2)
         });
     }

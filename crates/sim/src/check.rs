@@ -45,6 +45,9 @@ pub struct Case<T> {
     shrinks: Rc<dyn Fn() -> Vec<Case<T>>>,
 }
 
+/// A shared mapping function, as taken by [`Case::map`].
+pub type MapFn<T, U> = Rc<dyn Fn(&T) -> U>;
+
 impl<T: Debug> Debug for Case<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Case").field("value", &self.value).finish()
@@ -74,7 +77,7 @@ impl<T: Clone + 'static> Case<T> {
     }
 
     /// Maps the value (and, lazily, every simplification) through `f`.
-    pub fn map<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Case<U> {
+    pub fn map<U: Clone + 'static>(&self, f: MapFn<T, U>) -> Case<U> {
         let value = f(&self.value);
         let inner = self.clone();
         Case {
@@ -394,12 +397,14 @@ impl<A: Gen, B: Gen> Gen for Zip<A, B> {
 /// A generator mapped through a function (see [`map`]).
 pub struct Mapped<G: Gen, U> {
     inner: G,
-    f: Rc<dyn Fn(&G::Value) -> U>,
+    f: MapFn<G::Value, U>,
 }
 
 impl<G: Gen + Debug, U> Debug for Mapped<G, U> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mapped").field("inner", &self.inner).finish()
+        f.debug_struct("Mapped")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -681,7 +686,7 @@ mod tests {
     #[test]
     fn strings_generate_and_shrink() {
         check("ascii_strings_are_ascii", &ascii_string(40), |s| {
-            ensure(s.chars().all(|c| c.is_ascii()), "non-ascii".to_string())
+            ensure(s.is_ascii(), "non-ascii".to_string())
         });
         let failure = check_cases(
             "no_spaces",

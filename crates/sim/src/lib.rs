@@ -39,13 +39,18 @@
 
 pub mod check;
 mod event;
+pub mod json;
 mod metrics;
 mod rng;
 mod time;
 mod trace;
 
 pub use event::{EventId, EventQueue};
+pub use json::{escape_into, Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{EchoBuffer, EventKind, SpanId, TraceCategory, TraceEvent, Tracer};
+pub use trace::{
+    first_divergence, Divergence, EchoBuffer, EventKind, FieldDiff, SpanId, TraceCategory,
+    TraceEvent, Tracer,
+};

@@ -131,12 +131,7 @@ impl Histogram {
 
     /// Mean observation, or 0 with no data.
     pub fn mean(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            0
-        } else {
-            self.sum() / n
-        }
+        self.sum().checked_div(self.count()).unwrap_or(0)
     }
 
     /// `(upper_bound, count)` per finite bucket, then
@@ -358,7 +353,11 @@ mod tests {
         assert_eq!(h.quantile(0.4), Some(10));
         assert_eq!(h.quantile(0.5), Some(100));
         assert_eq!(h.quantile(1.0), Some(u64::MAX));
-        assert_eq!(m.histogram("lat", &[999]).count(), 5, "bounds fixed at creation");
+        assert_eq!(
+            m.histogram("lat", &[999]).count(),
+            5,
+            "bounds fixed at creation"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::fmt;
 use std::io::Write;
 use std::rc::Rc;
 
+use crate::json::{escape_into, Json};
 use crate::time::{SimDuration, SimTime};
 
 /// Category of a trace event, used for filtering.
@@ -50,6 +51,22 @@ impl TraceCategory {
 
     /// Every category enabled.
     const ALL: u8 = 0x7f;
+}
+
+impl TraceCategory {
+    /// The inverse of [`Display`](fmt::Display): `"rpc"` → `Rpc`, etc.
+    pub fn parse(name: &str) -> Option<TraceCategory> {
+        Some(match name {
+            "sched" => TraceCategory::Sched,
+            "net" => TraceCategory::Net,
+            "rpc" => TraceCategory::Rpc,
+            "debug" => TraceCategory::Debug,
+            "clock" => TraceCategory::Clock,
+            "vm" => TraceCategory::Vm,
+            "service" => TraceCategory::Service,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for TraceCategory {
@@ -395,6 +412,190 @@ impl EventKind {
             }
         }
     }
+
+    /// The variant's fields as a JSON object — the machine-readable half
+    /// of the JSONL export, and what [`EventKind::from_data`] reverses.
+    pub fn data(&self) -> Json {
+        let u = |v: u64| Json::Int(v as i128);
+        let n = |v: u32| Json::Int(v as i128);
+        let s = |v: &str| Json::Str(v.to_string());
+        match self {
+            EventKind::Message(text) => Json::obj(vec![("text", s(text))]),
+            EventKind::PacketSent { src, dst, bytes }
+            | EventKind::PacketDelivered { src, dst, bytes }
+            | EventKind::PacketLost { src, dst, bytes }
+            | EventKind::PacketNacked { src, dst, bytes } => Json::obj(vec![
+                ("src", n(*src)),
+                ("dst", n(*dst)),
+                ("bytes", n(*bytes)),
+            ]),
+            EventKind::CallStarted {
+                call_id,
+                proc,
+                args,
+                dst,
+                protocol,
+                parent_span,
+            } => Json::obj(vec![
+                ("call_id", u(*call_id)),
+                ("proc", s(proc)),
+                ("args", n(*args)),
+                ("dst", n(*dst)),
+                ("protocol", s(protocol)),
+                ("parent_span", u(*parent_span)),
+            ]),
+            EventKind::CallRetransmitted { call_id, attempt } => {
+                Json::obj(vec![("call_id", u(*call_id)), ("attempt", n(*attempt))])
+            }
+            EventKind::CallCompleted {
+                call_id,
+                ok,
+                outcome,
+            } => Json::obj(vec![
+                ("call_id", u(*call_id)),
+                ("ok", Json::Bool(*ok)),
+                ("outcome", s(outcome)),
+            ]),
+            EventKind::CallTimedOut { call_id }
+            | EventKind::MaybeLostCall { call_id }
+            | EventKind::MaybeLostReply { call_id } => Json::obj(vec![("call_id", u(*call_id))]),
+            EventKind::ServerDispatched { call_id, proc } => {
+                Json::obj(vec![("call_id", u(*call_id)), ("proc", s(proc))])
+            }
+            EventKind::ReplySent { call_id, cached } => Json::obj(vec![
+                ("call_id", u(*call_id)),
+                ("cached", Json::Bool(*cached)),
+            ]),
+            EventKind::ProcessSpawned { pid, proc } => {
+                Json::obj(vec![("pid", u(*pid)), ("proc", s(proc))])
+            }
+            EventKind::ProcessExited { pid } => Json::obj(vec![("pid", u(*pid))]),
+            EventKind::ProcessesHalted { count } | EventKind::ProcessesResumed { count } => {
+                Json::obj(vec![("count", u(*count))])
+            }
+            EventKind::ClockAdjusted { delta, now } => Json::obj(vec![
+                ("delta_us", u(delta.as_micros())),
+                ("now_us", u(now.as_micros())),
+            ]),
+            EventKind::Print { pid, text } => Json::obj(vec![("pid", u(*pid)), ("text", s(text))]),
+            EventKind::Faulted { pid, fault } => {
+                Json::obj(vec![("pid", u(*pid)), ("fault", s(fault))])
+            }
+            EventKind::BreakpointHalt => Json::obj(vec![]),
+            EventKind::HaltBroadcast { origin } => Json::obj(vec![("origin", n(*origin))]),
+        }
+    }
+
+    /// Rebuilds the typed payload from a variant name and its
+    /// [`data`](EventKind::data) object.
+    ///
+    /// # Errors
+    ///
+    /// Unknown variant names and missing or mistyped fields.
+    pub fn from_data(name: &str, data: &Json) -> Result<EventKind, String> {
+        let u = |field: &str| -> Result<u64, String> {
+            data.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing or non-integer `{field}`"))
+        };
+        let n = |field: &str| -> Result<u32, String> {
+            u(field).and_then(|v| {
+                u32::try_from(v).map_err(|_| format!("{name}: `{field}` out of u32 range"))
+            })
+        };
+        let s = |field: &str| -> Result<String, String> {
+            data.get(field)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{name}: missing or non-string `{field}`"))
+        };
+        let b = |field: &str| -> Result<bool, String> {
+            data.get(field)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("{name}: missing or non-boolean `{field}`"))
+        };
+        Ok(match name {
+            "Message" => EventKind::Message(s("text")?),
+            "PacketSent" => EventKind::PacketSent {
+                src: n("src")?,
+                dst: n("dst")?,
+                bytes: n("bytes")?,
+            },
+            "PacketDelivered" => EventKind::PacketDelivered {
+                src: n("src")?,
+                dst: n("dst")?,
+                bytes: n("bytes")?,
+            },
+            "PacketLost" => EventKind::PacketLost {
+                src: n("src")?,
+                dst: n("dst")?,
+                bytes: n("bytes")?,
+            },
+            "PacketNacked" => EventKind::PacketNacked {
+                src: n("src")?,
+                dst: n("dst")?,
+                bytes: n("bytes")?,
+            },
+            "CallStarted" => EventKind::CallStarted {
+                call_id: u("call_id")?,
+                proc: s("proc")?,
+                args: n("args")?,
+                dst: n("dst")?,
+                protocol: s("protocol")?,
+                parent_span: u("parent_span")?,
+            },
+            "CallRetransmitted" => EventKind::CallRetransmitted {
+                call_id: u("call_id")?,
+                attempt: n("attempt")?,
+            },
+            "CallCompleted" => EventKind::CallCompleted {
+                call_id: u("call_id")?,
+                ok: b("ok")?,
+                outcome: s("outcome")?,
+            },
+            "CallTimedOut" => EventKind::CallTimedOut {
+                call_id: u("call_id")?,
+            },
+            "ServerDispatched" => EventKind::ServerDispatched {
+                call_id: u("call_id")?,
+                proc: s("proc")?,
+            },
+            "ReplySent" => EventKind::ReplySent {
+                call_id: u("call_id")?,
+                cached: b("cached")?,
+            },
+            "MaybeLostCall" => EventKind::MaybeLostCall {
+                call_id: u("call_id")?,
+            },
+            "MaybeLostReply" => EventKind::MaybeLostReply {
+                call_id: u("call_id")?,
+            },
+            "ProcessSpawned" => EventKind::ProcessSpawned {
+                pid: u("pid")?,
+                proc: s("proc")?,
+            },
+            "ProcessExited" => EventKind::ProcessExited { pid: u("pid")? },
+            "ProcessesHalted" => EventKind::ProcessesHalted { count: u("count")? },
+            "ProcessesResumed" => EventKind::ProcessesResumed { count: u("count")? },
+            "ClockAdjusted" => EventKind::ClockAdjusted {
+                delta: SimDuration::from_micros(u("delta_us")?),
+                now: SimDuration::from_micros(u("now_us")?),
+            },
+            "Print" => EventKind::Print {
+                pid: u("pid")?,
+                text: s("text")?,
+            },
+            "Faulted" => EventKind::Faulted {
+                pid: u("pid")?,
+                fault: s("fault")?,
+            },
+            "BreakpointHalt" => EventKind::BreakpointHalt,
+            "HaltBroadcast" => EventKind::HaltBroadcast {
+                origin: n("origin")?,
+            },
+            other => return Err(format!("unknown event kind `{other}`")),
+        })
+    }
 }
 
 /// A single recorded event.
@@ -438,25 +639,71 @@ impl TraceEvent {
         out.push_str(", \"kind\": \"");
         out.push_str(self.kind.name());
         out.push_str("\", \"message\": \"");
-        json_escape_into(&self.message(), &mut out);
-        out.push_str("\"}");
+        escape_into(&self.message(), &mut out);
+        out.push_str("\", \"data\": ");
+        self.kind.data().write(&mut out);
+        out.push('}');
         out
     }
-}
 
-fn json_escape_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    /// Parses one JSONL line back into a typed event — the inverse of
+    /// [`to_json`](TraceEvent::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, unknown categories or kinds, and missing fields.
+    pub fn parse_json(line: &str) -> Result<TraceEvent, String> {
+        let doc = Json::parse(line).map_err(|e| e.to_string())?;
+        let time_us = doc
+            .get("time_us")
+            .and_then(Json::as_u64)
+            .ok_or("missing or non-integer `time_us`")?;
+        let category = doc
+            .get("category")
+            .and_then(Json::as_str)
+            .ok_or("missing `category`")
+            .and_then(|c| TraceCategory::parse(c).ok_or("unknown `category`"))?;
+        let node = match doc.get("node") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("non-integer `node`")?,
+            ),
+        };
+        let span = match doc.get("span") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(SpanId(v.as_u64().ok_or("non-integer `span`")?)),
+        };
+        let kind_name = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing `kind`")?;
+        let data = doc.get("data").ok_or("missing `data`")?;
+        let kind = EventKind::from_data(kind_name, data)?;
+        Ok(TraceEvent {
+            time: SimTime::from_micros(time_us),
+            category,
+            node,
+            span,
+            kind,
+        })
+    }
+
+    /// Parses a whole JSONL dump (one event per non-empty line).
+    ///
+    /// # Errors
+    ///
+    /// The first bad line, prefixed with its 1-based line number.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
             }
-            c => out.push(c),
+            events.push(TraceEvent::parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
         }
+        Ok(events)
     }
 }
 
@@ -475,6 +722,193 @@ impl fmt::Display for TraceEvent {
             ),
             None => write!(f, "[{} {}] {}", self.time, self.category, self.message()),
         }
+    }
+}
+
+/// One field-level difference inside a divergent event pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDiff {
+    /// Field path, e.g. `time_us`, `span`, or `data.call_id`.
+    pub field: String,
+    /// Rendered value on the expected (recorded) side.
+    pub expected: String,
+    /// Rendered value on the actual (fresh) side.
+    pub actual: String,
+}
+
+/// The first point where two traces disagree, with enough structure to
+/// name the event rather than eyeball a string diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 0-based index of the first divergent event.
+    pub index: usize,
+    /// Recorded event at that index, if the recorded trace reaches it.
+    pub expected: Option<TraceEvent>,
+    /// Fresh event at that index, if the fresh trace reaches it.
+    pub actual: Option<TraceEvent>,
+    /// Field-by-field differences when both sides have an event.
+    pub fields: Vec<FieldDiff>,
+}
+
+impl Divergence {
+    /// A human-readable multi-line report naming the divergent event's
+    /// index, span, and kind, then each differing field.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        match (&self.expected, &self.actual) {
+            (Some(e), Some(a)) => {
+                out.push_str(&format!(
+                    "trace divergence at event {}: expected kind {} (span {}), got kind {} (span {})\n",
+                    self.index,
+                    e.kind.name(),
+                    span_str(e.span),
+                    a.kind.name(),
+                    span_str(a.span),
+                ));
+                for d in &self.fields {
+                    out.push_str(&format!(
+                        "  {}: expected {}, got {}\n",
+                        d.field, d.expected, d.actual
+                    ));
+                }
+                out.push_str(&format!("  expected event: {e}\n"));
+                out.push_str(&format!("  actual event:   {a}\n"));
+            }
+            (Some(e), None) => {
+                out.push_str(&format!(
+                    "trace divergence at event {}: fresh trace ended early; expected kind {} (span {})\n  expected event: {e}\n",
+                    self.index,
+                    e.kind.name(),
+                    span_str(e.span),
+                ));
+            }
+            (None, Some(a)) => {
+                out.push_str(&format!(
+                    "trace divergence at event {}: fresh trace has extra kind {} (span {})\n  actual event: {a}\n",
+                    self.index,
+                    a.kind.name(),
+                    span_str(a.span),
+                ));
+            }
+            (None, None) => out.push_str("traces agree\n"),
+        }
+        out
+    }
+}
+
+fn span_str(span: Option<SpanId>) -> String {
+    match span {
+        Some(s) => s.0.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Compares two traces event-by-event and returns the first divergence,
+/// or `None` when they are identical.
+///
+/// The comparison is structural: envelope fields (`time_us`, `category`,
+/// `node`, `span`) and each typed payload field are diffed individually,
+/// so the report can say *which* field moved instead of printing two
+/// JSON lines.
+///
+/// # Examples
+///
+/// ```
+/// use pilgrim_sim::{first_divergence, EventKind, SimTime, TraceCategory, TraceEvent};
+///
+/// let ev = |pid| TraceEvent {
+///     time: SimTime::ZERO,
+///     category: TraceCategory::Sched,
+///     node: Some(0),
+///     span: None,
+///     kind: EventKind::ProcessExited { pid },
+/// };
+/// assert!(first_divergence(&[ev(1)], &[ev(1)]).is_none());
+/// let d = first_divergence(&[ev(1)], &[ev(2)]).unwrap();
+/// assert_eq!(d.index, 0);
+/// assert_eq!(d.fields[0].field, "data.pid");
+/// ```
+pub fn first_divergence(expected: &[TraceEvent], actual: &[TraceEvent]) -> Option<Divergence> {
+    let shared = expected.len().min(actual.len());
+    for i in 0..shared {
+        let (e, a) = (&expected[i], &actual[i]);
+        if e == a {
+            continue;
+        }
+        let mut fields = Vec::new();
+        if e.time != a.time {
+            fields.push(FieldDiff {
+                field: "time_us".to_string(),
+                expected: e.time.as_micros().to_string(),
+                actual: a.time.as_micros().to_string(),
+            });
+        }
+        if e.category != a.category {
+            fields.push(FieldDiff {
+                field: "category".to_string(),
+                expected: e.category.to_string(),
+                actual: a.category.to_string(),
+            });
+        }
+        if e.node != a.node {
+            fields.push(FieldDiff {
+                field: "node".to_string(),
+                expected: opt_str(e.node),
+                actual: opt_str(a.node),
+            });
+        }
+        if e.span != a.span {
+            fields.push(FieldDiff {
+                field: "span".to_string(),
+                expected: span_str(e.span),
+                actual: span_str(a.span),
+            });
+        }
+        if e.kind != a.kind {
+            if e.kind.name() != a.kind.name() {
+                fields.push(FieldDiff {
+                    field: "kind".to_string(),
+                    expected: e.kind.name().to_string(),
+                    actual: a.kind.name().to_string(),
+                });
+            } else if let (Json::Object(ep), Json::Object(ap)) = (e.kind.data(), a.kind.data()) {
+                for ((key, ev), (_, av)) in ep.iter().zip(ap.iter()) {
+                    if ev != av {
+                        let mut exp = String::new();
+                        let mut act = String::new();
+                        ev.write(&mut exp);
+                        av.write(&mut act);
+                        fields.push(FieldDiff {
+                            field: format!("data.{key}"),
+                            expected: exp,
+                            actual: act,
+                        });
+                    }
+                }
+            }
+        }
+        return Some(Divergence {
+            index: i,
+            expected: Some(e.clone()),
+            actual: Some(a.clone()),
+            fields,
+        });
+    }
+    if expected.len() != actual.len() {
+        return Some(Divergence {
+            index: shared,
+            expected: expected.get(shared).cloned(),
+            actual: actual.get(shared).cloned(),
+            fields: Vec::new(),
+        });
+    }
+    None
+}
+
+fn opt_str(v: Option<u32>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "-".to_string(),
     }
 }
 
@@ -691,7 +1125,13 @@ impl Tracer {
         if !self.wants(category) {
             return;
         }
-        self.emit(time, category, node, None, EventKind::Message(message.into()));
+        self.emit(
+            time,
+            category,
+            node,
+            None,
+            EventKind::Message(message.into()),
+        );
     }
 
     /// Number of currently retained events.
@@ -1028,7 +1468,12 @@ mod tests {
         t.set_echo(true);
         t.record(SimTime::from_millis(2), TraceCategory::Net, Some(1), "boop");
         t.set_echo(false);
-        t.record(SimTime::from_millis(3), TraceCategory::Net, Some(1), "quiet");
+        t.record(
+            SimTime::from_millis(3),
+            TraceCategory::Net,
+            Some(1),
+            "quiet",
+        );
         assert_eq!(buf.contents(), "[T+2.000ms net n1] boop\n");
         buf.clear();
         assert_eq!(buf.contents(), "");
@@ -1037,7 +1482,12 @@ mod tests {
     #[test]
     fn jsonl_export_escapes_and_structures() {
         let t = Tracer::new();
-        t.record(SimTime::from_millis(1), TraceCategory::Vm, Some(0), "say \"hi\"\n");
+        t.record(
+            SimTime::from_millis(1),
+            TraceCategory::Vm,
+            Some(0),
+            "say \"hi\"\n",
+        );
         t.emit(
             SimTime::from_millis(2),
             TraceCategory::Net,
@@ -1055,12 +1505,192 @@ mod tests {
         assert_eq!(
             lines[0],
             "{\"time_us\": 1000, \"category\": \"vm\", \"node\": 0, \"span\": null, \
-             \"kind\": \"Message\", \"message\": \"say \\\"hi\\\"\\n\"}"
+             \"kind\": \"Message\", \"message\": \"say \\\"hi\\\"\\n\", \
+             \"data\": {\"text\": \"say \\\"hi\\\"\\n\"}}"
         );
         assert_eq!(
             lines[1],
             "{\"time_us\": 2000, \"category\": \"net\", \"node\": null, \"span\": 5, \
-             \"kind\": \"PacketSent\", \"message\": \"sent 32B 0->1\"}"
+             \"kind\": \"PacketSent\", \"message\": \"sent 32B 0->1\", \
+             \"data\": {\"src\": 0, \"dst\": 1, \"bytes\": 32}}"
         );
+    }
+
+    /// One exemplar of every [`EventKind`] variant, with hostile strings
+    /// (quotes, backslashes, control chars, non-ASCII) where a string
+    /// field exists.
+    fn all_event_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::Message("say \"hi\"\n\t\\ \u{1} λ".to_string()),
+            EventKind::PacketSent {
+                src: 0,
+                dst: 1,
+                bytes: 32,
+            },
+            EventKind::PacketDelivered {
+                src: 1,
+                dst: 0,
+                bytes: 48,
+            },
+            EventKind::PacketLost {
+                src: 2,
+                dst: 3,
+                bytes: 64,
+            },
+            EventKind::PacketNacked {
+                src: 3,
+                dst: 2,
+                bytes: 16,
+            },
+            EventKind::CallStarted {
+                call_id: (7u64 << 40) | 1,
+                proc: "weird\\proc\"name\"\u{7}".to_string(),
+                args: 2,
+                dst: 1,
+                protocol: "exactly-once".to_string(),
+                parent_span: 0,
+            },
+            EventKind::CallRetransmitted {
+                call_id: 9,
+                attempt: 3,
+            },
+            EventKind::CallCompleted {
+                call_id: u64::MAX,
+                ok: false,
+                outcome: "timeout\nafter 5 attempts".to_string(),
+            },
+            EventKind::CallTimedOut { call_id: 11 },
+            EventKind::ServerDispatched {
+                call_id: 12,
+                proc: "pi\tng".to_string(),
+            },
+            EventKind::ReplySent {
+                call_id: 13,
+                cached: true,
+            },
+            EventKind::MaybeLostCall { call_id: 14 },
+            EventKind::MaybeLostReply { call_id: 15 },
+            EventKind::ProcessSpawned {
+                pid: 16,
+                proc: "main".to_string(),
+            },
+            EventKind::ProcessExited { pid: 17 },
+            EventKind::ProcessesHalted { count: 18 },
+            EventKind::ProcessesResumed { count: 19 },
+            EventKind::ClockAdjusted {
+                delta: SimDuration::from_micros(20),
+                now: SimDuration::from_micros(21),
+            },
+            EventKind::Print {
+                pid: 22,
+                text: "x = \"1\"\r\n".to_string(),
+            },
+            EventKind::Faulted {
+                pid: 23,
+                fault: "stack\\overflow\u{0}".to_string(),
+            },
+            EventKind::BreakpointHalt,
+            EventKind::HaltBroadcast { origin: 24 },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_jsonl() {
+        let events: Vec<TraceEvent> = all_event_kinds()
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| TraceEvent {
+                time: SimTime::from_micros(i as u64 * 17),
+                category: TraceCategory::Rpc,
+                node: if i % 3 == 0 { None } else { Some(i as u32) },
+                span: if i % 2 == 0 {
+                    None
+                } else {
+                    Some(SpanId(i as u64))
+                },
+                kind,
+            })
+            .collect();
+        let mut dump = String::new();
+        for ev in &events {
+            dump.push_str(&ev.to_json());
+            dump.push('\n');
+        }
+        let parsed = TraceEvent::parse_jsonl(&dump).expect("round-trip parse");
+        assert_eq!(parsed, events);
+        // And re-rendering the parsed events is byte-identical.
+        let mut dump2 = String::new();
+        for ev in &parsed {
+            dump2.push_str(&ev.to_json());
+            dump2.push('\n');
+        }
+        assert_eq!(dump2, dump);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines_with_line_numbers() {
+        let err = TraceEvent::parse_jsonl("{\"time_us\": 1}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let good = TraceEvent {
+            time: SimTime::ZERO,
+            category: TraceCategory::Vm,
+            node: None,
+            span: None,
+            kind: EventKind::BreakpointHalt,
+        }
+        .to_json();
+        let err = TraceEvent::parse_jsonl(&format!("{good}\nnot json\n")).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(
+            EventKind::from_data("NoSuchKind", &Json::obj(vec![])).is_err(),
+            "unknown kinds must be rejected"
+        );
+    }
+
+    #[test]
+    fn divergence_checker_reports_first_differing_field() {
+        let base: Vec<TraceEvent> = all_event_kinds()
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| TraceEvent {
+                time: SimTime::from_micros(i as u64),
+                category: TraceCategory::Debug,
+                node: Some(0),
+                span: Some(SpanId(i as u64 + 1)),
+                kind,
+            })
+            .collect();
+        assert!(first_divergence(&base, &base).is_none());
+
+        // Mutate one payload field deep in the middle.
+        let mut mutated = base.clone();
+        if let EventKind::CallCompleted { ok, .. } = &mut mutated[7].kind {
+            *ok = true;
+        } else {
+            panic!("expected CallCompleted at index 7");
+        }
+        let d = first_divergence(&base, &mutated).expect("must diverge");
+        assert_eq!(d.index, 7);
+        assert_eq!(d.fields.len(), 1);
+        assert_eq!(d.fields[0].field, "data.ok");
+        assert_eq!(d.fields[0].expected, "false");
+        assert_eq!(d.fields[0].actual, "true");
+        let report = d.report();
+        assert!(report.contains("event 7"), "{report}");
+        assert!(report.contains("CallCompleted"), "{report}");
+        assert!(report.contains("span 8"), "{report}");
+
+        // A truncated trace reports the first missing index.
+        let d = first_divergence(&base, &base[..5]).expect("must diverge");
+        assert_eq!(d.index, 5);
+        assert!(d.actual.is_none());
+        assert!(d.report().contains("ended early"), "{}", d.report());
+
+        // A changed kind reports the kind field, not a payload path.
+        let mut rekinded = base.clone();
+        rekinded[2].kind = EventKind::BreakpointHalt;
+        let d = first_divergence(&base, &rekinded).expect("must diverge");
+        assert_eq!(d.index, 2);
+        assert!(d.fields.iter().any(|f| f.field == "kind"));
     }
 }

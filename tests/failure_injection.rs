@@ -323,9 +323,15 @@ end";
         let (call_id, ok) = *w.recent_calls(0).unwrap().last().expect("one call");
         assert!(!ok);
         let diagnosis = w.diagnose_maybe_failure(1, call_id).unwrap();
-        let span = w.span_of_call(call_id).expect("the call's span is in the trace");
+        let span = w
+            .span_of_call(call_id)
+            .expect("the call's span is in the trace");
         let timeline = w.tracer().events_for_span(span);
-        let last = timeline.last().expect("diagnosis event recorded").kind.clone();
+        let last = timeline
+            .last()
+            .expect("diagnosis event recorded")
+            .kind
+            .clone();
         // §4.1: the two verdicts are different facts with different
         // recovery actions, so they get distinct event kinds.
         if drop_call {

@@ -15,10 +15,17 @@ fn workspace_manifests() -> Vec<PathBuf> {
     let entries = fs::read_dir(&crates).expect("crates/ directory exists");
     for entry in entries {
         let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
-        assert!(manifest.is_file(), "missing manifest {}", manifest.display());
+        assert!(
+            manifest.is_file(),
+            "missing manifest {}",
+            manifest.display()
+        );
         out.push(manifest);
     }
-    assert!(out.len() >= 8, "expected the root + 7 crates, found {out:?}");
+    assert!(
+        out.len() >= 8,
+        "expected the root + 7 crates, found {out:?}"
+    );
     out
 }
 
@@ -34,8 +41,8 @@ struct Dep {
 /// `[dev-dependencies]`, `[build-dependencies]`, target-specific variants,
 /// and `[workspace.dependencies]`.
 fn dependency_entries(manifest: &Path) -> Vec<Dep> {
-    let text = fs::read_to_string(manifest)
-        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let text =
+        fs::read_to_string(manifest).unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
     let mut out = Vec::new();
     let mut section = String::new();
     let mut in_dep_table = false;
@@ -46,8 +53,7 @@ fn dependency_entries(manifest: &Path) -> Vec<Dep> {
         }
         if line.starts_with('[') {
             section = line.trim_matches(['[', ']']).to_string();
-            in_dep_table =
-                section.ends_with("dependencies") || section == "workspace.dependencies";
+            in_dep_table = section.ends_with("dependencies") || section == "workspace.dependencies";
             continue;
         }
         if in_dep_table {
@@ -107,12 +113,7 @@ fn banned_registry_crates_never_reappear() {
     // is an instant failure, even with a path.
     for manifest in workspace_manifests() {
         for dep in dependency_entries(&manifest) {
-            let key = dep
-                .line
-                .split(['=', '.'])
-                .next()
-                .unwrap_or_default()
-                .trim();
+            let key = dep.line.split(['=', '.']).next().unwrap_or_default().trim();
             assert!(
                 !matches!(key, "rand" | "proptest" | "criterion"),
                 "{} [{}] reintroduces `{key}` — use the in-repo replacement",

@@ -36,9 +36,43 @@ fn compiler_never_panics_on_arbitrary_text() {
 #[test]
 fn compiler_never_panics_on_keyword_soup() {
     let words = vec![
-        "proc", "end", "if", "then", "else", "while", "do", "return", "fork", "call", "at",
-        "maybecall", "int", "bool", "string", "sem", "record", "array", "own", "extern", ":=",
-        "(", ")", "[", "]", "x", "main", "=", "+", "$", "{", "}", "\n", "1", "\"s\"", ",", ":",
+        "proc",
+        "end",
+        "if",
+        "then",
+        "else",
+        "while",
+        "do",
+        "return",
+        "fork",
+        "call",
+        "at",
+        "maybecall",
+        "int",
+        "bool",
+        "string",
+        "sem",
+        "record",
+        "array",
+        "own",
+        "extern",
+        ":=",
+        "(",
+        ")",
+        "[",
+        "]",
+        "x",
+        "main",
+        "=",
+        "+",
+        "$",
+        "{",
+        "}",
+        "\n",
+        "1",
+        "\"s\"",
+        ",",
+        ":",
     ];
     check_n(
         "compiler_never_panics_on_keyword_soup",

@@ -46,7 +46,10 @@ fn run_scenario() -> World {
     w.spawn(0, "main", vec![]);
 
     let ev = w.wait_for_stop(SimDuration::from_secs(10)).unwrap();
-    let DebugEvent::BreakpointHit { node, proc, pid, .. } = &ev else {
+    let DebugEvent::BreakpointHit {
+        node, proc, pid, ..
+    } = &ev
+    else {
         panic!("expected breakpoint hit, got {ev:?}");
     };
     assert_eq!(node.0, 1);
