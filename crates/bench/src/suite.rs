@@ -273,6 +273,42 @@ pub fn trace_on_1k_rpcs(cfg: &Config) -> BenchResult {
     })
 }
 
+/// A thousand null RPCs with the VM profiler on: per-step call-stack
+/// attribution, time ledgers, and the folded-stack fold at the end — the
+/// profiler's fully-instrumented worst case.
+pub fn profile_on_1k_rpcs(cfg: &Config) -> BenchResult {
+    runner::run_with("obs/profile_on_1k_rpcs", cfg, || {
+        let mut w = World::builder()
+            .nodes(2)
+            .program(NULL_RPC_PROGRAM)
+            .node_config(pilgrim_mayflower::NodeConfig {
+                profile_vm: true,
+                ..Default::default()
+            })
+            .debugger(false)
+            .build()
+            .unwrap();
+        w.spawn(0, "main", vec![Value::Int(1_000)]);
+        w.run_until_idle(SimTime::from_secs(600));
+        assert_eq!(w.endpoint(0).stats().completed, 1_000);
+        std::hint::black_box(w.folded_stacks().len());
+    })
+}
+
+/// The 20-RPC workload with a never-tripping metric watchpoint armed:
+/// what the per-sync-point watch evaluation costs while nothing fires.
+pub fn watchpoint_armed(cfg: &Config) -> BenchResult {
+    runner::run_with("obs/watchpoint_armed", cfg, || {
+        let mut w = null_rpc_world();
+        w.arm_watch("rpc.failed > 1000000").unwrap();
+        w.spawn(0, "main", vec![Value::Int(20)]);
+        w.run_until_idle(SimTime::from_secs(60));
+        assert_eq!(w.endpoint(0).stats().completed, 20);
+        assert!(w.watch_trips().is_empty());
+        std::hint::black_box(w.now());
+    })
+}
+
 /// Runs every benchmark in the suite under `cfg`, in a stable order.
 pub fn all(cfg: &Config) -> Vec<BenchResult> {
     vec![
@@ -286,6 +322,8 @@ pub fn all(cfg: &Config) -> Vec<BenchResult> {
         world_20_rpcs(cfg),
         trace_off_overhead(cfg),
         trace_on_1k_rpcs(cfg),
+        profile_on_1k_rpcs(cfg),
+        watchpoint_armed(cfg),
     ]
 }
 
@@ -304,12 +342,14 @@ mod tests {
             target_sample: Duration::from_micros(1),
         };
         let results = all(&cfg);
-        assert_eq!(results.len(), 10);
+        assert_eq!(results.len(), 12);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"node/step_storm"));
         assert!(names.contains(&"world/1k_processes_round_robin"));
         assert!(names.contains(&"sim/event_queue_cancel_heavy"));
         assert!(names.contains(&"obs/trace_off_overhead"));
         assert!(names.contains(&"obs/trace_on_1k_rpcs"));
+        assert!(names.contains(&"obs/profile_on_1k_rpcs"));
+        assert!(names.contains(&"obs/watchpoint_armed"));
     }
 }

@@ -30,6 +30,8 @@ use crate::world::{DebugError, World};
 pub struct DebugCli {
     /// The most recently reported stop, so `bt`/`print` can default to it.
     focus: Option<(u32, u64)>,
+    /// Watch trips already reported by `wait`, so each trip prints once.
+    reported_trips: Vec<u64>,
 }
 
 impl DebugCli {
@@ -143,7 +145,23 @@ impl DebugCli {
             "wait" => {
                 let ms: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1_000);
                 world.run_for(SimDuration::from_millis(ms));
-                Ok(format!("ran {ms}ms (now {})", world.now()))
+                let mut out = format!("ran {ms}ms (now {})", world.now());
+                for (id, expr, trip) in world.watch_trips() {
+                    if self.reported_trips.contains(&id) {
+                        continue;
+                    }
+                    self.reported_trips.push(id);
+                    out.push_str(&format!(
+                        "\nwatch #{id} tripped: {expr} (observed {}) at {}{}",
+                        trip.value,
+                        trip.at,
+                        match trip.span {
+                            Some(s) => format!(", span s{}", s.0),
+                            None => String::new(),
+                        }
+                    ));
+                }
+                Ok(out)
             }
             "wait-stop" => {
                 let ms: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(5_000);
@@ -306,6 +324,63 @@ impl DebugCli {
                 }
             }
             "stats" => Ok(world.observability_report().trim_end().to_string()),
+            "profile" => {
+                // profile          caller->callee edge table + time ledgers
+                // profile fold     folded-stack lines (flamegraph input)
+                if args.first() == Some(&"fold") {
+                    let folded = world.folded_stacks();
+                    if folded.is_empty() {
+                        return Ok("no profile data (build the world with profile_vm on)".into());
+                    }
+                    return Ok(folded.trim_end().to_string());
+                }
+                let mut out = String::new();
+                for i in 0..world.user_nodes() {
+                    let n = world.node(i);
+                    for (caller, callee, instr, cost) in n.call_edges() {
+                        let caller = caller.unwrap_or_else(|| "(root)".to_string());
+                        out.push_str(&format!(
+                            "node{i} {caller}->{callee}: {instr} instr {cost}us\n"
+                        ));
+                    }
+                    for (pid, name, _span, ledger) in n.time_ledgers() {
+                        out.push_str(&format!("node{i} {pid} {name}: {}\n", ledger.render()));
+                    }
+                }
+                if out.is_empty() {
+                    return Ok("no profile data (build the world with profile_vm on)".into());
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "watch" => {
+                if args.is_empty() {
+                    let watches = world.watches();
+                    if watches.is_empty() {
+                        return Ok("no watchpoints".into());
+                    }
+                    return Ok(watches
+                        .iter()
+                        .map(|(id, expr, trip)| match trip {
+                            Some(t) => {
+                                format!("#{id} {expr} — TRIPPED at {} (observed {})", t.at, t.value)
+                            }
+                            None => format!("#{id} {expr} — armed"),
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n"));
+                }
+                let expr = args.join(" ");
+                let id = world.arm_watch(&expr).map_err(DebugError::Source)?;
+                Ok(format!("watch #{id} armed: {expr}"))
+            }
+            "unwatch" => {
+                let id: u64 = parse(args.first().copied().unwrap_or(""), "watch id")?;
+                if world.clear_watch(id) {
+                    Ok(format!("watch #{id} cleared"))
+                } else {
+                    Ok(format!("no watch #{id}"))
+                }
+            }
             "trace" => {
                 // trace [k] | trace span <id> | trace call <id>
                 match args.first().copied() {
@@ -533,6 +608,11 @@ commands:
   console [n]            program output so far
   invoke <n> <proc> ..   run a procedure in the user program (§3)
   stats                  metrics registry + scheduler snapshot
+  profile                caller->callee edges + per-process time ledgers
+  profile fold           folded-stack profile (flamegraph input format)
+  watch [expr]           arm a metric watchpoint (e.g. `watch rpc.failed > 0`);
+                         no args lists watches. The world halts when one trips
+  unwatch <id>           disarm a watchpoint
   trace [k]              last k trace events (default 10)
   trace span <id>        causal timeline of one span across nodes
   trace call <id>        span timeline of an RPC call, by call id
@@ -661,6 +741,44 @@ console 0",
         let rep = cli.exec(&mut w, &format!("replay {path}"));
         assert!(rep.contains("traces identical (byte-for-byte)"), "{rep}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_and_watch_commands() {
+        let mut w = World::builder()
+            .nodes(1)
+            .program(PROGRAM)
+            .node_config(pilgrim_mayflower::NodeConfig {
+                profile_vm: true,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let mut cli = DebugCli::new();
+        cli.exec(&mut w, "run 0 main");
+        cli.exec(&mut w, "wait 2000");
+        let fold = cli.exec(&mut w, "profile fold");
+        assert!(fold.contains("node0;main"), "{fold}");
+        let prof = cli.exec(&mut w, "profile");
+        assert!(prof.contains("main->bump:"), "{prof}");
+        assert!(prof.contains("exec "), "{prof}");
+        let armed = cli.exec(&mut w, "watch rpc.failed > 0");
+        assert!(armed.contains("watch #1 armed: rpc.failed > 0"), "{armed}");
+        let listed = cli.exec(&mut w, "watch");
+        assert!(listed.contains("#1 rpc.failed > 0 — armed"), "{listed}");
+        assert!(cli.exec(&mut w, "unwatch 1").contains("cleared"));
+        assert!(cli.exec(&mut w, "unwatch 9").contains("no watch #9"));
+        assert!(cli.exec(&mut w, "watch bogus").starts_with("error:"));
+    }
+
+    #[test]
+    fn profile_without_profiling_explains_itself() {
+        let mut w = world();
+        let mut cli = DebugCli::new();
+        cli.exec(&mut w, "run 0 main");
+        cli.exec(&mut w, "wait 2000");
+        assert!(cli.exec(&mut w, "profile").contains("no profile data"));
+        assert!(cli.exec(&mut w, "profile fold").contains("no profile data"));
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub use proto::{
 pub use replay::{Artifact, Recipe, ReplayError, ReplayReport, Stimulus};
 pub use timebase::{BreakpointLog, HaltRecord};
 pub use world::{
-    render_wire, BacktraceFrame, BuildError, DebugError, MaybeDiagnosis, Wire, World, WorldBuilder,
+    render_wire, BacktraceFrame, BuildError, DebugError, MaybeDiagnosis, WatchTrip, Wire, World,
+    WorldBuilder,
 };
 
 // Re-export the pieces users need to drive a world without naming every

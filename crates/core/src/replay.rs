@@ -318,6 +318,17 @@ pub enum Stimulus {
         /// New interface state.
         up: bool,
     },
+    /// [`World::arm_watch`]. The expression is journalled in canonical
+    /// form, so replay re-parses exactly what the original run armed.
+    ArmWatch {
+        /// Watch expression, e.g. `rpc.failed > 0`.
+        expr: String,
+    },
+    /// [`World::clear_watch`].
+    ClearWatch {
+        /// Watch id returned by `arm_watch`.
+        id: u64,
+    },
 }
 
 fn value_to_json(v: &Value) -> Json {
@@ -641,6 +652,10 @@ impl Stimulus {
                 ("node", u(*node as u64)),
                 ("up", Json::Bool(*up)),
             ]),
+            Stimulus::ArmWatch { expr } => {
+                Json::obj(vec![op("arm_watch"), ("expr", Json::Str(expr.clone()))])
+            }
+            Stimulus::ClearWatch { id } => Json::obj(vec![op("clear_watch"), ("id", u(*id))]),
         }
     }
 
@@ -754,6 +769,14 @@ impl Stimulus {
                 node: n32("node")?,
                 up: b("up")?,
             },
+            "arm_watch" => Stimulus::ArmWatch {
+                expr: v
+                    .get("expr")
+                    .and_then(Json::as_str)
+                    .ok_or("stimulus arm_watch: missing `expr`")?
+                    .to_string(),
+            },
+            "clear_watch" => Stimulus::ClearWatch { id: u("id")? },
             other => return Err(format!("stimulus: unknown op `{other}`")),
         })
     }
@@ -769,6 +792,11 @@ pub struct Artifact {
     pub stimuli: Vec<Stimulus>,
     /// The recorded run's `trace_jsonl()` output, byte-exact.
     pub trace: String,
+    /// Folded-stack profile snapshot (`World::folded_stacks`), captured
+    /// when the recorded world profiled its VMs. Replay diffs a fresh
+    /// profile against this, so a recording also pins *where simulated
+    /// time went*, not just what happened.
+    pub profile: Option<String>,
 }
 
 impl Artifact {
@@ -784,6 +812,13 @@ impl Artifact {
                 Json::Array(self.stimuli.iter().map(Stimulus::to_json).collect()),
             ),
             ("trace", Json::Str(self.trace.clone())),
+            (
+                "profile",
+                match &self.profile {
+                    Some(p) => Json::Str(p.clone()),
+                    None => Json::Null,
+                },
+            ),
         ]);
         let mut out = String::new();
         doc.write(&mut out);
@@ -828,10 +863,16 @@ impl Artifact {
             .and_then(Json::as_str)
             .ok_or_else(|| ReplayError::Format("missing `trace`".to_string()))?
             .to_string();
+        // Absent in artifacts recorded before profiling existed; optional.
+        let profile = doc
+            .get("profile")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         Ok(Artifact {
             recipe,
             stimuli,
             trace,
+            profile,
         })
     }
 }
@@ -872,6 +913,10 @@ pub struct ReplayReport {
     /// (stronger than `divergence.is_none()`: it also pins the JSONL
     /// rendering itself).
     pub byte_identical: bool,
+    /// When the artifact embedded a folded-stack profile: whether the
+    /// replayed world's profile is byte-identical to it. `None` when the
+    /// recording carried no profile.
+    pub profile_identical: Option<bool>,
 }
 
 /// Rebuilds the world named by `artifact` and re-runs its journal, then
@@ -896,6 +941,10 @@ pub fn replay(artifact: &Artifact) -> Result<ReplayReport, ReplayError> {
         divergence: first_divergence(&recorded, &fresh_events),
         recorded_events: recorded.len(),
         byte_identical: fresh == artifact.trace,
+        profile_identical: artifact
+            .profile
+            .as_ref()
+            .map(|p| *p == world.folded_stacks()),
         world,
     })
 }
@@ -971,6 +1020,10 @@ mod tests {
                 count: 3,
             },
             Stimulus::SetNodeUp { node: 2, up: false },
+            Stimulus::ArmWatch {
+                expr: "rpc.failed > 0".into(),
+            },
+            Stimulus::ClearWatch { id: 1 },
         ];
         for s in &all {
             let mut rendered = String::new();

@@ -15,7 +15,9 @@ use pilgrim_cclu::{compile, CompileError, Program, Value};
 use pilgrim_mayflower::{Node, NodeConfig, Outcall, Pid, SpawnOpts, UnknownProc};
 use pilgrim_ring::{Medium, Network, NetworkConfig, NodeId, TxClass, TxStatus};
 use pilgrim_rpc::{RpcConfig, RpcEndpoint, RpcNet, RpcPacket, WireValue};
-use pilgrim_sim::{EventKind, Metrics, SimDuration, SimTime, SpanId, TraceCategory, Tracer};
+use pilgrim_sim::{
+    EventKind, Metrics, SimDuration, SimTime, SpanId, TraceCategory, Tracer, Watchpoint,
+};
 
 use crate::agent::{Agent, AgentConfig, DebugNet};
 use crate::debugger::{BreakpointInfo, DebugEvent, Debugger};
@@ -428,8 +430,34 @@ impl WorldBuilder {
             window: self.window.max(self.net.base_latency),
             recipe,
             journal: Vec::new(),
+            watches: Vec::new(),
+            next_watch_id: 1,
+            sync_points: 0,
+            watch_halt: false,
         })
     }
+}
+
+/// An armed metric watchpoint and, once tripped, the trip record.
+#[derive(Debug, Clone)]
+struct WatchState {
+    id: u64,
+    watch: Watchpoint,
+    trip: Option<WatchTrip>,
+}
+
+/// Where and when a metric watchpoint tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchTrip {
+    /// Simulated time of the sync point where the predicate first held.
+    pub at: SimTime,
+    /// Ordinal of that sync point (pump iterations since build).
+    pub sync_index: u64,
+    /// The metric value observed at the trip.
+    pub value: i64,
+    /// Span of the most recent traced event at the trip — the causal
+    /// activity that moved the metric, when the trace carries one.
+    pub span: Option<SpanId>,
 }
 
 /// The simulated distributed system.
@@ -446,6 +474,13 @@ pub struct World {
     window: SimDuration,
     recipe: Recipe,
     journal: Vec<Stimulus>,
+    watches: Vec<WatchState>,
+    next_watch_id: u64,
+    /// Pump iterations completed since build — the sync-point ordinal
+    /// watch trips are pinned to.
+    sync_points: u64,
+    /// Set when a watchpoint trips; the run loops drain it and stop.
+    watch_halt: bool,
 }
 
 impl std::fmt::Debug for World {
@@ -541,6 +576,50 @@ impl World {
                     "vm node{} {proc}: {instrs} instr {cost_us}us\n",
                     n.id()
                 ));
+            }
+        }
+        for n in &self.nodes {
+            let id = n.id();
+            for (caller, callee, instr, cost) in n.call_edges() {
+                let caller = caller.unwrap_or_else(|| "(root)".to_string());
+                out.push_str(&format!(
+                    "edge node{id} {caller}->{callee}: {instr} instr {cost}us\n"
+                ));
+            }
+            for (pid, name, span, ledger) in n.time_ledgers() {
+                let span = match span {
+                    Some(s) => format!(" span{}", s.0),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "ledger node{id} {pid} {name}{span}: {}\n",
+                    ledger.render()
+                ));
+            }
+            for (span, wait) in n.rpc_span_waits() {
+                out.push_str(&format!(
+                    "spanwait node{id} span{}: {}us blocked-on-rpc\n",
+                    span.0,
+                    wait.as_micros()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Merged folded-stack profile across every node, one `stack weight`
+    /// line per distinct call path, each frame chain prefixed with the
+    /// owning node (`node0;main;fib 4200`). Lines are sorted per node, so
+    /// two identical runs render byte-identical output. Empty unless at
+    /// least one node has [`NodeConfig::profile_vm`] on.
+    ///
+    /// [`NodeConfig::profile_vm`]: pilgrim_mayflower::NodeConfig::profile_vm
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for n in &self.nodes {
+            let id = n.id();
+            for (stack, weight) in n.folded_stacks() {
+                out.push_str(&format!("node{id};{stack} {weight}\n"));
             }
         }
         out
@@ -653,6 +732,9 @@ impl World {
     fn run_until_inner(&mut self, limit: SimTime) {
         while self.now < limit {
             self.pump_step(limit);
+            if self.take_watch_halt() {
+                break;
+            }
         }
     }
 
@@ -677,6 +759,9 @@ impl World {
     fn run_until_idle_inner(&mut self, limit: SimTime) {
         while self.now < limit {
             self.pump_step(limit);
+            if self.take_watch_halt() {
+                break;
+            }
             let nodes_idle = self.nodes.iter().all(|n| n.next_activity().is_none());
             let net_idle = self.net.next_delivery_at().is_none();
             let timers_idle = self.endpoints.iter_mut().all(|e| e.next_timer().is_none());
@@ -728,6 +813,106 @@ impl World {
         }
 
         self.now = next;
+        self.sync_points += 1;
+        if !self.watches.is_empty() {
+            self.check_watches();
+        }
+    }
+
+    /// Evaluates every armed, untripped watchpoint against the metrics at
+    /// the sync point just completed. The first trip wins deterministically
+    /// (arm order); tripped watches never re-fire.
+    fn check_watches(&mut self) {
+        for i in 0..self.watches.len() {
+            if self.watches[i].trip.is_some() {
+                continue;
+            }
+            let Some(value) = self.watches[i].watch.tripped(&self.metrics) else {
+                continue;
+            };
+            // The tripping activity: the span of the most recent traced
+            // event that carries one (the metric moved inside this pump
+            // iteration, so the trace tail is the closest causal record).
+            let mut span = None;
+            self.tracer.for_each(|ev| {
+                if ev.span.is_some() {
+                    span = ev.span;
+                }
+            });
+            let trip = WatchTrip {
+                at: self.now,
+                sync_index: self.sync_points,
+                value,
+                span,
+            };
+            let expr = self.watches[i].watch.expr();
+            self.watches[i].trip = Some(trip);
+            self.watch_halt = true;
+            if self.tracer.wants(TraceCategory::Debug) {
+                self.tracer.emit(
+                    self.now,
+                    TraceCategory::Debug,
+                    None,
+                    span,
+                    EventKind::WatchTripped { expr, value },
+                );
+            }
+        }
+    }
+
+    /// Drains the watch-halt flag set by a tripping watchpoint.
+    fn take_watch_halt(&mut self) -> bool {
+        std::mem::take(&mut self.watch_halt)
+    }
+
+    /// Arms a metric watchpoint from an expression like `rpc.failed > 0`
+    /// and returns its id. The world halts (the current `run_*` call
+    /// returns) at the first sync point where the predicate holds;
+    /// inspect the trip with [`World::watch_trips`]. Recorded.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed expression.
+    pub fn arm_watch(&mut self, expr: &str) -> Result<u64, String> {
+        let watch = Watchpoint::parse(expr)?;
+        // Journal the canonical form so replay re-parses exactly what ran.
+        self.journal.push(Stimulus::ArmWatch { expr: watch.expr() });
+        Ok(self.arm_watch_inner(watch))
+    }
+
+    fn arm_watch_inner(&mut self, watch: Watchpoint) -> u64 {
+        let id = self.next_watch_id;
+        self.next_watch_id += 1;
+        self.watches.push(WatchState {
+            id,
+            watch,
+            trip: None,
+        });
+        id
+    }
+
+    /// Disarms watchpoint `id`; false when no such watch. Recorded.
+    pub fn clear_watch(&mut self, id: u64) -> bool {
+        self.journal.push(Stimulus::ClearWatch { id });
+        let before = self.watches.len();
+        self.watches.retain(|w| w.id != id);
+        self.watches.len() != before
+    }
+
+    /// Every armed watchpoint: `(id, canonical expression, trip)`.
+    pub fn watches(&self) -> Vec<(u64, String, Option<WatchTrip>)> {
+        self.watches
+            .iter()
+            .map(|w| (w.id, w.watch.expr(), w.trip))
+            .collect()
+    }
+
+    /// Tripped watchpoints only: `(id, canonical expression, trip)`.
+    pub fn watch_trips(&self) -> Vec<(u64, String, WatchTrip)> {
+        self.watches
+            .iter()
+            .filter_map(|w| w.trip.map(|t| (w.id, w.watch.expr(), t)))
+            .collect()
     }
 
     fn route_outcall(&mut self, i: usize, oc: Outcall) {
@@ -1465,6 +1650,11 @@ impl World {
             recipe: self.recipe.clone(),
             stimuli: self.journal.clone(),
             trace: self.trace_jsonl(),
+            profile: self
+                .recipe
+                .node_cfg
+                .profile_vm
+                .then(|| self.folded_stacks()),
         }
     }
 
@@ -1527,6 +1717,12 @@ impl World {
             }
             Stimulus::DropNext { src, dst, count } => self.inject_drop(*src, *dst, *count),
             Stimulus::SetNodeUp { node, up } => self.set_node_up(*node, *up),
+            Stimulus::ArmWatch { expr } => {
+                self.arm_watch(expr)?;
+            }
+            Stimulus::ClearWatch { id } => {
+                self.clear_watch(*id);
+            }
         }
         Ok(())
     }

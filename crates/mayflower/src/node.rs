@@ -14,10 +14,13 @@
 use std::collections::{HashMap, VecDeque};
 
 use pilgrim_cclu::{
-    CodeAddr, ExecEnv, Fault, Heap, ProcId, Program, RpcRequest, StepOutcome, SysReply, Syscalls,
-    Value, VmProcess,
+    CodeAddr, ExecEnv, Fault, Frame, Heap, ProcId, Program, RpcRequest, StepOutcome, SysReply,
+    Syscalls, Value, VmProcess,
 };
-use pilgrim_sim::{DetRng, EventKind, Json, SimDuration, SimTime, SpanId, TraceCategory, Tracer};
+use pilgrim_sim::{
+    CallNodeId, CallTree, DetRng, EventKind, Json, LedgerBucket, SimDuration, SimTime, SpanId,
+    TimeLedger, TraceCategory, Tracer,
+};
 
 use crate::process::{
     HaltInfo, MutexId, NativeProcess, Pid, ProcBody, Process, ProcessInfo, RunState, SemId,
@@ -227,6 +230,42 @@ pub struct Node {
     /// Per-procedure `(instructions, cost_us)` accumulation, indexed by
     /// `ProcId`; populated only when [`NodeConfig::profile_vm`] is set.
     vm_profile: Vec<(u64, u64)>,
+    /// Caller→callee profile over VM call stacks; populated only when
+    /// [`NodeConfig::profile_vm`] is set.
+    call_tree: CallTree,
+    /// Per-process profiling side records, index-aligned with `procs`;
+    /// populated only when [`NodeConfig::profile_vm`] is set.
+    tracks: Vec<ProcTrack>,
+    /// Simulated time spent blocked on RPCs, per causal span (closed
+    /// intervals only; in-flight waits are added on query).
+    span_rpc: Vec<(SpanId, SimDuration)>,
+}
+
+/// Per-process profiling state kept beside the process arena: the time
+/// ledger with its open-interval start, the cached call-tree cursor for
+/// incremental stack sync, and the span of any outstanding RPC.
+struct ProcTrack {
+    ledger: TimeLedger,
+    /// When the process entered its current scheduler state.
+    since: SimTime,
+    /// Call-tree node for the stack observed at the last profiled step.
+    cursor: Option<CallNodeId>,
+    /// Stack depth observed at the last profiled step.
+    depth: usize,
+    /// Span of the RPC this process is currently blocked on, if any.
+    rpc_span: Option<SpanId>,
+}
+
+impl ProcTrack {
+    fn new(now: SimTime) -> ProcTrack {
+        ProcTrack {
+            ledger: TimeLedger::default(),
+            since: now,
+            cursor: None,
+            depth: 0,
+            rpc_span: None,
+        }
+    }
 }
 
 impl std::fmt::Debug for Node {
@@ -285,6 +324,9 @@ impl Node {
             timer_cache: None,
             steps_total: 0,
             vm_profile: Vec::new(),
+            call_tree: CallTree::new(),
+            tracks: Vec::new(),
+            span_rpc: Vec::new(),
         }
     }
 
@@ -312,6 +354,80 @@ impl Node {
             Some(c) if c <= deadline => c,
             _ => deadline,
         });
+    }
+
+    /// The [`TimeLedger`] bucket a process's current state accrues into;
+    /// `None` for dead processes (their lifetime is over). The debug-halt
+    /// overlay (and a pending halt) wins over the underlying state.
+    fn bucket_of(p: &Process) -> Option<LedgerBucket> {
+        if p.halted.is_some() || p.halt_pending {
+            return (!p.state.is_dead()).then_some(LedgerBucket::Stopped);
+        }
+        match &p.state {
+            RunState::Runnable => Some(LedgerBucket::Runnable),
+            RunState::Sleeping { .. } => Some(LedgerBucket::Sleeping),
+            RunState::SemWait { .. } | RunState::MutexWait { .. } => Some(LedgerBucket::BlockedSem),
+            RunState::RpcWait { .. } => Some(LedgerBucket::BlockedRpc),
+            RunState::Trapped { .. } | RunState::TraceStopped => Some(LedgerBucket::Stopped),
+            RunState::Faulted(_) | RunState::Exited => None,
+        }
+    }
+
+    /// Closes the open ledger interval for `pid` at the node clock,
+    /// attributing it to the process's *current* (pre-transition) state.
+    /// Every scheduler-state transition calls this first, so the ledger
+    /// buckets tile the process's lifetime. No-op when profiling is off.
+    fn settle_track(&mut self, pid: Pid) {
+        let slot = Self::slot(pid);
+        let (Some(p), Some(track)) = (self.procs.get(slot), self.tracks.get_mut(slot)) else {
+            return;
+        };
+        let d = self.clock.saturating_since(track.since);
+        track.since = self.clock;
+        if d == SimDuration::ZERO {
+            return;
+        }
+        let Some(bucket) = Self::bucket_of(p) else {
+            return;
+        };
+        track.ledger.add(bucket, d);
+        if bucket == LedgerBucket::BlockedRpc {
+            if let Some(span) = track.rpc_span {
+                match self.span_rpc.iter_mut().find(|(s, _)| *s == span) {
+                    Some(e) => e.1 += d,
+                    None => self.span_rpc.push((span, d)),
+                }
+            }
+        }
+    }
+
+    /// Synchronises a process's cached call-tree cursor with its current
+    /// VM stack. Consecutive profiled steps see stack deltas of at most
+    /// one push or `k` pops (one instruction), so the common cases are a
+    /// cache hit, one `child` hop, or a short parent walk; anything else
+    /// falls back to interning the whole stack.
+    fn sync_cursor(tree: &mut CallTree, track: &mut ProcTrack, frames: &[Frame]) -> CallNodeId {
+        let depth = frames.len();
+        let top = frames[depth - 1].proc.0 as u32;
+        let cursor = match track.cursor {
+            Some(c) if track.depth == depth && tree.frame_of(c) == top => Some(c),
+            Some(c) if track.depth + 1 == depth => Some(tree.child(c, top)),
+            Some(c) if depth < track.depth => {
+                let mut cur = Some(c);
+                for _ in depth..track.depth {
+                    cur = cur.and_then(|n| tree.parent_of(n));
+                }
+                cur.filter(|&n| tree.frame_of(n) == top)
+            }
+            _ => None,
+        };
+        let cursor = cursor.unwrap_or_else(|| {
+            tree.intern_stack(frames.iter().map(|f| f.proc.0 as u32))
+                .expect("frames is non-empty")
+        });
+        track.cursor = Some(cursor);
+        track.depth = depth;
+        cursor
     }
 
     /// This node's identifier.
@@ -475,6 +591,9 @@ impl Node {
             _ => None,
         };
         debug_assert_eq!(Self::slot(pid), self.procs.len());
+        if self.config.profile_vm {
+            self.tracks.push(ProcTrack::new(self.clock));
+        }
         self.procs.push(Process {
             pid,
             name: name.clone(),
@@ -609,6 +728,12 @@ impl Node {
         let Some(pid) = self.pid_waiting_on(token) else {
             return;
         };
+        if self.config.profile_vm {
+            self.settle_track(pid);
+            if let Some(t) = self.tracks.get_mut(Self::slot(pid)) {
+                t.rpc_span = None;
+            }
+        }
         if let Some(p) = self.proc_at_mut(pid) {
             p.state = RunState::Faulted(fault.clone());
             let at = self.clock;
@@ -625,6 +750,12 @@ impl Node {
     }
 
     fn wake(&mut self, pid: Pid, values: Vec<Value>) {
+        if self.config.profile_vm {
+            self.settle_track(pid);
+            if let Some(t) = self.tracks.get_mut(Self::slot(pid)) {
+                t.rpc_span = None;
+            }
+        }
         let Some(p) = self.procs.get_mut(Self::slot(pid)) else {
             return;
         };
@@ -685,6 +816,9 @@ impl Node {
     /// Returns false when the process is exempt (no-halt bit), dead, or
     /// already halted.
     pub fn halt_one(&mut self, pid: Pid) -> bool {
+        if self.config.profile_vm {
+            self.settle_track(pid);
+        }
         let clock = self.clock;
         let Some(p) = self.procs.get_mut(Self::slot(pid)) else {
             return false;
@@ -744,6 +878,9 @@ impl Node {
 
     /// Resumes a single halted process.
     pub fn resume_one(&mut self, pid: Pid) -> bool {
+        if self.config.profile_vm {
+            self.settle_track(pid);
+        }
         let clock = self.clock;
         let Some(p) = self.procs.get_mut(Self::slot(pid)) else {
             return false;
@@ -825,9 +962,85 @@ impl Node {
         out
     }
 
+    /// Folded call stacks accumulated while [`NodeConfig::profile_vm`]
+    /// was set: `(stack, cost_us)` with procedure names joined by `;`
+    /// root-first, sorted lexicographically (so identical runs render
+    /// byte-identically). Empty when profiling is off.
+    pub fn folded_stacks(&self) -> Vec<(String, u64)> {
+        self.call_tree
+            .folded(|f| self.program.proc(ProcId(f as u16)).debug.name.to_string())
+    }
+
+    /// The caller→callee edge profile: `(caller, callee, instructions,
+    /// self cost µs)`, caller `None` for entry procedures, sorted by
+    /// caller then callee. Empty when profiling is off.
+    pub fn call_edges(&self) -> Vec<(Option<String>, String, u64, u64)> {
+        let name = |f: u32| self.program.proc(ProcId(f as u16)).debug.name.to_string();
+        self.call_tree
+            .edges()
+            .into_iter()
+            .map(|e| (e.caller.map(name), name(e.callee), e.instr, e.cost))
+            .collect()
+    }
+
+    /// Per-process time-attribution ledgers, settled virtually up to the
+    /// node clock: `(pid, name, span, ledger)` in pid order. Empty when
+    /// profiling is off.
+    pub fn time_ledgers(&self) -> Vec<(Pid, String, Option<SpanId>, TimeLedger)> {
+        self.procs
+            .iter()
+            .zip(self.tracks.iter())
+            .map(|(p, t)| {
+                let mut ledger = t.ledger;
+                let d = self.clock.saturating_since(t.since);
+                if d > SimDuration::ZERO {
+                    if let Some(bucket) = Self::bucket_of(p) {
+                        ledger.add(bucket, d);
+                    }
+                }
+                (p.pid, p.name.clone(), p.span, ledger)
+            })
+            .collect()
+    }
+
+    /// Simulated time spent blocked on RPCs per causal span, including
+    /// the open interval of calls still in flight, sorted by span. Empty
+    /// when profiling is off.
+    pub fn rpc_span_waits(&self) -> Vec<(SpanId, SimDuration)> {
+        let mut out = self.span_rpc.clone();
+        for (p, t) in self.procs.iter().zip(self.tracks.iter()) {
+            let Some(span) = t.rpc_span else { continue };
+            if Self::bucket_of(p) != Some(LedgerBucket::BlockedRpc) {
+                continue;
+            }
+            let d = self.clock.saturating_since(t.since);
+            if d > SimDuration::ZERO {
+                match out.iter_mut().find(|(s, _)| *s == span) {
+                    Some(e) => e.1 += d,
+                    None => out.push((span, d)),
+                }
+            }
+        }
+        out.sort_by_key(|(s, _)| s.0);
+        out
+    }
+
+    /// Associates a client process's outstanding RPC with its causal
+    /// span, so blocked-on-RPC time can be attributed per span. The RPC
+    /// runtime calls this when it starts a call; no-op when profiling is
+    /// off.
+    pub fn note_rpc_span(&mut self, pid: Pid, span: SpanId) {
+        if let Some(t) = self.tracks.get_mut(Self::slot(pid)) {
+            t.rpc_span = Some(span);
+        }
+    }
+
     /// Releases a process stopped at a trap or after a trace step back to
     /// the run queue.
     pub fn release_stopped(&mut self, pid: Pid) -> bool {
+        if self.config.profile_vm {
+            self.settle_track(pid);
+        }
         let Some(p) = self.proc_at_mut(pid) else {
             return false;
         };
@@ -1027,6 +1240,11 @@ impl Node {
         // so no remove/re-insert round trip is needed per instruction.
         self.steps_total += 1;
         let logical_now = self.logical_now();
+        if self.config.profile_vm {
+            // Close the pre-step interval (time spent in the current
+            // scheduler state) before this step's cost is attributed.
+            self.settle_track(pid);
+        }
         let Some(proc) = self.procs.get_mut(Self::slot(pid)) else {
             return;
         };
@@ -1035,7 +1253,19 @@ impl Node {
             vm.trace_once = false;
         }
         let profiled = if self.config.profile_vm {
-            proc.vm().and_then(|vm| vm.addr()).map(|a| a.proc)
+            match proc.vm() {
+                // `addr()` is `Some` exactly when the stack is non-empty,
+                // so the cursor sync below can index the top frame.
+                Some(vm) => vm.addr().map(|a| {
+                    let cursor = Self::sync_cursor(
+                        &mut self.call_tree,
+                        &mut self.tracks[Self::slot(pid)],
+                        &vm.frames,
+                    );
+                    (a.proc, cursor)
+                }),
+                None => None,
+            }
         } else {
             None
         };
@@ -1091,7 +1321,7 @@ impl Node {
         let wakes = std::mem::take(&mut ctx.wakes);
         drop(ctx);
 
-        if let Some(proc_id) = profiled {
+        if let Some((proc_id, cursor)) = profiled {
             let cost = match &outcome {
                 StepOutcome::Ran { cost }
                 | StepOutcome::Blocked { cost }
@@ -1106,6 +1336,8 @@ impl Node {
             let entry = &mut self.vm_profile[slot];
             entry.0 += 1;
             entry.1 += cost;
+            // Self cost lands on the stack observed at fetch time.
+            self.call_tree.record(cursor, 1, cost);
         }
 
         match outcome {
@@ -1201,6 +1433,16 @@ impl Node {
             }
         }
 
+        if self.config.profile_vm {
+            // The step's cost — exactly the clock advance since the
+            // pre-step settle — is VM-executing time, charged regardless
+            // of which state the instruction left the process in.
+            if let Some(track) = self.tracks.get_mut(Self::slot(pid)) {
+                track.ledger.executing += self.clock.saturating_since(track.since);
+                track.since = self.clock;
+            }
+        }
+
         // Deferred halt: a halt arrived while the process was inside the
         // allocator; apply it the moment the allocator is exited (§5.5).
         if proc.halt_pending && !proc.in_allocator() {
@@ -1217,6 +1459,9 @@ impl Node {
                 frozen_remaining: None,
             });
             debug_assert_eq!(Self::slot(new_pid), self.procs.len());
+            if self.config.profile_vm {
+                self.tracks.push(ProcTrack::new(self.clock));
+            }
             self.procs.push(Process {
                 pid: new_pid,
                 name: name.clone(),

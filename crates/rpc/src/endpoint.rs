@@ -524,6 +524,9 @@ impl RpcEndpoint {
             },
         );
         self.by_pid.insert(pid, call_id);
+        // Profiler hook: attribute the caller's blocked-on-RPC time to
+        // this call's causal span (no-op unless the node profiles).
+        node.note_rpc_span(pid, span);
     }
 
     fn fail_now(

@@ -16,6 +16,9 @@
 //!   assert against (typed [`EventKind`] payloads, lazy rendering);
 //! * [`Metrics`] — a hermetic registry of counters, gauges, and
 //!   fixed-bucket histograms;
+//! * [`CallTree`] / [`TimeLedger`] / [`Watchpoint`] — simulated-time
+//!   profiling: folded-stack call profiles, per-process time attribution,
+//!   and metric predicates the debugger can halt on;
 //! * [`check`] — deterministic property-based testing with shrinking,
 //!   used by the workspace's test suites (no external crates).
 //!
@@ -41,6 +44,7 @@ pub mod check;
 mod event;
 pub mod json;
 mod metrics;
+mod profile;
 mod rng;
 mod time;
 mod trace;
@@ -48,6 +52,9 @@ mod trace;
 pub use event::{EventId, EventQueue};
 pub use json::{escape_into, Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use profile::{
+    CallEdge, CallNodeId, CallTree, CmpOp, LedgerBucket, LedgerClock, TimeLedger, Watchpoint,
+};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{

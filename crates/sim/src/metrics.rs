@@ -267,8 +267,8 @@ impl Metrics {
     }
 
     /// Every registered instrument rendered as sorted `name value` lines:
-    /// counters first, then gauges, then histograms (count / mean / p95
-    /// at bucket resolution).
+    /// counters first, then gauges, then histograms (count / mean / p50 /
+    /// p95 at bucket resolution).
     pub fn report(&self) -> String {
         let r = self.registry.borrow();
         let mut out = String::new();
@@ -284,14 +284,16 @@ impl Metrics {
         }
         let mut hists: Vec<&(String, Histogram)> = r.histograms.iter().collect();
         hists.sort_by(|a, b| a.0.cmp(&b.0));
+        let render_q = |q: Option<u64>| match q {
+            Some(u64::MAX) => "overflow".to_string(),
+            Some(b) => format!("<={b}"),
+            None => "-".to_string(),
+        };
         for (name, h) in hists {
-            let p95 = match h.quantile(0.95) {
-                Some(u64::MAX) => "overflow".to_string(),
-                Some(b) => format!("<={b}"),
-                None => "-".to_string(),
-            };
+            let p50 = render_q(h.quantile(0.5));
+            let p95 = render_q(h.quantile(0.95));
             out.push_str(&format!(
-                "histogram {name}: count {} mean {} p95 {p95}\n",
+                "histogram {name}: count {} mean {} p50 {p50} p95 {p95}\n",
                 h.count(),
                 h.mean()
             ));
@@ -389,6 +391,6 @@ mod tests {
         assert_eq!(lines[0], "counter a.count = 1");
         assert_eq!(lines[1], "counter b.count = 2");
         assert_eq!(lines[2], "gauge live = 3");
-        assert_eq!(lines[3], "histogram h: count 1 mean 7 p95 <=100");
+        assert_eq!(lines[3], "histogram h: count 1 mean 7 p50 <=100 p95 <=100");
     }
 }

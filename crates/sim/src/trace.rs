@@ -290,6 +290,14 @@ pub enum EventKind {
         /// Node whose breakpoint originated the broadcast.
         origin: u32,
     },
+    /// An armed metric watchpoint's predicate held at a sync point; the
+    /// world halts here the way a breakpoint halts on a line.
+    WatchTripped {
+        /// Canonical predicate, e.g. `rpc.failed > 0`.
+        expr: String,
+        /// The metric value observed at the tripping sync point.
+        value: i64,
+    },
 }
 
 impl EventKind {
@@ -318,6 +326,7 @@ impl EventKind {
             EventKind::Faulted { .. } => "Faulted",
             EventKind::BreakpointHalt => "BreakpointHalt",
             EventKind::HaltBroadcast { .. } => "HaltBroadcast",
+            EventKind::WatchTripped { .. } => "WatchTripped",
         }
     }
 
@@ -410,6 +419,9 @@ impl EventKind {
             EventKind::HaltBroadcast { origin } => {
                 format!("halted by broadcast from node{origin}")
             }
+            EventKind::WatchTripped { expr, value } => {
+                format!("watch tripped: {expr} (observed {value})")
+            }
         }
     }
 
@@ -483,6 +495,10 @@ impl EventKind {
             }
             EventKind::BreakpointHalt => Json::obj(vec![]),
             EventKind::HaltBroadcast { origin } => Json::obj(vec![("origin", n(*origin))]),
+            EventKind::WatchTripped { expr, value } => Json::obj(vec![
+                ("expr", s(expr)),
+                ("value", Json::Int(*value as i128)),
+            ]),
         }
     }
 
@@ -592,6 +608,13 @@ impl EventKind {
             "BreakpointHalt" => EventKind::BreakpointHalt,
             "HaltBroadcast" => EventKind::HaltBroadcast {
                 origin: n("origin")?,
+            },
+            "WatchTripped" => EventKind::WatchTripped {
+                expr: s("expr")?,
+                value: data
+                    .get("value")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| format!("{name}: missing or non-integer `value`"))?,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         })
@@ -1591,6 +1614,10 @@ mod tests {
             },
             EventKind::BreakpointHalt,
             EventKind::HaltBroadcast { origin: 24 },
+            EventKind::WatchTripped {
+                expr: "rpc.failed > 0".to_string(),
+                value: -25,
+            },
         ]
     }
 
