@@ -117,10 +117,17 @@ pub fn diff(baseline: &[Baseline], fresh: &[BenchResult]) -> Vec<Delta> {
 /// `profile_vm` off, the per-instruction cost of the profiling hooks is
 /// one predictable branch, so the scheduler hot path must stay within 3%
 /// of the committed baseline.
+/// The two `1k_processes` rows guard the serial stepping path against
+/// the parallel-stepping machinery: with `step_threads == 1` the pump
+/// takes the exact pre-pool code path (no buffering, no pool), so the
+/// single-node round-robin and the 8-node serial baseline of the
+/// parallel family must both stay within 3% of the committed numbers.
 pub const GATED: &[(&str, f64)] = &[
     ("world/20_null_rpcs_simulated", 25.0),
     ("obs/trace_off_overhead", 25.0),
     ("node/step_storm", 3.0),
+    ("world/1k_processes_round_robin", 3.0),
+    ("world/1k_processes_parallel1", 3.0),
 ];
 
 /// One failure line per gated benchmark whose fresh median regressed

@@ -213,6 +213,46 @@ end";
     })
 }
 
+/// A thousand processes spread over eight nodes (125 workers each), all
+/// compute-bound, so every lockstep window is full of disjoint per-node
+/// VM stepping for the pool to hand out. (Per-iteration sleeps would
+/// stagger wakeups and shatter the run into near-empty windows where the
+/// barrier dominates — that serial fragility is what the round-robin
+/// variant measures.) `threads == 1` is the serial baseline of the same
+/// topology; the higher counts measure real speedup, since each window's
+/// ~1ms of per-node instruction budget runs inside `Node::advance_to` on
+/// the worker threads, leaving only the merge at the barrier.
+pub fn world_1k_processes_parallel(cfg: &Config, threads: usize) -> BenchResult {
+    const PROGRAM: &str = "\
+worker = proc (k: int) returns (int)
+ t: int := 0
+ for i: int := 1 to k do
+  t := t + i
+ end
+ return (t)
+end
+main = proc (n: int)
+ for i: int := 1 to n do
+  fork worker(40)
+ end
+end";
+    let name = format!("world/1k_processes_parallel{threads}");
+    runner::run_with(&name, cfg, move || {
+        let mut w = World::builder()
+            .nodes(8)
+            .program(PROGRAM)
+            .debugger(false)
+            .step_threads(threads)
+            .build()
+            .unwrap();
+        for node in 0..8 {
+            w.spawn(node, "main", vec![Value::Int(125)]);
+        }
+        w.run_until_idle(SimTime::from_secs(60));
+        std::hint::black_box(w.now());
+    })
+}
+
 /// Null-RPC workload shared by the world/ and obs/ benchmarks: `main`
 /// issues `n` sequential empty calls from node 0 to node 1.
 const NULL_RPC_PROGRAM: &str = "\
@@ -319,6 +359,10 @@ pub fn all(cfg: &Config) -> Vec<BenchResult> {
         event_queue_cancel_heavy(cfg),
         node_step_storm(cfg),
         world_1k_processes(cfg),
+        world_1k_processes_parallel(cfg, 1),
+        world_1k_processes_parallel(cfg, 2),
+        world_1k_processes_parallel(cfg, 4),
+        world_1k_processes_parallel(cfg, 8),
         world_20_rpcs(cfg),
         trace_off_overhead(cfg),
         trace_on_1k_rpcs(cfg),
@@ -342,10 +386,12 @@ mod tests {
             target_sample: Duration::from_micros(1),
         };
         let results = all(&cfg);
-        assert_eq!(results.len(), 12);
+        assert_eq!(results.len(), 16);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"node/step_storm"));
         assert!(names.contains(&"world/1k_processes_round_robin"));
+        assert!(names.contains(&"world/1k_processes_parallel1"));
+        assert!(names.contains(&"world/1k_processes_parallel4"));
         assert!(names.contains(&"sim/event_queue_cancel_heavy"));
         assert!(names.contains(&"obs/trace_off_overhead"));
         assert!(names.contains(&"obs/trace_on_1k_rpcs"));

@@ -1,6 +1,6 @@
 //! Abstract syntax for the mini Concurrent CLU language.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A parsed source type expression.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,9 +20,9 @@ pub enum TypeExpr {
     /// `array[T]`
     Array(Box<TypeExpr>),
     /// `record[f1: T1, ...]` (anonymous; only allowed inside a typedef)
-    Record(Vec<(Rc<str>, TypeExpr)>),
+    Record(Vec<(Arc<str>, TypeExpr)>),
     /// A named type introduced by a typedef.
-    Named(Rc<str>),
+    Named(Arc<str>),
 }
 
 /// A whole compilation unit.
@@ -42,7 +42,7 @@ pub struct Module {
 #[derive(Debug, Clone)]
 pub struct TypeDef {
     /// Type name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Definition body.
     pub body: TypeExpr,
     /// Source line.
@@ -53,7 +53,7 @@ pub struct TypeDef {
 #[derive(Debug, Clone)]
 pub struct GlobalDef {
     /// Variable name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Declared type.
     pub ty: TypeExpr,
     /// Initializer (must be a literal).
@@ -66,7 +66,7 @@ pub struct GlobalDef {
 #[derive(Debug, Clone)]
 pub struct ExternDef {
     /// Remote procedure name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Parameter types.
     pub params: Vec<TypeExpr>,
     /// Return types.
@@ -79,13 +79,13 @@ pub struct ExternDef {
 #[derive(Debug, Clone)]
 pub struct ProcDef {
     /// Procedure name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Parameters (name, type).
-    pub params: Vec<(Rc<str>, TypeExpr)>,
+    pub params: Vec<(Arc<str>, TypeExpr)>,
     /// Return types.
     pub returns: Vec<TypeExpr>,
     /// Signals the procedure may raise (`signals (a, b)`).
-    pub signals: Vec<Rc<str>>,
+    pub signals: Vec<Arc<str>>,
     /// Body statements.
     pub body: Vec<Stmt>,
     /// Source line of the header.
@@ -98,7 +98,7 @@ pub enum Stmt {
     /// `name: type := expr`
     Decl {
         /// Variable name.
-        name: Rc<str>,
+        name: Arc<str>,
         /// Declared type.
         ty: TypeExpr,
         /// Initializer.
@@ -136,7 +136,7 @@ pub enum Stmt {
     /// `for i: int := a to b do ... end`
     For {
         /// Loop variable name.
-        var: Rc<str>,
+        var: Arc<str>,
         /// Start expression.
         from: Expr,
         /// Inclusive end expression.
@@ -156,7 +156,7 @@ pub enum Stmt {
     /// `fork p(args)`
     Fork {
         /// Procedure name.
-        proc: Rc<str>,
+        proc: Arc<str>,
         /// Arguments.
         args: Vec<Expr>,
         /// Source line.
@@ -172,7 +172,7 @@ pub enum Stmt {
     /// `signal name` — raise a CLU signal.
     Signal {
         /// Signal name.
-        name: Rc<str>,
+        name: Arc<str>,
         /// Source line.
         line: u32,
     },
@@ -182,7 +182,7 @@ pub enum Stmt {
         /// The protected statement.
         body: Box<Stmt>,
         /// Handler arms: signal names → handler body.
-        arms: Vec<(Vec<Rc<str>>, Vec<Stmt>)>,
+        arms: Vec<(Vec<Arc<str>>, Vec<Stmt>)>,
         /// Source line of the `except`.
         line: u32,
     },
@@ -210,9 +210,9 @@ impl Stmt {
 #[derive(Debug, Clone)]
 pub enum LValue {
     /// A local or global variable.
-    Var(Rc<str>, u32),
+    Var(Arc<str>, u32),
     /// `base.field`
-    Field(Box<Expr>, Rc<str>, u32),
+    Field(Box<Expr>, Arc<str>, u32),
     /// `base[index]`
     Index(Box<Expr>, Box<Expr>, u32),
 }
@@ -271,29 +271,29 @@ pub enum Expr {
     /// Boolean literal.
     Bool(bool, u32),
     /// String literal.
-    Str(Rc<str>, u32),
+    Str(Arc<str>, u32),
     /// `nil`
     Nil(u32),
     /// Variable reference.
-    Var(Rc<str>, u32),
+    Var(Arc<str>, u32),
     /// Binary operation.
     Bin(BinOp, Box<Expr>, Box<Expr>, u32),
     /// Unary operation.
     Un(UnOp, Box<Expr>, u32),
     /// Local procedure or builtin call: `f(a, b)`.
-    Call(Rc<str>, Vec<Expr>, u32),
+    Call(Arc<str>, Vec<Expr>, u32),
     /// Cluster operation: `cluster$op(args)` e.g. `sem$wait(s, 100)`.
-    ClusterOp(Rc<str>, Rc<str>, Vec<Expr>, u32),
+    ClusterOp(Arc<str>, Arc<str>, Vec<Expr>, u32),
     /// Record construction: `point${x: 1, y: 2}`.
-    RecordCtor(Rc<str>, Vec<(Rc<str>, Expr)>, u32),
+    RecordCtor(Arc<str>, Vec<(Arc<str>, Expr)>, u32),
     /// Field selection.
-    Field(Box<Expr>, Rc<str>, u32),
+    Field(Box<Expr>, Arc<str>, u32),
     /// Array indexing.
     Index(Box<Expr>, Box<Expr>, u32),
     /// Remote call: `call f(args) at node` or `maybecall f(args) at node`.
     Rpc {
         /// Remote procedure name.
-        proc: Rc<str>,
+        proc: Arc<str>,
         /// Arguments.
         args: Vec<Expr>,
         /// Node expression (an `int` node id).

@@ -8,7 +8,7 @@
 //! ([`Op::Trap`]) and keeps the original aside.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::RpcProtocol;
 use crate::types::{RecordType, Signature, Type};
@@ -47,7 +47,7 @@ pub enum Op {
     /// Push a boolean literal.
     PushBool(bool),
     /// Push a string literal.
-    PushStr(Rc<str>),
+    PushStr(Arc<str>),
     /// Push `nil`.
     PushNull,
     /// Discard the top `n` stack values.
@@ -199,7 +199,7 @@ pub enum Op {
 #[derive(Debug, Clone)]
 pub struct VarDebug {
     /// Source name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Declared type.
     pub ty: Type,
     /// Local slot.
@@ -228,7 +228,7 @@ pub struct HandlerEntry {
 #[derive(Debug, Clone)]
 pub struct ProcDebug {
     /// Procedure name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Declared signature.
     pub sig: Signature,
     /// Source line of the header.
@@ -370,7 +370,7 @@ pub enum GlobalInit {
 #[derive(Debug, Clone)]
 pub struct GlobalDebug {
     /// Source name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Declared type.
     pub ty: Type,
     /// Initial value.
@@ -381,20 +381,20 @@ pub struct GlobalDebug {
 #[derive(Debug, Clone, Default)]
 pub struct Program {
     /// Original source text (retained for source-level listings).
-    pub source: Rc<str>,
+    pub source: Arc<str>,
     /// Compiled procedures.
     pub procs: Vec<ProcCode>,
     /// Node-global variables.
     pub globals: Vec<GlobalDebug>,
     /// Named record types, indexed by the `type_id` in [`Op::NewRecord`].
-    pub records: Vec<Rc<RecordType>>,
+    pub records: Vec<Arc<RecordType>>,
     /// Remote-procedure names referenced by [`Op::Rpc`].
-    pub rpc_names: Vec<Rc<str>>,
+    pub rpc_names: Vec<Arc<str>>,
     /// Extern (native-service) signatures declared by the program.
-    pub externs: Vec<(Rc<str>, Signature)>,
+    pub externs: Vec<(Arc<str>, Signature)>,
     /// Interned signal names referenced by [`Op::Signal`] and
     /// [`HandlerEntry::signals`].
-    pub signal_names: Vec<Rc<str>>,
+    pub signal_names: Vec<Arc<str>>,
 }
 
 impl Program {

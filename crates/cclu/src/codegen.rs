@@ -6,7 +6,7 @@
 //! boundaries.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{self, BinOp, Expr, LValue, Module, Stmt, TypeExpr, UnOp};
 use crate::bytecode::{
@@ -77,22 +77,22 @@ impl ExprKind {
 
 #[derive(Debug, Clone)]
 struct LocalVar {
-    name: Rc<str>,
+    name: Arc<str>,
     ty: Type,
     slot: u16,
 }
 
 struct Compiler {
-    typedefs: HashMap<Rc<str>, Type>,
-    records: Vec<Rc<RecordType>>,
-    record_ids: HashMap<Rc<str>, u16>,
-    proc_sigs: HashMap<Rc<str>, (ProcId, Signature)>,
-    extern_sigs: HashMap<Rc<str>, Signature>,
+    typedefs: HashMap<Arc<str>, Type>,
+    records: Vec<Arc<RecordType>>,
+    record_ids: HashMap<Arc<str>, u16>,
+    proc_sigs: HashMap<Arc<str>, (ProcId, Signature)>,
+    extern_sigs: HashMap<Arc<str>, Signature>,
     globals: Vec<GlobalDebug>,
-    global_ids: HashMap<Rc<str>, u16>,
-    rpc_names: Vec<Rc<str>>,
-    signal_names: Vec<Rc<str>>,
-    source: Rc<str>,
+    global_ids: HashMap<Arc<str>, u16>,
+    rpc_names: Vec<Arc<str>>,
+    signal_names: Vec<Arc<str>>,
+    source: Arc<str>,
 }
 
 /// Per-procedure emission state.
@@ -104,7 +104,7 @@ struct Emit {
     lines: Vec<(u32, u32)>,
     returns: Vec<Type>,
     /// Signals the enclosing procedure declares (`signals (...)`).
-    declared_signals: Vec<Rc<str>>,
+    declared_signals: Vec<Arc<str>>,
     /// Handler regions emitted so far.
     handlers: Vec<HandlerEntry>,
 }
@@ -156,7 +156,7 @@ impl Emit {
         }
     }
 
-    fn declare(&mut self, name: Rc<str>, ty: Type, line: u32) -> Result<u16, CompileError> {
+    fn declare(&mut self, name: Arc<str>, ty: Type, line: u32) -> Result<u16, CompileError> {
         let scope = self.scopes.last_mut().expect("no scope");
         if scope.iter().any(|v| v.name == name) {
             return Err(CompileError::at(
@@ -204,7 +204,7 @@ impl Compiler {
             global_ids: HashMap::new(),
             rpc_names: Vec::new(),
             signal_names: Vec::new(),
-            source: Rc::from(source),
+            source: Arc::from(source),
         };
 
         for td in &module.typedefs {
@@ -218,7 +218,7 @@ impl Compiler {
                 TypeExpr::Record(fields) => {
                     let mut resolved = Vec::new();
                     for (fname, fty) in fields {
-                        if resolved.iter().any(|(n, _): &(Rc<str>, Type)| n == fname) {
+                        if resolved.iter().any(|(n, _): &(Arc<str>, Type)| n == fname) {
                             return Err(CompileError::at(
                                 td.line,
                                 format!("duplicate field `{fname}` in `{}`", td.name),
@@ -226,7 +226,7 @@ impl Compiler {
                         }
                         resolved.push((fname.clone(), c.resolve(fty, td.line)?));
                     }
-                    let rt = Rc::new(RecordType {
+                    let rt = Arc::new(RecordType {
                         name: td.name.clone(),
                         fields: resolved,
                     });
@@ -347,7 +347,7 @@ impl Compiler {
             TypeExpr::Null => Type::Null,
             TypeExpr::Sem => Type::Sem,
             TypeExpr::Mutex => Type::Mutex,
-            TypeExpr::Array(inner) => Type::Array(Rc::new(self.resolve(inner, line)?)),
+            TypeExpr::Array(inner) => Type::Array(Arc::new(self.resolve(inner, line)?)),
             TypeExpr::Record(_) => {
                 return Err(CompileError::at(
                     line,
@@ -1152,7 +1152,7 @@ impl Compiler {
     fn call(
         &mut self,
         e: &mut Emit,
-        name: &Rc<str>,
+        name: &Arc<str>,
         args: &[Expr],
         line: u32,
     ) -> Result<ExprKind, CompileError> {
@@ -1347,7 +1347,7 @@ impl Compiler {
         }
     }
 
-    fn signal_idx(&mut self, name: &Rc<str>) -> u16 {
+    fn signal_idx(&mut self, name: &Arc<str>) -> u16 {
         match self.signal_names.iter().position(|n| n == name) {
             Some(i) => i as u16,
             None => {
@@ -1360,7 +1360,7 @@ impl Compiler {
     fn rpc(
         &mut self,
         e: &mut Emit,
-        proc: &Rc<str>,
+        proc: &Arc<str>,
         args: &[Expr],
         node: &Expr,
         protocol: ast::RpcProtocol,
@@ -1555,7 +1555,7 @@ mod tests {
             "sq = proc (n: int) returns (int)\n return (n * n)\nend\n\
              main = proc ()\n x: int := call sq(3) at 1\n ok: bool := true\n y: int := 0\n ok, y := maybecall sq(4) at 2\nend",
         );
-        assert_eq!(p.rpc_names, vec![Rc::from("sq")]);
+        assert_eq!(p.rpc_names, vec![Arc::from("sq")]);
         let main = p.proc(p.proc_by_name("main").unwrap());
         let rpcs: Vec<_> = main
             .code

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the mini Concurrent CLU language.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::*;
 use crate::token::{lex, Kw, SpannedTok, Tok};
@@ -68,7 +68,7 @@ impl Parser {
         CompileError::at(self.line(), msg)
     }
 
-    fn ident(&mut self) -> Result<Rc<str>, CompileError> {
+    fn ident(&mut self) -> Result<Arc<str>, CompileError> {
         match self.peek().clone() {
             Tok::Ident(s) => {
                 self.bump();
@@ -80,7 +80,7 @@ impl Parser {
 
     /// An identifier where reserved words are also acceptable — cluster
     /// operation names after `$` (e.g. `sem$signal`, `array$new`).
-    fn op_ident(&mut self) -> Result<Rc<str>, CompileError> {
+    fn op_ident(&mut self) -> Result<Arc<str>, CompileError> {
         match self.peek().clone() {
             Tok::Ident(s) => {
                 self.bump();
@@ -88,7 +88,7 @@ impl Parser {
             }
             Tok::Kw(k) => {
                 self.bump();
-                Ok(Rc::from(format!("{k:?}").to_lowercase().as_str()))
+                Ok(Arc::from(format!("{k:?}").to_lowercase().as_str()))
             }
             other => Err(self.err(format!("expected operation name, found `{other}`"))),
         }
@@ -180,7 +180,7 @@ impl Parser {
         Ok(tys)
     }
 
-    fn proc_def(&mut self, name: Rc<str>, line: u32) -> Result<ProcDef, CompileError> {
+    fn proc_def(&mut self, name: Arc<str>, line: u32) -> Result<ProcDef, CompileError> {
         self.expect_kw(Kw::Proc)?;
         self.expect(&Tok::LParen)?;
         let mut params = Vec::new();
@@ -702,7 +702,7 @@ impl Parser {
             | Tok::Kw(Kw::Sem)
             | Tok::Kw(Kw::Mutex)
             | Tok::Kw(Kw::Array) => {
-                let cluster: Rc<str> = match self.bump() {
+                let cluster: Arc<str> = match self.bump() {
                     Tok::Kw(Kw::Int) => "int".into(),
                     Tok::Kw(Kw::String) => "string".into(),
                     Tok::Kw(Kw::Sem) => "sem".into(),

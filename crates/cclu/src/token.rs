@@ -6,7 +6,7 @@
 //! terminate statements, as in CLU.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::CompileError;
 
@@ -16,9 +16,9 @@ pub enum Tok {
     /// Integer literal.
     Int(i64),
     /// String literal (escapes already processed).
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// Identifier or keyword-free name.
-    Ident(Rc<str>),
+    Ident(Arc<str>),
     /// A reserved word.
     Kw(Kw),
     /// `:=`
@@ -270,7 +270,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 let text = &source[start..i];
                 match Kw::lookup(text) {
                     Some(k) => push(Tok::Kw(k), line, &mut out),
-                    None => push(Tok::Ident(Rc::from(text)), line, &mut out),
+                    None => push(Tok::Ident(Arc::from(text)), line, &mut out),
                 }
             }
             '"' => {
@@ -311,7 +311,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                         }
                     }
                 }
-                push(Tok::Str(Rc::from(s.as_str())), line, &mut out);
+                push(Tok::Str(Arc::from(s.as_str())), line, &mut out);
             }
             ':' => {
                 if bytes.get(i + 1) == Some(&b'=') {

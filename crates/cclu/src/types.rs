@@ -5,7 +5,7 @@
 //! print operations off the type name, as CLU clusters do.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A fully resolved type.
 #[derive(Debug, Clone)]
@@ -23,18 +23,18 @@ pub enum Type {
     /// Monitor lock / critical region handle.
     Mutex,
     /// Growable array.
-    Array(Rc<Type>),
+    Array(Arc<Type>),
     /// Named record type.
-    Record(Rc<RecordType>),
+    Record(Arc<RecordType>),
 }
 
 /// The definition of a named record type.
 #[derive(Debug, Clone)]
 pub struct RecordType {
     /// The typedef name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Ordered fields.
-    pub fields: Vec<(Rc<str>, Type)>,
+    pub fields: Vec<(Arc<str>, Type)>,
 }
 
 impl RecordType {
@@ -113,8 +113,8 @@ impl fmt::Display for Signature {
 mod tests {
     use super::*;
 
-    fn point() -> Rc<RecordType> {
-        Rc::new(RecordType {
+    fn point() -> Arc<RecordType> {
+        Arc::new(RecordType {
             name: "point".into(),
             fields: vec![("x".into(), Type::Int), ("y".into(), Type::Int)],
         })
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn record_equality_is_nominal() {
         let a = Type::Record(point());
-        let other = Rc::new(RecordType {
+        let other = Arc::new(RecordType {
             name: "point".into(),
             fields: vec![],
         });
@@ -131,7 +131,7 @@ mod tests {
         // Same name ⇒ same type, even if the field lists differ (the
         // compiler guarantees one definition per name).
         assert_eq!(a, b);
-        let c = Type::Record(Rc::new(RecordType {
+        let c = Type::Record(Arc::new(RecordType {
             name: "size".into(),
             fields: vec![],
         }));
@@ -141,19 +141,19 @@ mod tests {
     #[test]
     fn array_equality_is_structural() {
         assert_eq!(
-            Type::Array(Rc::new(Type::Int)),
-            Type::Array(Rc::new(Type::Int))
+            Type::Array(Arc::new(Type::Int)),
+            Type::Array(Arc::new(Type::Int))
         );
         assert_ne!(
-            Type::Array(Rc::new(Type::Int)),
-            Type::Array(Rc::new(Type::Bool))
+            Type::Array(Arc::new(Type::Int)),
+            Type::Array(Arc::new(Type::Bool))
         );
     }
 
     #[test]
     fn display_forms() {
         assert_eq!(
-            Type::Array(Rc::new(Type::Record(point()))).to_string(),
+            Type::Array(Arc::new(Type::Record(point()))).to_string(),
             "array[point]"
         );
         let sig = Signature {

@@ -7,7 +7,7 @@
 //! complex objects between nodes.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::types::{RecordType, Type};
 
@@ -25,7 +25,7 @@ pub enum Value {
     /// Boolean.
     Bool(bool),
     /// Immutable string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// Semaphore handle (node-local).
     Sem(u32),
     /// Mutex handle (node-local).
@@ -66,7 +66,7 @@ pub enum HeapObject {
     /// A record instance; `type_name` keys the nominal type and print op.
     Record {
         /// Name of the record's typedef.
-        type_name: Rc<str>,
+        type_name: Arc<str>,
         /// Field values, in declaration order.
         fields: Vec<Value>,
     },
@@ -244,7 +244,7 @@ pub fn wire_size(heap: &Heap, v: &Value) -> usize {
 /// compiler checks the sending side, and the receiving dispatcher checks the
 /// decoded arguments against the target procedure's signature.
 #[allow(clippy::only_used_in_recursion)] // `records` is the receiver's type table, part of the stable API
-pub fn value_matches_type(heap: &Heap, v: &Value, ty: &Type, records: &[Rc<RecordType>]) -> bool {
+pub fn value_matches_type(heap: &Heap, v: &Value, ty: &Type, records: &[Arc<RecordType>]) -> bool {
     match (v, ty) {
         (Value::Null, Type::Null) => true,
         (Value::Int(_), Type::Int) => true,
@@ -338,11 +338,11 @@ mod tests {
     #[test]
     fn type_matching() {
         let (heap, v) = sample_heap();
-        let pair = Rc::new(RecordType {
+        let pair = Arc::new(RecordType {
             name: "pair".into(),
             fields: vec![
                 ("s".into(), Type::Str),
-                ("xs".into(), Type::Array(Rc::new(Type::Int))),
+                ("xs".into(), Type::Array(Arc::new(Type::Int))),
             ],
         });
         assert!(value_matches_type(
@@ -351,11 +351,11 @@ mod tests {
             &Type::Record(pair.clone()),
             std::slice::from_ref(&pair)
         ));
-        let wrong = Rc::new(RecordType {
+        let wrong = Arc::new(RecordType {
             name: "pair".into(),
             fields: vec![
                 ("s".into(), Type::Int),
-                ("xs".into(), Type::Array(Rc::new(Type::Int))),
+                ("xs".into(), Type::Array(Arc::new(Type::Int))),
             ],
         });
         assert!(!value_matches_type(

@@ -17,9 +17,8 @@
 //! * RPC stub frames carry an information block in a known position
 //!   (§4.3, Figure 1), placed there by the RPC runtime.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::ast::RpcProtocol;
 use crate::bytecode::{CodeAddr, Op, ProcId, Program};
@@ -97,6 +96,30 @@ impl fmt::Display for RpcCallState {
     }
 }
 
+/// A [`Cell`](std::cell::Cell)-shaped wrapper that is also [`Sync`], so
+/// structures shared through [`Arc`] (like [`RpcInfoBlock`]) stay sendable
+/// across the parallel-stepping worker threads. Updates happen only in the
+/// serial phase of the pump loop, so the mutex is never contended.
+#[derive(Debug, Default)]
+pub struct SyncCell<T>(Mutex<T>);
+
+impl<T: Copy> SyncCell<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> SyncCell<T> {
+        SyncCell(Mutex::new(value))
+    }
+
+    /// Returns a copy of the contained value.
+    pub fn get(&self) -> T {
+        *self.0.lock().unwrap()
+    }
+
+    /// Replaces the contained value.
+    pub fn set(&self, value: T) {
+        *self.0.lock().unwrap() = value;
+    }
+}
+
 /// The "information block" the paper's modified RPC runtime stores at a
 /// known position in the client's top stack frame and the server's bottom
 /// stack frame (§4.3, Figure 1).
@@ -105,16 +128,16 @@ pub struct RpcInfoBlock {
     /// Process identifier of the process issuing or serving the call.
     pub process: u64,
     /// Name of the remote procedure.
-    pub remote_proc: Rc<str>,
+    pub remote_proc: Arc<str>,
     /// Call identifier, unique per invocation across the network.
     pub call_id: u64,
     /// Which protocol the call uses.
     pub protocol: RpcProtocol,
     /// Current protocol state (shared with the RPC runtime, which updates
     /// it as the call progresses).
-    pub state: Cell<RpcCallState>,
+    pub state: SyncCell<RpcCallState>,
     /// Number of retransmissions so far.
-    pub retries: Cell<u32>,
+    pub retries: SyncCell<u32>,
 }
 
 /// What role a frame plays, for backtraces.
@@ -150,7 +173,7 @@ pub struct Frame {
     pub kind: FrameKind,
     /// The RPC information block, present on `RpcStub` and `ServerRoot`
     /// frames. Held in a "known position" exactly as the paper requires.
-    pub rpc_info: Option<Rc<RpcInfoBlock>>,
+    pub rpc_info: Option<Arc<RpcInfoBlock>>,
 }
 
 impl Frame {
@@ -180,7 +203,7 @@ impl Frame {
 #[derive(Debug)]
 pub struct RpcRequest {
     /// Remote procedure name.
-    pub proc_name: Rc<str>,
+    pub proc_name: Arc<str>,
     /// Argument values (live in the calling node's heap).
     pub args: Vec<Value>,
     /// Destination node id.

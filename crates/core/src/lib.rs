@@ -62,9 +62,11 @@
 mod agent;
 mod cli;
 mod debugger;
+mod pool;
 pub mod proto;
 pub mod replay;
 mod timebase;
+pub mod twin;
 mod world;
 
 pub use agent::{Agent, AgentConfig, AgentShared, AgentStats, DebugNet, NOT_DEBUGGED};
@@ -76,6 +78,7 @@ pub use proto::{
 };
 pub use replay::{Artifact, Recipe, ReplayError, ReplayReport, Stimulus};
 pub use timebase::{BreakpointLog, HaltRecord};
+pub use twin::{capture, twin_run, twin_threads, TwinArtifacts, TWIN_THREADS};
 pub use world::{
     render_wire, BacktraceFrame, BuildError, DebugError, MaybeDiagnosis, WatchTrip, Wire, World,
     WorldBuilder,

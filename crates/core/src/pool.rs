@@ -1,0 +1,187 @@
+//! Worker thread pool for parallel lockstep stepping.
+//!
+//! Between sync points nodes are causally independent: every cross-node
+//! delivery arrives at least one network base latency after it is sent,
+//! and the pump's window never exceeds that latency, so nothing a node
+//! does inside a window can be observed by another node until the next
+//! window. The pool exploits this by shipping disjoint contiguous batches
+//! of nodes to persistent worker threads, advancing each batch to the
+//! window end, and handing the nodes back to the main thread — which then
+//! merges trace buffers and routes outcalls in canonical node order, so
+//! every observable artifact is byte-identical to a single-threaded run.
+//!
+//! Ownership of the nodes is transferred through channels (no sharing, no
+//! `unsafe`): the world takes its `Vec<Node>` apart, the workers step the
+//! pieces, and the world reassembles the vector in index order.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use pilgrim_mayflower::{Node, Outcall};
+use pilgrim_sim::SimTime;
+
+/// A contiguous run of nodes to advance to `until`.
+struct Batch {
+    /// Index of `nodes[0]` in the world's node vector.
+    first: usize,
+    nodes: Vec<Node>,
+    until: SimTime,
+}
+
+/// A stepped batch on its way home.
+struct BatchDone {
+    first: usize,
+    nodes: Vec<Node>,
+    /// Outcalls produced by each node of the batch, in batch order.
+    outcalls: Vec<Vec<Outcall>>,
+}
+
+struct Worker {
+    /// `None` once the pool is shutting down (dropping the sender is the
+    /// worker's exit signal).
+    tx: Option<Sender<Batch>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent pool of stepping threads, created once per world when
+/// parallel stepping is enabled and reused for every window (windows are
+/// far too frequent to spawn threads per iteration).
+pub(crate) struct StepPool {
+    workers: Vec<Worker>,
+    done_rx: Receiver<BatchDone>,
+}
+
+impl StepPool {
+    /// Spawns `threads` workers (at least one).
+    pub(crate) fn new(threads: usize) -> StepPool {
+        let (done_tx, done_rx) = channel::<BatchDone>();
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let (tx, rx) = channel::<Batch>();
+                let done = done_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("pilgrim-step-{i}"))
+                    .spawn(move || {
+                        while let Ok(mut batch) = rx.recv() {
+                            let outcalls = batch
+                                .nodes
+                                .iter_mut()
+                                .map(|n| n.advance_to(batch.until))
+                                .collect();
+                            let done = done.send(BatchDone {
+                                first: batch.first,
+                                nodes: batch.nodes,
+                                outcalls,
+                            });
+                            if done.is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn stepping worker");
+                Worker {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        StepPool { workers, done_rx }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Advances every node to `until` across the pool and returns the
+    /// nodes in their original order together with each node's outcalls.
+    pub(crate) fn step(&self, nodes: Vec<Node>, until: SimTime) -> (Vec<Node>, Vec<Vec<Outcall>>) {
+        let total = nodes.len();
+        let per = total.div_ceil(self.workers.len());
+        let mut iter = nodes.into_iter();
+        let mut sent = 0;
+        let mut first = 0;
+        for w in &self.workers {
+            let chunk: Vec<Node> = iter.by_ref().take(per).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let len = chunk.len();
+            w.tx.as_ref()
+                .expect("pool not shut down")
+                .send(Batch {
+                    first,
+                    nodes: chunk,
+                    until,
+                })
+                .expect("stepping worker alive");
+            first += len;
+            sent += 1;
+        }
+
+        let mut homes: Vec<Option<(Node, Vec<Outcall>)>> = (0..total).map(|_| None).collect();
+        for _ in 0..sent {
+            let Ok(done) = self.done_rx.recv() else {
+                // A worker died mid-window: a node panicked while
+                // stepping. Re-raise that panic on the main thread so the
+                // failure reads the same as it would serially.
+                self.propagate_worker_panic();
+            };
+            for (k, (n, oc)) in done.nodes.into_iter().zip(done.outcalls).enumerate() {
+                homes[done.first + k] = Some((n, oc));
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(total);
+        let mut outcalls = Vec::with_capacity(total);
+        for slot in homes {
+            let (n, oc) = slot.expect("every node returns from its batch");
+            nodes.push(n);
+            outcalls.push(oc);
+        }
+        (nodes, outcalls)
+    }
+
+    /// Joins every worker and re-raises the first panic payload found.
+    fn propagate_worker_panic(&self) -> ! {
+        for w in &self.workers {
+            if let Some(h) = &w.handle {
+                if h.is_finished() {
+                    // The handle cannot be joined through a shared
+                    // reference; the panic message was already printed by
+                    // the worker's default hook.
+                    panic!("a stepping worker panicked while advancing its batch");
+                }
+            }
+        }
+        panic!("stepping worker disappeared without panicking");
+    }
+}
+
+impl Drop for StepPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.tx = None; // closing the channel tells the worker to exit
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pool survives having fewer nodes than workers and returns
+    /// everything in order.
+    #[test]
+    fn step_reassembles_in_order() {
+        let pool = StepPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let (nodes, outcalls) = pool.step(Vec::new(), SimTime::ZERO);
+        assert!(nodes.is_empty() && outcalls.is_empty());
+    }
+}

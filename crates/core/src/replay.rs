@@ -928,7 +928,24 @@ pub struct ReplayReport {
 /// [`ReplayError::Stimulus`] when a journal entry cannot be applied
 /// (e.g. a spawn argument that was recorded as opaque).
 pub fn replay(artifact: &Artifact) -> Result<ReplayReport, ReplayError> {
+    replay_with_threads(artifact, 1)
+}
+
+/// [`replay`], but stepping the rebuilt world on `threads` worker threads.
+///
+/// Thread count is an execution knob, not part of the recorded recipe, so
+/// a run recorded serially must replay byte-identically in parallel and
+/// vice versa — this entry point is how the parallel gate proves it.
+///
+/// # Errors
+///
+/// Exactly those of [`replay`].
+pub fn replay_with_threads(
+    artifact: &Artifact,
+    threads: usize,
+) -> Result<ReplayReport, ReplayError> {
     let mut world = artifact.recipe.build_world().map_err(ReplayError::Build)?;
+    world.set_step_threads(threads);
     for s in &artifact.stimuli {
         world.apply(s).map_err(ReplayError::Stimulus)?;
     }

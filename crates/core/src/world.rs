@@ -21,6 +21,7 @@ use pilgrim_sim::{
 
 use crate::agent::{Agent, AgentConfig, DebugNet};
 use crate::debugger::{BreakpointInfo, DebugEvent, Debugger};
+use crate::pool::StepPool;
 use crate::proto::{
     AgentReply, AgentRequest, DebugMsg, FrameSummary, KnowledgeView, ProcView, RpcFrameView,
     SessionId,
@@ -224,6 +225,7 @@ pub struct WorldBuilder {
     seed: u64,
     with_debugger: bool,
     with_agents: bool,
+    step_threads: usize,
 }
 
 impl Default for WorldBuilder {
@@ -240,6 +242,7 @@ impl Default for WorldBuilder {
             seed: 0,
             with_debugger: true,
             with_agents: true,
+            step_threads: 1,
         }
     }
 }
@@ -318,6 +321,16 @@ impl WorldBuilder {
     /// program cannot be debugged at all — the E7 baseline.
     pub fn agents(mut self, on: bool) -> Self {
         self.with_agents = on;
+        self
+    }
+
+    /// Number of worker threads used to step nodes between sync points
+    /// (default 1 = serial, no pool). A runtime execution knob, not part
+    /// of the world's identity: it is deliberately excluded from the
+    /// reproduction [`Recipe`], because thread count must not change any
+    /// observable behaviour — the twin-run gate enforces exactly that.
+    pub fn step_threads(mut self, threads: usize) -> Self {
+        self.step_threads = threads;
         self
     }
 
@@ -434,6 +447,7 @@ impl WorldBuilder {
             next_watch_id: 1,
             sync_points: 0,
             watch_halt: false,
+            pool: (self.step_threads > 1).then(|| StepPool::new(self.step_threads)),
         })
     }
 }
@@ -481,6 +495,8 @@ pub struct World {
     sync_points: u64,
     /// Set when a watchpoint trips; the run loops drain it and stop.
     watch_halt: bool,
+    /// Worker threads for parallel node stepping; `None` steps serially.
+    pool: Option<StepPool>,
 }
 
 impl std::fmt::Debug for World {
@@ -796,10 +812,14 @@ impl World {
         }
         let next = next.min(limit);
 
-        for i in 0..self.nodes.len() {
-            let outcalls = self.nodes[i].advance_to(next);
-            for oc in outcalls {
-                self.route_outcall(i, oc);
+        if self.pool.is_some() && self.nodes.len() > 1 {
+            self.step_nodes_parallel(next);
+        } else {
+            for i in 0..self.nodes.len() {
+                let outcalls = self.nodes[i].advance_to(next);
+                for oc in outcalls {
+                    self.route_outcall(i, oc);
+                }
             }
         }
 
@@ -816,6 +836,51 @@ impl World {
         self.sync_points += 1;
         if !self.watches.is_empty() {
             self.check_watches();
+        }
+    }
+
+    /// The parallel twin of the serial stepping loop inside
+    /// [`pump_step`](World::pump_step): nodes step to the window end on
+    /// the worker pool with trace output diverted into per-node buffers,
+    /// then the main thread merges buffers and routes outcalls in
+    /// canonical node order. Nodes cannot observe each other while
+    /// stepping — every cross-node interaction is mediated by the world
+    /// at the sync barrier (network poll, timer dispatch, outcall
+    /// routing) — so the serialized merge reproduces the serial loop's
+    /// event sequence exactly: [node i's step events][node i's routing
+    /// effects] for i in node order.
+    fn step_nodes_parallel(&mut self, next: SimTime) {
+        for n in &mut self.nodes {
+            n.begin_trace_buffer();
+        }
+        let pool = self.pool.as_ref().expect("parallel stepping needs a pool");
+        let (nodes, mut outcalls) = pool.step(std::mem::take(&mut self.nodes), next);
+        self.nodes = nodes;
+        for (i, ocs) in outcalls.iter_mut().enumerate() {
+            for ev in self.nodes[i].take_trace_buffer() {
+                self.tracer.push_event(ev);
+            }
+            for oc in ocs.drain(..) {
+                self.route_outcall(i, oc);
+            }
+        }
+    }
+
+    /// Number of threads stepping nodes between sync points (1 = serial).
+    pub fn step_threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, StepPool::threads)
+    }
+
+    /// Reconfigures parallel stepping at run time: `threads <= 1` returns
+    /// to the serial loop, larger values (re)build the worker pool. Like
+    /// [`WorldBuilder::step_threads`] this is not recorded in the journal
+    /// — replaying a parallel run serially (or the reverse) must produce
+    /// identical artifacts.
+    pub fn set_step_threads(&mut self, threads: usize) {
+        if threads <= 1 {
+            self.pool = None;
+        } else if self.step_threads() != threads {
+            self.pool = Some(StepPool::new(threads));
         }
     }
 

@@ -19,7 +19,7 @@ use pilgrim_cclu::{
 };
 use pilgrim_sim::{
     CallNodeId, CallTree, DetRng, EventKind, Json, LedgerBucket, SimDuration, SimTime, SpanId,
-    TimeLedger, TraceCategory, Tracer,
+    TimeLedger, TraceCategory, TraceEvent, Tracer,
 };
 
 use crate::process::{
@@ -192,6 +192,59 @@ impl std::fmt::Display for UnknownProc {
 }
 impl std::error::Error for UnknownProc {}
 
+/// The node's trace outlet: a [`Tracer`] clone plus an optional buffer.
+///
+/// In serial stepping the buffer is absent and events go straight to the
+/// shared tracer ring, exactly as before. While a node executes a lockstep
+/// window on a worker thread, the world switches the sink into buffered
+/// mode ([`Node::begin_trace_buffer`]); events accumulate privately and are
+/// drained into the shared ring in canonical node order at the sync
+/// barrier ([`Node::take_trace_buffer`]), so the merged trace is
+/// byte-identical to a single-threaded run.
+struct NodeSink {
+    tracer: Tracer,
+    buf: Option<Vec<TraceEvent>>,
+}
+
+impl NodeSink {
+    fn new(tracer: Tracer) -> NodeSink {
+        NodeSink { tracer, buf: None }
+    }
+
+    /// Mirrors [`Tracer::wants`]: one relaxed atomic load.
+    #[inline]
+    fn wants(&self, category: TraceCategory) -> bool {
+        self.tracer.wants(category)
+    }
+
+    /// Mirrors [`Tracer::emit`], diverting to the window buffer when one
+    /// is active. The filter is consulted at emission time in both modes,
+    /// so a buffered run records exactly the events a direct run would.
+    fn emit(
+        &mut self,
+        time: SimTime,
+        category: TraceCategory,
+        node: Option<u32>,
+        span: Option<SpanId>,
+        kind: EventKind,
+    ) {
+        if !self.tracer.wants(category) {
+            return;
+        }
+        let ev = TraceEvent {
+            time,
+            category,
+            node,
+            span,
+            kind,
+        };
+        match &mut self.buf {
+            Some(buf) => buf.push(ev),
+            None => self.tracer.push_event(ev),
+        }
+    }
+}
+
 /// One machine of the distributed program.
 pub struct Node {
     id: u32,
@@ -212,7 +265,7 @@ pub struct Node {
     next_pid: u64,
     next_token: u64,
     rng: DetRng,
-    tracer: Tracer,
+    sink: NodeSink,
     console: Vec<(SimTime, String)>,
     buffers: HashMap<u64, String>,
     next_buffer: u64,
@@ -314,7 +367,7 @@ impl Node {
             next_pid: 1,
             next_token: 1,
             rng,
-            tracer,
+            sink: NodeSink::new(tracer),
             console: Vec::new(),
             buffers: HashMap::new(),
             next_buffer: 1,
@@ -449,8 +502,8 @@ impl Node {
     /// from a breakpoint with the halt duration.
     pub fn add_delta(&mut self, d: SimDuration) {
         self.delta += d;
-        if self.tracer.wants(TraceCategory::Clock) {
-            self.tracer.emit(
+        if self.sink.wants(TraceCategory::Clock) {
+            self.sink.emit(
                 self.clock,
                 TraceCategory::Clock,
                 Some(self.id),
@@ -467,6 +520,22 @@ impl Node {
     /// the paper notes the effects "may be unpredictable").
     pub fn reset_delta(&mut self) {
         self.delta = SimDuration::ZERO;
+    }
+
+    /// Switches trace output into a private per-window buffer. Called by
+    /// the world before handing this node to a worker thread, so events
+    /// emitted while stepping in parallel do not interleave with other
+    /// nodes' events in the shared ring.
+    pub fn begin_trace_buffer(&mut self) {
+        self.sink.buf = Some(Vec::new());
+    }
+
+    /// Ends buffered mode and returns the events recorded since
+    /// [`begin_trace_buffer`](Node::begin_trace_buffer), in emission
+    /// order. The world drains these into the shared tracer in canonical
+    /// node order at the sync barrier.
+    pub fn take_trace_buffer(&mut self) -> Vec<TraceEvent> {
+        self.sink.buf.take().unwrap_or_default()
     }
 
     /// The node's logical time (§5.2): real time minus the delta. While
@@ -609,8 +678,8 @@ impl Node {
             span: None,
         });
         self.run_queue.push_back(pid);
-        if self.tracer.wants(TraceCategory::Sched) {
-            self.tracer.emit(
+        if self.sink.wants(TraceCategory::Sched) {
+            self.sink.emit(
                 self.clock,
                 TraceCategory::Sched,
                 Some(self.id),
@@ -800,8 +869,8 @@ impl Node {
                 n += 1;
             }
         }
-        if self.tracer.wants(TraceCategory::Debug) {
-            self.tracer.emit(
+        if self.sink.wants(TraceCategory::Debug) {
+            self.sink.emit(
                 self.clock,
                 TraceCategory::Debug,
                 Some(self.id),
@@ -864,8 +933,8 @@ impl Node {
                 n += 1;
             }
         }
-        if self.tracer.wants(TraceCategory::Debug) {
-            self.tracer.emit(
+        if self.sink.wants(TraceCategory::Debug) {
+            self.sink.emit(
                 self.clock,
                 TraceCategory::Debug,
                 Some(self.id),
@@ -1279,7 +1348,7 @@ impl Node {
             locks: &mut self.locks,
             rng: &mut self.rng,
             console: &mut self.console,
-            tracer: &self.tracer,
+            sink: &mut self.sink,
             redirect: proc.print_redirect,
             span: proc.span,
             buffers: &mut self.buffers,
@@ -1394,8 +1463,8 @@ impl Node {
                 self.clock += d;
                 self.slice_used += d;
                 proc.state = RunState::Exited;
-                if self.tracer.wants(TraceCategory::Sched) {
-                    self.tracer.emit(
+                if self.sink.wants(TraceCategory::Sched) {
+                    self.sink.emit(
                         self.clock,
                         TraceCategory::Sched,
                         Some(self.id),
@@ -1412,8 +1481,8 @@ impl Node {
                 let d = SimDuration::from_micros(cost);
                 self.clock += d;
                 self.slice_used += d;
-                if self.tracer.wants(TraceCategory::Vm) {
-                    self.tracer.emit(
+                if self.sink.wants(TraceCategory::Vm) {
+                    self.sink.emit(
                         self.clock,
                         TraceCategory::Vm,
                         Some(self.id),
@@ -1479,8 +1548,8 @@ impl Node {
                 span: parent_span,
             });
             self.run_queue.push_back(new_pid);
-            if self.tracer.wants(TraceCategory::Sched) {
-                self.tracer.emit(
+            if self.sink.wants(TraceCategory::Sched) {
+                self.sink.emit(
                     self.clock,
                     TraceCategory::Sched,
                     Some(self.id),
@@ -1513,7 +1582,7 @@ struct SysCtx<'a> {
     locks: &'a mut Vec<MonitorLock>,
     rng: &'a mut DetRng,
     console: &'a mut Vec<(SimTime, String)>,
-    tracer: &'a Tracer,
+    sink: &'a mut NodeSink,
     redirect: Option<u64>,
     span: Option<SpanId>,
     buffers: &'a mut HashMap<u64, String>,
@@ -1552,8 +1621,8 @@ impl Syscalls for SysCtx<'_> {
             buf.push_str(text);
         } else {
             self.console.push((self.now, text.to_string()));
-            if self.tracer.wants(TraceCategory::Vm) {
-                self.tracer.emit(
+            if self.sink.wants(TraceCategory::Vm) {
+                self.sink.emit(
                     self.now,
                     TraceCategory::Vm,
                     Some(self.node_id),

@@ -22,13 +22,12 @@
 //! rejected packet-monitor design (§4.2) can be switched on as an ablation
 //! ([`RpcConfig::monitor`], E2).
 
-use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pilgrim_cclu::{
     Fault, FaultKind, FrameKind, RpcCallState, RpcInfoBlock, RpcProtocol, RpcRequest, Signature,
-    Type, Value,
+    SyncCell, Type, Value,
 };
 use pilgrim_mayflower::{Node, Pid, SpawnOpts};
 use pilgrim_ring::NodeId;
@@ -108,7 +107,7 @@ pub struct CallDebug {
     /// Call identifier.
     pub call_id: CallId,
     /// Remote procedure name.
-    pub proc: Rc<str>,
+    pub proc: Arc<str>,
     /// Protocol.
     pub protocol: RpcProtocol,
     /// Protocol state from the information block.
@@ -164,11 +163,11 @@ struct RpcMeters {
 struct ClientCall {
     pid: Pid,
     token: u64,
-    proc: Rc<str>,
+    proc: Arc<str>,
     protocol: RpcProtocol,
     ret_types: Vec<Type>,
     attempts: u32,
-    info: Option<Rc<RpcInfoBlock>>,
+    info: Option<Arc<RpcInfoBlock>>,
     done: bool,
     dst: NodeId,
     pkt: RpcPacket,
@@ -183,7 +182,7 @@ struct ClientCall {
 struct ServerCall {
     pid: Pid,
     caller: NodeId,
-    info: Option<Rc<RpcInfoBlock>>,
+    info: Option<Arc<RpcInfoBlock>>,
     /// Span propagated from the caller's packet header.
     span: Option<SpanId>,
 }
@@ -198,7 +197,7 @@ enum Timer {
     Dispatch {
         src: NodeId,
         call_id: CallId,
-        proc: Rc<str>,
+        proc: Arc<str>,
         args: Vec<WireValue>,
         protocol: RpcProtocol,
         span: Option<SpanId>,
@@ -441,13 +440,13 @@ impl RpcEndpoint {
         // client's (stub) stack frame, plus the call-table insert.
         let info = if self.config.debug_support {
             delay += self.config.debug_client_call;
-            let info = Rc::new(RpcInfoBlock {
+            let info = Arc::new(RpcInfoBlock {
                 process: pid.0,
                 remote_proc: req.proc_name.clone(),
                 call_id,
                 protocol: req.protocol,
-                state: Cell::new(RpcCallState::Marshalling),
-                retries: Cell::new(0),
+                state: SyncCell::new(RpcCallState::Marshalling),
+                retries: SyncCell::new(0),
             });
             push_stub_frame(node, pid, info.clone());
             Some(info)
@@ -799,7 +798,7 @@ impl RpcEndpoint {
         node: &mut Node,
         src: NodeId,
         call_id: CallId,
-        proc: &Rc<str>,
+        proc: &Arc<str>,
         args: Vec<WireValue>,
         protocol: RpcProtocol,
         span: Option<SpanId>,
@@ -878,13 +877,13 @@ impl RpcEndpoint {
         // Figure 1, right-hand side: the information block sits at the
         // bottom of the server process's stack.
         let info = if self.config.debug_support {
-            let info = Rc::new(RpcInfoBlock {
+            let info = Arc::new(RpcInfoBlock {
                 process: pid.0,
                 remote_proc: proc.clone(),
                 call_id,
                 protocol,
-                state: Cell::new(RpcCallState::ServerExecuting),
-                retries: Cell::new(0),
+                state: SyncCell::new(RpcCallState::ServerExecuting),
+                retries: SyncCell::new(0),
             });
             if let Some(p) = node.process_mut(pid) {
                 if let Some(vm) = p.vm_mut() {
@@ -1212,7 +1211,7 @@ impl RpcEndpoint {
 /// Pushes the client-side RPC stub frame (Figure 1, left): the top of the
 /// client process's stack while the call is outstanding, with the
 /// information block in a known position.
-fn push_stub_frame(node: &mut Node, pid: Pid, info: Rc<RpcInfoBlock>) {
+fn push_stub_frame(node: &mut Node, pid: Pid, info: Arc<RpcInfoBlock>) {
     if let Some(p) = node.process_mut(pid) {
         if let Some(vm) = p.vm_mut() {
             let proc = vm

@@ -8,7 +8,7 @@
 //! target procedure's signature (the run-time half of "fully
 //! type-checked").
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pilgrim_cclu::{Heap, HeapObject, RecordType, Type, Value};
 use pilgrim_sim::Json;
@@ -23,11 +23,11 @@ pub enum WireValue {
     /// Boolean.
     Bool(bool),
     /// String.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// Record instance (nominal type name + field values).
     Record {
         /// The record's typedef name.
-        type_name: Rc<str>,
+        type_name: Arc<str>,
         /// Field values in declaration order.
         fields: Vec<WireValue>,
     },
@@ -219,7 +219,7 @@ pub fn unmarshal(heap: &mut Heap, w: &WireValue) -> Value {
 
 /// Checks a decoded wire value against a declared type — the receiving
 /// side of the fully type-checked RPC.
-pub fn wire_matches_type(w: &WireValue, ty: &Type, records: &[Rc<RecordType>]) -> bool {
+pub fn wire_matches_type(w: &WireValue, ty: &Type, records: &[Arc<RecordType>]) -> bool {
     match (w, ty) {
         (WireValue::Null, Type::Null) => true,
         (WireValue::Int(_), Type::Int) => true,
@@ -310,19 +310,19 @@ mod tests {
         let int_arr = WireValue::Array(vec![WireValue::Int(1)]);
         assert!(wire_matches_type(
             &int_arr,
-            &Type::Array(Rc::new(Type::Int)),
+            &Type::Array(Arc::new(Type::Int)),
             &[]
         ));
         assert!(!wire_matches_type(
             &int_arr,
-            &Type::Array(Rc::new(Type::Bool)),
+            &Type::Array(Arc::new(Type::Bool)),
             &[]
         ));
         let rec = WireValue::Record {
             type_name: "point".into(),
             fields: vec![WireValue::Int(1), WireValue::Int(2)],
         };
-        let point = Rc::new(RecordType {
+        let point = Arc::new(RecordType {
             name: "point".into(),
             fields: vec![("x".into(), Type::Int), ("y".into(), Type::Int)],
         });
@@ -331,7 +331,7 @@ mod tests {
             &Type::Record(point.clone()),
             std::slice::from_ref(&point)
         ));
-        let wrong = Rc::new(RecordType {
+        let wrong = Arc::new(RecordType {
             name: "point".into(),
             fields: vec![("x".into(), Type::Int), ("y".into(), Type::Bool)],
         });
@@ -347,8 +347,8 @@ mod tests {
         assert!(wire_matches_type(&default_for(&Type::Int), &Type::Int, &[]));
         assert!(wire_matches_type(&default_for(&Type::Str), &Type::Str, &[]));
         assert!(wire_matches_type(
-            &default_for(&Type::Array(Rc::new(Type::Int))),
-            &Type::Array(Rc::new(Type::Int)),
+            &default_for(&Type::Array(Arc::new(Type::Int))),
+            &Type::Array(Arc::new(Type::Int)),
             &[]
         ));
     }

@@ -1,7 +1,7 @@
 //! RPC wire packets, protocol configuration, and the ten-slot cyclic
 //! buffer of recent call outcomes (§4.3).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pilgrim_cclu::RpcProtocol;
 use pilgrim_ring::NodeId;
@@ -36,7 +36,7 @@ pub enum RpcPacket {
         /// unchanged, so one call is one span across the whole network.
         span: u64,
         /// Remote procedure name.
-        proc: Rc<str>,
+        proc: Arc<str>,
         /// Marshalled arguments.
         args: Vec<WireValue>,
         /// Protocol in use.

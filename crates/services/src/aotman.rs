@@ -16,9 +16,8 @@
 //! [`TimeoutStrategy`]; with a debug-aware strategy, a client halted at a
 //! breakpoint keeps its TUIDs (experiment E6).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use pilgrim::World;
 use pilgrim_cclu::{Signature, Type, Value};
@@ -77,7 +76,7 @@ struct AotState {
 /// The authentication manager service.
 #[derive(Debug, Clone)]
 pub struct AotMan {
-    state: Rc<RefCell<AotState>>,
+    state: Arc<Mutex<AotState>>,
     config: AotConfig,
     node: u32,
 }
@@ -85,7 +84,7 @@ pub struct AotMan {
 impl AotMan {
     /// Installs AOTMan on `node` of `world`, registering its RPC handlers.
     pub fn install(world: &mut World, node: u32, config: AotConfig) -> AotMan {
-        let state = Rc::new(RefCell::new(AotState::default()));
+        let state = Arc::new(Mutex::new(AotState::default()));
         let svc = AotMan {
             state: state.clone(),
             config: config.clone(),
@@ -122,18 +121,19 @@ impl AotMan {
 
     /// Strategy counters (status calls, extensions, revocations...).
     pub fn stats(&self) -> StrategyStats {
-        self.state.borrow().stats
+        self.state.lock().unwrap().stats
     }
 
     /// Snapshot of one TUID.
     pub fn tuid(&self, id: u64) -> Option<TuidRecord> {
-        self.state.borrow().tuids.get(&id).cloned()
+        self.state.lock().unwrap().tuids.get(&id).cloned()
     }
 
     /// Is `id` still valid?
     pub fn is_valid(&self, id: u64) -> bool {
         self.state
-            .borrow()
+            .lock()
+            .unwrap()
             .tuids
             .get(&id)
             .map(|t| t.valid)
@@ -142,7 +142,7 @@ impl AotMan {
 
     /// Ids of all TUIDs ever issued.
     pub fn issued(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.state.borrow().tuids.keys().copied().collect();
+        let mut v: Vec<u64> = self.state.lock().unwrap().tuids.keys().copied().collect();
         v.sort_unstable();
         v
     }
@@ -150,14 +150,14 @@ impl AotMan {
 
 /// Hook adapter: the watcher revokes one TUID.
 struct TuidHooks {
-    state: Rc<RefCell<AotState>>,
+    state: Arc<Mutex<AotState>>,
     tuid: u64,
     revoked_at: SimTime,
 }
 
 impl GrantHooks for TuidHooks {
     fn revoke(&mut self) {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         if let Some(t) = s.tuids.get_mut(&self.tuid) {
             t.valid = false;
             t.revoked_at = Some(self.revoked_at);
@@ -165,19 +165,20 @@ impl GrantHooks for TuidHooks {
     }
     fn active(&self) -> bool {
         self.state
-            .borrow()
+            .lock()
+            .unwrap()
             .tuids
             .get(&self.tuid)
             .map(|t| t.valid)
             .unwrap_or(false)
     }
     fn record(&mut self, ev: StrategyEvent) {
-        self.state.borrow_mut().stats.apply(ev);
+        self.state.lock().unwrap().stats.apply(ev);
     }
 }
 
 struct IssueHandler {
-    state: Rc<RefCell<AotState>>,
+    state: Arc<Mutex<AotState>>,
     config: AotConfig,
 }
 
@@ -196,7 +197,7 @@ impl NativeHandler for IssueHandler {
     ) -> Result<Vec<Value>, String> {
         let sem = ctx.node.make_sem(0);
         let tuid = {
-            let mut s = self.state.borrow_mut();
+            let mut s = self.state.lock().unwrap();
             s.next_tuid += 1;
             let id = s.next_tuid;
             s.tuids.insert(
@@ -212,7 +213,7 @@ impl NativeHandler for IssueHandler {
             );
             id
         };
-        let hooks = Rc::new(RefCell::new(TuidHooks {
+        let hooks = Arc::new(Mutex::new(TuidHooks {
             state: self.state.clone(),
             tuid,
             revoked_at: ctx.now,
@@ -244,7 +245,7 @@ impl NativeHandler for IssueHandler {
 }
 
 struct RefreshHandler {
-    state: Rc<RefCell<AotState>>,
+    state: Arc<Mutex<AotState>>,
 }
 
 impl NativeHandler for RefreshHandler {
@@ -258,7 +259,7 @@ impl NativeHandler for RefreshHandler {
     fn handle(&mut self, ctx: &mut HandlerCtx<'_>, args: Vec<Value>) -> Result<Vec<Value>, String> {
         let id = args[0].as_int().ok_or("tuid must be int")? as u64;
         let sem = {
-            let mut s = self.state.borrow_mut();
+            let mut s = self.state.lock().unwrap();
             match s.tuids.get_mut(&id) {
                 Some(t) if t.valid => {
                     t.refreshes += 1;
@@ -278,7 +279,7 @@ impl NativeHandler for RefreshHandler {
 }
 
 struct CheckHandler {
-    state: Rc<RefCell<AotState>>,
+    state: Arc<Mutex<AotState>>,
 }
 
 impl NativeHandler for CheckHandler {
@@ -297,7 +298,8 @@ impl NativeHandler for CheckHandler {
         let id = args[0].as_int().ok_or("tuid must be int")? as u64;
         let valid = self
             .state
-            .borrow()
+            .lock()
+            .unwrap()
             .tuids
             .get(&id)
             .map(|t| t.valid)

@@ -13,9 +13,8 @@
 //! timeouts, so it needs none of the §6 machinery — a useful contrast with
 //! AOTMan and the Resource Manager in the examples.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use pilgrim::World;
 use pilgrim_cclu::{Signature, Type, Value};
@@ -39,14 +38,14 @@ struct NsState {
 /// The name server service.
 #[derive(Debug, Clone)]
 pub struct NameServer {
-    state: Rc<RefCell<NsState>>,
+    state: Arc<Mutex<NsState>>,
     node: u32,
 }
 
 impl NameServer {
     /// Installs the name server on `node` of `world`.
     pub fn install(world: &mut World, node: u32) -> NameServer {
-        let state = Rc::new(RefCell::new(NsState::default()));
+        let state = Arc::new(Mutex::new(NsState::default()));
         let svc = NameServer {
             state: state.clone(),
             node,
@@ -77,7 +76,8 @@ impl NameServer {
     /// Rust-side lookup (for tests and harnesses).
     pub fn resolve(&self, name: &str) -> Option<NodeId> {
         self.state
-            .borrow()
+            .lock()
+            .unwrap()
             .names
             .get(name)
             .map(|n| NodeId(*n as u32))
@@ -85,20 +85,20 @@ impl NameServer {
 
     /// Rust-side registration (service bootstrap).
     pub fn register(&self, name: &str, node: NodeId) {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         s.names.insert(name.to_string(), i64::from(node.0));
         s.registrations += 1;
     }
 
     /// Counters: `(registrations, lookups)`.
     pub fn stats(&self) -> (u64, u64) {
-        let s = self.state.borrow();
+        let s = self.state.lock().unwrap();
         (s.registrations, s.lookups)
     }
 }
 
 struct RegisterHandler {
-    state: Rc<RefCell<NsState>>,
+    state: Arc<Mutex<NsState>>,
 }
 
 impl NativeHandler for RegisterHandler {
@@ -115,7 +115,7 @@ impl NativeHandler for RegisterHandler {
     ) -> Result<Vec<Value>, String> {
         let name = args[0].as_str().ok_or("name must be a string")?.to_string();
         let node = args[1].as_int().ok_or("node must be an int")?;
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         let fresh = !s.names.contains_key(&name);
         if fresh {
             s.names.insert(name, node);
@@ -126,7 +126,7 @@ impl NativeHandler for RegisterHandler {
 }
 
 struct LookupHandler {
-    state: Rc<RefCell<NsState>>,
+    state: Arc<Mutex<NsState>>,
 }
 
 impl NativeHandler for LookupHandler {
@@ -142,7 +142,7 @@ impl NativeHandler for LookupHandler {
         args: Vec<Value>,
     ) -> Result<Vec<Value>, String> {
         let name = args[0].as_str().ok_or("name must be a string")?;
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         s.lookups += 1;
         match s.names.get(name) {
             Some(node) => Ok(vec![Value::Bool(true), Value::Int(*node)]),
@@ -152,7 +152,7 @@ impl NativeHandler for LookupHandler {
 }
 
 struct UnregisterHandler {
-    state: Rc<RefCell<NsState>>,
+    state: Arc<Mutex<NsState>>,
 }
 
 impl NativeHandler for UnregisterHandler {
@@ -168,7 +168,7 @@ impl NativeHandler for UnregisterHandler {
         args: Vec<Value>,
     ) -> Result<Vec<Value>, String> {
         let name = args[0].as_str().ok_or("name must be a string")?;
-        let removed = self.state.borrow_mut().names.remove(name).is_some();
+        let removed = self.state.lock().unwrap().names.remove(name).is_some();
         Ok(vec![Value::Bool(removed)])
     }
 }

@@ -13,9 +13,8 @@
 //! * `rm_renew(resource) returns (ok)` — reset the lease;
 //! * `rm_release(resource) returns (ok)` — give it back.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use pilgrim::World;
 use pilgrim_cclu::{Signature, Type, Value};
@@ -117,7 +116,7 @@ struct RmState {
 /// The Resource Manager service.
 #[derive(Debug, Clone)]
 pub struct ResourceManager {
-    state: Rc<RefCell<RmState>>,
+    state: Arc<Mutex<RmState>>,
     config: RmConfig,
     node: u32,
 }
@@ -125,7 +124,7 @@ pub struct ResourceManager {
 impl ResourceManager {
     /// Installs the manager on `node` of `world`.
     pub fn install(world: &mut World, node: u32, config: RmConfig) -> ResourceManager {
-        let state = Rc::new(RefCell::new(RmState {
+        let state = Arc::new(Mutex::new(RmState {
             free: (0..config.resources).rev().collect(),
             ..Default::default()
         }));
@@ -165,18 +164,19 @@ impl ResourceManager {
 
     /// Strategy counters.
     pub fn stats(&self) -> StrategyStats {
-        self.state.borrow().stats
+        self.state.lock().unwrap().stats
     }
 
     /// The event log, in order.
     pub fn events(&self) -> Vec<(SimTime, RmEvent)> {
-        self.state.borrow().events.clone()
+        self.state.lock().unwrap().events.clone()
     }
 
     /// Current holder of `resource`.
     pub fn holder(&self, resource: u32) -> Option<NodeId> {
         self.state
-            .borrow()
+            .lock()
+            .unwrap()
             .allocations
             .get(&resource)
             .map(|a| a.holder)
@@ -184,12 +184,12 @@ impl ResourceManager {
 
     /// Number of unallocated resources.
     pub fn free_count(&self) -> usize {
-        self.state.borrow().free.len()
+        self.state.lock().unwrap().free.len()
     }
 }
 
 struct AllocHooks {
-    state: Rc<RefCell<RmState>>,
+    state: Arc<Mutex<RmState>>,
     resource: u32,
     epoch: u64,
     at_hint: SimTime,
@@ -197,7 +197,7 @@ struct AllocHooks {
 
 impl GrantHooks for AllocHooks {
     fn revoke(&mut self) {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         let Some(a) = s.allocations.get(&self.resource) else {
             return;
         };
@@ -217,14 +217,15 @@ impl GrantHooks for AllocHooks {
     }
     fn active(&self) -> bool {
         self.state
-            .borrow()
+            .lock()
+            .unwrap()
             .allocations
             .get(&self.resource)
             .map(|a| a.epoch == self.epoch)
             .unwrap_or(false)
     }
     fn record(&mut self, ev: StrategyEvent) {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         s.stats.apply(ev);
         // The contention policy keys off "this allocation has been
         // extended for a debugged holder".
@@ -239,7 +240,7 @@ impl GrantHooks for AllocHooks {
 }
 
 struct RequestHandler {
-    state: Rc<RefCell<RmState>>,
+    state: Arc<Mutex<RmState>>,
     config: RmConfig,
 }
 
@@ -247,7 +248,7 @@ impl RequestHandler {
     fn grant(&self, ctx: &mut HandlerCtx<'_>, resource: u32, epoch: u64) -> Vec<Value> {
         let sem = ctx.node.make_sem(0);
         {
-            let mut s = self.state.borrow_mut();
+            let mut s = self.state.lock().unwrap();
             s.allocations.insert(
                 resource,
                 Allocation {
@@ -265,7 +266,7 @@ impl RequestHandler {
                 },
             ));
         }
-        let hooks = Rc::new(RefCell::new(AllocHooks {
+        let hooks = Arc::new(Mutex::new(AllocHooks {
             state: self.state.clone(),
             resource,
             epoch,
@@ -306,18 +307,18 @@ impl NativeHandler for RequestHandler {
     ) -> Result<Vec<Value>, String> {
         // Epoch = a unique stamp per grant; use the event count.
         let (free, epoch) = {
-            let s = self.state.borrow();
+            let s = self.state.lock().unwrap();
             (s.free.last().copied(), s.events.len() as u64 + 1)
         };
         if let Some(resource) = free {
-            self.state.borrow_mut().free.pop();
+            self.state.lock().unwrap().free.pop();
             return Ok(self.grant(ctx, resource, epoch));
         }
         // Contention (§6.2): preempt a debug-extended allocation held by
         // somebody else.
         if self.config.reclaim_on_contention {
             let victim = {
-                let s = self.state.borrow();
+                let s = self.state.lock().unwrap();
                 s.allocations
                     .iter()
                     .find(|(_, a)| a.extended && a.holder != ctx.caller)
@@ -325,7 +326,7 @@ impl NativeHandler for RequestHandler {
             };
             if let Some((resource, from, sem)) = victim {
                 {
-                    let mut s = self.state.borrow_mut();
+                    let mut s = self.state.lock().unwrap();
                     s.allocations.remove(&resource);
                     s.events.push((
                         ctx.now,
@@ -343,7 +344,8 @@ impl NativeHandler for RequestHandler {
             }
         }
         self.state
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .events
             .push((ctx.now, RmEvent::Denied { to: ctx.caller }));
         Ok(vec![Value::Int(-1)])
@@ -351,7 +353,7 @@ impl NativeHandler for RequestHandler {
 }
 
 struct RenewHandler {
-    state: Rc<RefCell<RmState>>,
+    state: Arc<Mutex<RmState>>,
 }
 
 impl NativeHandler for RenewHandler {
@@ -365,7 +367,7 @@ impl NativeHandler for RenewHandler {
     fn handle(&mut self, ctx: &mut HandlerCtx<'_>, args: Vec<Value>) -> Result<Vec<Value>, String> {
         let r = args[0].as_int().ok_or("resource must be int")? as u32;
         let sem = {
-            let mut s = self.state.borrow_mut();
+            let mut s = self.state.lock().unwrap();
             match s.allocations.get_mut(&r) {
                 Some(a) if a.holder == ctx.caller => {
                     a.extended = false;
@@ -385,7 +387,7 @@ impl NativeHandler for RenewHandler {
 }
 
 struct ReleaseHandler {
-    state: Rc<RefCell<RmState>>,
+    state: Arc<Mutex<RmState>>,
 }
 
 impl NativeHandler for ReleaseHandler {
@@ -399,7 +401,7 @@ impl NativeHandler for ReleaseHandler {
     fn handle(&mut self, ctx: &mut HandlerCtx<'_>, args: Vec<Value>) -> Result<Vec<Value>, String> {
         let r = args[0].as_int().ok_or("resource must be int")? as u32;
         let freed = {
-            let mut s = self.state.borrow_mut();
+            let mut s = self.state.lock().unwrap();
             match s.allocations.get(&r) {
                 Some(a) if a.holder == ctx.caller => {
                     let sem = a.sem;

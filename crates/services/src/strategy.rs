@@ -7,8 +7,7 @@
 //! deadline — unless the client is being debugged, in which case the
 //! strategy decides how to extend, exactly per the paper's pseudocode.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use pilgrim_cclu::{ExecEnv, RpcProtocol, RpcRequest, StepOutcome, SysReply, Value};
 use pilgrim_mayflower::{NativeProcess, SemId};
@@ -88,7 +87,7 @@ impl StrategyStats {
 }
 
 /// What the service does when the watcher decides the grant's fate.
-pub trait GrantHooks {
+pub trait GrantHooks: Send {
     /// Called when the grant is revoked (timeout genuinely expired).
     fn revoke(&mut self);
     /// Is the grant still wanted? (Released grants stop their watcher.)
@@ -100,7 +99,7 @@ pub trait GrantHooks {
 /// A grant watcher: the Figure 3 / Figure 4 loops as a schedulable native
 /// process.
 pub struct Watcher<H: GrantHooks> {
-    hooks: Rc<RefCell<H>>,
+    hooks: Arc<Mutex<H>>,
     name: String,
     sem: SemId,
     client_node: i64,
@@ -142,7 +141,7 @@ impl<H: GrantHooks> Watcher<H> {
     /// `timeout_ms` is the grant lifetime; `tolerance_ms` is the paper's
     /// `clock_tolerance`.
     pub fn new(
-        hooks: Rc<RefCell<H>>,
+        hooks: Arc<Mutex<H>>,
         name: impl Into<String>,
         sem: SemId,
         client_node: i64,
@@ -166,7 +165,7 @@ impl<H: GrantHooks> Watcher<H> {
     }
 
     fn rpc_status(&mut self, env: &mut ExecEnv<'_>) -> SysReply {
-        self.hooks.borrow_mut().record(StrategyEvent::StatusCall);
+        self.hooks.lock().unwrap().record(StrategyEvent::StatusCall);
         env.sys.rpc(RpcRequest {
             proc_name: "get_debuggee_status".into(),
             args: vec![],
@@ -177,7 +176,10 @@ impl<H: GrantHooks> Watcher<H> {
     }
 
     fn rpc_convert(&mut self, env: &mut ExecEnv<'_>, debugger: i64, date: i64) -> SysReply {
-        self.hooks.borrow_mut().record(StrategyEvent::ConvertCall);
+        self.hooks
+            .lock()
+            .unwrap()
+            .record(StrategyEvent::ConvertCall);
         env.sys.rpc(RpcRequest {
             proc_name: "convert_debuggee_time".into(),
             args: vec![Value::Int(date)],
@@ -197,14 +199,14 @@ impl<H: GrantHooks> Watcher<H> {
     }
 
     fn revoke(&mut self) -> Next {
-        let mut h = self.hooks.borrow_mut();
+        let mut h = self.hooks.lock().unwrap();
         h.record(StrategyEvent::Revocation);
         h.revoke();
         Next::Exit
     }
 
     fn extend(&mut self, wait_ms: i64) -> Next {
-        self.hooks.borrow_mut().record(StrategyEvent::Extension);
+        self.hooks.lock().unwrap().record(StrategyEvent::Extension);
         self.start_wait(wait_ms)
     }
 
@@ -215,7 +217,7 @@ impl<H: GrantHooks> Watcher<H> {
     }
 
     fn advance(&mut self, resume: Vec<Value>, env: &mut ExecEnv<'_>) -> Next {
-        if !self.hooks.borrow().active() {
+        if !self.hooks.lock().unwrap().active() {
             return Next::Exit;
         }
         match self.phase {
@@ -250,7 +252,7 @@ impl<H: GrantHooks> Watcher<H> {
                 let signalled = matches!(resume.first(), Some(Value::Bool(true)));
                 if signalled {
                     // Refresh: a whole new timeout episode.
-                    self.hooks.borrow_mut().record(StrategyEvent::Refresh);
+                    self.hooks.lock().unwrap().record(StrategyEvent::Refresh);
                     self.phase = Phase::Init;
                     Next::Continue(vec![])
                 } else {

@@ -15,11 +15,11 @@
 //! of one call from the trace alone, the paper's client/server
 //! call-identifier tables generalized.
 
-use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::json::{escape_into, Json};
 use crate::time::{SimDuration, SimTime};
@@ -951,7 +951,7 @@ fn opt_str(v: Option<u32>) -> String {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct EchoBuffer {
-    buf: Rc<RefCell<Vec<u8>>>,
+    buf: Arc<Mutex<Vec<u8>>>,
 }
 
 impl EchoBuffer {
@@ -962,18 +962,18 @@ impl EchoBuffer {
 
     /// Everything written so far, lossily decoded as UTF-8.
     pub fn contents(&self) -> String {
-        String::from_utf8_lossy(&self.buf.borrow()).into_owned()
+        String::from_utf8_lossy(&self.buf.lock().unwrap()).into_owned()
     }
 
     /// Discards the captured bytes.
     pub fn clear(&self) {
-        self.buf.borrow_mut().clear();
+        self.buf.lock().unwrap().clear();
     }
 }
 
 impl Write for EchoBuffer {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.buf.borrow_mut().extend_from_slice(data);
+        self.buf.lock().unwrap().extend_from_slice(data);
         Ok(data.len())
     }
 
@@ -986,15 +986,17 @@ struct TracerInner {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     /// Echo destination; `None` means stdout.
-    echo_sink: Option<Box<dyn Write>>,
+    echo_sink: Option<Box<dyn Write + Send>>,
 }
 
 struct Shared {
     /// Enabled-category bitmask — the whole cost of a disabled category.
-    mask: Cell<u8>,
-    echo: Cell<bool>,
-    next_span: Cell<u64>,
-    inner: RefCell<TracerInner>,
+    /// Atomic (relaxed) so worker threads stepping nodes can consult the
+    /// filter without locking; on x86 a relaxed load is an ordinary load.
+    mask: AtomicU8,
+    echo: AtomicBool,
+    next_span: AtomicU64,
+    inner: Mutex<TracerInner>,
 }
 
 /// A shared, clonable event recorder.
@@ -1009,16 +1011,16 @@ struct Shared {
 /// ```
 #[derive(Clone)]
 pub struct Tracer {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
 }
 
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.shared.inner.borrow();
+        let inner = self.shared.inner.lock().unwrap();
         f.debug_struct("Tracer")
             .field("events", &inner.events.len())
-            .field("mask", &self.shared.mask.get())
-            .field("echo", &self.shared.echo.get())
+            .field("mask", &self.shared.mask.load(Ordering::Relaxed))
+            .field("echo", &self.shared.echo.load(Ordering::Relaxed))
             .field("capacity", &inner.capacity)
             .finish()
     }
@@ -1041,11 +1043,11 @@ impl Tracer {
     /// event is discarded (in O(1): the buffer is a ring).
     pub fn with_capacity(capacity: usize) -> Tracer {
         Tracer {
-            shared: Rc::new(Shared {
-                mask: Cell::new(TraceCategory::ALL),
-                echo: Cell::new(false),
-                next_span: Cell::new(1),
-                inner: RefCell::new(TracerInner {
+            shared: Arc::new(Shared {
+                mask: AtomicU8::new(TraceCategory::ALL),
+                echo: AtomicBool::new(false),
+                next_span: AtomicU64::new(1),
+                inner: Mutex::new(TracerInner {
                     events: VecDeque::new(),
                     capacity,
                     echo_sink: None,
@@ -1057,46 +1059,46 @@ impl Tracer {
     /// Restricts recording to the given categories.
     pub fn set_filter(&self, categories: &[TraceCategory]) {
         let mask = categories.iter().fold(0u8, |m, c| m | c.bit());
-        self.shared.mask.set(mask);
+        self.shared.mask.store(mask, Ordering::Relaxed);
     }
 
     /// Records all categories again.
     pub fn clear_filter(&self) {
-        self.shared.mask.set(TraceCategory::ALL);
+        self.shared
+            .mask
+            .store(TraceCategory::ALL, Ordering::Relaxed);
     }
 
     /// When `true`, also prints each event to the echo sink (stdout by
     /// default) as it is recorded.
     pub fn set_echo(&self, echo: bool) {
-        self.shared.echo.set(echo);
+        self.shared.echo.store(echo, Ordering::Relaxed);
     }
 
     /// Redirects echoed output to `sink` instead of stdout. Pair with an
     /// [`EchoBuffer`] to capture output in tests or the REPL.
-    pub fn set_echo_writer(&self, sink: Box<dyn Write>) {
-        self.shared.inner.borrow_mut().echo_sink = Some(sink);
+    pub fn set_echo_writer(&self, sink: Box<dyn Write + Send>) {
+        self.shared.inner.lock().unwrap().echo_sink = Some(sink);
     }
 
     /// Restores the default stdout echo destination.
     pub fn clear_echo_writer(&self) {
-        self.shared.inner.borrow_mut().echo_sink = None;
+        self.shared.inner.lock().unwrap().echo_sink = None;
     }
 
-    /// Returns whether `category` is currently recorded — one load and
-    /// mask, no allocation, no `RefCell` borrow. Check this *before*
+    /// Returns whether `category` is currently recorded — one relaxed
+    /// atomic load and mask, no allocation, no lock. Check this *before*
     /// constructing an [`EventKind`] so disabled tracing costs nothing.
     #[inline]
     pub fn wants(&self, category: TraceCategory) -> bool {
-        self.shared.mask.get() & category.bit() != 0
+        self.shared.mask.load(Ordering::Relaxed) & category.bit() != 0
     }
 
     /// Allocates a fresh causal span id. Tracers cloned from the same
     /// root share the counter, so spans are unique across every node of a
     /// world. Never returns id 0 (the wire sentinel for "no span").
     pub fn next_span(&self) -> SpanId {
-        let id = self.shared.next_span.get();
-        self.shared.next_span.set(id + 1);
-        SpanId(id)
+        SpanId(self.shared.next_span.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Records a typed event. The category check is repeated here so
@@ -1114,15 +1116,24 @@ impl Tracer {
         if !self.wants(category) {
             return;
         }
-        let ev = TraceEvent {
+        self.push_event(TraceEvent {
             time,
             category,
             node,
             span,
             kind,
-        };
-        let mut inner = self.shared.inner.borrow_mut();
-        if self.shared.echo.get() {
+        });
+    }
+
+    /// Appends an already-filtered event: echoes and ring-pushes exactly
+    /// like [`emit`](Tracer::emit) but without re-checking the category
+    /// mask. Used when draining per-node trace buffers at a parallel sync
+    /// barrier — the filter was consulted when the event entered the
+    /// buffer, and re-checking would drop events if the filter changed
+    /// mid-window.
+    pub fn push_event(&self, ev: TraceEvent) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if self.shared.echo.load(Ordering::Relaxed) {
             match inner.echo_sink.as_mut() {
                 Some(sink) => {
                     let _ = writeln!(sink, "{ev}");
@@ -1159,36 +1170,44 @@ impl Tracer {
 
     /// Number of currently retained events.
     pub fn len(&self) -> usize {
-        self.shared.inner.borrow().events.len()
+        self.shared.inner.lock().unwrap().events.len()
     }
 
     /// True when no events are retained.
     pub fn is_empty(&self) -> bool {
-        self.shared.inner.borrow().events.is_empty()
+        self.shared.inner.lock().unwrap().events.is_empty()
     }
 
     /// Visits every retained event in order without cloning the ring.
     ///
-    /// The storage sits behind a `RefCell`, so iteration is exposed as an
+    /// The storage sits behind a mutex, so iteration is exposed as an
     /// internal visitor rather than an `Iterator` (which would have to
-    /// either clone, as [`events`](Tracer::events) does, or leak a borrow
+    /// either clone, as [`events`](Tracer::events) does, or leak a lock
     /// guard). `f` must not call back into this tracer.
     pub fn for_each(&self, mut f: impl FnMut(&TraceEvent)) {
-        for ev in &self.shared.inner.borrow().events {
+        for ev in &self.shared.inner.lock().unwrap().events {
             f(ev);
         }
     }
 
     /// A snapshot of every recorded event, in order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.shared.inner.borrow().events.iter().cloned().collect()
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// A snapshot of the events in one category.
     pub fn events_in(&self, category: TraceCategory) -> Vec<TraceEvent> {
         self.shared
             .inner
-            .borrow()
+            .lock()
+            .unwrap()
             .events
             .iter()
             .filter(|e| e.category == category)
@@ -1201,7 +1220,8 @@ impl Tracer {
     pub fn events_for_span(&self, span: SpanId) -> Vec<TraceEvent> {
         self.shared
             .inner
-            .borrow()
+            .lock()
+            .unwrap()
             .events
             .iter()
             .filter(|e| e.span == Some(span))
@@ -1213,7 +1233,8 @@ impl Tracer {
     pub fn saw(&self, needle: &str) -> bool {
         self.shared
             .inner
-            .borrow()
+            .lock()
+            .unwrap()
             .events
             .iter()
             .any(|e| e.message().contains(needle))
@@ -1223,7 +1244,8 @@ impl Tracer {
     pub fn count(&self, needle: &str) -> usize {
         self.shared
             .inner
-            .borrow()
+            .lock()
+            .unwrap()
             .events
             .iter()
             .filter(|e| e.message().contains(needle))
@@ -1233,7 +1255,7 @@ impl Tracer {
     /// The whole retained trace as JSON Lines — one object per event,
     /// newline-terminated, suitable for external tooling.
     pub fn to_jsonl(&self) -> String {
-        let inner = self.shared.inner.borrow();
+        let inner = self.shared.inner.lock().unwrap();
         let mut out = String::with_capacity(inner.events.len() * 96);
         for ev in &inner.events {
             out.push_str(&ev.to_json());
@@ -1244,7 +1266,7 @@ impl Tracer {
 
     /// Discards all recorded events.
     pub fn clear(&self) {
-        self.shared.inner.borrow_mut().events.clear();
+        self.shared.inner.lock().unwrap().events.clear();
     }
 }
 

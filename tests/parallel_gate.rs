@@ -1,0 +1,277 @@
+//! Parallel-stepping determinism gate.
+//!
+//! Parallel stepping is admissible only while it is invisible: every
+//! artifact a debugging session can observe — the JSONL trace, folded
+//! flame stacks, the metrics inventory, the record/replay artifact, and
+//! metric watch trips with their sync indices — must be byte-identical
+//! whether nodes step on one thread or many. The `twin_run` harness runs
+//! each scenario serially and at 2, 4, and 8 worker threads and asserts
+//! exactly that; a property test repeats the comparison over random
+//! seeds, topologies, debugger schedules, and thread counts with
+//! shrinking.
+
+use pilgrim::{
+    twin_run, twin_threads, NetworkConfig, NodeConfig, SimDuration, SimTime, Value, World,
+};
+use pilgrim_mayflower::Node;
+use pilgrim_sim::check::{check_n, choice, ensure, int_range, u64_range, zip_cases, Case, Gen};
+use pilgrim_sim::DetRng;
+
+/// `Node` migrates to worker threads under parallel stepping; this fails
+/// to *compile* if anyone reintroduces non-`Send` state (an `Rc`, a
+/// thread-bound trait object) anywhere in a node's reach.
+#[test]
+fn node_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Node>();
+    assert_send::<Vec<Node>>();
+}
+
+const FANOUT_MAIN: &str = "\
+ping = proc (x: int) returns (int)
+ fail(\"servers implement ping\")
+end
+
+main = proc (rounds: int)
+ total: int := 0
+ for i: int := 1 to rounds do
+  total := total + call ping(i) at 1
+  total := total + call ping(i * 10) at 2
+  total := total + call ping(i * 100) at 3
+ end
+ print(\"total \" || int$unparse(total))
+end";
+
+const SERVER: &str = "\
+ping = proc (x: int) returns (int)
+ print(\"serve \" || int$unparse(x) || \" on \" || int$unparse(my_node()))
+ return (x * 2)
+end";
+
+/// The everything-on scenario: four nodes, cross-node RPC fan-out, VM
+/// profiling, a debugger session with a mid-run halt/resume, and a metric
+/// watchpoint that trips (pinning a sync index). Every artifact family
+/// the harness compares is exercised.
+fn rich_scenario(threads: usize) -> World {
+    let node_cfg = NodeConfig {
+        profile_vm: true,
+        ..NodeConfig::default()
+    };
+    let mut w = World::builder()
+        .nodes(4)
+        .program(FANOUT_MAIN)
+        .program_for(1, SERVER)
+        .program_for(2, SERVER)
+        .program_for(3, SERVER)
+        .node_config(node_cfg)
+        .seed(0xda7a)
+        .step_threads(threads)
+        .build()
+        .expect("rich scenario builds");
+    w.debug_connect(&[0, 1, 2, 3], false).unwrap();
+    w.arm_watch("rpc.completed > 2").unwrap();
+    w.spawn(0, "main", vec![Value::Int(3)]);
+    // Runs until the watchpoint trips...
+    w.run_until_idle(SimTime::from_secs(30));
+    // ...then debugs through the stop and lets the rest drain.
+    let _ = w.debug_halt_all(0);
+    w.run_for(SimDuration::from_millis(5));
+    let _ = w.debug_resume_all();
+    w.run_until_idle(SimTime::from_secs(60));
+    w
+}
+
+#[test]
+fn twin_gate_rich_scenario() {
+    let serial = twin_run("rich_scenario", rich_scenario);
+    assert!(
+        !serial.watch_trips.is_empty(),
+        "scenario must trip its watchpoint or the trip comparison is vacuous"
+    );
+    assert!(
+        serial.folded_stacks.contains("ping"),
+        "profiling must capture the remote procedure"
+    );
+}
+
+/// A lossy network forces retransmissions, exercising the network and
+/// RPC runtime RNGs; their draws all happen in the serial phase of the
+/// pump, so loss patterns must not depend on the thread count.
+fn lossy_scenario(threads: usize) -> World {
+    let net = NetworkConfig {
+        p_silent_loss: 0.08,
+        ..NetworkConfig::default()
+    };
+    let mut w = World::builder()
+        .nodes(4)
+        .program(FANOUT_MAIN)
+        .program_for(1, SERVER)
+        .program_for(2, SERVER)
+        .program_for(3, SERVER)
+        .network(net)
+        .seed(0x1055)
+        .step_threads(threads)
+        .build()
+        .expect("lossy scenario builds");
+    w.spawn(0, "main", vec![Value::Int(4)]);
+    w.run_until_idle(SimTime::from_secs(60));
+    w
+}
+
+#[test]
+fn twin_gate_under_packet_loss() {
+    let serial = twin_run("lossy_scenario", lossy_scenario);
+    assert!(
+        serial.metrics.contains("rpc.completed"),
+        "metrics report must carry RPC counters"
+    );
+}
+
+/// Thread counts beyond the node count must degrade to fewer busy
+/// workers, not to divergence.
+#[test]
+fn more_threads_than_nodes() {
+    twin_run("single_node", |threads| {
+        let mut w = World::builder()
+            .nodes(1)
+            .program(
+                "\
+main = proc (n: int)
+ total: int := 0
+ for i: int := 1 to n do
+  total := total + i
+ end
+ print(int$unparse(total))
+end",
+            )
+            .seed(3)
+            .step_threads(threads)
+            .build()
+            .unwrap();
+        w.spawn(0, "main", vec![Value::Int(50)]);
+        w.run_until_idle(SimTime::from_secs(10));
+        w
+    });
+}
+
+/// The runtime knob mirrors the builder knob and downgrades cleanly.
+#[test]
+fn set_step_threads_reconfigures() {
+    let mut w = World::builder()
+        .nodes(2)
+        .program(FANOUT_MAIN)
+        .program_for(1, SERVER)
+        .build()
+        .unwrap();
+    assert_eq!(w.step_threads(), 1);
+    w.set_step_threads(4);
+    assert_eq!(w.step_threads(), 4);
+    w.set_step_threads(0);
+    assert_eq!(w.step_threads(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Property: serial and parallel runs agree for random scenarios.
+// ---------------------------------------------------------------------
+
+/// One random scenario: topology size, master seed, work amount, worker
+/// thread count, and whether a debugger halts/resumes mid-run.
+#[derive(Debug, Clone)]
+struct Scenario {
+    nodes: i64,
+    seed: u64,
+    iters: i64,
+    threads: usize,
+    with_debug: bool,
+}
+
+struct ScenarioGen;
+
+/// The zipped tuple shape [`ScenarioGen`] assembles before mapping into a
+/// [`Scenario`].
+type RawScenario = ((i64, u64), (i64, (usize, i64)));
+
+impl Gen for ScenarioGen {
+    type Value = Scenario;
+    fn generate(&self, rng: &mut DetRng) -> Case<Scenario> {
+        let nodes = int_range(1, 4).generate(rng);
+        let seed = u64_range(0, u64::MAX).generate(rng);
+        let iters = int_range(1, 5).generate(rng);
+        let threads = choice(twin_threads()).generate(rng);
+        let debug = int_range(0, 1).generate(rng);
+        let pair = zip_cases(
+            zip_cases(nodes, seed),
+            zip_cases(iters, zip_cases(threads, debug)),
+        );
+        pair.map(std::rc::Rc::new(
+            |((n, s), (i, (t, d))): &RawScenario| Scenario {
+                nodes: *n,
+                seed: *s,
+                iters: *i,
+                threads: *t,
+                with_debug: *d == 1,
+            },
+        ))
+    }
+}
+
+fn run_scenario(sc: &Scenario, threads: usize) -> World {
+    let local = "\
+main = proc (n: int)
+ total: int := 0
+ for i: int := 1 to n do
+  total := total + i
+ end
+ print(int$unparse(total))
+end";
+    let remote_main = "\
+ping = proc (x: int) returns (int)
+ fail(\"only node 1 implements ping\")
+end
+
+main = proc (n: int)
+ r: int := call ping(n) at 1
+ print(int$unparse(r))
+end";
+    let mut b = World::builder()
+        .nodes(sc.nodes as u32)
+        .seed(sc.seed)
+        .step_threads(threads)
+        .program(if sc.nodes >= 2 { remote_main } else { local });
+    if sc.nodes >= 2 {
+        b = b.program_for(1, SERVER);
+    }
+    let mut w = b.build().expect("scenario builds");
+    if sc.with_debug {
+        let all: Vec<u32> = (0..sc.nodes as u32).collect();
+        let _ = w.debug_connect(&all, false);
+    }
+    w.spawn(0, "main", vec![Value::Int(sc.iters)]);
+    if sc.with_debug {
+        w.run_for(SimDuration::from_millis(3));
+        let _ = w.debug_halt_all(0);
+        w.run_for(SimDuration::from_millis(5));
+        let _ = w.debug_resume_all();
+    }
+    w.run_until_idle(SimTime::from_secs(30));
+    w
+}
+
+#[test]
+fn prop_parallel_run_matches_serial() {
+    check_n("prop_parallel_run_matches_serial", 20, &ScenarioGen, |sc| {
+        let serial = pilgrim::capture(&run_scenario(sc, 1));
+        let parallel = pilgrim::capture(&run_scenario(sc, sc.threads));
+        ensure(serial.trace == parallel.trace, "trace diverged")?;
+        ensure(
+            serial.folded_stacks == parallel.folded_stacks,
+            "folded stacks diverged",
+        )?;
+        ensure(serial.metrics == parallel.metrics, "metrics diverged")?;
+        ensure(serial.artifact == parallel.artifact, "artifact diverged")?;
+        ensure(
+            serial.watch_trips == parallel.watch_trips,
+            "watch trips diverged",
+        )
+    });
+}

@@ -1,0 +1,106 @@
+//! Parallel-stepping soak: a 64-node ring under packet loss, with
+//! watchpoints armed, driven window-by-window for 200 lockstep windows at
+//! every thread count across a seed sweep — asserting no divergence from
+//! the serial run and no panic anywhere.
+//!
+//! Ignored by default (it steps 64 nodes × 200 windows × 4 modes × 3
+//! seeds); the CI nightly-style job runs it with `--ignored`.
+
+use pilgrim::{twin_threads, NetworkConfig, SimDuration, SimTime, Value, World};
+
+const RING_NODES: u32 = 64;
+const WINDOWS: u64 = 200;
+
+/// Every node runs the same program: `main` pings its ring successor
+/// `rounds` times while serving pings from its predecessor.
+const RING: &str = "\
+ping = proc (x: int) returns (int)
+ return (x + my_node())
+end
+
+main = proc (rounds: int)
+ nxt: int := my_node() + 1
+ if nxt >= 64 then
+  nxt := 0
+ end
+ total: int := 0
+ for i: int := 1 to rounds do
+  total := total + call ping(i) at nxt
+ end
+ print(\"ring \" || int$unparse(my_node()) || \" total \" || int$unparse(total))
+end";
+
+/// Builds the ring, arms watchpoints, spawns a client on every node, and
+/// pumps exactly [`WINDOWS`] lockstep windows (continuing through any
+/// watch-trip halt), then drains to idle.
+fn soak(seed: u64, threads: usize) -> World {
+    let net = NetworkConfig {
+        p_silent_loss: 0.02,
+        p_interface_loss: 0.01,
+        ..NetworkConfig::default()
+    };
+    let mut w = World::builder()
+        .nodes(RING_NODES)
+        .program(RING)
+        .network(net)
+        .seed(seed)
+        .step_threads(threads)
+        .build()
+        .expect("ring builds");
+    // One watch that trips mid-soak (lost packets force retransmissions)
+    // and one that never does: trips must land on the same sync index in
+    // every mode, and armed-but-silent watches must stay silent.
+    w.arm_watch("rpc.retransmits > 3").unwrap();
+    w.arm_watch("rpc.failed > 1000000").unwrap();
+    for node in 0..RING_NODES {
+        w.spawn(node, "main", vec![Value::Int(25)]);
+    }
+    // The builder clamps the lockstep window to the network base latency;
+    // pump in exact window-sized slices so every mode sees the same 200
+    // sync points. `run_for` returns early at a watch trip, so each slice
+    // re-issues the remainder.
+    let window = SimDuration::from_micros(3_308);
+    for _ in 0..WINDOWS {
+        let target = w.now() + window;
+        while w.now() < target {
+            w.run_for(target - w.now());
+        }
+    }
+    w.run_until_idle(SimTime::from_secs(120));
+    w
+}
+
+#[test]
+#[ignore = "soak: 64 nodes x 200 windows x 4 modes x 3 seeds; run via --ignored"]
+fn soak_ring_is_deterministic_across_thread_counts() {
+    for seed in [1u64, 0xbeef, 0x5eed_5eed] {
+        let serial = pilgrim::capture(&soak(seed, 1));
+        assert!(
+            !serial.watch_trips.is_empty(),
+            "seed {seed:#x}: the retransmit watch must trip under loss"
+        );
+        for threads in twin_threads() {
+            let parallel = pilgrim::capture(&soak(seed, threads));
+            assert!(
+                serial.trace == parallel.trace,
+                "seed {seed:#x}: trace diverged at {threads} threads"
+            );
+            assert!(
+                serial.folded_stacks == parallel.folded_stacks,
+                "seed {seed:#x}: folded stacks diverged at {threads} threads"
+            );
+            assert!(
+                serial.metrics == parallel.metrics,
+                "seed {seed:#x}: metrics diverged at {threads} threads"
+            );
+            assert!(
+                serial.artifact == parallel.artifact,
+                "seed {seed:#x}: record artifact diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.watch_trips, parallel.watch_trips,
+                "seed {seed:#x}: watch trips diverged at {threads} threads"
+            );
+        }
+    }
+}

@@ -9,8 +9,8 @@
 //! fail. A property test repeats the round trip over random seeds,
 //! topologies, and stimulus mixes.
 
-use pilgrim::replay::{replay, Artifact};
-use pilgrim::{DebugEvent, SimDuration, SimTime, Value, World};
+use pilgrim::replay::{replay, replay_with_threads, Artifact};
+use pilgrim::{twin_threads, DebugEvent, NodeConfig, SimDuration, SimTime, Value, World};
 use pilgrim_sim::check::{check_n, ensure, int_range, u64_range, zip_cases, Case, Gen};
 use pilgrim_sim::DetRng;
 
@@ -33,11 +33,23 @@ end";
 
 /// The semantics-lock scenario, driven exclusively through recorded APIs.
 fn lock_scenario() -> World {
+    lock_scenario_with(1, false)
+}
+
+/// [`lock_scenario`] with a stepping thread count and optional VM
+/// profiling (profiling makes `record()` embed folded stacks, which the
+/// cross-mode replay tests then verify via `profile_identical`).
+fn lock_scenario_with(threads: usize, profile: bool) -> World {
     let mut w = World::builder()
         .nodes(2)
         .program(NODE0)
         .program_for(1, NODE1)
         .seed(42)
+        .step_threads(threads)
+        .node_config(NodeConfig {
+            profile_vm: profile,
+            ..NodeConfig::default()
+        })
         .build()
         .expect("scenario builds");
     w.debug_connect(&[0, 1], false).unwrap();
@@ -141,6 +153,56 @@ fn truncated_trace_is_reported_as_early_end() {
     let d = report.divergence.expect("truncation must be detected");
     assert_eq!(d.index, kept);
     assert!(d.expected.is_none() && d.actual.is_some());
+}
+
+// ---------------------------------------------------------------------
+// Cross-mode replay: thread count is not part of a world's identity, so
+// recordings must replay byte-identically across stepping modes.
+// ---------------------------------------------------------------------
+
+/// A world recorded under parallel stepping replays identically under
+/// serial stepping, embedded profile included.
+#[test]
+fn parallel_recording_replays_serially() {
+    let world = lock_scenario_with(4, true);
+    assert_eq!(world.step_threads(), 4);
+    let text = world.record().render();
+    drop(world);
+
+    let artifact = Artifact::parse(&text).expect("rendered artifact parses");
+    let report = replay(&artifact).expect("replay runs");
+    assert!(
+        report.divergence.is_none(),
+        "parallel recording diverged under serial replay:\n{}",
+        report.divergence.unwrap().report()
+    );
+    assert!(report.byte_identical);
+    assert_eq!(
+        report.profile_identical,
+        Some(true),
+        "embedded folded-stack profile must survive the mode switch"
+    );
+}
+
+/// A world recorded under serial stepping replays identically at every
+/// parallel thread count, embedded profile included.
+#[test]
+fn serial_recording_replays_in_parallel() {
+    let artifact = lock_scenario_with(1, true).record();
+    for threads in twin_threads() {
+        let report = replay_with_threads(&artifact, threads).expect("replay runs");
+        assert!(
+            report.divergence.is_none(),
+            "serial recording diverged at {threads} threads:\n{}",
+            report.divergence.unwrap().report()
+        );
+        assert!(
+            report.byte_identical,
+            "not byte-identical at {threads} threads"
+        );
+        assert_eq!(report.profile_identical, Some(true));
+        assert_eq!(report.world.step_threads(), threads);
+    }
 }
 
 // ---------------------------------------------------------------------
