@@ -7,6 +7,15 @@
 //! enforced: [`gate_failures`] turns an over-tolerance regression on a
 //! gated benchmark into a CI failure, so the tracing-off hot path cannot
 //! silently absorb observability cost.
+//!
+//! The table reports medians (the honest summary of a run), but the gate
+//! compares the smoke run's *minimum* against the committed *median*: on
+//! shared, single-core CI runners every smoke sample absorbs whatever
+//! the noisy neighbour was doing — interference only ever adds time — so
+//! the fastest of the few smoke samples is the closest observable to the
+//! true cost, while the committed 20-sample median is the baseline's
+//! typical cost. A fresh minimum that still exceeds the old typical by
+//! the tolerance means the whole distribution moved, not the neighbour.
 
 use crate::runner::{fmt_ns, BenchResult};
 
@@ -67,16 +76,30 @@ pub struct Delta {
     pub baseline_ns: Option<u64>,
     /// Fresh median from this run.
     pub fresh_ns: u64,
+    /// Fresh minimum from this run — the gate statistic.
+    pub fresh_min_ns: u64,
 }
 
 impl Delta {
-    /// Signed percent change versus the baseline (positive = slower).
+    /// Signed percent change of the median versus the baseline (positive
+    /// = slower). Drives the trend table.
     pub fn percent(&self) -> Option<f64> {
         let base = self.baseline_ns?;
         if base == 0 {
             return None;
         }
         Some((self.fresh_ns as f64 - base as f64) / base as f64 * 100.0)
+    }
+
+    /// Signed percent change of the fresh *minimum* versus the committed
+    /// *median* (positive = slower). Drives the gate — see the module
+    /// docs for why the gate compares these asymmetric statistics.
+    pub fn gate_percent(&self) -> Option<f64> {
+        let base = self.baseline_ns?;
+        if base == 0 {
+            return None;
+        }
+        Some((self.fresh_min_ns as f64 - base as f64) / base as f64 * 100.0)
     }
 
     /// Human-readable delta column: `+12.3%`, `-40.1%`, or `new` when the
@@ -101,6 +124,7 @@ pub fn diff(baseline: &[Baseline], fresh: &[BenchResult]) -> Vec<Delta> {
                 .find(|b| b.name == r.name)
                 .map(|b| b.median_ns),
             fresh_ns: r.median_ns,
+            fresh_min_ns: r.min_ns,
         })
         .collect()
 }
@@ -122,16 +146,22 @@ pub fn diff(baseline: &[Baseline], fresh: &[BenchResult]) -> Vec<Delta> {
 /// takes the exact pre-pool code path (no buffering, no pool), so the
 /// single-node round-robin and the 8-node serial baseline of the
 /// parallel family must both stay within 3% of the committed numbers.
+/// `world/100k_processes` guards the quiescence-aware pump: its sparse
+/// wake pattern collapses to a full 100-node scan per window if the
+/// activity index stops pruning, so a regression past 3% means the
+/// skip path quietly degraded back to O(nodes).
 pub const GATED: &[(&str, f64)] = &[
     ("world/20_null_rpcs_simulated", 25.0),
     ("obs/trace_off_overhead", 25.0),
     ("node/step_storm", 3.0),
     ("world/1k_processes_round_robin", 3.0),
     ("world/1k_processes_parallel1", 3.0),
+    ("world/100k_processes", 3.0),
 ];
 
-/// One failure line per gated benchmark whose fresh median regressed
-/// past its tolerance. Benchmarks absent from the baseline (`new`) never
+/// One failure line per gated benchmark whose fresh *minimum* exceeds
+/// the committed *median* past its tolerance (see the module docs for
+/// the asymmetry). Benchmarks absent from the baseline (`new`) never
 /// fail the gate — they gain teeth at the next re-baseline.
 pub fn gate_failures(deltas: &[Delta]) -> Vec<String> {
     let mut out = Vec::new();
@@ -139,14 +169,14 @@ pub fn gate_failures(deltas: &[Delta]) -> Vec<String> {
         let Some(d) = deltas.iter().find(|d| &d.name == name) else {
             continue;
         };
-        let Some(p) = d.percent() else {
+        let Some(p) = d.gate_percent() else {
             continue;
         };
         if p > *tolerance {
             out.push(format!(
-                "{name}: {} -> {} ({:+.1}% > +{tolerance:.0}% tolerance)",
+                "{name}: baseline median {} -> fresh min {} ({:+.1}% > +{tolerance:.0}% tolerance)",
                 fmt_ns(d.baseline_ns.unwrap_or(0)),
-                fmt_ns(d.fresh_ns),
+                fmt_ns(d.fresh_min_ns),
                 p,
             ));
         }
@@ -208,6 +238,7 @@ mod tests {
         let fresh = vec![result("a/b", 100), result("x/new", 7)];
         let deltas = diff(&base, &fresh);
         assert_eq!(deltas[0].percent(), Some(-50.0));
+        assert_eq!(deltas[0].gate_percent(), Some(-50.0));
         assert_eq!(deltas[0].describe(), "-50.0%");
         assert_eq!(deltas[1].baseline_ns, None);
         assert_eq!(deltas[1].describe(), "new");
@@ -221,6 +252,7 @@ mod tests {
         }];
         let deltas = diff(&base, &[result("a", 5)]);
         assert_eq!(deltas[0].percent(), None);
+        assert_eq!(deltas[0].gate_percent(), None);
     }
 
     #[test]

@@ -129,10 +129,23 @@ pub fn run_with(name: &str, cfg: &Config, mut f: impl FnMut()) -> BenchResult {
     }
 }
 
+/// Logical cores visible to this process — recorded alongside baselines
+/// so thread-scaling numbers (`world/1k_processes_parallel{N}`) carry the
+/// machine context needed to interpret them.
+pub fn logical_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Renders results as a JSON document (hand-written — no serde in the
-/// hermetic workspace; names are plain ASCII benchmark ids).
+/// hermetic workspace; names are plain ASCII benchmark ids). The
+/// top-level `logical_cores` field records the machine the baseline was
+/// taken on; the comparison gate parses per-benchmark lines only and
+/// ignores it.
 pub fn to_json(results: &[BenchResult]) -> String {
-    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let mut out = format!(
+        "{{\n  \"logical_cores\": {},\n  \"benchmarks\": [\n",
+        logical_cores()
+    );
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \

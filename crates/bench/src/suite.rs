@@ -253,6 +253,67 @@ end";
     })
 }
 
+/// A hundred thousand processes across 100 nodes, each worker sleeping a
+/// node-staggered duration before exiting — at any instant almost every
+/// node is quiescent, which is exactly the regime the activity-index
+/// pump targets: `next` and the step set come from the index in
+/// O(active), not from scanning 100 nodes per window.
+pub fn world_100k_processes(cfg: &Config) -> BenchResult {
+    const PROGRAM: &str = "\
+worker = proc (k: int) returns (int)
+ sleep(k)
+ return (k)
+end
+main = proc (n: int)
+ d: int := 5 + my_node() * 3
+ for i: int := 1 to n do
+  fork worker(d)
+ end
+end";
+    runner::run_with("world/100k_processes", cfg, || {
+        let mut w = World::builder()
+            .nodes(100)
+            .program(PROGRAM)
+            .debugger(false)
+            .build()
+            .unwrap();
+        for node in 0..100 {
+            w.spawn(node, "main", vec![Value::Int(1_000)]);
+        }
+        w.run_until_idle(SimTime::from_secs(60));
+        std::hint::black_box(w.now());
+    })
+}
+
+/// One million process lifecycles: 100 nodes each forking 10k empty
+/// workers. Dominated by spawn churn — process-record construction
+/// (interned `Arc<str>` names, no per-process program clone), run-queue
+/// rotation, and exit reaping — the footprint-sensitive path that has to
+/// stay cheap for the ROADMAP's 1M-process worlds.
+pub fn world_1m_processes_spawn(cfg: &Config) -> BenchResult {
+    const PROGRAM: &str = "\
+worker = proc ()
+end
+main = proc (n: int)
+ for i: int := 1 to n do
+  fork worker()
+ end
+end";
+    runner::run_with("world/1m_processes_spawn", cfg, || {
+        let mut w = World::builder()
+            .nodes(100)
+            .program(PROGRAM)
+            .debugger(false)
+            .build()
+            .unwrap();
+        for node in 0..100 {
+            w.spawn(node, "main", vec![Value::Int(10_000)]);
+        }
+        w.run_until_idle(SimTime::from_secs(600));
+        std::hint::black_box(w.now());
+    })
+}
+
 /// Null-RPC workload shared by the world/ and obs/ benchmarks: `main`
 /// issues `n` sequential empty calls from node 0 to node 1.
 const NULL_RPC_PROGRAM: &str = "\
@@ -363,6 +424,8 @@ pub fn all(cfg: &Config) -> Vec<BenchResult> {
         world_1k_processes_parallel(cfg, 2),
         world_1k_processes_parallel(cfg, 4),
         world_1k_processes_parallel(cfg, 8),
+        world_100k_processes(cfg),
+        world_1m_processes_spawn(cfg),
         world_20_rpcs(cfg),
         trace_off_overhead(cfg),
         trace_on_1k_rpcs(cfg),
@@ -386,10 +449,12 @@ mod tests {
             target_sample: Duration::from_micros(1),
         };
         let results = all(&cfg);
-        assert_eq!(results.len(), 16);
+        assert_eq!(results.len(), 18);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"node/step_storm"));
         assert!(names.contains(&"world/1k_processes_round_robin"));
+        assert!(names.contains(&"world/100k_processes"));
+        assert!(names.contains(&"world/1m_processes_spawn"));
         assert!(names.contains(&"world/1k_processes_parallel1"));
         assert!(names.contains(&"world/1k_processes_parallel4"));
         assert!(names.contains(&"sim/event_queue_cancel_heavy"));

@@ -25,6 +25,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use pilgrim_cclu::{CodeAddr, Fault, FrameKind, Op, ProcId, Signature, Type, Value};
 use pilgrim_mayflower::{Node, Outcall, Pid, ProcBody, RunState, SpawnOpts};
@@ -171,7 +172,7 @@ pub struct Agent {
     breakpoints: Vec<Option<Breakpoint>>,
     halt_since: Option<SimTime>,
     pending_invokes: HashMap<Pid, PendingInvoke>,
-    registry: HashMap<u64, String>,
+    registry: HashMap<u64, Arc<str>>,
     stats: AgentStats,
     tracer: Tracer,
 }

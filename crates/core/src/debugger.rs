@@ -12,6 +12,7 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use pilgrim_cclu::{CodeAddr, Program, Signature, Type, Value};
 use pilgrim_ring::NodeId;
@@ -76,7 +77,7 @@ pub struct Debugger {
     connect_acks: HashSet<NodeId>,
     connect_refusals: HashSet<NodeId>,
     events: VecDeque<DebugEvent>,
-    programs: HashMap<NodeId, Program>,
+    programs: HashMap<NodeId, Arc<Program>>,
     breakpoints: Vec<BreakpointInfo>,
     log: Rc<RefCell<BreakpointLog>>,
     tracer: Tracer,
@@ -129,13 +130,13 @@ impl Debugger {
 
     /// Gives the debugger proper its copy of a node's source-to-object
     /// mapping information (§3).
-    pub fn load_program(&mut self, node: NodeId, program: Program) {
+    pub fn load_program(&mut self, node: NodeId, program: Arc<Program>) {
         self.programs.insert(node, program);
     }
 
     /// The program of `node`, if loaded.
     pub fn program(&self, node: NodeId) -> Option<&Program> {
-        self.programs.get(&node)
+        self.programs.get(&node).map(|p| &**p)
     }
 
     /// The shared breakpoint log (also read by the
@@ -452,7 +453,7 @@ mod tests {
         let mut d = Debugger::new(NodeId(9), Tracer::new());
         let program =
             pilgrim_cclu::compile("main = proc ()\n x: int := 1\n print(x)\nend").unwrap();
-        d.load_program(NodeId(0), program);
+        d.load_program(NodeId(0), Arc::new(program));
         let (name, line) = d.source_position(NodeId(0), 0, 1);
         assert_eq!(name, "main");
         assert_eq!(line, Some(2));

@@ -9,7 +9,9 @@
 //! simulation until the reply packet comes back, so every debugger action
 //! pays its real network cost.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use pilgrim_cclu::{compile, CompileError, Program, Value};
 use pilgrim_mayflower::{Node, NodeConfig, Outcall, Pid, SpawnOpts, UnknownProc};
@@ -367,17 +369,28 @@ impl WorldBuilder {
         };
         let tracer = Tracer::new();
         let metrics = Metrics::new();
+        // Program interning: compile each distinct source once and share
+        // the result as `Arc<Program>` across every node that runs it, so
+        // a 100k-node world holds one compiled program, not 100k deep
+        // clones. Breakpoint planting still works — `Node::program_mut`
+        // copies-on-write, so a patched node forks its own copy while the
+        // rest keep sharing.
+        let empty_program: Arc<Program> = Arc::new(Program::default());
         let default_program = match &self.default_source {
-            Some(src) => Some(compile(src).map_err(|err| BuildError::Compile { node: None, err })?),
+            Some(src) => Some(Arc::new(
+                compile(src).map_err(|err| BuildError::Compile { node: None, err })?,
+            )),
             None => None,
         };
-        let mut programs: Vec<Program> = Vec::new();
+        let mut programs: Vec<Arc<Program>> = Vec::new();
         for i in 0..self.nodes {
             let program = match self.per_node_source.get(&i) {
-                Some(src) => {
-                    compile(src).map_err(|err| BuildError::Compile { node: Some(i), err })?
-                }
-                None => default_program.clone().unwrap_or_default(),
+                Some(src) => Arc::new(
+                    compile(src).map_err(|err| BuildError::Compile { node: Some(i), err })?,
+                ),
+                None => default_program
+                    .clone()
+                    .unwrap_or_else(|| empty_program.clone()),
             };
             programs.push(program);
         }
@@ -393,7 +406,10 @@ impl WorldBuilder {
         let mut endpoints = Vec::new();
         let mut agents: Vec<Option<Agent>> = Vec::new();
         for i in 0..stations {
-            let program = programs.get(i as usize).cloned().unwrap_or_default();
+            let program = programs
+                .get(i as usize)
+                .cloned()
+                .unwrap_or_else(|| empty_program.clone());
             let mut cfg = self.node_cfg.clone();
             cfg.seed ^= self.seed.rotate_left(i % 64);
             nodes.push(Node::new(i, program, cfg, tracer.clone()));
@@ -448,6 +464,17 @@ impl WorldBuilder {
             sync_points: 0,
             watch_halt: false,
             pool: (self.step_threads > 1).then(|| StepPool::new(self.step_threads)),
+            node_next: Vec::new(),
+            node_heap: BinaryHeap::new(),
+            active_nodes: 0,
+            ep_next: Vec::new(),
+            ep_heap: BinaryHeap::new(),
+            active_eps: 0,
+            outcall_flag: Vec::new(),
+            outcall_pending: Vec::new(),
+            index_dirty: true,
+            reference_pump: false,
+            empty_program,
         })
     }
 }
@@ -497,6 +524,36 @@ pub struct World {
     watch_halt: bool,
     /// Worker threads for parallel node stepping; `None` steps serially.
     pool: Option<StepPool>,
+    /// Activity index: cached `Node::next_activity` per station, kept
+    /// exact at every sync point so the pump touches only stations with
+    /// work. `None` = quiescent.
+    node_next: Vec<Option<SimTime>>,
+    /// Lazy min-heap over `(activity time, station)`. Entries may be
+    /// stale; an entry is live iff it matches `node_next` at pop time.
+    node_heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Stations with `node_next[i].is_some()` — O(1) idleness.
+    active_nodes: usize,
+    /// Cached `RpcEndpoint::next_timer` per station.
+    ep_next: Vec<Option<SimTime>>,
+    /// Lazy min-heap twin of `node_heap` for endpoint protocol timers.
+    ep_heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Stations with `ep_next[i].is_some()`.
+    active_eps: usize,
+    /// True while station `i` sits in `outcall_pending`.
+    outcall_flag: Vec<bool>,
+    /// Stations holding undrained outcalls (e.g. `ProcCreated` from a
+    /// spawn onto an otherwise quiescent node); they must be stepped next
+    /// window so the outcall reaches the agent, exactly when the
+    /// full-scan pump would have drained it.
+    outcall_pending: Vec<usize>,
+    /// Set by unindexed mutation paths (`node_mut`, `endpoint_mut`);
+    /// the next pump rebuilds the index from scratch.
+    index_dirty: bool,
+    /// Forces the full-scan reference pump (twin-testing knob).
+    reference_pump: bool,
+    /// Shared empty program; placeholder bodies for nodes lent to the
+    /// worker pool borrow it instead of allocating.
+    empty_program: Arc<Program>,
 }
 
 impl std::fmt::Debug for World {
@@ -651,7 +708,10 @@ impl World {
     }
 
     /// Mutable node access (service setup, direct inspection in tests).
+    /// Invalidates the pump's activity index — the caller may change the
+    /// node's schedule arbitrarily — so the next pump rebuilds it.
     pub fn node_mut(&mut self, i: u32) -> &mut Node {
+        self.index_dirty = true;
         &mut self.nodes[i as usize]
     }
 
@@ -660,8 +720,10 @@ impl World {
         &self.endpoints[i as usize]
     }
 
-    /// Mutable RPC endpoint access (handler registration).
+    /// Mutable RPC endpoint access (handler registration). Invalidates
+    /// the pump's activity index, like [`World::node_mut`].
     pub fn endpoint_mut(&mut self, i: u32) -> &mut RpcEndpoint {
+        self.index_dirty = true;
         &mut self.endpoints[i as usize]
     }
 
@@ -725,7 +787,12 @@ impl World {
             entry: entry.to_string(),
             args: args.clone(),
         });
-        self.nodes[i as usize].spawn(entry, args, SpawnOpts::default())
+        let r = self.nodes[i as usize].spawn(entry, args, SpawnOpts::default());
+        // The spawn made the node runnable (and left a `ProcCreated`
+        // outcall pending) — tell the activity index without forcing a
+        // full rebuild, so mass spawns stay O(1) each.
+        self.refresh_station(i as usize);
+        r
     }
 
     /// Console lines printed on node `i`.
@@ -752,6 +819,7 @@ impl World {
                 break;
             }
         }
+        self.settle_clocks();
     }
 
     /// Advances the world by `d`.
@@ -778,20 +846,63 @@ impl World {
             if self.take_watch_halt() {
                 break;
             }
-            let nodes_idle = self.nodes.iter().all(|n| n.next_activity().is_none());
-            let net_idle = self.net.next_delivery_at().is_none();
-            let timers_idle = self.endpoints.iter_mut().all(|e| e.next_timer().is_none());
-            if nodes_idle && net_idle && timers_idle {
+            // Under the quiescence-aware pump the activity index already
+            // knows whether anything is pending — O(1) instead of the
+            // full node + endpoint rescan the reference pump needs.
+            let idle = if self.skip_pump() {
+                self.active_nodes == 0
+                    && self.net.next_delivery_at().is_none()
+                    && self.active_eps == 0
+            } else {
+                self.nodes.iter_mut().all(|n| n.next_activity().is_none())
+                    && self.net.next_delivery_at().is_none()
+                    && self.endpoints.iter_mut().all(|e| e.next_timer().is_none())
+            };
+            if idle {
                 break;
             }
         }
+        self.settle_clocks();
     }
 
-    /// One pump iteration: pick the next event time, advance every node to
-    /// it, deliver packets, fire protocol timers.
+    /// One pump iteration: pick the next event time, advance every node
+    /// with pending work to it, deliver packets, fire protocol timers.
     fn pump_step(&mut self, limit: SimTime) {
+        if self.skip_pump() {
+            self.pump_step_skip(limit);
+        } else {
+            self.pump_step_reference(limit);
+        }
+    }
+
+    /// True when the quiescence-aware pump drives this world. The E4
+    /// ablation (`freeze_timeouts_on_halt = false`) keeps burning the
+    /// timeouts of debugger-halted processes, whose deadlines are then
+    /// invisible to `next_activity` — only the full scan advances them —
+    /// so that mode stays on the reference pump.
+    fn skip_pump(&self) -> bool {
+        !self.reference_pump && self.recipe.node_cfg.freeze_timeouts_on_halt
+    }
+
+    /// Routes every pump iteration through the full-scan reference loop.
+    /// An execution knob like [`World::set_step_threads`], deliberately
+    /// not journalled: both pumps must produce byte-identical artifacts
+    /// (the pump twin gate enforces exactly that), so the choice is not
+    /// part of the world's identity.
+    pub fn set_reference_pump(&mut self, on: bool) {
+        self.settle_clocks();
+        self.reference_pump = on;
+        self.index_dirty = true;
+    }
+
+    /// The pre-index pump: scan every station for its next event time,
+    /// advance every node, fire every endpoint's timers. O(total
+    /// stations) per window — kept verbatim as the semantic reference the
+    /// quiescence-aware pump is gated against, and as the only correct
+    /// pump for the E4 ablation (see [`World::skip_pump`]).
+    fn pump_step_reference(&mut self, limit: SimTime) {
         let mut next = self.now + self.window;
-        for n in &self.nodes {
+        for n in &mut self.nodes {
             if let Some(t) = n.next_activity() {
                 if t > self.now {
                     next = next.min(t);
@@ -839,6 +950,242 @@ impl World {
         }
     }
 
+    /// The quiescence-aware pump: O(active stations) per window.
+    ///
+    /// The activity index answers both questions the reference pump
+    /// scanned for — "when is the next event?" (heap minimum) and "who
+    /// has work ≤ `next`?" (heap pops). Only those stations are stepped,
+    /// in ascending index order, so the event sequence — and therefore
+    /// every trace byte — matches the reference pump, which also visits
+    /// stations in ascending order and emits nothing for quiescent ones
+    /// (an idle `advance_to` produces no events, a timer-less
+    /// `on_timers` fires nothing). Skipped nodes keep stale clocks;
+    /// they are caught up before anything observes them (delivery
+    /// routing, timer dispatch, or [`World::settle_clocks`] at the end
+    /// of every public run loop).
+    fn pump_step_skip(&mut self, limit: SimTime) {
+        if self.index_dirty {
+            self.rebuild_index();
+        }
+        let now = self.now;
+        let mut next = now + self.window;
+        let mut to_step: Vec<usize> = Vec::new();
+        // Live heap minimum strictly after `now` bounds the window;
+        // entries at or before `now` are backlog and step regardless.
+        while let Some(&Reverse((t, i))) = self.node_heap.peek() {
+            if self.node_next[i] != Some(t) {
+                self.node_heap.pop();
+                continue;
+            }
+            if t > now {
+                next = next.min(t);
+                break;
+            }
+            self.node_heap.pop();
+            to_step.push(i);
+        }
+        if let Some(t) = self.net.next_delivery_at() {
+            if t > now {
+                next = next.min(t);
+            }
+        }
+        while let Some(&Reverse((t, i))) = self.ep_heap.peek() {
+            if self.ep_next[i] != Some(t) {
+                self.ep_heap.pop();
+                continue;
+            }
+            if t > now {
+                next = next.min(t);
+            }
+            break;
+        }
+        let next = next.min(limit);
+
+        // Everything due inside the window joins the step / fire sets.
+        while let Some(&Reverse((t, i))) = self.node_heap.peek() {
+            if self.node_next[i] != Some(t) {
+                self.node_heap.pop();
+                continue;
+            }
+            if t > next {
+                break;
+            }
+            self.node_heap.pop();
+            to_step.push(i);
+        }
+        let mut due_eps: Vec<usize> = Vec::new();
+        while let Some(&Reverse((t, i))) = self.ep_heap.peek() {
+            if self.ep_next[i] != Some(t) {
+                self.ep_heap.pop();
+                continue;
+            }
+            if t > next {
+                break;
+            }
+            self.ep_heap.pop();
+            due_eps.push(i);
+        }
+        let pending = std::mem::take(&mut self.outcall_pending);
+        for &i in &pending {
+            self.outcall_flag[i] = false;
+        }
+        to_step.extend(pending);
+        to_step.sort_unstable();
+        to_step.dedup();
+        due_eps.sort_unstable();
+        due_eps.dedup();
+
+        if self.pool.is_some() && to_step.len() > 1 {
+            self.step_nodes_parallel_subset(&to_step, next);
+        } else {
+            for &i in &to_step {
+                let outcalls = self.nodes[i].advance_to(next);
+                for oc in outcalls {
+                    self.route_outcall(i, oc);
+                }
+            }
+        }
+        let mut touched = to_step;
+
+        let (deliveries, _) = self.net.poll(next);
+        for d in deliveries {
+            let i = d.dst.0 as usize;
+            // The reference pump advanced every node before routing; a
+            // skipped destination must observe the same clock.
+            self.nodes[i].catch_up_clock(next);
+            touched.push(i);
+            self.route_delivery(d.at, d.src, d.dst, d.payload);
+        }
+
+        for &i in &due_eps {
+            self.nodes[i].catch_up_clock(next);
+            self.endpoints[i].on_timers(next, &mut self.nodes[i], &mut AsRpcNet(&mut self.net));
+        }
+        touched.extend_from_slice(&due_eps);
+
+        touched.sort_unstable();
+        touched.dedup();
+        for i in touched {
+            self.refresh_station(i);
+        }
+
+        self.now = next;
+        self.sync_points += 1;
+        if !self.watches.is_empty() {
+            self.check_watches();
+        }
+    }
+
+    /// Rebuilds the activity index from scratch: first pump after build,
+    /// and after any unindexed mutation flagged `index_dirty`.
+    fn rebuild_index(&mut self) {
+        let n = self.nodes.len();
+        self.node_next = vec![None; n];
+        self.ep_next = vec![None; n];
+        self.node_heap.clear();
+        self.ep_heap.clear();
+        self.active_nodes = 0;
+        self.active_eps = 0;
+        self.outcall_flag = vec![false; n];
+        self.outcall_pending.clear();
+        self.index_dirty = false;
+        for i in 0..n {
+            self.refresh_station(i);
+        }
+    }
+
+    /// Re-derives station `i`'s index entries after its node or endpoint
+    /// state may have changed. Caches are exact — `next_activity` and
+    /// `next_timer` shed their own stale entries — so a skipped station's
+    /// cached time is always its true next event time.
+    fn refresh_station(&mut self, i: usize) {
+        if self.index_dirty {
+            return; // the next pump rebuilds everything anyway
+        }
+        let node = self.nodes[i].next_activity();
+        if self.node_next[i].is_some() {
+            self.active_nodes -= 1;
+        }
+        self.node_next[i] = node;
+        if let Some(t) = node {
+            self.active_nodes += 1;
+            self.node_heap.push(Reverse((t, i)));
+        }
+        let ep = self.endpoints[i].next_timer();
+        if self.ep_next[i].is_some() {
+            self.active_eps -= 1;
+        }
+        self.ep_next[i] = ep;
+        if let Some(t) = ep {
+            self.active_eps += 1;
+            self.ep_heap.push(Reverse((t, i)));
+        }
+        if self.nodes[i].has_pending_outcalls() && !self.outcall_flag[i] {
+            self.outcall_flag[i] = true;
+            self.outcall_pending.push(i);
+        }
+    }
+
+    /// Brings every skipped-quiescent node's clock up to the world clock.
+    /// Runs at the end of every public pump loop, so external observers —
+    /// semantics digests read `Node::clock`, reports read scheduler state
+    /// — see exactly what the full-scan pump would have produced.
+    fn settle_clocks(&mut self) {
+        if !self.skip_pump() {
+            return; // the reference pump never lets a clock lag
+        }
+        let now = self.now;
+        for n in &mut self.nodes {
+            n.catch_up_clock(now);
+        }
+    }
+
+    /// Asserts every cached activity/timer entry matches a fresh query
+    /// and every live entry is represented in its heap — the invariants
+    /// the quiescence-aware pump rests on. Test hook; O(stations).
+    #[doc(hidden)]
+    pub fn debug_validate_index(&mut self) {
+        if !self.skip_pump() || self.index_dirty {
+            return;
+        }
+        let mut active_nodes = 0;
+        let mut active_eps = 0;
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i].next_activity();
+            assert_eq!(
+                self.node_next[i], node,
+                "node {i}: cached activity out of sync"
+            );
+            if let Some(t) = node {
+                active_nodes += 1;
+                assert!(
+                    self.node_heap.iter().any(|&Reverse(e)| e == (t, i)),
+                    "node {i}: live activity missing from heap"
+                );
+            }
+            let ep = self.endpoints[i].next_timer();
+            assert_eq!(
+                self.ep_next[i], ep,
+                "endpoint {i}: cached timer out of sync"
+            );
+            if let Some(t) = ep {
+                active_eps += 1;
+                assert!(
+                    self.ep_heap.iter().any(|&Reverse(e)| e == (t, i)),
+                    "endpoint {i}: live timer missing from heap"
+                );
+            }
+            if self.nodes[i].has_pending_outcalls() {
+                assert!(
+                    self.outcall_flag[i],
+                    "node {i}: pending outcalls not flagged"
+                );
+            }
+        }
+        assert_eq!(self.active_nodes, active_nodes, "active node count drifted");
+        assert_eq!(self.active_eps, active_eps, "active endpoint count drifted");
+    }
+
     /// The parallel twin of the serial stepping loop inside
     /// [`pump_step`](World::pump_step): nodes step to the window end on
     /// the worker pool with trace output diverted into per-node buffers,
@@ -857,6 +1204,45 @@ impl World {
         let (nodes, mut outcalls) = pool.step(std::mem::take(&mut self.nodes), next);
         self.nodes = nodes;
         for (i, ocs) in outcalls.iter_mut().enumerate() {
+            for ev in self.nodes[i].take_trace_buffer() {
+                self.tracer.push_event(ev);
+            }
+            for oc in ocs.drain(..) {
+                self.route_outcall(i, oc);
+            }
+        }
+    }
+
+    /// The quiescence-aware twin of [`step_nodes_parallel`]: only the
+    /// active subset travels to the pool. Extracted nodes leave a hollow
+    /// placeholder behind (sharing the world's interned empty program, so
+    /// the swap allocates no program) and return to their slots before
+    /// any routing, preserving the canonical ascending merge order.
+    ///
+    /// [`step_nodes_parallel`]: World::step_nodes_parallel
+    fn step_nodes_parallel_subset(&mut self, to_step: &[usize], next: SimTime) {
+        for &i in to_step {
+            self.nodes[i].begin_trace_buffer();
+        }
+        let batch: Vec<Node> = to_step
+            .iter()
+            .map(|&i| {
+                let hollow = Node::new(
+                    self.nodes[i].id(),
+                    self.empty_program.clone(),
+                    NodeConfig::default(),
+                    Tracer::new(),
+                );
+                std::mem::replace(&mut self.nodes[i], hollow)
+            })
+            .collect();
+        let pool = self.pool.as_ref().expect("parallel stepping needs a pool");
+        let (batch, mut outcalls) = pool.step(batch, next);
+        for (k, node) in batch.into_iter().enumerate() {
+            self.nodes[to_step[k]] = node;
+        }
+        for (k, ocs) in outcalls.iter_mut().enumerate() {
+            let i = to_step[k];
             for ev in self.nodes[i].take_trace_buffer() {
                 self.tracer.push_event(ev);
             }
@@ -1086,6 +1472,12 @@ impl World {
     }
 
     fn debug_connect_inner(&mut self, nodes: &[u32], force: bool) -> Result<SessionId, DebugError> {
+        let r = self.debug_connect_pump(nodes, force);
+        self.settle_clocks();
+        r
+    }
+
+    fn debug_connect_pump(&mut self, nodes: &[u32], force: bool) -> Result<SessionId, DebugError> {
         let dbg = self.debugger.as_mut().ok_or(DebugError::NoDebugger)?;
         let session = dbg.fresh_session();
         let cohort: Vec<NodeId> = nodes.iter().map(|n| NodeId(*n)).collect();
@@ -1170,6 +1562,16 @@ impl World {
         node: u32,
         req: AgentRequest,
     ) -> Result<AgentReply, DebugError> {
+        let r = self.debug_request_pump(node, req);
+        self.settle_clocks();
+        r
+    }
+
+    fn debug_request_pump(
+        &mut self,
+        node: u32,
+        req: AgentRequest,
+    ) -> Result<AgentReply, DebugError> {
         let dbg = self.debugger.as_mut().ok_or(DebugError::NoDebugger)?;
         let session = dbg.session().ok_or(DebugError::NotConnected)?;
         let seq = dbg.next_seq();
@@ -1216,6 +1618,12 @@ impl World {
     }
 
     fn wait_for_stop_inner(&mut self, timeout: SimDuration) -> Result<DebugEvent, DebugError> {
+        let r = self.wait_for_stop_pump(timeout);
+        self.settle_clocks();
+        r
+    }
+
+    fn wait_for_stop_pump(&mut self, timeout: SimDuration) -> Result<DebugEvent, DebugError> {
         let deadline = self.now + timeout;
         loop {
             if let Some(ev) = self
@@ -1342,6 +1750,12 @@ impl World {
     }
 
     fn debug_resume_all_inner(&mut self) -> Result<(), DebugError> {
+        let r = self.debug_resume_all_pump();
+        self.settle_clocks();
+        r
+    }
+
+    fn debug_resume_all_pump(&mut self) -> Result<(), DebugError> {
         let cohort: Vec<u32> = self
             .debugger
             .as_ref()

@@ -492,4 +492,75 @@ mod tests {
         run_until_quiet(&mut n, SimTime::from_secs(60));
         assert_eq!(console_text(&n), vec!["done"]);
     }
+
+    /// `next_activity` must be *exact*, never a conservative lower bound:
+    /// the world's activity index caches it, and a stale-early answer
+    /// would inject a spurious sync point. Halting freezes a sleeper —
+    /// its timer-heap entry goes stale and must be invisible — and
+    /// resuming re-arms the rewritten deadline.
+    #[test]
+    fn next_activity_exact_across_halt_resume() {
+        let mut n = node_with("main = proc ()\n sleep(100)\n print(\"woke\")\nend", 20);
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(10));
+        let deadline = n.next_activity().expect("sleeper arms a deadline");
+        n.halt_all();
+        assert_eq!(n.next_activity(), None, "frozen sleeper must not surface");
+        n.advance_to(SimTime::from_millis(40));
+        n.resume_all();
+        // The deadline shifts by exactly the 30 ms halt duration.
+        assert_eq!(
+            n.next_activity(),
+            Some(deadline + SimDuration::from_millis(30))
+        );
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        assert_eq!(console_text(&n), vec!["woke"]);
+    }
+
+    /// A halt/resume at one instant re-pushes an identical deadline onto
+    /// the lazy timer heap (a duplicate live entry). Expiry must
+    /// deduplicate: the sleeper wakes exactly once.
+    #[test]
+    fn duplicate_timer_entries_wake_once() {
+        let mut n = node_with(
+            "main = proc ()\n s: sem := sem$create(0)\n ok: bool := sem$wait(s, 100)\n\
+             if ok then\n print(\"signalled\")\n else\n print(\"timeout\")\n end\nend",
+            21,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(10));
+        let deadline = n.next_activity().expect("waiter arms a deadline");
+        n.halt_all();
+        n.resume_all(); // zero-length halt: deadline re-armed unchanged
+        assert_eq!(n.next_activity(), Some(deadline));
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        assert_eq!(console_text(&n), vec!["timeout"]);
+    }
+
+    /// `catch_up_clock` is how the world advances a skipped-quiescent
+    /// node: it must jump the clock without scheduling anything, and a
+    /// later deadline must fire at its proper (undisturbed) time.
+    #[test]
+    fn catch_up_clock_preserves_pending_deadline() {
+        let mut n = node_with(
+            "main = proc ()\n s: sem := sem$create(0)\n ok: bool := sem$wait(s, 500)\n\
+             print(\"late \" || int$unparse(now()))\nend",
+            22,
+        );
+        n.spawn("main", vec![], SpawnOpts::default()).unwrap();
+        n.advance_to(SimTime::from_millis(5));
+        assert_eq!(n.clock(), SimTime::from_millis(5));
+        let deadline = n.next_activity().expect("waiter arms a deadline");
+        n.catch_up_clock(SimTime::from_millis(300));
+        assert_eq!(n.clock(), SimTime::from_millis(300));
+        assert_eq!(
+            n.next_activity(),
+            Some(deadline),
+            "catching up must not disturb the armed timeout"
+        );
+        run_until_quiet(&mut n, SimTime::from_secs(1));
+        let out = console_text(&n);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("late 500"), "{out:?}");
+    }
 }

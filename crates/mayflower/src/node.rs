@@ -11,7 +11,9 @@
 //! hits, faults, process lifecycle — is reported back as [`Outcall`]s for
 //! the upper layers (RPC runtime, Pilgrim agent) to handle.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use pilgrim_cclu::{
     CodeAddr, ExecEnv, Fault, Frame, Heap, ProcId, Program, RpcRequest, StepOutcome, SysReply,
@@ -148,8 +150,9 @@ pub enum Outcall {
     ProcCreated {
         /// New process.
         pid: Pid,
-        /// Its name.
-        name: String,
+        /// Its name (shared with the process record and the program's
+        /// debug info).
+        name: Arc<str>,
     },
     /// A process ran to completion (§5.4 deletion hook).
     ProcExited {
@@ -251,7 +254,10 @@ pub struct Node {
     config: NodeConfig,
     clock: SimTime,
     delta: SimDuration,
-    program: Program,
+    /// The compiled program, shared across every node running the same
+    /// source (interning). Breakpoint planting copy-on-writes a private
+    /// copy via [`Node::program_mut`].
+    program: Arc<Program>,
     heap: Heap,
     globals: Vec<Value>,
     /// Slot-addressed process arena. Pids are handed out sequentially from
@@ -272,11 +278,15 @@ pub struct Node {
     outcalls: Vec<Outcall>,
     slice_used: SimDuration,
     halt_marker: Option<SimTime>,
-    /// Conservative earliest timer deadline across eligible processes:
-    /// never later than the true earliest (it may be stale-early after a
-    /// timer is cancelled), so the per-tick expiry check is a single
-    /// comparison instead of a process-table scan.
-    timer_cache: Option<SimTime>,
+    /// Pending timer deadlines as a lazy min-heap of `(deadline, pid)`.
+    /// Entries are pushed when a process blocks with a deadline (and when
+    /// a frozen timeout is re-armed on resume) and validated against the
+    /// process table when inspected: an entry is live only while its
+    /// process still waits on exactly that deadline and is not halted.
+    /// Stale entries (cancelled timers, rewritten deadlines) are popped
+    /// and discarded lazily, so deadline queries cost O(log timers)
+    /// amortised instead of a process-table scan.
+    timers: BinaryHeap<Reverse<(SimTime, Pid)>>,
     /// Total step_process invocations — one add per instruction, read at
     /// sync points by the world's metrics instead of a hot-path counter.
     steps_total: u64,
@@ -333,8 +343,16 @@ impl std::fmt::Debug for Node {
 }
 
 impl Node {
-    /// Creates a node running `program`.
-    pub fn new(id: u32, program: Program, config: NodeConfig, tracer: Tracer) -> Node {
+    /// Creates a node running `program`. Accepts an owned [`Program`] or
+    /// an `Arc<Program>`; worlds pass the latter so every node running
+    /// the same source shares one compiled copy.
+    pub fn new(
+        id: u32,
+        program: impl Into<Arc<Program>>,
+        config: NodeConfig,
+        tracer: Tracer,
+    ) -> Node {
+        let program = program.into();
         let mut heap = Heap::new();
         let mut sems = Vec::new();
         let globals = program
@@ -374,7 +392,7 @@ impl Node {
             outcalls: Vec::new(),
             slice_used: SimDuration::ZERO,
             halt_marker: None,
-            timer_cache: None,
+            timers: BinaryHeap::new(),
             steps_total: 0,
             vm_profile: Vec::new(),
             call_tree: CallTree::new(),
@@ -400,13 +418,26 @@ impl Node {
         self.procs.get_mut(Self::slot(pid))
     }
 
-    /// Folds a new timer deadline into the conservative cache.
+    /// Registers a timer deadline for `pid` in the lazy heap.
     #[inline]
-    fn note_timer(cache: &mut Option<SimTime>, deadline: SimTime) {
-        *cache = Some(match *cache {
-            Some(c) if c <= deadline => c,
-            _ => deadline,
-        });
+    fn note_timer(timers: &mut BinaryHeap<Reverse<(SimTime, Pid)>>, deadline: SimTime, pid: Pid) {
+        timers.push(Reverse((deadline, pid)));
+    }
+
+    /// Classifies heap entry `(t, pid)`: `Some(was_sem)` while it is still
+    /// the live deadline of an unhalted process, `None` when stale.
+    fn timer_entry_kind(&self, t: SimTime, pid: Pid) -> Option<bool> {
+        let p = self.proc_at(pid)?;
+        if p.halted.is_some() {
+            return None;
+        }
+        match &p.state {
+            RunState::Sleeping { until } if *until == t => Some(false),
+            RunState::SemWait {
+                deadline: Some(d), ..
+            } if *d == t => Some(true),
+            _ => None,
+        }
     }
 
     /// The [`TimeLedger`] bucket a process's current state accrues into;
@@ -575,9 +606,18 @@ impl Node {
         &self.program
     }
 
+    /// The shared handle to the compiled program — lets callers check
+    /// interning (`Arc::ptr_eq`) or share it onward without a deep clone.
+    pub fn program_shared(&self) -> &Arc<Program> {
+        &self.program
+    }
+
     /// Mutable program access — the agent's breakpoint-planting path.
+    /// The program is shared across nodes running the same source, so the
+    /// first mutation copy-on-writes this node's private copy: planting a
+    /// breakpoint on one node never perturbs the others.
     pub fn program_mut(&mut self) -> &mut Program {
-        &mut self.program
+        Arc::make_mut(&mut self.program)
     }
 
     /// The shared heap.
@@ -625,20 +665,36 @@ impl Node {
 
     /// Spawns a process running procedure `id`.
     pub fn spawn_proc(&mut self, id: ProcId, args: Vec<Value>, opts: SpawnOpts) -> Pid {
-        let name = opts
-            .name
-            .clone()
-            .unwrap_or_else(|| self.program.proc(id).debug.name.to_string());
+        let name: Arc<str> = match opts.name.as_deref() {
+            Some(n) => Arc::from(n),
+            None => self.proc_name(id),
+        };
         self.insert_process(ProcBody::Vm(VmProcess::spawn(id, args)), name, opts)
     }
 
     /// Spawns a native (Rust state machine) process.
     pub fn spawn_native(&mut self, body: Box<dyn NativeProcess>, opts: SpawnOpts) -> Pid {
-        let name = opts.name.clone().unwrap_or_else(|| body.name().to_string());
-        self.insert_process(ProcBody::Native(body), name, opts)
+        let name: Arc<str> = match opts.name.as_deref() {
+            Some(n) => Arc::from(n),
+            None => Arc::from(body.name()),
+        };
+        self.insert_process(
+            ProcBody::Native {
+                body,
+                resume: Vec::new(),
+            },
+            name,
+            opts,
+        )
     }
 
-    fn insert_process(&mut self, body: ProcBody, name: String, opts: SpawnOpts) -> Pid {
+    /// The interned name of procedure `id` — one shared allocation per
+    /// procedure, reused by every process spawned from it.
+    fn proc_name(&self, id: ProcId) -> Arc<str> {
+        self.program.proc(id).debug.name.clone()
+    }
+
+    fn insert_process(&mut self, body: ProcBody, name: Arc<str>, opts: SpawnOpts) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         let print_redirect = if opts.redirect_output {
@@ -672,7 +728,6 @@ impl Node {
             halt_pending: false,
             no_halt: opts.no_halt,
             priority: opts.priority,
-            resume_values: Vec::new(),
             print_redirect,
             queued: true,
             span: None,
@@ -686,7 +741,7 @@ impl Node {
                 None,
                 EventKind::ProcessSpawned {
                     pid: pid.0,
-                    proc: name.clone(),
+                    proc: name.to_string(),
                 },
             );
         }
@@ -714,7 +769,7 @@ impl Node {
     pub fn process_info(&self, pid: Pid) -> Option<ProcessInfo> {
         self.proc_at(pid).map(|p| ProcessInfo {
             pid,
-            name: p.name.clone(),
+            name: p.name.to_string(),
             state: p.state.clone(),
             halted: p.halted.is_some(),
             no_halt: p.no_halt,
@@ -804,7 +859,7 @@ impl Node {
             }
         }
         if let Some(p) = self.proc_at_mut(pid) {
-            p.state = RunState::Faulted(fault.clone());
+            p.state = RunState::Faulted(Box::new(fault.clone()));
             let at = self.clock;
             self.outcalls.push(Outcall::Fault { pid, fault, at });
         }
@@ -834,7 +889,7 @@ impl Node {
         p.state = RunState::Runnable;
         match &mut p.body {
             ProcBody::Vm(vm) => vm.pending_push.extend(values),
-            ProcBody::Native(_) => p.resume_values.extend(values),
+            ProcBody::Native { resume, .. } => resume.extend(values),
         }
         if !p.queued {
             p.queued = true;
@@ -966,7 +1021,7 @@ impl Node {
                 } => *d = clock + rem,
                 _ => {}
             }
-            Self::note_timer(&mut self.timer_cache, clock + rem);
+            Self::note_timer(&mut self.timers, clock + rem, pid);
         }
         if p.state.is_runnable() {
             self.ensure_queued(pid);
@@ -1067,7 +1122,7 @@ impl Node {
                         ledger.add(bucket, d);
                     }
                 }
-                (p.pid, p.name.clone(), p.span, ledger)
+                (p.pid, p.name.to_string(), p.span, ledger)
             })
             .collect()
     }
@@ -1154,7 +1209,12 @@ impl Node {
 
     /// When this node next needs CPU: now if anything is schedulable, the
     /// earliest timer deadline otherwise, `None` when fully idle.
-    pub fn next_activity(&self) -> Option<SimTime> {
+    ///
+    /// `&mut self` because the lazy timer heap sheds stale entries as a
+    /// side effect. The answer is exact — never conservative — which the
+    /// world's activity index relies on to skip quiescent nodes without
+    /// perturbing the sync-point schedule.
+    pub fn next_activity(&mut self) -> Option<SimTime> {
         if self
             .run_queue
             .iter()
@@ -1165,34 +1225,100 @@ impl Node {
         self.next_deadline()
     }
 
-    fn next_deadline(&self) -> Option<SimTime> {
-        self.procs
-            .iter()
-            .filter(|p| p.halted.is_none())
-            .filter_map(|p| match &p.state {
-                RunState::Sleeping { until } => Some(*until),
-                RunState::SemWait {
-                    deadline: Some(d), ..
-                } => Some(*d),
-                _ => None,
-            })
-            .min()
+    /// The earliest live timer deadline among unhalted processes.
+    fn next_deadline(&mut self) -> Option<SimTime> {
+        if !self.config.freeze_timeouts_on_halt {
+            // E4 ablation: halted waiters still time out, so the expiry
+            // eligibility set differs from this query's (halted processes
+            // never contribute here). Keep the reference scan for this
+            // rarely-used mode rather than double-book the heap.
+            return self
+                .procs
+                .iter()
+                .filter(|p| p.halted.is_none())
+                .filter_map(|p| match &p.state {
+                    RunState::Sleeping { until } => Some(*until),
+                    RunState::SemWait {
+                        deadline: Some(d), ..
+                    } => Some(*d),
+                    _ => None,
+                })
+                .min();
+        }
+        while let Some(&Reverse((t, pid))) = self.timers.peek() {
+            if self.timer_entry_kind(t, pid).is_some() {
+                return Some(t);
+            }
+            // Stale (cancelled, rewritten, or halted-with-frozen-timeout —
+            // the latter re-arms through resume_one, so dropping the old
+            // entry is safe).
+            self.timers.pop();
+        }
+        None
     }
 
     fn expire_timers(&mut self) {
-        // Cheap early-out on the hot scheduling path: the cache is a
-        // conservative lower bound, so nothing can be due when it sits in
-        // the future (or no timer was ever armed).
-        match self.timer_cache {
-            Some(t) if t <= self.clock => {}
+        // Cheap early-out on the hot scheduling path: the heap minimum is
+        // a conservative lower bound (stale entries are only ever early),
+        // so nothing can be due while it sits in the future.
+        match self.timers.peek() {
+            Some(&Reverse((t, _))) if t <= self.clock => {}
             _ => return,
         }
         let clock = self.clock;
-        let freeze = self.config.freeze_timeouts_on_halt;
+        if !self.config.freeze_timeouts_on_halt {
+            self.expire_timers_scan();
+            // The scan fired every due deadline (halted waiters included
+            // in this mode), so entries at or before the clock are all
+            // stale now.
+            while let Some(&Reverse((t, _))) = self.timers.peek() {
+                if t > clock {
+                    break;
+                }
+                self.timers.pop();
+            }
+            return;
+        }
+        let mut due: Vec<(Pid, bool)> = Vec::new();
+        while let Some(&Reverse((t, pid))) = self.timers.peek() {
+            if t > clock {
+                break;
+            }
+            self.timers.pop();
+            if let Some(was_sem) = self.timer_entry_kind(t, pid) {
+                due.push((pid, was_sem));
+            }
+        }
+        // Fire in ascending-pid order — the order a process-table scan
+        // would use — and at most once per process (re-blocking on an
+        // identical deadline can leave duplicate live entries).
+        due.sort_unstable_by_key(|&(pid, _)| pid);
+        due.dedup_by_key(|&mut (pid, _)| pid);
+        for (pid, was_sem) in due {
+            if was_sem {
+                if let Some(RunState::SemWait { sem, .. }) =
+                    self.proc_at(pid).map(|p| p.state.clone())
+                {
+                    if let Some(s) = self.sems.get_mut(sem as usize) {
+                        s.remove_waiter(pid);
+                    }
+                }
+                // A timed-out semaphore wait delivers `false` (§6's Figure
+                // 3/4 algorithms hang off this result).
+                self.wake(pid, vec![Value::Bool(false)]);
+            } else {
+                self.wake(pid, vec![]);
+            }
+        }
+    }
+
+    /// Reference timer expiry for the `!freeze_timeouts_on_halt` ablation:
+    /// a full process-table scan with that mode's wider eligibility.
+    fn expire_timers_scan(&mut self) {
+        let clock = self.clock;
         let due: Vec<(Pid, bool)> = self
             .procs
             .iter()
-            .filter(|p| p.halted.is_none() || !freeze)
             .filter_map(|p| match &p.state {
                 RunState::Sleeping { until } if *until <= clock => Some((p.pid, false)),
                 RunState::SemWait {
@@ -1210,28 +1336,11 @@ impl Node {
                         s.remove_waiter(pid);
                     }
                 }
-                // A timed-out semaphore wait delivers `false` (§6's Figure
-                // 3/4 algorithms hang off this result).
                 self.wake(pid, vec![Value::Bool(false)]);
             } else {
                 self.wake(pid, vec![]);
             }
         }
-        // Re-arm the cache with the exact earliest deadline left among
-        // eligible processes (halted-with-frozen-timeout processes rejoin
-        // via resume_one).
-        self.timer_cache = self
-            .procs
-            .iter()
-            .filter(|p| p.halted.is_none() || !freeze)
-            .filter_map(|p| match &p.state {
-                RunState::Sleeping { until } => Some(*until),
-                RunState::SemWait {
-                    deadline: Some(d), ..
-                } => Some(*d),
-                _ => None,
-            })
-            .min();
     }
 
     fn pick_next(&mut self) -> Option<Pid> {
@@ -1287,6 +1396,34 @@ impl Node {
             }
         }
         std::mem::take(&mut self.outcalls)
+    }
+
+    /// Are outcalls queued that [`advance_to`](Node::advance_to) has not
+    /// yet returned? Deliveries and debugger actions between windows can
+    /// queue outcalls on an otherwise idle node; the world must still
+    /// drive such a node through `advance_to` so they reach the upper
+    /// layers.
+    pub fn has_pending_outcalls(&self) -> bool {
+        !self.outcalls.is_empty()
+    }
+
+    /// Advances the clock of a *provably quiescent* node: nothing is
+    /// schedulable and no timer is due at or before `t`, so this is
+    /// exactly what [`advance_to`](Node::advance_to) would compute — the
+    /// (entirely non-schedulable) run queue drained and the clock jumped
+    /// — minus the window-by-window scans. The world's activity index
+    /// uses it to catch a skipped node up before routing work to it.
+    pub fn catch_up_clock(&mut self, t: SimTime) {
+        if t <= self.clock {
+            return;
+        }
+        let runnable = self.pick_next();
+        debug_assert!(runnable.is_none(), "catch_up_clock on a runnable node");
+        debug_assert!(
+            self.next_deadline().is_none_or(|d| d > t),
+            "catch_up_clock past a due timer"
+        );
+        self.clock = t;
     }
 
     /// Executes exactly one instruction of `pid` (the agent's trace-mode
@@ -1360,7 +1497,6 @@ impl Node {
             block: None,
         };
 
-        let resume = std::mem::take(&mut proc.resume_values);
         let outcome = match &mut proc.body {
             ProcBody::Vm(vm) => {
                 let mut env = ExecEnv {
@@ -1370,18 +1506,18 @@ impl Node {
                     sys: &mut ctx,
                 };
                 // (VM processes receive resume values through pending_push,
-                // set at wake time; `resume` is empty for them.)
-                debug_assert!(resume.is_empty());
+                // set at wake time.)
                 pilgrim_cclu::step(vm, &mut env)
             }
-            ProcBody::Native(native) => {
+            ProcBody::Native { body, resume } => {
+                let resume = std::mem::take(resume);
                 let mut env = ExecEnv {
                     heap: &mut self.heap,
                     program: &self.program,
                     globals: &mut self.globals,
                     sys: &mut ctx,
                 };
-                native.step(resume, &mut env)
+                body.step(resume, &mut env)
             }
         };
 
@@ -1431,11 +1567,11 @@ impl Node {
                 proc.state = block.unwrap_or(RunState::Runnable);
                 match &proc.state {
                     RunState::Sleeping { until } => {
-                        Self::note_timer(&mut self.timer_cache, *until);
+                        Self::note_timer(&mut self.timers, *until, pid);
                     }
                     RunState::SemWait {
                         deadline: Some(d), ..
-                    } => Self::note_timer(&mut self.timer_cache, *d),
+                    } => Self::note_timer(&mut self.timers, *d, pid),
                     _ => {}
                 }
                 if was_trace {
@@ -1493,7 +1629,7 @@ impl Node {
                         },
                     );
                 }
-                proc.state = RunState::Faulted((*fault).clone());
+                proc.state = RunState::Faulted(fault.clone());
                 self.outcalls.push(Outcall::Fault {
                     pid,
                     fault: *fault,
@@ -1522,7 +1658,7 @@ impl Node {
 
         let parent_span = self.procs.get(Self::slot(pid)).and_then(|p| p.span);
         for (new_pid, proc_id, args) in spawns {
-            let name = self.program.proc(proc_id).debug.name.to_string();
+            let name = self.proc_name(proc_id);
             let halted = self.halt_marker.map(|_| HaltInfo {
                 since: self.clock,
                 frozen_remaining: None,
@@ -1540,7 +1676,6 @@ impl Node {
                 halt_pending: false,
                 no_halt: false,
                 priority: 1,
-                resume_values: Vec::new(),
                 print_redirect: None,
                 queued: true,
                 // A forked worker belongs to the same causal activity as
@@ -1556,7 +1691,7 @@ impl Node {
                     parent_span,
                     EventKind::ProcessSpawned {
                         pid: new_pid.0,
-                        proc: name.clone(),
+                        proc: name.to_string(),
                     },
                 );
             }

@@ -8,6 +8,7 @@
 //! (§5.4).
 
 use std::fmt;
+use std::sync::Arc;
 
 use pilgrim_cclu::{CodeAddr, ExecEnv, Fault, StepOutcome, VmProcess};
 use pilgrim_sim::{SimDuration, SimTime, SpanId};
@@ -67,8 +68,9 @@ pub enum RunState {
     /// Stopped after a trace-mode single step (§5.5).
     TraceStopped,
     /// Terminated by a run-time failure; retained for post-mortem
-    /// examination by the debugger.
-    Faulted(Fault),
+    /// examination by the debugger. Boxed: faults are rare, so the common
+    /// states should not pay the fault payload's size.
+    Faulted(Box<Fault>),
     /// Ran to completion.
     Exited,
 }
@@ -128,15 +130,23 @@ pub trait NativeProcess: Send {
 pub enum ProcBody {
     /// A Concurrent CLU VM process.
     Vm(VmProcess),
-    /// A native state machine.
-    Native(Box<dyn NativeProcess>),
+    /// A native state machine, plus the values to hand it when it next
+    /// runs (results of the blocking operation that woke it). VM processes
+    /// carry their resume values inside the VM's pending-push stack, so
+    /// the buffer lives only on the variant that needs it.
+    Native {
+        /// The state machine.
+        body: Box<dyn NativeProcess>,
+        /// Wake-up values for the next `step` call.
+        resume: Vec<pilgrim_cclu::Value>,
+    },
 }
 
 impl fmt::Debug for ProcBody {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProcBody::Vm(vm) => write!(f, "Vm({} frames)", vm.frames.len()),
-            ProcBody::Native(n) => write!(f, "Native({})", n.name()),
+            ProcBody::Native { body, .. } => write!(f, "Native({})", body.name()),
         }
     }
 }
@@ -146,8 +156,10 @@ impl fmt::Debug for ProcBody {
 pub struct Process {
     /// Identifier.
     pub pid: Pid,
-    /// Human-readable name (entry procedure or native name).
-    pub name: String,
+    /// Human-readable name (entry procedure or native name). Interned:
+    /// every process spawned from the same `proc` shares one allocation
+    /// with the program's debug info.
+    pub name: Arc<str>,
     /// The executable body.
     pub body: ProcBody,
     /// Scheduler state.
@@ -164,9 +176,6 @@ pub struct Process {
     pub no_halt: bool,
     /// Scheduling priority (informational; exposed via the §5.4 primitive).
     pub priority: u8,
-    /// Values to hand the process when it next runs (results of the
-    /// blocking operation that woke it).
-    pub resume_values: Vec<pilgrim_cclu::Value>,
     /// Redirect console output into a buffer (agent-invoked print
     /// operations, §3); the buffer is keyed by this token.
     pub print_redirect: Option<u64>,
@@ -190,7 +199,7 @@ impl Process {
     pub fn vm(&self) -> Option<&VmProcess> {
         match &self.body {
             ProcBody::Vm(vm) => Some(vm),
-            ProcBody::Native(_) => None,
+            ProcBody::Native { .. } => None,
         }
     }
 
@@ -198,7 +207,7 @@ impl Process {
     pub fn vm_mut(&mut self) -> Option<&mut VmProcess> {
         match &mut self.body {
             ProcBody::Vm(vm) => Some(vm),
-            ProcBody::Native(_) => None,
+            ProcBody::Native { .. } => None,
         }
     }
 
@@ -246,10 +255,10 @@ mod tests {
         assert!(RunState::Trapped { bp: 0 }.is_stopped_by_debugger());
         assert!(RunState::TraceStopped.is_stopped_by_debugger());
         assert!(RunState::Exited.is_dead());
-        assert!(RunState::Faulted(Fault {
+        assert!(RunState::Faulted(Box::new(Fault {
             kind: pilgrim_cclu::FaultKind::Explicit,
             message: "x".into()
-        })
+        }))
         .is_dead());
         assert!(!RunState::Sleeping {
             until: SimTime::ZERO
@@ -268,7 +277,6 @@ mod tests {
             halt_pending: false,
             no_halt: false,
             priority: 1,
-            resume_values: vec![],
             print_redirect: None,
             queued: false,
             span: None,

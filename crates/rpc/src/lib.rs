@@ -118,7 +118,7 @@ mod tests {
             while self.now < limit {
                 // Next interesting instant.
                 let mut next = self.now + window;
-                for n in &self.nodes {
+                for n in &mut self.nodes {
                     if let Some(t) = n.next_activity() {
                         next = next.min(t.max(self.now));
                     }

@@ -203,15 +203,15 @@ impl Gen for ScenarioGen {
             zip_cases(nodes, seed),
             zip_cases(iters, zip_cases(threads, debug)),
         );
-        pair.map(std::rc::Rc::new(
-            |((n, s), (i, (t, d))): &RawScenario| Scenario {
+        pair.map(std::rc::Rc::new(|((n, s), (i, (t, d))): &RawScenario| {
+            Scenario {
                 nodes: *n,
                 seed: *s,
                 iters: *i,
                 threads: *t,
                 with_debug: *d == 1,
-            },
-        ))
+            }
+        }))
     }
 }
 

@@ -1,0 +1,146 @@
+//! Scale smoke tests for the quiescence-aware pump.
+//!
+//! The ROADMAP's north-star is two orders of magnitude past the 1k-process
+//! macro-bench: these tests actually instantiate those worlds. The smoke
+//! test runs the 100-node × 1k-process sparse-sleep workload (shrunk in
+//! debug builds so plain `cargo test` stays quick; CI runs it again with
+//! `--release` at full size), the memory test measures resident bytes per
+//! live process against a hard ceiling, and the million-process spawn
+//! churn is `#[ignore]`d for the nightly job next to the parallel soak:
+//! `cargo test --release --test scale_smoke -- --ignored`.
+
+use pilgrim::{SimTime, Value, World};
+
+/// Workers sleep a node-staggered duration, so at any instant almost all
+/// of the 100 nodes are quiescent — the skip pump's target regime.
+const SPARSE_SLEEPERS: &str = "\
+worker = proc (k: int) returns (int)
+ sleep(k)
+ return (k)
+end
+main = proc (n: int)
+ d: int := 5 + my_node() * 3
+ for i: int := 1 to n do
+  fork worker(d)
+ end
+end";
+
+/// Workers park on a sleep far past the measurement horizon, keeping
+/// every spawned process alive (stack, frame, timer entry) while resident
+/// memory is read.
+const PARKED_SLEEPERS: &str = "\
+worker = proc ()
+ sleep(600000)
+end
+main = proc (n: int)
+ for i: int := 1 to n do
+  fork worker()
+ end
+end";
+
+/// Empty workers: spawn, run one slice, exit — pure lifecycle churn.
+const CHURN: &str = "\
+worker = proc ()
+end
+main = proc (n: int)
+ for i: int := 1 to n do
+  fork worker()
+ end
+end";
+
+/// Processes per node for the smoke and memory tests. Debug builds step
+/// the VM an order of magnitude slower, so plain `cargo test` runs a
+/// 10k-process world; `--release` (CI's scale-smoke step) runs the full
+/// 100k.
+const PER_NODE: i64 = if cfg!(debug_assertions) { 100 } else { 1_000 };
+
+/// Resident set size of this process, in bytes, from `/proc/self/statm`.
+fn resident_bytes() -> u64 {
+    let statm = std::fs::read_to_string("/proc/self/statm").expect("statm readable");
+    let pages: u64 = statm
+        .split_whitespace()
+        .nth(1)
+        .expect("statm has a resident field")
+        .parse()
+        .expect("resident pages parse");
+    pages * 4096
+}
+
+/// The 100k-process sparse-sleep world (the `world/100k_processes` bench
+/// body) runs to completion and leaves a coherent activity index.
+#[test]
+fn hundred_k_processes_smoke() {
+    let mut w = World::builder()
+        .nodes(100)
+        .program(SPARSE_SLEEPERS)
+        .debugger(false)
+        .build()
+        .unwrap();
+    for node in 0..100 {
+        w.spawn(node, "main", vec![Value::Int(PER_NODE)]);
+    }
+    w.run_until_idle(SimTime::from_secs(60));
+    assert!(
+        w.now() < SimTime::from_secs(60),
+        "sparse sleepers must drain (go idle) within simulated 60s"
+    );
+    assert!(w.now() > SimTime::ZERO);
+    w.debug_validate_index();
+}
+
+/// Live processes must stay cheap: resident growth per parked process is
+/// bounded. The measured release-build number is recorded in
+/// EXPERIMENTS.md; the ceiling here is deliberately loose so allocator
+/// slack and debug layouts never flake the suite.
+#[test]
+fn memory_per_process_bounded() {
+    let before = resident_bytes();
+    let mut w = World::builder()
+        .nodes(100)
+        .program(PARKED_SLEEPERS)
+        .debugger(false)
+        .build()
+        .unwrap();
+    for node in 0..100 {
+        w.spawn(node, "main", vec![Value::Int(PER_NODE)]);
+    }
+    // Long enough simulated time for every fork to run and park; the
+    // parked timers keep the world from going idle, so it runs to the
+    // limit.
+    w.run_until_idle(SimTime::from_secs(1));
+    assert_eq!(
+        w.now(),
+        SimTime::from_secs(1),
+        "parked sleepers must still be pending"
+    );
+    let procs = 100 * PER_NODE as u64;
+    let per_proc = resident_bytes().saturating_sub(before) / procs;
+    println!("memory per live process: {per_proc} bytes ({procs} processes)");
+    assert!(
+        per_proc < 8 * 1024,
+        "{per_proc} bytes per process blows the 8 KiB ceiling"
+    );
+    std::hint::black_box(w.now());
+}
+
+/// One million process lifecycles (the `world/1m_processes_spawn` bench
+/// body). Nightly-only: ~2s in release, far slower in debug.
+#[test]
+#[ignore = "nightly scale test: cargo test --release --test scale_smoke -- --ignored"]
+fn million_process_spawn() {
+    let mut w = World::builder()
+        .nodes(100)
+        .program(CHURN)
+        .debugger(false)
+        .build()
+        .unwrap();
+    for node in 0..100 {
+        w.spawn(node, "main", vec![Value::Int(10_000)]);
+    }
+    w.run_until_idle(SimTime::from_secs(600));
+    assert!(
+        w.now() < SimTime::from_secs(600),
+        "a million empty workers must drain (go idle) well before the limit"
+    );
+    w.debug_validate_index();
+}
