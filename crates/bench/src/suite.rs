@@ -345,19 +345,54 @@ pub fn world_20_rpcs(cfg: &Config) -> BenchResult {
     })
 }
 
-/// The 20-RPC workload with every trace category disabled: what the
-/// observability layer costs when it is switched off. The disabled path
-/// is a single `u8` load-and-mask per potential event, so this should
-/// track `world/20_null_rpcs_simulated` (which runs with tracing on)
-/// from below.
+/// The 20-RPC workload with every trace category disabled — including
+/// the flight recorder's, so this measures the pure switched-off path:
+/// a single atomic load-and-mask per potential event. It should track
+/// `world/20_null_rpcs_simulated` (which runs with tracing on) from
+/// below. `obs/flight_recorder_on` measures the always-on default.
 pub fn trace_off_overhead(cfg: &Config) -> BenchResult {
     runner::run_with("obs/trace_off_overhead", cfg, || {
         let mut w = null_rpc_world();
         w.tracer().set_filter(&[]);
+        w.tracer().set_blackbox_filter(&[]);
         w.spawn(0, "main", vec![Value::Int(20)]);
         w.run_until_idle(SimTime::from_secs(60));
         assert_eq!(w.endpoint(0).stats().completed, 20);
         std::hint::black_box(w.now());
+    })
+}
+
+/// A thousand null RPCs with the main trace off but the flight recorder
+/// on its default mask: what the always-on ring costs over the pure
+/// disabled path — push-time routing plus the bounded-ring eviction.
+pub fn flight_recorder_on(cfg: &Config) -> BenchResult {
+    runner::run_with("obs/flight_recorder_on", cfg, || {
+        let mut w = null_rpc_world();
+        w.tracer().set_filter(&[]);
+        w.spawn(0, "main", vec![Value::Int(1_000)]);
+        w.run_until_idle(SimTime::from_secs(600));
+        assert_eq!(w.endpoint(0).stats().completed, 1_000);
+        assert!(w.tracer().blackbox_len() > 0);
+        std::hint::black_box(w.now());
+    })
+}
+
+/// A thousand null RPCs with the full-resolution time-series store armed:
+/// the per-sync-point sampling sweep over the metrics registry plus the
+/// ring eviction, amortized over a real RPC workload.
+pub fn tsdb_sampling_1k_rpcs(cfg: &Config) -> BenchResult {
+    runner::run_with("obs/tsdb_sampling_1k_rpcs", cfg, || {
+        let mut w = World::builder()
+            .nodes(2)
+            .program(NULL_RPC_PROGRAM)
+            .debugger(false)
+            .tsdb(true)
+            .build()
+            .unwrap();
+        w.spawn(0, "main", vec![Value::Int(1_000)]);
+        w.run_until_idle(SimTime::from_secs(600));
+        assert_eq!(w.endpoint(0).stats().completed, 1_000);
+        std::hint::black_box(w.tsdb_summary().len());
     })
 }
 
@@ -428,6 +463,8 @@ pub fn all(cfg: &Config) -> Vec<BenchResult> {
         world_1m_processes_spawn(cfg),
         world_20_rpcs(cfg),
         trace_off_overhead(cfg),
+        flight_recorder_on(cfg),
+        tsdb_sampling_1k_rpcs(cfg),
         trace_on_1k_rpcs(cfg),
         profile_on_1k_rpcs(cfg),
         watchpoint_armed(cfg),
@@ -449,7 +486,7 @@ mod tests {
             target_sample: Duration::from_micros(1),
         };
         let results = all(&cfg);
-        assert_eq!(results.len(), 18);
+        assert_eq!(results.len(), 20);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"node/step_storm"));
         assert!(names.contains(&"world/1k_processes_round_robin"));
@@ -459,6 +496,8 @@ mod tests {
         assert!(names.contains(&"world/1k_processes_parallel4"));
         assert!(names.contains(&"sim/event_queue_cancel_heavy"));
         assert!(names.contains(&"obs/trace_off_overhead"));
+        assert!(names.contains(&"obs/flight_recorder_on"));
+        assert!(names.contains(&"obs/tsdb_sampling_1k_rpcs"));
         assert!(names.contains(&"obs/trace_on_1k_rpcs"));
         assert!(names.contains(&"obs/profile_on_1k_rpcs"));
         assert!(names.contains(&"obs/watchpoint_armed"));

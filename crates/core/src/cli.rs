@@ -460,6 +460,58 @@ impl DebugCli {
                     Some(d) => format!("DIVERGENCE replaying {path}:\n{}", d.report()),
                 })
             }
+            "tsdb" => {
+                // tsdb                 series inventory
+                // tsdb <metric> [w]    windowed history, w samples/window
+                let Some(metric) = args.first().copied() else {
+                    return Ok(world.tsdb_summary().trim_end().to_string());
+                };
+                let window: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+                Ok(world.tsdb_report(metric, window).trim_end().to_string())
+            }
+            "path" => {
+                let span: u64 = parse(args.first().copied().unwrap_or(""), "span id")?;
+                Ok(world.span_path_report(span).trim_end().to_string())
+            }
+            "slow" => {
+                let k: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(5);
+                Ok(world.slowest_report(k).trim_end().to_string())
+            }
+            "critical" => Ok(world.critical_path_report().trim_end().to_string()),
+            "blackbox" => {
+                // blackbox             flight-recorder status + last auto dump
+                // blackbox dump [path] freeze a snapshot now (print or save)
+                if args.first() == Some(&"dump") {
+                    let snap = world.blackbox_snapshot("manual");
+                    let events = snap.decode_events().map(|e| e.len()).unwrap_or(0);
+                    return Ok(match args.get(1) {
+                        Some(path) => {
+                            std::fs::write(path, snap.render()).map_err(|e| {
+                                DebugError::Source(format!("cannot write {path}: {e}"))
+                            })?;
+                            format!("blackbox: {events} ring events dumped to {path}")
+                        }
+                        None => snap.render().trim_end().to_string(),
+                    });
+                }
+                let mut out = format!(
+                    "flight recorder: {} events in ring (budget {})",
+                    world.tracer().blackbox_len(),
+                    pilgrim_sim::BLACKBOX_CAPACITY,
+                );
+                match world.blackbox_last() {
+                    Some(last) => {
+                        let snap = crate::blackbox::BlackboxSnapshot::parse(last)
+                            .map_err(DebugError::Source)?;
+                        out.push_str(&format!(
+                            "\nlast dump: {} at {} (sync point {})",
+                            snap.reason, snap.at, snap.sync_index
+                        ));
+                    }
+                    None => out.push_str("\nno automatic dump yet"),
+                }
+                Ok(out)
+            }
             "focus" => {
                 let node: u32 = parse(args.first().copied().unwrap_or(""), "node")?;
                 let pid: u64 = parse(args.get(1).copied().unwrap_or(""), "pid")?;
@@ -616,6 +668,13 @@ commands:
   trace [k]              last k trace events (default 10)
   trace span <id>        causal timeline of one span across nodes
   trace call <id>        span timeline of an RPC call, by call id
+  tsdb [metric] [w]      windowed time-series history of a metric; no args
+                         lists the retained series
+  path <span>            causal path to a span with per-segment attribution
+  critical               the causal critical path of the whole trace
+  slow [k]               the k slowest spans by attributed time (default 5)
+  blackbox               flight-recorder status and the last automatic dump
+  blackbox dump [path]   freeze the flight recorder into an artifact now
   record <path>          save the session's replay artifact (recipe+stimuli+trace)
   replay <path>          re-run a recorded artifact and diff the traces
   focus <n> <pid>        set the default process
@@ -706,10 +765,58 @@ console 0",
         let mut cli = DebugCli::new();
         let help = cli.exec(&mut w, "help");
         for c in [
-            "connect", "break", "btd", "diagnose", "invoke", "resume", "stats", "trace",
+            "connect", "break", "btd", "diagnose", "invoke", "resume", "stats", "trace", "tsdb",
+            "path", "critical", "slow", "blackbox",
         ] {
             assert!(help.contains(c), "help missing {c}");
         }
+    }
+
+    #[test]
+    fn tsdb_and_causal_commands_render() {
+        let mut w = World::builder()
+            .nodes(1)
+            .program(PROGRAM)
+            .tsdb(true)
+            .build()
+            .unwrap();
+        let mut cli = DebugCli::new();
+        cli.exec(&mut w, "run 0 main");
+        cli.exec(&mut w, "wait 2000");
+        let summary = cli.exec(&mut w, "tsdb");
+        assert!(summary.contains("samples retained"), "{summary}");
+        let series = cli.exec(&mut w, "tsdb net.sent 4");
+        assert!(series.contains("tsdb counter net.sent"), "{series}");
+        assert!(cli
+            .exec(&mut w, "tsdb no.such.metric")
+            .contains("no series named"));
+        assert!(cli.exec(&mut w, "path 999999").contains("no span 999999"));
+        // A single-node run makes no RPCs, so the span DAG is empty.
+        assert!(cli.exec(&mut w, "slow").contains("no spans in trace"));
+        assert!(cli.exec(&mut w, "critical").contains("critical path"));
+    }
+
+    #[test]
+    fn blackbox_command_reports_and_dumps() {
+        let mut w = world();
+        let mut cli = DebugCli::new();
+        cli.exec(&mut w, "run 0 main");
+        cli.exec(&mut w, "wait 2000");
+        let status = cli.exec(&mut w, "blackbox");
+        assert!(status.contains("flight recorder:"), "{status}");
+        assert!(status.contains("no automatic dump yet"), "{status}");
+        let dumped = cli.exec(&mut w, "blackbox dump");
+        assert!(
+            dumped.contains("\"format\": \"pilgrim-blackbox\""),
+            "{dumped}"
+        );
+        let path = std::env::temp_dir().join("pilgrim-cli-blackbox-test.json");
+        let path = path.to_str().unwrap().to_string();
+        let saved = cli.exec(&mut w, &format!("blackbox dump {path}"));
+        assert!(saved.contains("dumped to"), "{saved}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(crate::blackbox::BlackboxSnapshot::parse(&text).is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod agent;
+pub mod blackbox;
 mod cli;
 mod debugger;
 mod pool;
@@ -70,6 +71,7 @@ pub mod twin;
 mod world;
 
 pub use agent::{Agent, AgentConfig, AgentShared, AgentStats, DebugNet, NOT_DEBUGGED};
+pub use blackbox::BlackboxSnapshot;
 pub use cli::DebugCli;
 pub use debugger::{BreakpointInfo, DebugEvent, Debugger};
 pub use proto::{
@@ -91,6 +93,6 @@ pub use pilgrim_mayflower::{NodeConfig, Pid, RunState, SpawnOpts};
 pub use pilgrim_ring::{Medium, NetworkConfig, NodeId};
 pub use pilgrim_rpc::{RpcConfig, WireValue};
 pub use pilgrim_sim::{
-    Counter, EchoBuffer, EventKind, Gauge, Histogram, Metrics, SimDuration, SimTime, SpanId,
-    TraceCategory, TraceEvent, Tracer,
+    CausalGraph, Counter, EchoBuffer, EventKind, Gauge, Histogram, Metrics, SeriesStore,
+    SimDuration, SimTime, SpanId, SpanProfile, TraceCategory, TraceEvent, Tracer,
 };

@@ -78,6 +78,10 @@ pub struct Recipe {
     pub with_debugger: bool,
     /// Whether agents are linked into the nodes.
     pub with_agents: bool,
+    /// Whether the full-resolution time-series store is armed. Part of
+    /// the recipe so a replayed world samples identically and `tsdb`
+    /// queries reproduce byte-for-byte.
+    pub tsdb: bool,
 }
 
 impl Recipe {
@@ -114,6 +118,7 @@ impl Recipe {
             ("agent", self.agent_cfg.to_json()),
             ("debugger", Json::Bool(self.with_debugger)),
             ("agents", Json::Bool(self.with_agents)),
+            ("tsdb", Json::Bool(self.tsdb)),
         ])
     }
 
@@ -181,6 +186,9 @@ impl Recipe {
                 .get("agents")
                 .and_then(Json::as_bool)
                 .ok_or("recipe: missing `agents`")?,
+            // Absent in artifacts recorded before the time-series store
+            // existed; those worlds ran without it.
+            tsdb: v.get("tsdb").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 
@@ -199,7 +207,8 @@ impl Recipe {
             .node_config(self.node_cfg.clone())
             .agent(self.agent_cfg.clone())
             .debugger(self.with_debugger)
-            .agents(self.with_agents);
+            .agents(self.with_agents)
+            .tsdb(self.tsdb);
         if let Some(src) = &self.default_source {
             b = b.program(src);
         }

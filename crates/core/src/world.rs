@@ -18,10 +18,12 @@ use pilgrim_mayflower::{Node, NodeConfig, Outcall, Pid, SpawnOpts, UnknownProc};
 use pilgrim_ring::{Medium, Network, NetworkConfig, NodeId, TxClass, TxStatus};
 use pilgrim_rpc::{RpcConfig, RpcEndpoint, RpcNet, RpcPacket, WireValue};
 use pilgrim_sim::{
-    EventKind, Metrics, SimDuration, SimTime, SpanId, TraceCategory, Tracer, Watchpoint,
+    CausalGraph, EventKind, Metrics, SeriesStore, SimDuration, SimTime, SpanId, TraceCategory,
+    Tracer, Watchpoint,
 };
 
 use crate::agent::{Agent, AgentConfig, DebugNet};
+use crate::blackbox::BlackboxSnapshot;
 use crate::debugger::{BreakpointInfo, DebugEvent, Debugger};
 use crate::pool::StepPool;
 use crate::proto::{
@@ -228,6 +230,7 @@ pub struct WorldBuilder {
     with_debugger: bool,
     with_agents: bool,
     step_threads: usize,
+    tsdb: bool,
 }
 
 impl Default for WorldBuilder {
@@ -245,6 +248,7 @@ impl Default for WorldBuilder {
             with_debugger: true,
             with_agents: true,
             step_threads: 1,
+            tsdb: false,
         }
     }
 }
@@ -326,6 +330,17 @@ impl WorldBuilder {
         self
     }
 
+    /// Arm the full-resolution time-series store: sample every registered
+    /// metric at every sync point into bounded delta-encoded rings
+    /// (default false). Part of the reproduction [`Recipe`] — a replayed
+    /// world must sample at the same points to render identical `tsdb`
+    /// output. A coarse always-on store feeds the flight recorder
+    /// regardless of this knob.
+    pub fn tsdb(mut self, on: bool) -> Self {
+        self.tsdb = on;
+        self
+    }
+
     /// Number of worker threads used to step nodes between sync points
     /// (default 1 = serial, no pool). A runtime execution knob, not part
     /// of the world's identity: it is deliberately excluded from the
@@ -366,6 +381,7 @@ impl WorldBuilder {
             agent_cfg: self.agent_cfg.clone(),
             with_debugger: self.with_debugger,
             with_agents: self.with_agents,
+            tsdb: self.tsdb,
         };
         let tracer = Tracer::new();
         let metrics = Metrics::new();
@@ -475,6 +491,11 @@ impl WorldBuilder {
             index_dirty: true,
             reference_pump: false,
             empty_program,
+            tsdb: self
+                .tsdb
+                .then(|| SeriesStore::new(TSDB_FULL_INTERVAL, TSDB_FULL_BUDGET)),
+            coarse: SeriesStore::new(TSDB_COARSE_INTERVAL, TSDB_COARSE_BUDGET),
+            blackbox_last: None,
         })
     }
 }
@@ -554,7 +575,26 @@ pub struct World {
     /// Shared empty program; placeholder bodies for nodes lent to the
     /// worker pool borrow it instead of allocating.
     empty_program: Arc<Program>,
+    /// Full-resolution time-series store, armed by [`WorldBuilder::tsdb`]:
+    /// samples every metric at every sync point.
+    tsdb: Option<SeriesStore>,
+    /// Coarse always-on store: one sample every
+    /// [`TSDB_COARSE_INTERVAL`] sync points, feeding the flight recorder.
+    coarse: SeriesStore,
+    /// Rendered artifact of the most recent automatic flight-recorder
+    /// snapshot (watch trip or maybe-call diagnosis).
+    blackbox_last: Option<String>,
 }
+
+/// Sampling cadence of the full-resolution store: every sync point.
+const TSDB_FULL_INTERVAL: u64 = 1;
+/// Ring budget (windows per series) of the full-resolution store.
+const TSDB_FULL_BUDGET: usize = 4096;
+/// Sampling cadence of the always-on coarse store.
+const TSDB_COARSE_INTERVAL: u64 = 64;
+/// Ring budget of the always-on coarse store — small enough that the
+/// dormant-path cost stays inside the `node/step_storm` 3% gate.
+const TSDB_COARSE_BUDGET: usize = 64;
 
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -643,6 +683,31 @@ impl World {
                 .set(n.steps_total() as i64);
         }
         let mut out = self.metrics.report();
+        // Per-node breakdown of the world-global net.*/rpc.* counters:
+        // sends, NACKs, and losses attributed to the source station,
+        // deliveries to the destination. All-zero stations are skipped so
+        // a 100k-node report stays proportional to the active set.
+        for i in 0..self.nodes.len() as u32 {
+            let s = self.net.station_stats(NodeId(i));
+            if s == pilgrim_ring::NetStats::default() {
+                continue;
+            }
+            out.push_str(&format!(
+                "net node{i}: sent {} delivered {} nacked {} lost {} bytes {}\n",
+                s.sent, s.delivered, s.nacked, s.silently_lost, s.bytes_sent
+            ));
+        }
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            let s = ep.stats();
+            if s.started == 0 && s.served == 0 && s.failed == 0 && s.retransmits == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "rpc node{i}: started {} completed {} failed {} retransmits {} served {}\n",
+                s.started, s.completed, s.failed, s.retransmits, s.served
+            ));
+        }
+        out.push_str(&self.tsdb_summary());
         for n in &self.nodes {
             for (proc, instrs, cost_us) in n.vm_profile() {
                 out.push_str(&format!(
@@ -696,6 +761,75 @@ impl World {
             }
         }
         out
+    }
+
+    /// The active time-series store: the full-resolution store when the
+    /// world was built with [`WorldBuilder::tsdb`], otherwise the coarse
+    /// always-on store that feeds the flight recorder.
+    fn tsdb_store(&self) -> &SeriesStore {
+        self.tsdb.as_ref().unwrap_or(&self.coarse)
+    }
+
+    /// Renders one metric's windowed history: per-window deltas and rates
+    /// for counters, min/mean/max for gauges, count/mean/percentiles for
+    /// histograms. `window` selects how many sync-point samples each
+    /// rendered window aggregates.
+    pub fn tsdb_report(&self, metric: &str, window: usize) -> String {
+        self.tsdb_store().render(metric, window)
+    }
+
+    /// One-line-per-series inventory of the active time-series store.
+    pub fn tsdb_summary(&self) -> String {
+        self.tsdb_store().summary()
+    }
+
+    /// Reconstructs the span DAG from the trace and renders the causal
+    /// path of one span: its chain of parents down to the span itself,
+    /// each with per-segment time attribution.
+    pub fn span_path_report(&self, span: u64) -> String {
+        CausalGraph::from_events(&self.tracer.events()).render_path(span)
+    }
+
+    /// Renders the causal critical path — the root-to-leaf chain with
+    /// the largest total simulated time.
+    pub fn critical_path_report(&self) -> String {
+        CausalGraph::from_events(&self.tracer.events()).render_critical()
+    }
+
+    /// Renders the `k` slowest spans by total attributed time.
+    pub fn slowest_report(&self, k: usize) -> String {
+        CausalGraph::from_events(&self.tracer.events()).render_slowest(k)
+    }
+
+    /// Freezes the flight recorder into a snapshot: the metrics inventory
+    /// right now, the coarse store's retained windows, and the
+    /// recent-event ring the tracer keeps even with full tracing off.
+    ///
+    /// Deliberately reads `Metrics::report`, not
+    /// [`World::observability_report`]: the latter lazily registers
+    /// per-node scheduler gauges, and a mid-run registration would change
+    /// which series later sync points sample — diverging a live run from
+    /// its replay.
+    pub fn blackbox_snapshot(&self, reason: &str) -> BlackboxSnapshot {
+        BlackboxSnapshot {
+            reason: reason.to_string(),
+            at: self.now,
+            sync_index: self.sync_points,
+            metrics: self.metrics.report(),
+            windows: self.coarse.summary(),
+            events: self.tracer.blackbox_jsonl(),
+        }
+    }
+
+    /// Takes a snapshot and remembers it as the most recent dump.
+    fn snap_blackbox(&mut self, reason: &str) {
+        self.blackbox_last = Some(self.blackbox_snapshot(reason).render());
+    }
+
+    /// The rendered artifact of the most recent automatic flight-recorder
+    /// dump (watch trip or maybe-call diagnosis), if any.
+    pub fn blackbox_last(&self) -> Option<&str> {
+        self.blackbox_last.as_deref()
     }
 
     /// Immutable node access.
@@ -945,6 +1079,7 @@ impl World {
 
         self.now = next;
         self.sync_points += 1;
+        self.sample_tsdb();
         if !self.watches.is_empty() {
             self.check_watches();
         }
@@ -1071,9 +1206,22 @@ impl World {
 
         self.now = next;
         self.sync_points += 1;
+        self.sample_tsdb();
         if !self.watches.is_empty() {
             self.check_watches();
         }
+    }
+
+    /// Samples the metrics registry into the time-series stores. Runs at
+    /// the tail of both pumps — after the clock advance, before the watch
+    /// check — so serial, parallel, and replayed runs sample at identical
+    /// sync points and render byte-identical `tsdb` output.
+    fn sample_tsdb(&mut self) {
+        let now = self.now;
+        if let Some(store) = &mut self.tsdb {
+            store.on_sync(now, &self.metrics);
+        }
+        self.coarse.on_sync(now, &self.metrics);
     }
 
     /// Rebuilds the activity index from scratch: first pump after build,
@@ -1274,6 +1422,7 @@ impl World {
     /// the sync point just completed. The first trip wins deterministically
     /// (arm order); tripped watches never re-fire.
     fn check_watches(&mut self) {
+        let mut first_new_trip: Option<String> = None;
         for i in 0..self.watches.len() {
             if self.watches[i].trip.is_some() {
                 continue;
@@ -1299,6 +1448,9 @@ impl World {
             let expr = self.watches[i].watch.expr();
             self.watches[i].trip = Some(trip);
             self.watch_halt = true;
+            if first_new_trip.is_none() {
+                first_new_trip = Some(expr.clone());
+            }
             if self.tracer.wants(TraceCategory::Debug) {
                 self.tracer.emit(
                     self.now,
@@ -1308,6 +1460,11 @@ impl World {
                     EventKind::WatchTripped { expr, value },
                 );
             }
+        }
+        // One dump per sync point, after every trip of the batch has
+        // emitted its event, so the ring carries the full picture.
+        if let Some(expr) = first_new_trip {
+            self.snap_blackbox(&format!("watch {expr}"));
         }
     }
 
@@ -2099,6 +2256,14 @@ impl World {
                             kind,
                         );
                     }
+                    // A confirmed packet loss is exactly what the flight
+                    // recorder exists for: dump the recent past now,
+                    // while the ring still holds the lost call's wake.
+                    let reason = match diagnosis {
+                        MaybeDiagnosis::LostCall => "maybe-lost-call",
+                        _ => "maybe-lost-reply",
+                    };
+                    self.snap_blackbox(&format!("{reason} call#{call_id}"));
                 }
                 Ok(diagnosis)
             }

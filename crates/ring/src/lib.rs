@@ -285,6 +285,9 @@ pub struct Network<P> {
     rng: DetRng,
     forced_drops: HashMap<(NodeId, NodeId), u32>,
     stats: NetStats,
+    /// Per-station counters: sends/NACKs/losses attributed to the source
+    /// station, deliveries to the destination. Indexed by `NodeId`.
+    per_station: Vec<NetStats>,
     tracer: Option<Tracer>,
     meters: Option<NetMeters>,
 }
@@ -306,6 +309,7 @@ impl<P> Network<P> {
             rng,
             forced_drops: HashMap::new(),
             stats: NetStats::default(),
+            per_station: vec![NetStats::default(); nodes as usize],
             tracer: None,
             meters: None,
         }
@@ -337,6 +341,13 @@ impl<P> Network<P> {
     /// Activity counters.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// One station's counters: sends, NACKs, and silent losses are
+    /// attributed to the *source* station, deliveries to the
+    /// *destination*.
+    pub fn station_stats(&self, node: NodeId) -> NetStats {
+        self.per_station[node.0 as usize]
     }
 
     /// Marks a node's interface up or down (a crashed node refuses
@@ -444,6 +455,8 @@ impl<P> Network<P> {
         assert!((dst.0 as usize) < self.stations.len(), "unknown dst {dst}");
         self.stats.sent += 1;
         self.stats.bytes_sent += bytes as u64;
+        self.per_station[src.0 as usize].sent += 1;
+        self.per_station[src.0 as usize].bytes_sent += bytes as u64;
         if let Some(m) = &self.meters {
             m.sent.inc();
             m.bytes_sent.add(bytes as u64);
@@ -474,6 +487,7 @@ impl<P> Network<P> {
             match self.config.medium {
                 Medium::CambridgeRing => {
                     self.stats.nacked += 1;
+                    self.per_station[src.0 as usize].nacked += 1;
                     if let Some(m) = &self.meters {
                         m.nacked.inc();
                     }
@@ -526,6 +540,7 @@ impl<P> Network<P> {
         traced: bool,
     ) {
         self.stats.silently_lost += 1;
+        self.per_station[src.0 as usize].silently_lost += 1;
         if let Some(m) = &self.meters {
             m.silently_lost.inc();
         }
@@ -555,6 +570,7 @@ impl<P> Network<P> {
         let traced = self.wants_net();
         while let Some((_, d)) = self.queue.pop_due(now) {
             self.stats.delivered += 1;
+            self.per_station[d.dst.0 as usize].delivered += 1;
             if let Some(m) = &self.meters {
                 m.delivered.inc();
             }
@@ -598,6 +614,9 @@ impl<P: Clone> Network<P> {
         self.stats.sent += 1;
         self.stats.broadcasts += 1;
         self.stats.bytes_sent += bytes as u64;
+        self.per_station[src.0 as usize].sent += 1;
+        self.per_station[src.0 as usize].broadcasts += 1;
+        self.per_station[src.0 as usize].bytes_sent += bytes as u64;
         if let Some(m) = &self.meters {
             m.sent.inc();
             m.bytes_sent.add(bytes as u64);
@@ -670,6 +689,27 @@ mod tests {
 
     fn net(cfg: NetworkConfig) -> Network<u32> {
         Network::new(cfg, 4)
+    }
+
+    #[test]
+    fn per_station_stats_attribute_by_direction() {
+        let mut n = net(NetworkConfig::default());
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 7, 32);
+        n.send(SimTime::ZERO, NodeId(2), NodeId(1), 8, 64);
+        let (got, _) = n.poll(SimTime::from_secs(1));
+        assert_eq!(got.len(), 2);
+        let s0 = n.station_stats(NodeId(0));
+        assert_eq!((s0.sent, s0.bytes_sent, s0.delivered), (1, 32, 0));
+        let s1 = n.station_stats(NodeId(1));
+        assert_eq!((s1.sent, s1.delivered), (0, 2), "deliveries land on dst");
+        let s2 = n.station_stats(NodeId(2));
+        assert_eq!((s2.sent, s2.bytes_sent), (1, 64));
+        // NACKs are charged to the sender.
+        n.set_up(NodeId(3), false);
+        let st = n.send(SimTime::ZERO, NodeId(0), NodeId(3), 9, 32);
+        assert_eq!(st, TxStatus::Nack);
+        assert_eq!(n.station_stats(NodeId(0)).nacked, 1);
+        assert_eq!(n.station_stats(NodeId(3)).nacked, 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod causal;
 pub mod check;
 mod event;
 pub mod json;
@@ -48,10 +49,12 @@ mod profile;
 mod rng;
 mod time;
 mod trace;
+mod tsdb;
 
+pub use causal::{CausalGraph, SpanProfile};
 pub use event::{EventId, EventQueue};
 pub use json::{escape_into, Json, JsonError};
-pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use metrics::{bucket_quantile, render_bucket_bound, Counter, Gauge, Histogram, Metrics};
 pub use profile::{
     CallEdge, CallNodeId, CallTree, CmpOp, LedgerBucket, LedgerClock, TimeLedger, Watchpoint,
 };
@@ -59,5 +62,6 @@ pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     first_divergence, Divergence, EchoBuffer, EventKind, FieldDiff, SpanId, TraceCategory,
-    TraceEvent, Tracer,
+    TraceEvent, Tracer, BLACKBOX_CAPACITY,
 };
+pub use tsdb::SeriesStore;

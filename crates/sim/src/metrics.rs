@@ -85,6 +85,40 @@ struct HistogramInner {
     counts: RefCell<Vec<u64>>,
     count: Cell<u64>,
     sum: Cell<u64>,
+    /// Largest value ever observed (exact, not bucket-rounded).
+    max: Cell<u64>,
+}
+
+/// Smallest bucket bound with at least `q` (0.0..=1.0) of the mass at or
+/// below it, over `(upper_bound, count)` pairs whose final entry is the
+/// overflow bucket at `u64::MAX`. Returns `None` when there is no mass.
+/// Shared by live histograms and the time-series store's per-window
+/// bucket deltas so both report identical bucket-resolution quantiles.
+pub fn bucket_quantile(buckets: &[(u64, u64)], q: f64) -> Option<u64> {
+    let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+    if total == 0 {
+        return None;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+    let target = target.max(1);
+    let mut seen = 0u64;
+    for &(bound, n) in buckets {
+        seen += n;
+        if seen >= target {
+            return Some(bound);
+        }
+    }
+    Some(u64::MAX)
+}
+
+/// Renders a bucket-resolution quantile the way [`Metrics::report`] does:
+/// `<=bound`, `overflow` for the overflow bucket, `-` for no data.
+pub fn render_bucket_bound(q: Option<u64>) -> String {
+    match q {
+        Some(u64::MAX) => "overflow".to_string(),
+        Some(b) => format!("<={b}"),
+        None => "-".to_string(),
+    }
 }
 
 /// A fixed-bucket histogram of `u64` observations (typically
@@ -107,6 +141,7 @@ impl Histogram {
                 counts: RefCell::new(vec![0; n + 1]),
                 count: Cell::new(0),
                 sum: Cell::new(0),
+                max: Cell::new(0),
             }),
         }
     }
@@ -117,6 +152,14 @@ impl Histogram {
         self.inner.counts.borrow_mut()[idx] += 1;
         self.inner.count.set(self.inner.count.get() + 1);
         self.inner.sum.set(self.inner.sum.get().wrapping_add(v));
+        if v > self.inner.max.get() {
+            self.inner.max.set(v);
+        }
+    }
+
+    /// Largest observation so far (exact), or `None` with no data.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.inner.max.get())
     }
 
     /// Number of observations.
@@ -153,20 +196,7 @@ impl Histogram {
     /// or below it — a bucket-resolution quantile. Returns `None` with no
     /// data; the overflow bucket reports as `u64::MAX`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
-        let target = target.max(1);
-        let mut seen = 0u64;
-        for (bound, n) in self.buckets() {
-            seen += n;
-            if seen >= target {
-                return Some(bound);
-            }
-        }
-        Some(u64::MAX)
+        bucket_quantile(&self.buckets(), q)
     }
 }
 
@@ -268,7 +298,7 @@ impl Metrics {
 
     /// Every registered instrument rendered as sorted `name value` lines:
     /// counters first, then gauges, then histograms (count / mean / p50 /
-    /// p95 at bucket resolution).
+    /// p90 / p95 / p99 at bucket resolution, max exact).
     pub fn report(&self) -> String {
         let r = self.registry.borrow();
         let mut out = String::new();
@@ -284,21 +314,47 @@ impl Metrics {
         }
         let mut hists: Vec<&(String, Histogram)> = r.histograms.iter().collect();
         hists.sort_by(|a, b| a.0.cmp(&b.0));
-        let render_q = |q: Option<u64>| match q {
-            Some(u64::MAX) => "overflow".to_string(),
-            Some(b) => format!("<={b}"),
-            None => "-".to_string(),
-        };
         for (name, h) in hists {
-            let p50 = render_q(h.quantile(0.5));
-            let p95 = render_q(h.quantile(0.95));
+            let p50 = render_bucket_bound(h.quantile(0.5));
+            let p90 = render_bucket_bound(h.quantile(0.9));
+            let p95 = render_bucket_bound(h.quantile(0.95));
+            let p99 = render_bucket_bound(h.quantile(0.99));
+            let max = match h.max() {
+                Some(v) => v.to_string(),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "histogram {name}: count {} mean {} p50 {p50} p95 {p95}\n",
+                "histogram {name}: count {} mean {} p50 {p50} p90 {p90} p95 {p95} p99 {p99} max {max}\n",
                 h.count(),
                 h.mean()
             ));
         }
         out
+    }
+
+    /// Visits every counter in registration order (deterministic: the
+    /// same build path registers instruments in the same order). `f` must
+    /// not register new instruments — the registry borrow is held.
+    pub fn for_each_counter(&self, mut f: impl FnMut(&str, &Counter)) {
+        for (name, c) in &self.registry.borrow().counters {
+            f(name, c);
+        }
+    }
+
+    /// Visits every gauge in registration order. Same borrow caveat as
+    /// [`for_each_counter`](Metrics::for_each_counter).
+    pub fn for_each_gauge(&self, mut f: impl FnMut(&str, &Gauge)) {
+        for (name, g) in &self.registry.borrow().gauges {
+            f(name, g);
+        }
+    }
+
+    /// Visits every histogram in registration order. Same borrow caveat
+    /// as [`for_each_counter`](Metrics::for_each_counter).
+    pub fn for_each_histogram(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (name, h) in &self.registry.borrow().histograms {
+            f(name, h);
+        }
     }
 }
 
@@ -355,6 +411,7 @@ mod tests {
         assert_eq!(h.quantile(0.4), Some(10));
         assert_eq!(h.quantile(0.5), Some(100));
         assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        assert_eq!(h.max(), Some(5_000), "max is exact, not bucket-rounded");
         assert_eq!(
             m.histogram("lat", &[999]).count(),
             5,
@@ -363,11 +420,64 @@ mod tests {
     }
 
     #[test]
+    fn quantile_rounding_at_bucket_boundaries() {
+        let m = Metrics::new();
+        let h = m.histogram("q", &[1, 2, 3, 4]);
+        for v in [1, 2, 3, 4] {
+            h.observe(v);
+        }
+        // ceil(q * 4) observations must sit at or below the answer:
+        // q=0.25 needs 1 observation, exactly the first bucket.
+        assert_eq!(h.quantile(0.25), Some(1));
+        // q just past a boundary needs one more observation.
+        assert_eq!(h.quantile(0.2500001), Some(2));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.75), Some(3));
+        assert_eq!(h.quantile(0.9), Some(4), "ceil(3.6) = 4 observations");
+        assert_eq!(h.quantile(0.99), Some(4));
+        // Out-of-range inputs clamp instead of panicking; q=0 still needs
+        // at least one observation.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(-1.0), Some(1));
+        assert_eq!(h.quantile(2.0), Some(4));
+    }
+
+    #[test]
+    fn quantile_with_empty_buckets_between_mass() {
+        let m = Metrics::new();
+        let h = m.histogram("sparse", &[10, 20, 30]);
+        h.observe(5);
+        h.observe(25); // skips the <=20 bucket entirely
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(
+            h.quantile(0.51),
+            Some(30),
+            "empty bucket contributes no mass"
+        );
+        assert_eq!(h.max(), Some(25));
+    }
+
+    #[test]
+    fn bucket_quantile_helper_matches_histogram() {
+        let m = Metrics::new();
+        let h = m.histogram("twin", &[10, 100]);
+        for v in [1, 50, 5_000] {
+            h.observe(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(bucket_quantile(&h.buckets(), q), h.quantile(q));
+        }
+        assert_eq!(bucket_quantile(&[], 0.5), None);
+        assert_eq!(bucket_quantile(&[(10, 0), (u64::MAX, 0)], 0.5), None);
+    }
+
+    #[test]
     fn empty_histogram_has_no_quantile() {
         let m = Metrics::new();
         let h = m.histogram("empty", &[1]);
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.mean(), 0);
+        assert_eq!(h.max(), None);
     }
 
     #[test]
@@ -391,6 +501,27 @@ mod tests {
         assert_eq!(lines[0], "counter a.count = 1");
         assert_eq!(lines[1], "counter b.count = 2");
         assert_eq!(lines[2], "gauge live = 3");
-        assert_eq!(lines[3], "histogram h: count 1 mean 7 p50 <=100 p95 <=100");
+        assert_eq!(
+            lines[3],
+            "histogram h: count 1 mean 7 p50 <=100 p90 <=100 p95 <=100 p99 <=100 max 7"
+        );
+    }
+
+    #[test]
+    fn for_each_visits_in_registration_order() {
+        let m = Metrics::new();
+        m.counter("z").inc();
+        m.counter("a").add(2);
+        m.gauge("g").set(-4);
+        m.histogram("h", &[10]).observe(3);
+        let mut names = Vec::new();
+        m.for_each_counter(|n, c| names.push(format!("{n}={}", c.get())));
+        assert_eq!(names, vec!["z=1", "a=2"], "registration order, not sorted");
+        let mut gauges = Vec::new();
+        m.for_each_gauge(|n, g| gauges.push(format!("{n}={}", g.get())));
+        assert_eq!(gauges, vec!["g=-4"]);
+        let mut hists = Vec::new();
+        m.for_each_histogram(|n, h| hists.push(format!("{n}:{}", h.count())));
+        assert_eq!(hists, vec!["h:1"]);
     }
 }

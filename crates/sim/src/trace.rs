@@ -18,7 +18,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::json::{escape_into, Json};
@@ -985,19 +985,32 @@ impl Write for EchoBuffer {
 struct TracerInner {
     events: VecDeque<TraceEvent>,
     capacity: usize,
+    /// The flight-recorder ring: a small, always-on tail of recent
+    /// events, retained even when the main trace is filtered off.
+    blackbox: VecDeque<TraceEvent>,
+    blackbox_capacity: usize,
     /// Echo destination; `None` means stdout.
     echo_sink: Option<Box<dyn Write + Send>>,
 }
 
+/// Default flight-recorder ring size: enough to hold the last few
+/// lockstep windows of a busy world without rivalling the main trace.
+pub const BLACKBOX_CAPACITY: usize = 512;
+
 struct Shared {
-    /// Enabled-category bitmask — the whole cost of a disabled category.
-    /// Atomic (relaxed) so worker threads stepping nodes can consult the
-    /// filter without locking; on x86 a relaxed load is an ordinary load.
-    mask: AtomicU8,
+    /// Two enabled-category bitmasks packed into one word — low byte is
+    /// the main trace filter, high byte the flight-recorder filter — so
+    /// the hot-path `wants` check stays a single atomic (relaxed) load
+    /// that worker threads stepping nodes can consult without locking;
+    /// on x86 a relaxed load is an ordinary load.
+    masks: AtomicU16,
     echo: AtomicBool,
     next_span: AtomicU64,
     inner: Mutex<TracerInner>,
 }
+
+/// Shift of the flight-recorder mask within [`Shared::masks`].
+const BLACKBOX_SHIFT: u16 = 8;
 
 /// A shared, clonable event recorder.
 ///
@@ -1017,9 +1030,12 @@ pub struct Tracer {
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let inner = self.shared.inner.lock().unwrap();
+        let masks = self.shared.masks.load(Ordering::Relaxed);
         f.debug_struct("Tracer")
             .field("events", &inner.events.len())
-            .field("mask", &self.shared.mask.load(Ordering::Relaxed))
+            .field("mask", &((masks & 0xff) as u8))
+            .field("blackbox_mask", &((masks >> BLACKBOX_SHIFT) as u8))
+            .field("blackbox", &inner.blackbox.len())
             .field("echo", &self.shared.echo.load(Ordering::Relaxed))
             .field("capacity", &inner.capacity)
             .finish()
@@ -1041,32 +1057,57 @@ impl Tracer {
 
     /// Creates a tracer bounded to `capacity` events; when full, the oldest
     /// event is discarded (in O(1): the buffer is a ring).
+    ///
+    /// The flight recorder starts armed for every category except `vm`
+    /// (per-instruction events would churn the small ring and tax the
+    /// interpreter hot path for nothing a post-mortem needs).
     pub fn with_capacity(capacity: usize) -> Tracer {
+        let blackbox_mask = TraceCategory::ALL & !TraceCategory::Vm.bit();
         Tracer {
             shared: Arc::new(Shared {
-                mask: AtomicU8::new(TraceCategory::ALL),
+                masks: AtomicU16::new(
+                    TraceCategory::ALL as u16 | (blackbox_mask as u16) << BLACKBOX_SHIFT,
+                ),
                 echo: AtomicBool::new(false),
                 next_span: AtomicU64::new(1),
                 inner: Mutex::new(TracerInner {
                     events: VecDeque::new(),
                     capacity,
+                    blackbox: VecDeque::new(),
+                    blackbox_capacity: BLACKBOX_CAPACITY,
                     echo_sink: None,
                 }),
             }),
         }
     }
 
+    fn store_record_mask(&self, mask: u8) {
+        let old = self.shared.masks.load(Ordering::Relaxed);
+        self.shared
+            .masks
+            .store((old & 0xff00) | mask as u16, Ordering::Relaxed);
+    }
+
     /// Restricts recording to the given categories.
     pub fn set_filter(&self, categories: &[TraceCategory]) {
-        let mask = categories.iter().fold(0u8, |m, c| m | c.bit());
-        self.shared.mask.store(mask, Ordering::Relaxed);
+        self.store_record_mask(categories.iter().fold(0u8, |m, c| m | c.bit()));
     }
 
     /// Records all categories again.
     pub fn clear_filter(&self) {
-        self.shared
-            .mask
-            .store(TraceCategory::ALL, Ordering::Relaxed);
+        self.store_record_mask(TraceCategory::ALL);
+    }
+
+    /// Restricts the flight recorder to the given categories. An empty
+    /// list disarms it entirely, restoring the strict tracing-off hot
+    /// path (one masked load, nothing constructed).
+    pub fn set_blackbox_filter(&self, categories: &[TraceCategory]) {
+        let mask = categories.iter().fold(0u8, |m, c| m | c.bit());
+        let old = self.shared.masks.load(Ordering::Relaxed);
+        self.shared.masks.store(
+            (old & 0x00ff) | (mask as u16) << BLACKBOX_SHIFT,
+            Ordering::Relaxed,
+        );
     }
 
     /// When `true`, also prints each event to the echo sink (stdout by
@@ -1086,12 +1127,21 @@ impl Tracer {
         self.shared.inner.lock().unwrap().echo_sink = None;
     }
 
-    /// Returns whether `category` is currently recorded — one relaxed
-    /// atomic load and mask, no allocation, no lock. Check this *before*
-    /// constructing an [`EventKind`] so disabled tracing costs nothing.
+    /// Returns whether `category` is wanted by the main trace *or* the
+    /// flight recorder — one relaxed atomic load, an or, and a mask; no
+    /// allocation, no lock. Check this *before* constructing an
+    /// [`EventKind`] so fully disabled tracing costs nothing.
     #[inline]
     pub fn wants(&self, category: TraceCategory) -> bool {
-        self.shared.mask.load(Ordering::Relaxed) & category.bit() != 0
+        let m = self.shared.masks.load(Ordering::Relaxed);
+        ((m | (m >> BLACKBOX_SHIFT)) as u8) & category.bit() != 0
+    }
+
+    /// Whether the main trace (as opposed to the flight recorder) is
+    /// currently recording `category`.
+    #[inline]
+    pub fn wants_recorded(&self, category: TraceCategory) -> bool {
+        (self.shared.masks.load(Ordering::Relaxed) as u8) & category.bit() != 0
     }
 
     /// Allocates a fresh causal span id. Tracers cloned from the same
@@ -1125,14 +1175,34 @@ impl Tracer {
         });
     }
 
-    /// Appends an already-filtered event: echoes and ring-pushes exactly
-    /// like [`emit`](Tracer::emit) but without re-checking the category
-    /// mask. Used when draining per-node trace buffers at a parallel sync
-    /// barrier — the filter was consulted when the event entered the
-    /// buffer, and re-checking would drop events if the filter changed
-    /// mid-window.
+    /// Appends an event that already passed the [`wants`](Tracer::wants)
+    /// admission check, routing it to the main trace ring, the
+    /// flight-recorder ring, or both according to the two masks. Also the
+    /// drain path for per-node trace buffers at a parallel sync barrier —
+    /// filters only ever change between windows (the REPL runs in the
+    /// serial phase), so buffered events route exactly as they would have
+    /// serially and the twin runs stay byte-identical.
     pub fn push_event(&self, ev: TraceEvent) {
+        let masks = self.shared.masks.load(Ordering::Relaxed);
+        let bit = ev.category.bit();
+        let recorded = (masks as u8) & bit != 0;
+        let boxed = ((masks >> BLACKBOX_SHIFT) as u8) & bit != 0;
+        if !recorded && !boxed {
+            return;
+        }
         let mut inner = self.shared.inner.lock().unwrap();
+        if boxed {
+            let cap = inner.blackbox_capacity.max(1);
+            while inner.blackbox.len() >= cap {
+                inner.blackbox.pop_front();
+            }
+            if recorded {
+                inner.blackbox.push_back(ev.clone());
+            } else {
+                inner.blackbox.push_back(ev);
+                return;
+            }
+        }
         if self.shared.echo.load(Ordering::Relaxed) {
             match inner.echo_sink.as_mut() {
                 Some(sink) => {
@@ -1268,6 +1338,45 @@ impl Tracer {
     pub fn clear(&self) {
         self.shared.inner.lock().unwrap().events.clear();
     }
+
+    /// A snapshot of the flight-recorder ring, oldest first.
+    pub fn blackbox_events(&self) -> Vec<TraceEvent> {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .blackbox
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently held by the flight recorder.
+    pub fn blackbox_len(&self) -> usize {
+        self.shared.inner.lock().unwrap().blackbox.len()
+    }
+
+    /// Resizes the flight-recorder ring (oldest events discarded first
+    /// if the new budget is smaller).
+    pub fn set_blackbox_capacity(&self, capacity: usize) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.blackbox_capacity = capacity;
+        while inner.blackbox.len() > capacity.max(1) {
+            inner.blackbox.pop_front();
+        }
+    }
+
+    /// The flight-recorder ring as JSON Lines, oldest first — same
+    /// encoding as [`to_jsonl`](Tracer::to_jsonl).
+    pub fn blackbox_jsonl(&self) -> String {
+        let inner = self.shared.inner.lock().unwrap();
+        let mut out = String::with_capacity(inner.blackbox.len() * 96);
+        for ev in &inner.blackbox {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -1288,6 +1397,7 @@ mod tests {
     #[test]
     fn filter_suppresses_categories() {
         let t = Tracer::new();
+        t.set_blackbox_filter(&[]); // isolate the main-trace filter
         t.set_filter(&[TraceCategory::Clock]);
         assert!(t.wants(TraceCategory::Clock));
         assert!(!t.wants(TraceCategory::Net));
@@ -1321,12 +1431,66 @@ mod tests {
         assert_eq!(seen, TraceCategory::ALL);
         // A single-category filter admits exactly that category.
         let t = Tracer::new();
+        t.set_blackbox_filter(&[]);
         for c in all {
             t.set_filter(&[c]);
             for other in all {
                 assert_eq!(t.wants(other), other == c);
+                assert_eq!(t.wants_recorded(other), other == c);
             }
         }
+    }
+
+    #[test]
+    fn blackbox_captures_with_tracing_off() {
+        let t = Tracer::new();
+        t.set_filter(&[]);
+        // The combined admission check still wants non-vm categories...
+        assert!(t.wants(TraceCategory::Net));
+        assert!(!t.wants_recorded(TraceCategory::Net));
+        // ...and vm stays excluded by the default flight-recorder mask.
+        assert!(!t.wants(TraceCategory::Vm));
+        t.record(SimTime::ZERO, TraceCategory::Net, None, "boxed only");
+        assert!(t.events().is_empty(), "main trace is off");
+        assert_eq!(t.blackbox_len(), 1);
+        assert_eq!(t.blackbox_events()[0].message(), "boxed only");
+        // Disarming the flight recorder restores the strict off path.
+        t.set_blackbox_filter(&[]);
+        assert!(!t.wants(TraceCategory::Net));
+        t.record(SimTime::ZERO, TraceCategory::Net, None, "gone");
+        assert_eq!(t.blackbox_len(), 1);
+    }
+
+    #[test]
+    fn blackbox_ring_is_bounded_and_oldest_first() {
+        let t = Tracer::new();
+        t.set_blackbox_capacity(3);
+        for i in 0..7 {
+            t.record(
+                SimTime::from_millis(i),
+                TraceCategory::Net,
+                None,
+                format!("e{i}"),
+            );
+        }
+        let kept: Vec<String> = t
+            .blackbox_events()
+            .into_iter()
+            .map(|e| e.message())
+            .collect();
+        assert_eq!(kept, vec!["e4", "e5", "e6"], "oldest evicted first");
+        // The main ring kept everything — the two rings are independent.
+        assert_eq!(t.events().len(), 7);
+        // Shrinking discards from the front.
+        t.set_blackbox_capacity(1);
+        assert_eq!(t.blackbox_events()[0].message(), "e6");
+    }
+
+    #[test]
+    fn blackbox_jsonl_matches_main_encoding() {
+        let t = Tracer::new();
+        t.record(SimTime::from_millis(2), TraceCategory::Rpc, Some(1), "x");
+        assert_eq!(t.blackbox_jsonl(), t.to_jsonl());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!
 //! Run with: `cargo run --example rpc_postmortem`
 
-use pilgrim::{EventKind, MaybeDiagnosis, NodeId, SimDuration, World};
+use pilgrim::{
+    DebugCli, EventKind, MaybeDiagnosis, NetworkConfig, NodeId, SimDuration, SimTime, Value, World,
+};
 
 const PROGRAM: &str = "\
 account_update = proc (amount: int) returns (int)
@@ -117,10 +119,71 @@ fn span_timeline() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Causal critical-path analytics on a *lossy* run: a fan-out of calls
+/// to three servers over a network that silently drops packets, then
+/// the REPL's `slow` and `path` commands showing which calls paid for
+/// the losses — queue vs network vs server time, retransmits counted.
+fn critical_path_on_a_lossy_run() -> Result<(), Box<dyn std::error::Error>> {
+    const MAIN: &str = "\
+ping = proc (x: int) returns (int)
+ fail(\"servers implement ping\")
+end
+
+main = proc (rounds: int)
+ total: int := 0
+ for i: int := 1 to rounds do
+  total := total + call ping(i) at 1
+  total := total + call ping(i * 10) at 2
+  total := total + call ping(i * 100) at 3
+ end
+ print(\"total \" || int$unparse(total))
+end";
+    const SERVER: &str = "\
+ping = proc (x: int) returns (int)
+ return (x * 2)
+end";
+    println!("-- lossy fan-out: where did the time go? --");
+    let mut world = World::builder()
+        .nodes(4)
+        .program(MAIN)
+        .program_for(1, SERVER)
+        .program_for(2, SERVER)
+        .program_for(3, SERVER)
+        .network(NetworkConfig {
+            p_silent_loss: 0.08,
+            ..NetworkConfig::default()
+        })
+        .seed(0x1055)
+        .debugger(false)
+        .build()?;
+    world.spawn(0, "main", vec![Value::Int(4)]);
+    world.run_until_idle(SimTime::from_secs(60));
+
+    let mut cli = DebugCli::new();
+    let slow = cli.exec(&mut world, "slow 3");
+    println!("pilgrim> slow 3\n{slow}");
+    // The slowest span is the natural post-mortem target: its causal
+    // path attributes every simulated microsecond it spent.
+    let slowest_span = slow
+        .lines()
+        .nth(1)
+        .and_then(|l| l.split_whitespace().nth(1))
+        .expect("slow reports at least one span");
+    let path = cli.exec(&mut world, &format!("path {slowest_span}"));
+    println!("pilgrim> path {slowest_span}\n{path}");
+    assert!(
+        path.contains("retransmits") && path.contains("net"),
+        "per-segment attribution missing:\n{path}"
+    );
+    println!();
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     scenario(true)?;
     scenario(false)?;
     span_timeline()?;
+    critical_path_on_a_lossy_run()?;
     println!("Same client-side symptom, opposite recovery actions — which is");
     println!("exactly why the paper wants the debugger to distinguish them.");
     Ok(())
