@@ -172,11 +172,18 @@ pub const GATED: &[(&str, f64)] = &[
 /// One failure line per gated benchmark whose fresh *minimum* exceeds
 /// the committed *median* past its tolerance (see the module docs for
 /// the asymmetry). Benchmarks absent from the baseline (`new`) never
-/// fail the gate — they gain teeth at the next re-baseline.
+/// fail the gate — they gain teeth at the next re-baseline. A gated
+/// benchmark absent from the *fresh* run, though, is a hard failure:
+/// a renamed or deleted bench would otherwise pass the smoke diff
+/// forever without measuring anything.
 pub fn gate_failures(deltas: &[Delta]) -> Vec<String> {
     let mut out = Vec::new();
     for (name, tolerance) in GATED {
         let Some(d) = deltas.iter().find(|d| &d.name == name) else {
+            out.push(format!(
+                "{name}: gated benchmark missing from the fresh run \
+                 (renamed or deleted? update GATED in bench::compare)"
+            ));
             continue;
         };
         let Some(p) = d.gate_percent() else {
@@ -278,17 +285,44 @@ mod tests {
                 median_ns: 100,
             },
         ];
+        // Every gated bench must be present in the fresh run for the
+        // gate to pass at all; only the first has a baseline here, so
+        // only it can regress.
+        let all_gated = |first_median: u64| -> Vec<BenchResult> {
+            GATED
+                .iter()
+                .enumerate()
+                .map(|(i, (name, _))| result(name, if i == 0 { first_median } else { 100 }))
+                .collect()
+        };
+
         // Ungated benchmark may regress arbitrarily; gated within
         // tolerance passes.
         let within = (100_000.0 * (1.0 + tol / 100.0 - 0.01)) as u64;
-        let fresh = vec![result(gated, within), result("vm/fib15_to_completion", 900)];
+        let mut fresh = all_gated(within);
+        fresh.push(result("vm/fib15_to_completion", 900));
         assert!(gate_failures(&diff(&base, &fresh)).is_empty());
 
         // Gated past tolerance fails, and the line names the benchmark.
         let beyond = (100_000.0 * (1.0 + tol / 100.0 + 0.05)) as u64;
-        let failures = gate_failures(&diff(&base, &[result(gated, beyond)]));
-        assert_eq!(failures.len(), 1);
+        let failures = gate_failures(&diff(&base, &all_gated(beyond)));
+        assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains(gated));
+    }
+
+    #[test]
+    fn gate_fails_on_gated_benchmark_missing_from_fresh_run() {
+        // A renamed or deleted gated bench must not silently pass the
+        // smoke diff: every GATED name absent from the fresh results
+        // produces its own failure line.
+        let (kept, _) = GATED[0];
+        let fresh: Vec<BenchResult> = vec![result(kept, 100)];
+        let failures = gate_failures(&diff(&[], &fresh));
+        assert_eq!(failures.len(), GATED.len() - 1, "{failures:?}");
+        for ((name, _), line) in GATED[1..].iter().zip(&failures) {
+            assert!(line.contains(name), "{line}");
+            assert!(line.contains("missing from the fresh run"), "{line}");
+        }
     }
 
     #[test]

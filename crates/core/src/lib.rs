@@ -78,7 +78,10 @@ pub use proto::{
     AgentEvent, AgentReply, AgentRequest, ConvertedTime, DebugMsg, FrameSummary, KnowledgeView,
     ProcView, RpcCallView, RpcFrameView, SessionId, StateView,
 };
-pub use replay::{Artifact, Recipe, ReplayError, ReplayReport, Stimulus};
+pub use replay::{
+    replay_with_setup, replay_with_threads, Artifact, Recipe, ReplayError, ReplayReport,
+    SetupInstaller, Stimulus,
+};
 pub use timebase::{BreakpointLog, HaltRecord};
 pub use twin::{capture, twin_run, twin_threads, TwinArtifacts, TWIN_THREADS};
 pub use world::{
@@ -90,7 +93,7 @@ pub use world::{
 // subcrate.
 pub use pilgrim_cclu::{compile, CompileError, Program, Value};
 pub use pilgrim_mayflower::{NodeConfig, Pid, RunState, SpawnOpts};
-pub use pilgrim_ring::{Medium, NetworkConfig, NodeId};
+pub use pilgrim_ring::{LinkModel, Medium, NetworkConfig, NodeId, PartitionWindow, Topology};
 pub use pilgrim_rpc::{RpcConfig, WireValue};
 pub use pilgrim_sim::{
     CausalGraph, Counter, EchoBuffer, EventKind, Gauge, Histogram, Metrics, SeriesStore,

@@ -82,6 +82,14 @@ pub struct Recipe {
     /// the recipe so a replayed world samples identically and `tsdb`
     /// queries reproduce byte-for-byte.
     pub tsdb: bool,
+    /// Rust-side setup steps that ran against the built world before the
+    /// first stimulus — native service installs (nameserver, aotman),
+    /// trace filters, and the like. These cannot be journalled as
+    /// stimuli (they register native handler closures), so the recipe
+    /// records `(kind, params)` markers and [`replay_with_setup`] asks
+    /// its caller to re-perform them. A plain [`replay`] of a
+    /// setup-bearing artifact fails with a message naming the kinds.
+    pub setup: Vec<(String, Json)>,
 }
 
 impl Recipe {
@@ -119,6 +127,20 @@ impl Recipe {
             ("debugger", Json::Bool(self.with_debugger)),
             ("agents", Json::Bool(self.with_agents)),
             ("tsdb", Json::Bool(self.tsdb)),
+            (
+                "setup",
+                Json::Array(
+                    self.setup
+                        .iter()
+                        .map(|(kind, params)| {
+                            Json::obj(vec![
+                                ("kind", Json::Str(kind.clone())),
+                                ("params", params.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -189,6 +211,22 @@ impl Recipe {
             // Absent in artifacts recorded before the time-series store
             // existed; those worlds ran without it.
             tsdb: v.get("tsdb").and_then(Json::as_bool).unwrap_or(false),
+            // Absent in artifacts recorded before setup markers existed.
+            setup: match v.get("setup").and_then(Json::as_array) {
+                None => Vec::new(),
+                Some(entries) => {
+                    let mut setup = Vec::new();
+                    for e in entries {
+                        let kind = e
+                            .get("kind")
+                            .and_then(Json::as_str)
+                            .ok_or("recipe: setup entry missing `kind`")?;
+                        let params = e.get("params").cloned().unwrap_or(Json::Null);
+                        setup.push((kind.to_string(), params));
+                    }
+                    setup
+                }
+            },
         })
     }
 
@@ -325,6 +363,15 @@ pub enum Stimulus {
         /// Target station.
         node: u32,
         /// New interface state.
+        up: bool,
+    },
+    /// [`World::set_link_up`].
+    SetLinkUp {
+        /// One end of the bridge link (a segment id).
+        a: u32,
+        /// The other end.
+        b: u32,
+        /// New link state.
         up: bool,
     },
     /// [`World::arm_watch`]. The expression is journalled in canonical
@@ -661,6 +708,12 @@ impl Stimulus {
                 ("node", u(*node as u64)),
                 ("up", Json::Bool(*up)),
             ]),
+            Stimulus::SetLinkUp { a, b, up } => Json::obj(vec![
+                op("set_link_up"),
+                ("a", u(*a as u64)),
+                ("b", u(*b as u64)),
+                ("up", Json::Bool(*up)),
+            ]),
             Stimulus::ArmWatch { expr } => {
                 Json::obj(vec![op("arm_watch"), ("expr", Json::Str(expr.clone()))])
             }
@@ -776,6 +829,11 @@ impl Stimulus {
             },
             "set_node_up" => Stimulus::SetNodeUp {
                 node: n32("node")?,
+                up: b("up")?,
+            },
+            "set_link_up" => Stimulus::SetLinkUp {
+                a: n32("a")?,
+                b: n32("b")?,
                 up: b("up")?,
             },
             "arm_watch" => Stimulus::ArmWatch {
@@ -953,8 +1011,49 @@ pub fn replay_with_threads(
     artifact: &Artifact,
     threads: usize,
 ) -> Result<ReplayReport, ReplayError> {
+    if !artifact.recipe.setup.is_empty() {
+        let kinds: Vec<&str> = artifact
+            .recipe
+            .setup
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        return Err(ReplayError::Format(format!(
+            "artifact needs Rust-side setup ({}); replay it with \
+             `replay_with_setup` and an installer that knows these kinds",
+            kinds.join(", ")
+        )));
+    }
+    replay_with_setup(artifact, threads, &mut |_, kind, _| {
+        Err(format!("unexpected setup kind `{kind}`"))
+    })
+}
+
+/// The kind of callback [`replay_with_setup`] uses to re-perform a
+/// recipe's Rust-side setup steps against the freshly built world.
+pub type SetupInstaller<'a> = dyn FnMut(&mut World, &str, &Json) -> Result<(), String> + 'a;
+
+/// [`replay_with_threads`] for artifacts whose recipe carries Rust-side
+/// [`Recipe::setup`] steps (native service handlers, trace filters). The
+/// `installer` is called once per recorded `(kind, params)` entry, in
+/// order, right after the world is built and before any stimulus is
+/// applied — it must re-create exactly what the recording run did.
+///
+/// # Errors
+///
+/// Those of [`replay`], plus [`ReplayError::Stimulus`] when the
+/// installer rejects a setup entry.
+pub fn replay_with_setup(
+    artifact: &Artifact,
+    threads: usize,
+    installer: &mut SetupInstaller<'_>,
+) -> Result<ReplayReport, ReplayError> {
     let mut world = artifact.recipe.build_world().map_err(ReplayError::Build)?;
     world.set_step_threads(threads);
+    for (kind, params) in &artifact.recipe.setup {
+        installer(&mut world, kind, params)
+            .map_err(|e| ReplayError::Stimulus(format!("setup `{kind}`: {e}")))?;
+    }
     for s in &artifact.stimuli {
         world.apply(s).map_err(ReplayError::Stimulus)?;
     }
@@ -1046,6 +1145,11 @@ mod tests {
                 count: 3,
             },
             Stimulus::SetNodeUp { node: 2, up: false },
+            Stimulus::SetLinkUp {
+                a: 0,
+                b: 3,
+                up: false,
+            },
             Stimulus::ArmWatch {
                 expr: "rpc.failed > 0".into(),
             },

@@ -18,8 +18,8 @@ use pilgrim_mayflower::{Node, NodeConfig, Outcall, Pid, SpawnOpts, UnknownProc};
 use pilgrim_ring::{Medium, Network, NetworkConfig, NodeId, TxClass, TxStatus};
 use pilgrim_rpc::{RpcConfig, RpcEndpoint, RpcNet, RpcPacket, WireValue};
 use pilgrim_sim::{
-    CausalGraph, EventKind, Metrics, SeriesStore, SimDuration, SimTime, SpanId, TraceCategory,
-    Tracer, Watchpoint,
+    CausalGraph, EventKind, Json, Metrics, SeriesStore, SimDuration, SimTime, SpanId,
+    TraceCategory, Tracer, Watchpoint,
 };
 
 use crate::agent::{Agent, AgentConfig, DebugNet};
@@ -382,6 +382,7 @@ impl WorldBuilder {
             with_debugger: self.with_debugger,
             with_agents: self.with_agents,
             tsdb: self.tsdb,
+            setup: Vec::new(),
         };
         let tracer = Tracer::new();
         let metrics = Metrics::new();
@@ -886,6 +887,23 @@ impl World {
     pub fn set_node_up(&mut self, node: u32, up: bool) {
         self.journal.push(Stimulus::SetNodeUp { node, up });
         self.net.set_up(NodeId(node), up);
+    }
+
+    /// Forces the bridge link between segments `a` and `b` down or back
+    /// up — the recorded form of a network partition. Scheduled
+    /// [`pilgrim_ring::PartitionWindow`]s in the network config still
+    /// apply on top of the forced state.
+    pub fn set_link_up(&mut self, a: u32, b: u32, up: bool) {
+        self.journal.push(Stimulus::SetLinkUp { a, b, up });
+        self.net.set_link_up(a, b, up);
+    }
+
+    /// Records a Rust-side setup step in the recipe so replay can
+    /// re-perform it. Service installers (nameserver, aotman) call this
+    /// with enough parameters to rebuild their native handlers; see
+    /// [`crate::replay::replay_with_setup`].
+    pub fn note_setup(&mut self, kind: &str, params: Json) {
+        self.recipe.setup.push((kind.to_string(), params));
     }
 
     /// The debugger proper, when attached.
@@ -2361,6 +2379,7 @@ impl World {
             }
             Stimulus::DropNext { src, dst, count } => self.inject_drop(*src, *dst, *count),
             Stimulus::SetNodeUp { node, up } => self.set_node_up(*node, *up),
+            Stimulus::SetLinkUp { a, b, up } => self.set_link_up(*a, *b, *up),
             Stimulus::ArmWatch { expr } => {
                 self.arm_watch(expr)?;
             }

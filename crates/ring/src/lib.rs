@@ -39,13 +39,17 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use pilgrim_sim::{
     Counter, DetRng, EventKind, EventQueue, Json, Metrics, SimDuration, SimTime, SpanId,
     TraceCategory, Tracer,
 };
+
+mod topology;
+
+pub use topology::{link_key, LinkModel, PartitionWindow, Topology};
 
 /// Identifies a node (a station) on the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -86,6 +90,13 @@ pub struct NetworkConfig {
     pub medium: Medium,
     /// Seed for the loss model.
     pub seed: u64,
+    /// How the station space is carved into bridged segments.
+    pub topology: Topology,
+    /// Behaviour of every bridge link (latency, jitter, bandwidth, loss).
+    pub link: LinkModel,
+    /// Scheduled partitions of bridge links, applied as a pure function
+    /// of simulated time — recipe-captured, so they replay for free.
+    pub partitions: Vec<PartitionWindow>,
 }
 
 impl Default for NetworkConfig {
@@ -97,6 +108,9 @@ impl Default for NetworkConfig {
             p_silent_loss: 0.0,
             medium: Medium::CambridgeRing,
             seed: 0,
+            topology: Topology::Flat,
+            link: LinkModel::default(),
+            partitions: Vec::new(),
         }
     }
 }
@@ -138,6 +152,17 @@ impl NetworkConfig {
             ("p_silent_loss", Json::Float(self.p_silent_loss)),
             ("medium", Json::Str(self.medium.name().to_string())),
             ("seed", Json::Int(self.seed as i128)),
+            ("topology", self.topology.to_json()),
+            ("link", self.link.to_json()),
+            (
+                "partitions",
+                Json::Array(
+                    self.partitions
+                        .iter()
+                        .map(PartitionWindow::to_json)
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -173,6 +198,24 @@ impl NetworkConfig {
                 .get("seed")
                 .and_then(Json::as_u64)
                 .ok_or("network config: missing `seed`")?,
+            // The three topology fields are absent in artifacts recorded
+            // before multi-segment networks existed; those worlds ran on
+            // one flat segment with no bridges.
+            topology: match v.get("topology") {
+                Some(t) => Topology::from_json(t)?,
+                None => Topology::Flat,
+            },
+            link: match v.get("link") {
+                Some(l) => LinkModel::from_json(l)?,
+                None => LinkModel::default(),
+            },
+            partitions: match v.get("partitions").and_then(Json::as_array) {
+                Some(ws) => ws
+                    .iter()
+                    .map(PartitionWindow::from_json)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -221,6 +264,9 @@ pub struct NetStats {
     pub nacked: u64,
     /// Packets lost silently in transit.
     pub silently_lost: u64,
+    /// The subset of `silently_lost` dropped crossing a bridge link — a
+    /// partition cut or a per-hop loss draw.
+    pub bridge_lost: u64,
     /// Broadcasts transmitted (Ethernet only).
     pub broadcasts: u64,
     /// Total payload bytes handed to the transmitter.
@@ -235,6 +281,7 @@ struct NetMeters {
     delivered: Counter,
     nacked: Counter,
     silently_lost: Counter,
+    bridge_lost: Counter,
     bytes_sent: Counter,
 }
 
@@ -245,6 +292,7 @@ impl NetMeters {
             delivered: metrics.counter("net.delivered"),
             nacked: metrics.counter("net.nacked"),
             silently_lost: metrics.counter("net.silently_lost"),
+            bridge_lost: metrics.counter("net.bridge_lost"),
             bytes_sent: metrics.counter("net.bytes_sent"),
         }
     }
@@ -288,6 +336,18 @@ pub struct Network<P> {
     /// Per-station counters: sends/NACKs/losses attributed to the source
     /// station, deliveries to the destination. Indexed by `NodeId`.
     per_station: Vec<NetStats>,
+    /// Segment of each station, from the topology's contiguous blocks.
+    seg_of: Vec<u32>,
+    /// Bridge-hop paths between every segment pair, precomputed so the
+    /// cross-segment send path never allocates: `paths[a * segs + b]`.
+    paths: Vec<Vec<(u32, u32)>>,
+    /// Segment count (1 = flat, no bridge machinery on the send path).
+    segs: u32,
+    /// Store-and-forward serialization: when each bridge link frees up.
+    link_free_at: HashMap<(u32, u32), SimTime>,
+    /// Links forced down by the driver ([`Network::set_link_up`]), on top
+    /// of the scheduled partition windows.
+    forced_link_down: HashSet<(u32, u32)>,
     tracer: Option<Tracer>,
     meters: Option<NetMeters>,
 }
@@ -296,6 +356,14 @@ impl<P> Network<P> {
     /// Creates a network with `nodes` stations, all up.
     pub fn new(config: NetworkConfig, nodes: u32) -> Network<P> {
         let rng = DetRng::seed(config.seed ^ 0x5049_4c47); // "PILG"
+        let segs = config.topology.segments();
+        let seg_of: Vec<u32> = (0..nodes)
+            .map(|i| config.topology.segment_of(i, nodes))
+            .collect();
+        let paths: Vec<Vec<(u32, u32)>> = (0..segs)
+            .flat_map(|a| (0..segs).map(move |b| (a, b)))
+            .map(|(a, b)| config.topology.path_links(a, b))
+            .collect();
         Network {
             config,
             stations: vec![
@@ -310,9 +378,70 @@ impl<P> Network<P> {
             forced_drops: HashMap::new(),
             stats: NetStats::default(),
             per_station: vec![NetStats::default(); nodes as usize],
+            seg_of,
+            paths,
+            segs,
+            link_free_at: HashMap::new(),
+            forced_link_down: HashSet::new(),
             tracer: None,
             meters: None,
         }
+    }
+
+    /// The segment a station belongs to.
+    pub fn segment_of(&self, node: NodeId) -> u32 {
+        self.seg_of[node.0 as usize]
+    }
+
+    /// Is the bridge link between segments `a` and `b` passable at `at`?
+    /// False while a scheduled [`PartitionWindow`] covers `at` or the
+    /// driver has forced the link down.
+    pub fn link_up(&self, a: u32, b: u32, at: SimTime) -> bool {
+        let key = link_key(a, b);
+        !self.forced_link_down.contains(&key)
+            && !self.config.partitions.iter().any(|w| w.cuts(key, at))
+    }
+
+    /// Forces the bridge link between segments `a` and `b` down (or back
+    /// up). Scheduled partition windows still apply on top.
+    pub fn set_link_up(&mut self, a: u32, b: u32, up: bool) {
+        let key = link_key(a, b);
+        if up {
+            self.forced_link_down.remove(&key);
+        } else {
+            self.forced_link_down.insert(key);
+        }
+    }
+
+    /// Walks the bridge hops from segment `sseg` to `dseg`, starting the
+    /// first hop at `depart`. Returns the far-side arrival time, or
+    /// `None` when a partition cut or a per-hop loss draw ate the packet.
+    /// Draw order per hop is fixed (loss, then jitter) and later hops are
+    /// skipped after a loss, so the RNG stream is a pure function of the
+    /// config and the send sequence.
+    fn bridge_leg(
+        &mut self,
+        sseg: u32,
+        dseg: u32,
+        depart: SimTime,
+        bytes: usize,
+    ) -> Option<SimTime> {
+        let mut t = depart;
+        let path = (sseg * self.segs + dseg) as usize;
+        for i in 0..self.paths[path].len() {
+            let link = self.paths[path][i];
+            if !self.link_up(link.0, link.1, t) || self.rng.chance(self.config.link.p_loss) {
+                return None;
+            }
+            let occupy = self.config.link.per_byte * bytes as u64;
+            let jitter = self.config.link.jitter.as_micros();
+            let jitter = SimDuration::from_micros(self.rng.below(jitter + 1));
+            let free = self.link_free_at.entry(link).or_insert(SimTime::ZERO);
+            let start = t.max(*free);
+            *free = start + occupy;
+            t = start + occupy + self.config.link.latency + jitter;
+        }
+        Some(t)
     }
 
     /// Attaches a tracer; packet send/NACK/loss/delivery become typed
@@ -481,6 +610,54 @@ impl<P> Network<P> {
         // The class's transmitter is occupied for the whole transmission.
         self.stations[src.0 as usize].tx_free_at[ci] = arrive;
 
+        // Cross-segment: the local ring hardware can only vouch for the
+        // leg it carries, so nothing beyond the first bridge ever NACKs —
+        // a partition cut, a bridge loss, or a refusal by the remote
+        // destination interface all look like silent loss to the sender
+        // (this is why `maybe`-protocol traffic degrades under partition
+        // while exactly-once retries until its attempt budget runs out).
+        let sseg = self.seg_of[src.0 as usize];
+        let dseg = self.seg_of[dst.0 as usize];
+        if sseg != dseg {
+            let far_arrive = match self.bridge_leg(sseg, dseg, arrive, bytes) {
+                Some(t) => t,
+                None => {
+                    self.stats.bridge_lost += 1;
+                    self.per_station[src.0 as usize].bridge_lost += 1;
+                    if let Some(m) = &self.meters {
+                        m.bridge_lost.inc();
+                    }
+                    self.lose_silently(now, src, dst, bytes as u32, span, traced);
+                    return TxStatus::Queued { deliver_at: arrive };
+                }
+            };
+            let dst_refused =
+                !self.stations[dst.0 as usize].up || self.rng.chance(self.config.p_interface_loss);
+            if dst_refused
+                || self.take_forced_drop(src, dst)
+                || self.rng.chance(self.config.p_silent_loss)
+            {
+                self.lose_silently(now, src, dst, bytes as u32, span, traced);
+                return TxStatus::Queued {
+                    deliver_at: far_arrive,
+                };
+            }
+            self.queue.schedule(
+                far_arrive,
+                Delivery {
+                    src,
+                    dst,
+                    at: far_arrive,
+                    span,
+                    bytes: bytes as u32,
+                    payload,
+                },
+            );
+            return TxStatus::Queued {
+                deliver_at: far_arrive,
+            };
+        }
+
         let interface_lost =
             !self.stations[dst.0 as usize].up || self.rng.chance(self.config.p_interface_loss);
         if interface_lost {
@@ -626,11 +803,32 @@ impl<P: Clone> Network<P> {
         let start = now.max(self.stations[src.0 as usize].tx_free_at[ci]);
         let arrive = start + self.config.latency(bytes);
         self.stations[src.0 as usize].tx_free_at[ci] = arrive;
+        let sseg = self.seg_of[src.0 as usize];
         for i in 0..self.stations.len() {
             let dst = NodeId(i as u32);
             if dst == src || !self.stations[i].up {
                 continue;
             }
+            // A broadcast only floods the sender's own segment natively;
+            // bridges re-emit it hop by hop, so remote receivers see it
+            // later (or not at all if a bridge hop loses it).
+            let dseg = self.seg_of[i];
+            let at = if dseg == sseg {
+                arrive
+            } else {
+                match self.bridge_leg(sseg, dseg, arrive, bytes) {
+                    Some(t) => t,
+                    None => {
+                        self.stats.bridge_lost += 1;
+                        self.per_station[src.0 as usize].bridge_lost += 1;
+                        if let Some(m) = &self.meters {
+                            m.bridge_lost.inc();
+                        }
+                        self.lose_silently(now, src, dst, bytes as u32, None, traced);
+                        continue;
+                    }
+                }
+            };
             let lost = self.rng.chance(self.config.p_interface_loss)
                 || self.rng.chance(self.config.p_silent_loss)
                 || self.take_forced_drop(src, dst);
@@ -639,11 +837,11 @@ impl<P: Clone> Network<P> {
                 continue;
             }
             self.queue.schedule(
-                arrive,
+                at,
                 Delivery {
                     src,
                     dst,
-                    at: arrive,
+                    at,
                     span: None,
                     bytes: bytes as u32,
                     payload: payload.clone(),
@@ -993,6 +1191,19 @@ mod tests {
             p_silent_loss: 0.0625,
             medium: Medium::Ethernet,
             seed: u64::MAX,
+            topology: Topology::Star { arms: 3 },
+            link: LinkModel {
+                latency: SimDuration::from_micros(750),
+                jitter: SimDuration::from_micros(50),
+                per_byte: SimDuration::from_micros(2),
+                p_loss: 0.03125,
+            },
+            partitions: vec![PartitionWindow {
+                from: SimTime::from_secs(30),
+                to: SimTime::from_secs(45),
+                a: 0,
+                b: 1,
+            }],
         };
         let mut rendered = String::new();
         cfg.to_json().write(&mut rendered);
@@ -1004,5 +1215,232 @@ mod tests {
         assert_eq!(back.p_silent_loss, cfg.p_silent_loss);
         assert_eq!(back.medium, cfg.medium);
         assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.topology, cfg.topology);
+        assert_eq!(back.link, cfg.link);
+        assert_eq!(back.partitions, cfg.partitions);
+    }
+
+    #[test]
+    fn config_json_without_topology_fields_decodes_flat() {
+        // Artifacts recorded before multi-segment networks existed carry no
+        // topology/link/partitions keys; they must still decode.
+        let old = NetworkConfig::default();
+        let mut rendered = String::new();
+        let Json::Object(pairs) = old.to_json() else {
+            panic!("config renders an object")
+        };
+        let trimmed: Vec<(String, Json)> = pairs
+            .into_iter()
+            .filter(|(k, _)| k != "topology" && k != "link" && k != "partitions")
+            .collect();
+        Json::Object(trimmed).write(&mut rendered);
+        let back = NetworkConfig::from_json(&Json::parse(&rendered).unwrap()).expect("decodes");
+        assert_eq!(back.topology, Topology::Flat);
+        assert_eq!(back.link, LinkModel::default());
+        assert!(back.partitions.is_empty());
+    }
+
+    /// Two segments of two stations each over the default ring config.
+    fn two_segments(link: LinkModel, partitions: Vec<PartitionWindow>) -> Network<u32> {
+        Network::new(
+            NetworkConfig {
+                topology: Topology::RingOfRings { segments: 2 },
+                link,
+                partitions,
+                ..Default::default()
+            },
+            4,
+        )
+    }
+
+    #[test]
+    fn stations_map_to_contiguous_segments() {
+        let n = two_segments(LinkModel::default(), Vec::new());
+        let segs: Vec<u32> = (0..4).map(|i| n.segment_of(NodeId(i))).collect();
+        assert_eq!(segs, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn cross_segment_send_pays_bridge_latency() {
+        let mut n = two_segments(LinkModel::default(), Vec::new());
+        // Same-segment: plain ring latency.
+        let TxStatus::Queued { deliver_at: local } =
+            n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1, 32)
+        else {
+            panic!("local send queued")
+        };
+        assert_eq!(local, SimTime::from_micros(3_500));
+        // Cross-segment: + serialization (32 µs) + bridge latency (500 µs).
+        let mut n = two_segments(LinkModel::default(), Vec::new());
+        let TxStatus::Queued { deliver_at: far } =
+            n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1, 32)
+        else {
+            panic!("bridged send queued")
+        };
+        assert_eq!(far, SimTime::from_micros(3_500 + 32 + 500));
+        let (due, stats) = n.poll(SimTime::from_secs(1));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].at, far);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.bridge_lost, 0);
+    }
+
+    #[test]
+    fn saturated_bridge_serializes_packets() {
+        // per_byte = 100 µs makes the 32-byte serialization (3.2 ms)
+        // dominate: the second packet queues behind the first on the link.
+        let slow = LinkModel {
+            per_byte: SimDuration::from_micros(100),
+            ..Default::default()
+        };
+        let mut n = two_segments(slow, Vec::new());
+        let TxStatus::Queued { deliver_at: first } =
+            n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1, 32)
+        else {
+            panic!("queued")
+        };
+        let TxStatus::Queued { deliver_at: second } =
+            n.send(SimTime::ZERO, NodeId(1), NodeId(3), 2, 32)
+        else {
+            panic!("queued")
+        };
+        // Both ring legs finish at 3.5 ms; the bridge serializes them.
+        assert_eq!(first.as_micros(), 3_500 + 3_200 + 500);
+        assert_eq!(second.as_micros(), 3_500 + 2 * 3_200 + 500);
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let window = PartitionWindow {
+            from: SimTime::from_millis(10),
+            to: SimTime::from_millis(20),
+            a: 0,
+            b: 1,
+        };
+        let mut n = two_segments(LinkModel::default(), vec![window]);
+        // Before the cut: delivered.
+        let st = n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1, 32);
+        assert!(matches!(st, TxStatus::Queued { .. }));
+        // During the cut: silently lost — crucially NOT a NACK, even on the
+        // ring, because the sender's segment accepted the packet.
+        let st = n.send(SimTime::from_millis(12), NodeId(0), NodeId(2), 2, 32);
+        assert!(
+            matches!(st, TxStatus::Queued { .. }),
+            "no NACK over bridges"
+        );
+        // After the heal: delivered again.
+        let st = n.send(SimTime::from_millis(25), NodeId(0), NodeId(2), 3, 32);
+        assert!(matches!(st, TxStatus::Queued { .. }));
+        let (due, stats) = n.poll(SimTime::from_secs(1));
+        let payloads: Vec<u32> = due.iter().map(|d| d.payload).collect();
+        assert_eq!(payloads, vec![1, 3]);
+        assert_eq!(stats.bridge_lost, 1);
+        assert_eq!(stats.silently_lost, 1, "bridge losses count as silent");
+    }
+
+    #[test]
+    fn driver_forced_link_down_behaves_like_partition() {
+        let mut n = two_segments(LinkModel::default(), Vec::new());
+        n.set_link_up(0, 1, false);
+        assert!(!n.link_up(0, 1, SimTime::ZERO));
+        n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1, 32);
+        n.set_link_up(0, 1, true);
+        assert!(n.link_up(0, 1, SimTime::ZERO));
+        n.send(SimTime::from_millis(10), NodeId(0), NodeId(2), 2, 32);
+        let (due, stats) = n.poll(SimTime::from_secs(1));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].payload, 2);
+        assert_eq!(stats.bridge_lost, 1);
+    }
+
+    #[test]
+    fn remote_down_interface_never_nacks() {
+        // A crashed destination on the *same* segment NACKs on the ring;
+        // across a bridge the same condition is a silent loss.
+        let mut n = two_segments(LinkModel::default(), Vec::new());
+        n.set_up(NodeId(2), false);
+        let st = n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1, 32);
+        assert!(matches!(st, TxStatus::Queued { .. }));
+        let (due, stats) = n.poll(SimTime::from_secs(1));
+        assert!(due.is_empty());
+        assert_eq!(stats.silently_lost, 1);
+        assert_eq!(stats.nacked, 0);
+    }
+
+    #[test]
+    fn bridge_jitter_is_bounded_and_seeded() {
+        let jittery = LinkModel {
+            jitter: SimDuration::from_micros(200),
+            ..Default::default()
+        };
+        let run = |seed: u64| {
+            let mut n = Network::<u32>::new(
+                NetworkConfig {
+                    topology: Topology::RingOfRings { segments: 2 },
+                    link: jittery,
+                    seed,
+                    ..Default::default()
+                },
+                4,
+            );
+            let mut arrivals = Vec::new();
+            for i in 0..20u64 {
+                let at = SimTime::from_millis(i * 10);
+                if let TxStatus::Queued { deliver_at } =
+                    n.send(at, NodeId(0), NodeId(2), i as u32, 32)
+                {
+                    arrivals.push(deliver_at.as_micros() - at.as_micros());
+                }
+            }
+            arrivals
+        };
+        let a = run(3);
+        assert_eq!(a, run(3), "jitter is a pure function of the seed");
+        let base = 3_500 + 32 + 500;
+        assert!(a.iter().all(|&d| d >= base && d <= base + 200));
+        assert!(a.iter().any(|&d| d != base), "jitter actually fires");
+    }
+
+    #[test]
+    fn lossy_bridge_drops_a_fraction() {
+        let lossy = LinkModel {
+            p_loss: 0.5,
+            ..Default::default()
+        };
+        let mut n = two_segments(lossy, Vec::new());
+        for i in 0..100u64 {
+            n.send(
+                SimTime::from_millis(i * 10),
+                NodeId(0),
+                NodeId(2),
+                i as u32,
+                32,
+            );
+        }
+        let (due, stats) = n.poll(SimTime::from_secs(10));
+        assert!(stats.bridge_lost > 20 && stats.bridge_lost < 80);
+        assert_eq!(due.len() as u64 + stats.bridge_lost, 100);
+    }
+
+    #[test]
+    fn broadcast_crosses_bridges_late() {
+        let mut n = Network::<u32>::new(
+            NetworkConfig {
+                medium: Medium::Ethernet,
+                topology: Topology::RingOfRings { segments: 2 },
+                ..Default::default()
+            },
+            4,
+        );
+        let local_at = n.broadcast(SimTime::ZERO, NodeId(0), 7, 32).unwrap();
+        let (due, _) = n.poll(SimTime::from_secs(1));
+        assert_eq!(due.len(), 3);
+        for d in &due {
+            if n.segment_of(d.dst) == 0 {
+                assert_eq!(d.at, local_at);
+            } else {
+                assert!(d.at > local_at, "remote receivers hear it later");
+            }
+        }
     }
 }

@@ -1,0 +1,353 @@
+//! Bridged multi-segment topologies.
+//!
+//! The paper's network is one flat Cambridge Ring. Real installations
+//! bridged several rings together (and modern traffic models are
+//! segment-routed: NIC → bridge → backbone), so the simulator supports
+//! carving the station space into *segments* joined by *bridge links*:
+//!
+//! * [`Topology::Flat`] — the classic single segment, byte-identical to
+//!   the pre-topology behaviour;
+//! * [`Topology::RingOfRings`] — segments joined in a cycle, packets
+//!   take the shorter arc of bridge hops;
+//! * [`Topology::Star`] — leaf segments joined through a hub (segment
+//!   0), at most two bridge hops between any pair of stations.
+//!
+//! Stations are assigned to segments in contiguous blocks, so "stations
+//! 0–24 are ring 0" reads off the station index. Every bridge hop is
+//! store-and-forward through a [`LinkModel`]: serialization at the
+//! link's bandwidth, fixed forwarding latency, seeded uniform jitter,
+//! and an independent per-hop loss probability. Bridge links can also be
+//! partitioned — by a declarative, recipe-captured schedule of
+//! [`PartitionWindow`]s or by the driver at run time — during which every
+//! packet whose path crosses the cut is lost silently (a sender's ring
+//! hardware can only see its own segment, so no NACK crosses a bridge).
+
+use pilgrim_sim::{Json, SimDuration, SimTime};
+
+/// How the station space is carved into bridged segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// One flat segment; no bridges, identical to the paper's ring.
+    #[default]
+    Flat,
+    /// `segments` rings joined in a cycle by bridge links; packets cross
+    /// the shorter arc.
+    RingOfRings {
+        /// Number of segments in the cycle (≥ 1).
+        segments: u32,
+    },
+    /// `arms` leaf segments each bridged to a hub (segment 0).
+    Star {
+        /// Number of leaf segments (≥ 1); total segments = `arms + 1`.
+        arms: u32,
+    },
+}
+
+impl Topology {
+    /// Total number of segments.
+    pub fn segments(self) -> u32 {
+        match self {
+            Topology::Flat => 1,
+            Topology::RingOfRings { segments } => segments.max(1),
+            Topology::Star { arms } => arms.max(1) + 1,
+        }
+    }
+
+    /// The segment `station` belongs to, out of `stations` total.
+    /// Contiguous blocks: with S segments the first `ceil(stations/S)`
+    /// stations form segment 0, and so on.
+    pub fn segment_of(self, station: u32, stations: u32) -> u32 {
+        let segs = self.segments();
+        if segs <= 1 || stations == 0 {
+            return 0;
+        }
+        let block = stations.div_ceil(segs);
+        (station / block).min(segs - 1)
+    }
+
+    /// The ordered bridge links a packet crosses from segment `a` to
+    /// segment `b`, as normalized `(lo, hi)` segment pairs. Empty when
+    /// `a == b`.
+    pub fn path_links(self, a: u32, b: u32) -> Vec<(u32, u32)> {
+        if a == b {
+            return Vec::new();
+        }
+        match self {
+            Topology::Flat => Vec::new(),
+            Topology::Star { .. } => {
+                let mut links = Vec::new();
+                if a != 0 {
+                    links.push(link_key(a, 0));
+                }
+                if b != 0 {
+                    links.push(link_key(0, b));
+                }
+                links
+            }
+            Topology::RingOfRings { .. } => {
+                let s = self.segments();
+                let fwd = (b + s - a) % s; // hops going a, a+1, …
+                let back = (a + s - b) % s; // hops going a, a-1, …
+                let mut links = Vec::new();
+                let mut cur = a;
+                if fwd <= back {
+                    for _ in 0..fwd {
+                        let next = (cur + 1) % s;
+                        links.push(link_key(cur, next));
+                        cur = next;
+                    }
+                } else {
+                    for _ in 0..back {
+                        let next = (cur + s - 1) % s;
+                        links.push(link_key(cur, next));
+                        cur = next;
+                    }
+                }
+                links
+            }
+        }
+    }
+
+    /// Stable wire name, used by the replay recipe format.
+    pub fn to_json(self) -> Json {
+        match self {
+            Topology::Flat => Json::obj(vec![("kind", Json::Str("flat".into()))]),
+            Topology::RingOfRings { segments } => Json::obj(vec![
+                ("kind", Json::Str("ring-of-rings".into())),
+                ("segments", Json::Int(segments as i128)),
+            ]),
+            Topology::Star { arms } => Json::obj(vec![
+                ("kind", Json::Str("star".into())),
+                ("arms", Json::Int(arms as i128)),
+            ]),
+        }
+    }
+
+    /// The inverse of [`to_json`](Topology::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Unknown kinds and missing fields.
+    pub fn from_json(v: &Json) -> Result<Topology, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("topology: missing `kind`")?;
+        Ok(match kind {
+            "flat" => Topology::Flat,
+            "ring-of-rings" => Topology::RingOfRings {
+                segments: v
+                    .get("segments")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("topology: missing `segments`")?,
+            },
+            "star" => Topology::Star {
+                arms: v
+                    .get("arms")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("topology: missing `arms`")?,
+            },
+            other => return Err(format!("topology: unknown kind `{other}`")),
+        })
+    }
+}
+
+/// Normalized bridge-link key between two segments.
+pub fn link_key(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+/// Per-bridge-hop behaviour: store-and-forward serialization, forwarding
+/// latency, seeded jitter, and independent loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Fixed forwarding latency per hop.
+    pub latency: SimDuration,
+    /// Maximum extra per-hop delay; each hop draws uniformly from
+    /// `[0, jitter]` out of the network's seeded RNG.
+    pub jitter: SimDuration,
+    /// Serialization cost per payload byte — the link's bandwidth. The
+    /// link is busy for `bytes × per_byte`, so packets queue behind each
+    /// other on a saturated bridge.
+    pub per_byte: SimDuration,
+    /// Probability a packet is lost crossing the hop (always silent:
+    /// NACKs do not cross bridges).
+    pub p_loss: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            latency: SimDuration::from_micros(500),
+            jitter: SimDuration::ZERO,
+            per_byte: SimDuration::from_micros(1),
+            p_loss: 0.0,
+        }
+    }
+}
+
+impl LinkModel {
+    /// The model as a JSON object for the replay recipe.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("latency_us", Json::Int(self.latency.as_micros() as i128)),
+            ("jitter_us", Json::Int(self.jitter.as_micros() as i128)),
+            ("per_byte_us", Json::Int(self.per_byte.as_micros() as i128)),
+            ("p_loss", Json::Float(self.p_loss)),
+        ])
+    }
+
+    /// The inverse of [`to_json`](LinkModel::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<LinkModel, String> {
+        let us = |field: &str| -> Result<SimDuration, String> {
+            v.get(field)
+                .and_then(Json::as_u64)
+                .map(SimDuration::from_micros)
+                .ok_or_else(|| format!("link model: missing `{field}`"))
+        };
+        Ok(LinkModel {
+            latency: us("latency_us")?,
+            jitter: us("jitter_us")?,
+            per_byte: us("per_byte_us")?,
+            p_loss: v
+                .get("p_loss")
+                .and_then(Json::as_f64)
+                .ok_or("link model: missing `p_loss`")?,
+        })
+    }
+}
+
+/// One scheduled partition: the bridge link between segments `a` and `b`
+/// is down during `[from, to)`. Part of [`super::NetworkConfig`], so the
+/// schedule rides the replay recipe and loaded runs reproduce their
+/// partitions without any journalled stimulus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Cut begins (inclusive).
+    pub from: SimTime,
+    /// Cut heals (exclusive).
+    pub to: SimTime,
+    /// One end of the bridge link.
+    pub a: u32,
+    /// The other end.
+    pub b: u32,
+}
+
+impl PartitionWindow {
+    /// Does this window cut the link `(a, b)` at time `at`?
+    pub fn cuts(&self, link: (u32, u32), at: SimTime) -> bool {
+        link_key(self.a, self.b) == link && self.from <= at && at < self.to
+    }
+
+    /// The window as a JSON object for the replay recipe.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("from_us", Json::Int(self.from.as_micros() as i128)),
+            ("to_us", Json::Int(self.to.as_micros() as i128)),
+            ("a", Json::Int(self.a as i128)),
+            ("b", Json::Int(self.b as i128)),
+        ])
+    }
+
+    /// The inverse of [`to_json`](PartitionWindow::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<PartitionWindow, String> {
+        let u = |field: &str| -> Result<u64, String> {
+            v.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("partition window: missing `{field}`"))
+        };
+        Ok(PartitionWindow {
+            from: SimTime::from_micros(u("from_us")?),
+            to: SimTime::from_micros(u("to_us")?),
+            a: u32::try_from(u("a")?).map_err(|_| "partition window: `a` out of range")?,
+            b: u32::try_from(u("b")?).map_err(|_| "partition window: `b` out of range")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_one_segment() {
+        let t = Topology::Flat;
+        assert_eq!(t.segments(), 1);
+        assert_eq!(t.segment_of(7, 100), 0);
+        assert!(t.path_links(0, 0).is_empty());
+    }
+
+    #[test]
+    fn contiguous_blocks_cover_all_stations() {
+        let t = Topology::RingOfRings { segments: 4 };
+        // 10 stations over 4 segments: blocks of 3 — 3/3/3/1.
+        let segs: Vec<u32> = (0..10).map(|i| t.segment_of(i, 10)).collect();
+        assert_eq!(segs, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        // Exactly-divisible case.
+        let t8 = Topology::RingOfRings { segments: 2 };
+        let segs: Vec<u32> = (0..8).map(|i| t8.segment_of(i, 8)).collect();
+        assert_eq!(segs, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let t = Topology::Star { arms: 3 };
+        assert_eq!(t.segments(), 4);
+        assert_eq!(t.path_links(1, 2), vec![(0, 1), (0, 2)]);
+        assert_eq!(t.path_links(0, 3), vec![(0, 3)]);
+        assert_eq!(t.path_links(3, 0), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn ring_of_rings_takes_shorter_arc() {
+        let t = Topology::RingOfRings { segments: 5 };
+        // 0 → 2: forward (2 hops) beats backward (3 hops).
+        assert_eq!(t.path_links(0, 2), vec![(0, 1), (1, 2)]);
+        // 0 → 4: backward, one hop.
+        assert_eq!(t.path_links(0, 4), vec![(0, 4)]);
+        // Even cycle tie break goes forward.
+        let t4 = Topology::RingOfRings { segments: 4 };
+        assert_eq!(t4.path_links(0, 2), vec![(0, 1), (1, 2)]);
+        assert_eq!(t4.path_links(2, 0), vec![(2, 3), (0, 3)]);
+    }
+
+    #[test]
+    fn partition_window_cuts_half_open() {
+        let w = PartitionWindow {
+            from: SimTime::from_secs(30),
+            to: SimTime::from_secs(45),
+            a: 1,
+            b: 0,
+        };
+        assert!(!w.cuts((0, 1), SimTime::from_micros(29_999_999)));
+        assert!(w.cuts((0, 1), SimTime::from_secs(30)));
+        assert!(w.cuts((0, 1), SimTime::from_micros(44_999_999)));
+        assert!(!w.cuts((0, 1), SimTime::from_secs(45)));
+        assert!(!w.cuts((0, 2), SimTime::from_secs(31)));
+    }
+
+    #[test]
+    fn topology_json_round_trips() {
+        for t in [
+            Topology::Flat,
+            Topology::RingOfRings { segments: 6 },
+            Topology::Star { arms: 4 },
+        ] {
+            let mut rendered = String::new();
+            t.to_json().write(&mut rendered);
+            let back = Topology::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+            assert_eq!(back, t);
+        }
+        assert!(Topology::from_json(&Json::parse("{\"kind\": \"mesh\"}").unwrap()).is_err());
+    }
+}

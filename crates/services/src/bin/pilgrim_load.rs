@@ -1,0 +1,214 @@
+//! `pilgrim-load` — run a load scenario against the services stack.
+//!
+//! Reads a scenario file (see `scenarios/` and
+//! [`pilgrim_services::Scenario`]), drives its seeded open-loop workload
+//! against the nameserver/fileserver/AOT-manager world it describes, and
+//! prints a deterministic throughput/latency report. Exit status encodes
+//! the scenario's declared gate.
+//!
+//! ```text
+//! pilgrim-load <scenario.toml> [options]
+//!     --record <path>     write the replay artifact after the run
+//!     --verify-replay     replay the recorded artifact in-process and
+//!                         require byte-identical traces
+//!     --blackbox <path>   dump a flight-recorder snapshot when the gate
+//!                         fails (for CI artifact upload)
+//!     --threads <n>       step the world on n worker threads
+//!     --no-gate           report floors but always exit 0
+//! pilgrim-load selftest   run a built-in scenario twice and require
+//!                         byte-identical reports
+//! ```
+//!
+//! Exit codes: 0 pass, 1 gate or replay failure, 2 usage/parse errors.
+
+use std::process::ExitCode;
+
+use pilgrim_services::{replay_load_artifact, run_scenario_threads, Scenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("selftest") {
+        return selftest();
+    }
+    let mut scenario_path: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut blackbox: Option<String> = None;
+    let mut verify_replay = false;
+    let mut no_gate = false;
+    let mut threads = 1usize;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--record" => match it.next() {
+                Some(p) => record = Some(p.clone()),
+                None => return usage("--record needs a path"),
+            },
+            "--blackbox" => match it.next() {
+                Some(p) => blackbox = Some(p.clone()),
+                None => return usage("--blackbox needs a path"),
+            },
+            "--threads" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => return usage("--threads needs a positive integer"),
+            },
+            "--verify-replay" => verify_replay = true,
+            "--no-gate" => no_gate = true,
+            other if !other.starts_with('-') && scenario_path.is_none() => {
+                scenario_path = Some(other.to_string());
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(path) = scenario_path else {
+        return usage("no scenario file given");
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pilgrim-load: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let sc = match Scenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pilgrim-load: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match run_scenario_threads(&sc, threads) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pilgrim-load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", outcome.report);
+
+    let mut failed = !outcome.gate_failures.is_empty();
+    if failed {
+        for f in &outcome.gate_failures {
+            eprintln!("pilgrim-load: gate: {f}");
+        }
+        if let Some(p) = &blackbox {
+            let snap = outcome.world.blackbox_snapshot("load gate failure");
+            if let Err(e) = std::fs::write(p, snap.render()) {
+                eprintln!("pilgrim-load: cannot write blackbox {p}: {e}");
+            } else {
+                eprintln!("pilgrim-load: blackbox dumped to {p}");
+            }
+        }
+    }
+
+    if record.is_some() || verify_replay {
+        let artifact = outcome.world.record();
+        if let Some(p) = &record {
+            if let Err(e) = std::fs::write(p, artifact.render()) {
+                eprintln!("pilgrim-load: cannot write {p}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("recorded artifact: {p}");
+        }
+        if verify_replay {
+            match replay_load_artifact(&artifact, threads) {
+                Ok(r) if r.divergence.is_none() && r.byte_identical => {
+                    println!("replay: byte-identical");
+                }
+                Ok(r) => {
+                    eprintln!(
+                        "pilgrim-load: replay diverged: {:?} (byte_identical={})",
+                        r.divergence, r.byte_identical
+                    );
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("pilgrim-load: replay failed: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if failed && !no_gate {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("pilgrim-load: {err}");
+    eprintln!(
+        "usage: pilgrim-load <scenario.toml> [--record <path>] [--verify-replay] \
+         [--blackbox <path>] [--threads <n>] [--no-gate] | pilgrim-load selftest"
+    );
+    ExitCode::from(2)
+}
+
+/// Runs a built-in partitioned scenario twice and requires byte-identical
+/// reports plus a divergence-free replay — the binary's determinism
+/// proof, runnable anywhere without a scenario file.
+fn selftest() -> ExitCode {
+    const SCENARIO: &str = r#"
+name = "selftest"
+seed = 11
+topology = "star"
+segments = 2
+client_nodes = 6
+clients = 64
+arrivals = 120
+rate = 400
+loss = "2%"
+partition = "at=100ms heal=200ms link=0:1"
+trace = "rpc"
+"#;
+    let sc = match Scenario::parse(SCENARIO) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("selftest: scenario: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let a = match run_scenario_threads(&sc, 1) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("selftest: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let b = match run_scenario_threads(&sc, 1) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("selftest: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if a.report != b.report {
+        eprintln!(
+            "selftest: reports differ between runs:\n--- a\n{}--- b\n{}",
+            a.report, b.report
+        );
+        return ExitCode::from(1);
+    }
+    match replay_load_artifact(&a.world.record(), 1) {
+        Ok(r) if r.divergence.is_none() && r.byte_identical => {
+            print!("{}", a.report);
+            println!("selftest: deterministic, replay byte-identical");
+            ExitCode::SUCCESS
+        }
+        Ok(r) => {
+            eprintln!(
+                "selftest: replay diverged: {:?} (byte_identical={})",
+                r.divergence, r.byte_identical
+            );
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("selftest: replay failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

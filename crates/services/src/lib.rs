@@ -21,14 +21,21 @@
 
 mod aotman;
 mod fileserver;
+mod load;
 mod nameserver;
 mod resource;
+mod scenario;
 mod strategy;
 
 pub use aotman::{AotConfig, AotMan, TuidRecord};
 pub use fileserver::{CLIENT_EXTERNS, FILE_SERVER_SOURCE};
+pub use load::{
+    build_load_world, replay_load_artifact, run_scenario, run_scenario_threads, setup_installer,
+    LoadOutcome, AOT_NODE, FIRST_CLIENT_NODE, FS_NODE, NS_NODE,
+};
 pub use nameserver::{NameServer, NAME_SERVER_EXTERNS};
 pub use resource::{ResourceManager, RmConfig, RmEvent};
+pub use scenario::{Scenario, TraceLevel};
 pub use strategy::{GrantHooks, StrategyEvent, StrategyStats, TimeoutStrategy, Watcher};
 
 #[cfg(test)]

@@ -1,0 +1,446 @@
+//! The `pilgrim-load` harness: drives a [`Scenario`]'s open-loop
+//! workload against the full services stack (nameserver + fileserver +
+//! AOT manager) on a bridged multi-segment world, and reads throughput
+//! and latency percentiles back out of the metrics registry.
+//!
+//! Everything is deterministic: the world is seeded, arrivals come from
+//! [`pilgrim_sim::OpenLoop`], partitions are declarative
+//! [`pilgrim::PartitionWindow`]s inside the network config (so they ride
+//! the replay recipe), and every stimulus goes through the recorded
+//! driver API. Running the same scenario twice produces byte-identical
+//! reports, and the recorded artifact replays divergence-free through
+//! [`pilgrim::replay_with_setup`] with [`setup_installer`] re-creating
+//! the native service handlers.
+
+use pilgrim::{
+    replay_with_setup, Artifact, LinkModel, NetworkConfig, NodeId, ReplayError, SimDuration,
+    SimTime, TraceCategory, Value, World,
+};
+use pilgrim_sim::{DetRng, Json, OpenLoop};
+
+use crate::aotman::{AotConfig, AotMan};
+use crate::fileserver::{CLIENT_EXTERNS, FILE_SERVER_SOURCE};
+use crate::nameserver::{NameServer, NAME_SERVER_EXTERNS};
+use crate::scenario::{Scenario, TraceLevel};
+
+/// Station index of the name server.
+pub const NS_NODE: u32 = 0;
+/// Station index of the file server.
+pub const FS_NODE: u32 = 1;
+/// Station index of the AOT manager.
+pub const AOT_NODE: u32 = 2;
+/// First client-hosting station.
+pub const FIRST_CLIENT_NODE: u32 = 3;
+
+/// The client-side program: one proc per operation in the mix. Spawned
+/// per arrival on the issuing client's node.
+fn client_source() -> String {
+    format!(
+        "{NAME_SERVER_EXTERNS}{CLIENT_EXTERNS}\
+extern aot_issue = proc () returns (int, int)
+extern aot_refresh = proc (t: int) returns (bool)
+
+op_lookup = proc (ns: int)
+ found: bool := false
+ node: int := 0
+ found, node := call ns_lookup(\"fileserver\") at ns
+end
+
+op_read = proc (ns: int, me: int, k: int)
+ found: bool := false
+ fsn: int := 0
+ found, fsn := call ns_lookup(\"fileserver\") at ns
+ if found then
+  ok: bool := false
+  data: string := \"\"
+  mt: int := 0
+  ok, data, mt := call fs_read(\"f\" || int$unparse(k), me) at fsn
+ end
+end
+
+op_write = proc (ns: int, k: int)
+ found: bool := false
+ fsn: int := 0
+ found, fsn := call ns_lookup(\"fileserver\") at ns
+ if found then
+  ok: bool := call fs_write(\"f\" || int$unparse(k), \"payload\") at fsn
+ end
+end
+
+op_auth = proc (aot: int)
+ t: int := 0
+ life: int := 0
+ t, life := call aot_issue() at aot
+ ok: bool := call aot_refresh(t) at aot
+end
+"
+    )
+}
+
+/// Performs one recorded setup step against a world: install a service,
+/// bootstrap a name registration, or narrow the trace filter. Shared
+/// between the live run and replay so both sides do exactly the same
+/// thing; `ns` carries the name server instance between entries.
+fn install_one(
+    world: &mut World,
+    kind: &str,
+    params: &Json,
+    ns: &mut Option<NameServer>,
+) -> Result<(), String> {
+    let node = |p: &Json| -> Result<u32, String> {
+        p.get("node")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| format!("setup `{kind}`: missing `node`"))
+    };
+    match kind {
+        "nameserver" => {
+            *ns = Some(NameServer::install(world, node(params)?));
+            Ok(())
+        }
+        "aotman" => {
+            let lifetime = params
+                .get("lifetime_us")
+                .and_then(Json::as_u64)
+                .map(SimDuration::from_micros)
+                .ok_or("setup `aotman`: missing `lifetime_us`")?;
+            AotMan::install(
+                world,
+                node(params)?,
+                AotConfig {
+                    lifetime,
+                    ..Default::default()
+                },
+            );
+            Ok(())
+        }
+        "ns-register" => {
+            let name = params
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("setup `ns-register`: missing `name`")?;
+            let target = NodeId(node(params)?);
+            ns.as_ref()
+                .ok_or("setup `ns-register` before `nameserver`")?
+                .register(name, target);
+            Ok(())
+        }
+        "trace-filter" => {
+            let level = params
+                .get("level")
+                .and_then(Json::as_str)
+                .ok_or("setup `trace-filter`: missing `level`")?;
+            match TraceLevel::parse(level)? {
+                TraceLevel::Full => {}
+                TraceLevel::Rpc => world.tracer().set_filter(&[TraceCategory::Rpc]),
+                TraceLevel::Off => world.tracer().set_filter(&[]),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown setup kind `{other}`")),
+    }
+}
+
+/// The setup installer for replaying recorded load artifacts: pass it to
+/// [`pilgrim::replay_with_setup`] and it re-creates the native services
+/// exactly as [`run_scenario`] originally installed them.
+pub fn setup_installer() -> impl FnMut(&mut World, &str, &Json) -> Result<(), String> {
+    let mut ns: Option<NameServer> = None;
+    move |world, kind, params| install_one(world, kind, params, &mut ns)
+}
+
+/// Replays a recorded load artifact (convenience wrapper wiring
+/// [`setup_installer`] into [`pilgrim::replay_with_setup`]).
+///
+/// # Errors
+///
+/// Those of [`pilgrim::replay_with_setup`].
+pub fn replay_load_artifact(
+    artifact: &Artifact,
+    threads: usize,
+) -> Result<pilgrim::ReplayReport, ReplayError> {
+    let mut installer = setup_installer();
+    replay_with_setup(artifact, threads, &mut installer)
+}
+
+/// The result of one load run.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The quiesced world (record it, inspect it, diff it).
+    pub world: World,
+    /// Deterministic human-readable report: counters, throughput,
+    /// latency percentiles, and the gate verdict.
+    pub report: String,
+    /// Why the gate failed; empty means PASS (or no floors declared).
+    pub gate_failures: Vec<String>,
+    /// Did the world drain to quiescence before the drain deadline?
+    pub drained: bool,
+}
+
+/// Builds the load world for a scenario: 3 server stations, the client
+/// stations, the scenario's topology/link/partition schedule, and the
+/// services installed with recorded setup markers.
+///
+/// # Errors
+///
+/// World build failures (program compilation, empty topology).
+pub fn build_load_world(sc: &Scenario) -> Result<World, String> {
+    let net = NetworkConfig {
+        topology: sc.topology,
+        link: LinkModel {
+            latency: sc.link_latency,
+            jitter: sc.link_jitter,
+            p_loss: sc.loss,
+            ..Default::default()
+        },
+        partitions: sc.partitions.clone(),
+        ..Default::default()
+    };
+    let mut world = World::builder()
+        .nodes(FIRST_CLIENT_NODE + sc.client_nodes)
+        .seed(sc.seed)
+        .program(&client_source())
+        .program_for(FS_NODE, FILE_SERVER_SOURCE)
+        .network(net)
+        .build()
+        .map_err(|e| format!("load world: {e}"))?;
+
+    // Install services through the same path replay will use, recording
+    // each step in the recipe.
+    let mut ns: Option<NameServer> = None;
+    let steps = [
+        (
+            "nameserver",
+            Json::obj(vec![("node", Json::Int(NS_NODE as i128))]),
+        ),
+        (
+            "aotman",
+            Json::obj(vec![
+                ("node", Json::Int(AOT_NODE as i128)),
+                (
+                    "lifetime_us",
+                    Json::Int(sc.aot_lifetime.as_micros() as i128),
+                ),
+            ]),
+        ),
+        (
+            "ns-register",
+            Json::obj(vec![
+                ("name", Json::Str("fileserver".into())),
+                ("node", Json::Int(FS_NODE as i128)),
+            ]),
+        ),
+        (
+            "ns-register",
+            Json::obj(vec![
+                ("name", Json::Str("aotman".into())),
+                ("node", Json::Int(AOT_NODE as i128)),
+            ]),
+        ),
+        (
+            "trace-filter",
+            Json::obj(vec![("level", Json::Str(sc.trace.name().into()))]),
+        ),
+    ];
+    for (kind, params) in steps {
+        world.note_setup(kind, params.clone());
+        install_one(&mut world, kind, &params, &mut ns)?;
+    }
+    Ok(world)
+}
+
+/// Runs a scenario to completion on one thread. See
+/// [`run_scenario_threads`].
+///
+/// # Errors
+///
+/// Those of [`build_load_world`].
+pub fn run_scenario(sc: &Scenario) -> Result<LoadOutcome, String> {
+    run_scenario_threads(sc, 1)
+}
+
+/// Runs a scenario to completion: builds the world, streams the
+/// open-loop arrivals through the recorded driver API, drains, and
+/// computes the report. `threads` sets the stepping worker count
+/// (execution knob only — results are byte-identical across values).
+///
+/// # Errors
+///
+/// Those of [`build_load_world`].
+pub fn run_scenario_threads(sc: &Scenario, threads: usize) -> Result<LoadOutcome, String> {
+    let mut world = build_load_world(sc)?;
+    world.set_step_threads(threads);
+
+    // The workload RNG is forked off the scenario seed, independent of
+    // the world's internal streams.
+    let mut rng = DetRng::seed(sc.seed ^ 0x6f70_656e_2d6c_6f61); // "open-loa"
+    let gen = OpenLoop::new(&mut rng, sc.rate, sc.clients, sc.mix.clone());
+
+    let mut last_at = SimTime::ZERO;
+    for (k, a) in gen.take(sc.arrivals as usize).enumerate() {
+        world.run_until(a.at);
+        let node = FIRST_CLIENT_NODE + (a.client % sc.client_nodes as u64) as u32;
+        let ns = Value::Int(NS_NODE as i64);
+        let key = Value::Int((k % 16) as i64);
+        let (entry, args) = match a.op.as_str() {
+            "lookup" => ("op_lookup", vec![ns]),
+            "read" => ("op_read", vec![ns, Value::Int(node as i64), key]),
+            "write" => ("op_write", vec![ns, key]),
+            "auth" => ("op_auth", vec![Value::Int(AOT_NODE as i64)]),
+            other => return Err(format!("mix produced unknown op `{other}`")),
+        };
+        world.spawn(node, entry, args);
+        last_at = a.at;
+    }
+
+    // Drain: every in-flight RPC, retry ladder, and AOT watcher must
+    // settle. The deadline is generous; `drained` reports whether
+    // quiescence arrived before it.
+    let deadline = last_at + sc.aot_lifetime + SimDuration::from_secs(30);
+    world.run_until_idle(deadline);
+    let drained = world.now() < deadline;
+
+    let (report, gate_failures) = render_report(sc, &world, last_at, drained);
+    Ok(LoadOutcome {
+        world,
+        report,
+        gate_failures,
+        drained,
+    })
+}
+
+fn counter(world: &World, name: &str) -> u64 {
+    world.metrics().counter_value(name).unwrap_or(0)
+}
+
+/// Renders the deterministic report and evaluates the scenario's gate
+/// floors. Throughput is measured over the offered window `[0,
+/// last_arrival]` — the open-loop definition — in milli-ops/sec so the
+/// report needs no floating point.
+fn render_report(
+    sc: &Scenario,
+    world: &World,
+    last_at: SimTime,
+    drained: bool,
+) -> (String, Vec<String>) {
+    let completed = counter(world, "rpc.completed");
+    let failed = counter(world, "rpc.failed");
+    let window_us = last_at.as_micros().max(1);
+    let throughput_mrps = completed.saturating_mul(1_000_000_000) / window_us;
+    let hist = world.metrics().histogram_named("rpc.latency_us");
+    let q = |p: f64| -> u64 { hist.as_ref().and_then(|h| h.quantile(p)).unwrap_or(0) };
+    let (p50, p90, p99) = (q(0.50), q(0.90), q(0.99));
+
+    let mut gate_failures = Vec::new();
+    if let Some(floor) = sc.min_rps {
+        if throughput_mrps < floor * 1000 {
+            gate_failures.push(format!(
+                "throughput {}.{:03} rps is below the declared floor {floor} rps",
+                throughput_mrps / 1000,
+                throughput_mrps % 1000
+            ));
+        }
+    }
+    if let Some(ceiling) = sc.max_p99_us {
+        if p99 > ceiling {
+            gate_failures.push(format!(
+                "p99 latency {p99} µs exceeds the declared ceiling {ceiling} µs"
+            ));
+        }
+    }
+    if !drained {
+        gate_failures.push("world did not drain to quiescence".into());
+    }
+
+    let mut out = String::new();
+    let mut line = |k: &str, v: String| {
+        out.push_str(&format!("{k:<22}{v}\n"));
+    };
+    line("scenario", sc.name.clone());
+    line("seed", sc.seed.to_string());
+    line("arrivals", sc.arrivals.to_string());
+    line("offered.window_us", window_us.to_string());
+    line("rpc.started", counter(world, "rpc.started").to_string());
+    line("rpc.completed", completed.to_string());
+    line("rpc.failed", failed.to_string());
+    line(
+        "net.bridge_lost",
+        counter(world, "net.bridge_lost").to_string(),
+    );
+    line(
+        "net.silently_lost",
+        counter(world, "net.silently_lost").to_string(),
+    );
+    line(
+        "throughput_rps",
+        format!("{}.{:03}", throughput_mrps / 1000, throughput_mrps % 1000),
+    );
+    line("latency.p50_us", p50.to_string());
+    line("latency.p90_us", p90.to_string());
+    line("latency.p99_us", p99.to_string());
+    line("drained", drained.to_string());
+    if gate_failures.is_empty() {
+        line("gate", "PASS".into());
+    } else {
+        line("gate", format!("FAIL ({})", gate_failures.join("; ")));
+    }
+    (out, gate_failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario::parse(
+            r#"
+name = "tiny"
+seed = 7
+topology = "ring-of-rings"
+segments = 2
+client_nodes = 4
+clients = 16
+arrivals = 40
+rate = 200
+trace = "rpc"
+"#,
+        )
+        .expect("parses")
+    }
+
+    #[test]
+    fn tiny_scenario_completes_and_reports() {
+        let out = run_scenario(&tiny()).expect("runs");
+        assert!(out.drained, "tiny load must drain");
+        assert!(out.gate_failures.is_empty());
+        assert!(out.report.contains("scenario              tiny"));
+        let completed: u64 = out
+            .report
+            .lines()
+            .find(|l| l.starts_with("rpc.completed"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("report carries rpc.completed");
+        assert!(completed > 0, "operations must complete:\n{}", out.report);
+    }
+
+    #[test]
+    fn twice_run_reports_are_byte_identical() {
+        let a = run_scenario(&tiny()).expect("runs");
+        let b = run_scenario(&tiny()).expect("runs");
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.world.trace_jsonl(), b.world.trace_jsonl());
+    }
+
+    #[test]
+    fn recorded_artifact_replays_through_installer() {
+        let out = run_scenario(&tiny()).expect("runs");
+        let artifact = out.world.record();
+        let report = replay_load_artifact(&artifact, 1).expect("replays");
+        assert!(report.divergence.is_none(), "{:?}", report.divergence);
+        assert!(report.byte_identical);
+        // Plain replay must refuse, pointing at the setup entries.
+        let err = pilgrim::replay::replay(&artifact).expect_err("plain replay refuses");
+        assert!(err.to_string().contains("replay_with_setup"), "{err}");
+    }
+}

@@ -1,0 +1,494 @@
+//! Hand-rolled parser for `pilgrim-load` scenario files.
+//!
+//! Scenarios are a flat, TOML-ish `key = value` format — hand-rolled so
+//! the workspace stays dependency-free. Example:
+//!
+//! ```toml
+//! name = "partition-1k"
+//! seed = 42
+//! topology = "star"            # flat | ring-of-rings | star
+//! segments = 4                 # arms (star) or rings (ring-of-rings)
+//! client_nodes = 8
+//! clients = 1000
+//! arrivals = 1000
+//! rate = 100                   # aggregate ops/sec
+//! mix = "lookup:4,read:3,write:2,auth:1"
+//! loss = "1%"                  # per-bridge-hop loss
+//! link_latency = "500us"
+//! link_jitter = "0us"
+//! aot_lifetime = "2s"
+//! partition = "at=4s heal=6s link=0:1"   # repeatable
+//! trace = "rpc"                # full | rpc | off
+//! min_rps = 50                 # gate floor (optional)
+//! max_p99_us = 2000000         # gate ceiling (optional)
+//! ```
+//!
+//! Unknown keys, duplicate keys (except `partition`), and out-of-range
+//! values are hard errors: a scenario that gates CI must not silently
+//! drift when a key is misspelled.
+
+use pilgrim::{PartitionWindow, SimDuration, SimTime, Topology};
+use pilgrim_sim::OpMix;
+
+/// How much tracing a load run records. Full traces of 100k-op runs are
+/// large; the RPC-only and off levels keep soak artifacts manageable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Every category (the default for small scenarios).
+    #[default]
+    Full,
+    /// RPC protocol events only.
+    Rpc,
+    /// No trace events at all.
+    Off,
+}
+
+impl TraceLevel {
+    /// Stable wire name (recorded as a recipe setup entry).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Full => "full",
+            TraceLevel::Rpc => "rpc",
+            TraceLevel::Off => "off",
+        }
+    }
+
+    /// The inverse of [`name`](TraceLevel::name).
+    ///
+    /// # Errors
+    ///
+    /// Unknown names.
+    pub fn parse(s: &str) -> Result<TraceLevel, String> {
+        match s {
+            "full" => Ok(TraceLevel::Full),
+            "rpc" => Ok(TraceLevel::Rpc),
+            "off" => Ok(TraceLevel::Off),
+            other => Err(format!("trace: unknown level `{other}` (full|rpc|off)")),
+        }
+    }
+}
+
+/// A parsed load scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (reported, not interpreted).
+    pub name: String,
+    /// Master seed for the world and the workload generator.
+    pub seed: u64,
+    /// Network shape.
+    pub topology: Topology,
+    /// Nodes that host client processes (servers ride on 3 extra nodes).
+    pub client_nodes: u32,
+    /// Logical client population (arrivals are spread over these).
+    pub clients: u64,
+    /// Total operations to issue.
+    pub arrivals: u64,
+    /// Aggregate arrival rate, operations per second.
+    pub rate: u64,
+    /// Weighted operation mix.
+    pub mix: OpMix,
+    /// Per-bridge-hop loss probability, `0.0..=1.0`.
+    pub loss: f64,
+    /// Bridge forwarding latency.
+    pub link_latency: SimDuration,
+    /// Bridge jitter bound.
+    pub link_jitter: SimDuration,
+    /// TUID lifetime for the AOT manager (short keeps drain quick).
+    pub aot_lifetime: SimDuration,
+    /// Scheduled partition/heal windows over bridge links.
+    pub partitions: Vec<PartitionWindow>,
+    /// Trace verbosity.
+    pub trace: TraceLevel,
+    /// Gate: completed-RPC throughput floor, ops/sec.
+    pub min_rps: Option<u64>,
+    /// Gate: p99 latency ceiling, microseconds.
+    pub max_p99_us: Option<u64>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        let mut mix = OpMix::new();
+        mix.push("lookup", 4);
+        mix.push("read", 3);
+        mix.push("write", 2);
+        mix.push("auth", 1);
+        Scenario {
+            name: "unnamed".into(),
+            seed: 1,
+            topology: Topology::Flat,
+            client_nodes: 4,
+            clients: 100,
+            arrivals: 100,
+            rate: 100,
+            mix,
+            loss: 0.0,
+            link_latency: SimDuration::from_micros(500),
+            link_jitter: SimDuration::ZERO,
+            aot_lifetime: SimDuration::from_secs(2),
+            partitions: Vec::new(),
+            trace: TraceLevel::Full,
+            min_rps: None,
+            max_p99_us: None,
+        }
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors, unknown or duplicate keys, and out-of-range values
+    /// — all with the offending line number.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut sc = Scenario::default();
+        let mut segments: Option<u32> = None;
+        let mut topology_kind: Option<String> = None;
+        let mut seen: Vec<String> = Vec::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = value.trim();
+            if key.is_empty() {
+                return Err(format!("line {lineno}: empty key"));
+            }
+            if key != "partition" {
+                if seen.iter().any(|k| k == key) {
+                    return Err(format!("line {lineno}: duplicate key `{key}`"));
+                }
+                seen.push(key.to_string());
+            }
+            match key {
+                "name" => sc.name = unquote(value, lineno)?,
+                "seed" => sc.seed = int(value, lineno)?,
+                "topology" => topology_kind = Some(unquote(value, lineno)?),
+                "segments" => {
+                    segments = Some(
+                        int(value, lineno)?
+                            .try_into()
+                            .map_err(|_| format!("line {lineno}: `segments` out of range"))?,
+                    )
+                }
+                "client_nodes" => {
+                    let n: u32 = int(value, lineno)?
+                        .try_into()
+                        .map_err(|_| format!("line {lineno}: `client_nodes` out of range"))?;
+                    if n == 0 || n > 100_000 {
+                        return Err(format!(
+                            "line {lineno}: `client_nodes` must be in 1..=100000"
+                        ));
+                    }
+                    sc.client_nodes = n;
+                }
+                "clients" => {
+                    sc.clients = int(value, lineno)?;
+                    if sc.clients == 0 {
+                        return Err(format!("line {lineno}: `clients` must be positive"));
+                    }
+                }
+                "arrivals" => {
+                    sc.arrivals = int(value, lineno)?;
+                    if sc.arrivals == 0 {
+                        return Err(format!("line {lineno}: `arrivals` must be positive"));
+                    }
+                }
+                "rate" => {
+                    sc.rate = int(value, lineno)?;
+                    if sc.rate == 0 || sc.rate > 1_000_000 {
+                        return Err(format!(
+                            "line {lineno}: `rate` must be in 1..=1000000 ops/sec"
+                        ));
+                    }
+                }
+                "mix" => sc.mix = parse_mix(&unquote(value, lineno)?, lineno)?,
+                "loss" => {
+                    sc.loss = percent(&unquote(value, lineno)?, lineno)?;
+                    if !(0.0..=1.0).contains(&sc.loss) {
+                        return Err(format!("line {lineno}: `loss` must be within 0%..100%"));
+                    }
+                }
+                "link_latency" => sc.link_latency = duration(value, lineno)?,
+                "link_jitter" => sc.link_jitter = duration(value, lineno)?,
+                "aot_lifetime" => sc.aot_lifetime = duration(value, lineno)?,
+                "partition" => sc
+                    .partitions
+                    .push(parse_partition(&unquote(value, lineno)?, lineno)?),
+                "trace" => {
+                    sc.trace = TraceLevel::parse(&unquote(value, lineno)?)
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                }
+                "min_rps" => sc.min_rps = Some(int(value, lineno)?),
+                "max_p99_us" => sc.max_p99_us = Some(int(value, lineno)?),
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+
+        sc.topology = match topology_kind.as_deref() {
+            None | Some("flat") => Topology::Flat,
+            Some("ring-of-rings") => Topology::RingOfRings {
+                segments: segments.ok_or("topology `ring-of-rings` needs `segments`")?,
+            },
+            Some("star") => Topology::Star {
+                arms: segments.ok_or("topology `star` needs `segments`")?,
+            },
+            Some(other) => {
+                return Err(format!(
+                    "unknown topology `{other}` (flat|ring-of-rings|star)"
+                ))
+            }
+        };
+        let segs = sc.topology.segments();
+        for w in &sc.partitions {
+            if w.a >= segs || w.b >= segs {
+                return Err(format!(
+                    "partition link {}:{} names a segment outside 0..{segs}",
+                    w.a, w.b
+                ));
+            }
+        }
+        if sc.mix.is_empty() {
+            return Err("mix: at least one operation needs a positive weight".into());
+        }
+        for (op, _) in sc.mix.entries() {
+            if !matches!(op.as_str(), "lookup" | "read" | "write" | "auth") {
+                return Err(format!(
+                    "mix: unknown operation `{op}` (lookup|read|write|auth)"
+                ));
+            }
+        }
+        Ok(sc)
+    }
+}
+
+/// Strips a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Accepts `"quoted"` or a bare word (no spaces).
+fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+    if let Some(stripped) = v.strip_prefix('"') {
+        return stripped
+            .strip_suffix('"')
+            .map(str::to_string)
+            .ok_or_else(|| format!("line {lineno}: unterminated string"));
+    }
+    if v.contains(' ') || v.contains('"') {
+        return Err(format!("line {lineno}: expected a quoted string"));
+    }
+    Ok(v.to_string())
+}
+
+fn int(v: &str, lineno: usize) -> Result<u64, String> {
+    // Allow 1_000_000-style separators.
+    let cleaned: String = v.chars().filter(|c| *c != '_').collect();
+    cleaned
+        .parse::<u64>()
+        .map_err(|_| format!("line {lineno}: `{v}` is not a non-negative integer"))
+}
+
+/// `30s`, `500ms`, `250us` — integers with a unit suffix.
+fn duration(v: &str, lineno: usize) -> Result<SimDuration, String> {
+    let (num, mult) = if let Some(n) = v.strip_suffix("us") {
+        (n, 1u64)
+    } else if let Some(n) = v.strip_suffix("ms") {
+        (n, 1_000)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000_000)
+    } else {
+        return Err(format!(
+            "line {lineno}: `{v}` needs a duration unit (us|ms|s)"
+        ));
+    };
+    let n = int(num, lineno)?;
+    n.checked_mul(mult)
+        .map(SimDuration::from_micros)
+        .ok_or_else(|| format!("line {lineno}: duration `{v}` overflows"))
+}
+
+/// `1%`, `0.5%`, or a bare probability like `0.01`.
+fn percent(v: &str, lineno: usize) -> Result<f64, String> {
+    let (num, scale) = match v.strip_suffix('%') {
+        Some(n) => (n.trim(), 100.0),
+        None => (v, 1.0),
+    };
+    let parsed = num
+        .parse::<f64>()
+        .map_err(|_| format!("line {lineno}: `{v}` is not a number"))?;
+    if !parsed.is_finite() {
+        return Err(format!("line {lineno}: `{v}` is not finite"));
+    }
+    Ok(parsed / scale)
+}
+
+/// `lookup:4,read:3,write:2,auth:1`.
+fn parse_mix(v: &str, lineno: usize) -> Result<OpMix, String> {
+    let mut mix = OpMix::new();
+    for part in v.split(',') {
+        let (op, w) = part
+            .trim()
+            .split_once(':')
+            .ok_or_else(|| format!("line {lineno}: mix entry `{part}` is not `op:weight`"))?;
+        mix.push(op.trim(), int(w.trim(), lineno)?);
+    }
+    Ok(mix)
+}
+
+/// `at=30s heal=45s link=0:1`.
+fn parse_partition(v: &str, lineno: usize) -> Result<PartitionWindow, String> {
+    let mut at = None;
+    let mut heal = None;
+    let mut link = None;
+    for part in v.split_whitespace() {
+        let (k, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: partition field `{part}` is not `k=v`"))?;
+        match k {
+            "at" => at = Some(duration(val, lineno)?),
+            "heal" => heal = Some(duration(val, lineno)?),
+            "link" => {
+                let (a, b) = val
+                    .split_once(':')
+                    .ok_or_else(|| format!("line {lineno}: link `{val}` is not `a:b`"))?;
+                link = Some((
+                    int(a, lineno)?
+                        .try_into()
+                        .map_err(|_| format!("line {lineno}: link end out of range"))?,
+                    int(b, lineno)?
+                        .try_into()
+                        .map_err(|_| format!("line {lineno}: link end out of range"))?,
+                ));
+            }
+            other => return Err(format!("line {lineno}: unknown partition field `{other}`")),
+        }
+    }
+    let at = at.ok_or_else(|| format!("line {lineno}: partition needs `at=`"))?;
+    let heal = heal.ok_or_else(|| format!("line {lineno}: partition needs `heal=`"))?;
+    let (a, b) = link.ok_or_else(|| format!("line {lineno}: partition needs `link=a:b`"))?;
+    if heal.as_micros() <= at.as_micros() {
+        return Err(format!("line {lineno}: partition heals before it starts"));
+    }
+    if a == b {
+        return Err(format!(
+            "line {lineno}: partition link must join two segments"
+        ));
+    }
+    Ok(PartitionWindow {
+        from: SimTime::ZERO + at,
+        to: SimTime::ZERO + heal,
+        a,
+        b,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scenario_parses() {
+        let sc = Scenario::parse(
+            r#"
+# smoke scenario
+name = "partition-1k"
+seed = 42
+topology = "star"
+segments = 4
+client_nodes = 8
+clients = 1_000
+arrivals = 1000
+rate = 100
+mix = "lookup:4,read:3,write:2,auth:1"
+loss = "1%"       # bridge loss
+link_latency = 500us
+link_jitter = 0us
+aot_lifetime = 2s
+partition = "at=4s heal=6s link=0:1"
+trace = "rpc"
+min_rps = 50
+max_p99_us = 2000000
+"#,
+        )
+        .expect("parses");
+        assert_eq!(sc.name, "partition-1k");
+        assert_eq!(sc.topology, Topology::Star { arms: 4 });
+        assert_eq!(sc.clients, 1000);
+        assert!((sc.loss - 0.01).abs() < 1e-12);
+        assert_eq!(sc.partitions.len(), 1);
+        assert_eq!(sc.partitions[0].from, SimTime::from_secs(4));
+        assert_eq!(sc.partitions[0].to, SimTime::from_secs(6));
+        assert_eq!(sc.trace, TraceLevel::Rpc);
+        assert_eq!(sc.min_rps, Some(50));
+    }
+
+    #[test]
+    fn hostile_inputs_error_with_line_numbers() {
+        for (text, needle) in [
+            ("rate", "expected `key = value`"),
+            ("bogus_key = 1", "unknown key `bogus_key`"),
+            ("seed = 1\nseed = 2", "duplicate key `seed`"),
+            ("rate = 0", "`rate` must be in"),
+            ("rate = 2000001", "`rate` must be in"),
+            ("clients = 0", "`clients` must be positive"),
+            ("loss = \"150%\"", "`loss` must be within"),
+            ("loss = \"nan%\"", "not finite"),
+            ("seed = -3", "not a non-negative integer"),
+            ("link_latency = 5", "needs a duration unit"),
+            ("name = \"unterminated", "unterminated string"),
+            ("trace = \"loud\"", "unknown level"),
+            ("mix = \"lookup\"", "not `op:weight`"),
+            ("mix = \"teleport:1\"", "unknown operation `teleport`"),
+            ("mix = \"lookup:0\"", "positive weight"),
+            ("partition = \"at=4s link=0:1\"", "needs `heal=`"),
+            ("partition = \"at=6s heal=4s link=0:1\"", "heals before"),
+            (
+                "partition = \"at=4s heal=6s link=1:1\"",
+                "join two segments",
+            ),
+            (
+                "topology = \"star\"\nsegments = 2\npartition = \"at=1s heal=2s link=0:9\"",
+                "outside 0..3",
+            ),
+            ("topology = \"mesh\"", "unknown topology"),
+            ("topology = \"star\"", "needs `segments`"),
+        ] {
+            let err = Scenario::parse(text).expect_err(text);
+            assert!(
+                err.contains(needle),
+                "for {text:?}: error {err:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn defaults_fill_unset_keys() {
+        let sc = Scenario::parse("seed = 9").expect("parses");
+        assert_eq!(sc.topology, Topology::Flat);
+        assert_eq!(sc.rate, 100);
+        assert_eq!(sc.mix.len(), 4);
+        assert!(sc.partitions.is_empty());
+        assert_eq!(sc.min_rps, None);
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let sc = Scenario::parse("name = \"a#b\"").expect("parses");
+        assert_eq!(sc.name, "a#b");
+    }
+}

@@ -50,6 +50,7 @@ mod rng;
 mod time;
 mod trace;
 mod tsdb;
+mod workload;
 
 pub use causal::{CausalGraph, SpanProfile};
 pub use event::{EventId, EventQueue};
@@ -65,3 +66,4 @@ pub use trace::{
     TraceEvent, Tracer, BLACKBOX_CAPACITY,
 };
 pub use tsdb::SeriesStore;
+pub use workload::{Arrival, OpMix, OpenLoop};
