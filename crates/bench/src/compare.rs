@@ -154,7 +154,9 @@ pub fn diff(baseline: &[Baseline], fresh: &[BenchResult]) -> Vec<Delta> {
 /// observability honest: `obs/flight_recorder_on` is the default
 /// configuration (blackbox ring armed, main trace off), so it gates the
 /// push-time routing and ring eviction; `obs/tsdb_sampling_1k_rpcs`
-/// gates the per-sync-point registry sweep. `node/step_storm`'s 3%
+/// gates the per-sync-point registry sweep, and `obs/link_telemetry_on`
+/// gates the per-link/per-segment meter bumps on the bridged-packet
+/// path (the flat hot path never registers them). `node/step_storm`'s 3%
 /// tolerance doubles as the proof that the sampling-off hot path is
 /// unchanged — that bench steps a bare `Node` with no world, so only
 /// tracer-level cost can reach it.
@@ -163,6 +165,7 @@ pub const GATED: &[(&str, f64)] = &[
     ("obs/trace_off_overhead", 25.0),
     ("obs/flight_recorder_on", 25.0),
     ("obs/tsdb_sampling_1k_rpcs", 25.0),
+    ("obs/link_telemetry_on", 3.0),
     ("node/step_storm", 3.0),
     ("world/1k_processes_round_robin", 3.0),
     ("world/1k_processes_parallel1", 3.0),

@@ -7,7 +7,7 @@
 //! `src/bin/compare.rs` runs a quick smoke configuration and diffs the
 //! fresh numbers against the committed baseline.
 
-use pilgrim::{SimTime, Value, World};
+use pilgrim::{NetworkConfig, SimTime, Topology, Value, World};
 use pilgrim_cclu::{compile, ExecEnv, Heap, StepOutcome, VmProcess};
 use pilgrim_mayflower::{Node, NodeConfig, RunState, SpawnOpts};
 use pilgrim_rpc::{marshal, unmarshal};
@@ -396,6 +396,40 @@ pub fn tsdb_sampling_1k_rpcs(cfg: &Config) -> BenchResult {
     })
 }
 
+/// A thousand null RPCs across a bridged star's hub link. Multi-segment
+/// worlds register per-link and per-segment meters, so every bridge
+/// packet bumps bytes/busy/queue counters at enqueue and delivery —
+/// this measures that telemetry riding a real cross-segment workload.
+/// The flat `world/20_null_rpcs_simulated` path is untouched by
+/// construction (flat worlds never register the meters).
+pub fn link_telemetry_on(cfg: &Config) -> BenchResult {
+    const PROGRAM: &str = "\
+ping = proc ()
+end
+main = proc (n: int)
+ for i: int := 1 to n do
+  call ping() at 2
+ end
+end";
+    runner::run_with("obs/link_telemetry_on", cfg, || {
+        let mut w = World::builder()
+            .nodes(4)
+            .program(PROGRAM)
+            .network(NetworkConfig {
+                topology: Topology::Star { arms: 1 },
+                ..Default::default()
+            })
+            .debugger(false)
+            .build()
+            .unwrap();
+        w.spawn(0, "main", vec![Value::Int(1_000)]);
+        w.run_until_idle(SimTime::from_secs(600));
+        assert_eq!(w.endpoint(0).stats().completed, 1_000);
+        assert!(w.metrics().counter_value("net.link0-1.bytes").unwrap_or(0) > 0);
+        std::hint::black_box(w.now());
+    })
+}
+
 /// A thousand null RPCs with every trace category enabled, finishing
 /// with a JSONL export of the whole trace — the fully-instrumented
 /// worst case (event construction, span bookkeeping, metrics, dump).
@@ -465,6 +499,7 @@ pub fn all(cfg: &Config) -> Vec<BenchResult> {
         trace_off_overhead(cfg),
         flight_recorder_on(cfg),
         tsdb_sampling_1k_rpcs(cfg),
+        link_telemetry_on(cfg),
         trace_on_1k_rpcs(cfg),
         profile_on_1k_rpcs(cfg),
         watchpoint_armed(cfg),
@@ -486,7 +521,7 @@ mod tests {
             target_sample: Duration::from_micros(1),
         };
         let results = all(&cfg);
-        assert_eq!(results.len(), 20);
+        assert_eq!(results.len(), 21);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"node/step_storm"));
         assert!(names.contains(&"world/1k_processes_round_robin"));
@@ -498,6 +533,7 @@ mod tests {
         assert!(names.contains(&"obs/trace_off_overhead"));
         assert!(names.contains(&"obs/flight_recorder_on"));
         assert!(names.contains(&"obs/tsdb_sampling_1k_rpcs"));
+        assert!(names.contains(&"obs/link_telemetry_on"));
         assert!(names.contains(&"obs/trace_on_1k_rpcs"));
         assert!(names.contains(&"obs/profile_on_1k_rpcs"));
         assert!(names.contains(&"obs/watchpoint_armed"));

@@ -16,6 +16,9 @@
 //! pilgrim-trace <artifact.json>             critical path + slowest spans
 //! pilgrim-trace <artifact.json> --slow <k>  report k slowest spans
 //! pilgrim-trace <artifact.json> --span <id> causal path to one span
+//! pilgrim-trace <dump.json> --tsdb [metric] windowed time-series carried
+//!                                           by a blackbox dump (all
+//!                                           series, or one metric)
 //! pilgrim-trace --selftest                  prove the analyzer end-to-end
 //! ```
 
@@ -34,7 +37,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: pilgrim-trace <artifact.json> [--slow <k>] [--span <id>] \
-                 | pilgrim-trace --selftest"
+                 [--tsdb [metric]] | pilgrim-trace --selftest"
             );
             ExitCode::from(2)
         }
@@ -59,6 +62,45 @@ fn load_events(path: &str) -> Result<Vec<TraceEvent>, String> {
 }
 
 fn analyze_file(path: &str, opts: &[String]) -> ExitCode {
+    let mut slow_k = 5usize;
+    let mut span: Option<u64> = None;
+    let mut tsdb = false;
+    let mut tsdb_metric: Option<String> = None;
+    let mut it = opts.iter().peekable();
+    while let Some(opt) = it.next() {
+        let mut value = || -> Option<u64> { it.next().and_then(|v| v.parse().ok()) };
+        match opt.as_str() {
+            "--slow" => match value() {
+                Some(k) => slow_k = k as usize,
+                None => {
+                    eprintln!("pilgrim-trace: --slow needs a count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--span" => match value() {
+                Some(s) => span = Some(s),
+                None => {
+                    eprintln!("pilgrim-trace: --span needs a span id");
+                    return ExitCode::from(2);
+                }
+            },
+            "--tsdb" => {
+                tsdb = true;
+                // The metric name is optional: bare --tsdb dumps every
+                // retained series.
+                if it.peek().is_some_and(|m| !m.starts_with("--")) {
+                    tsdb_metric = it.next().cloned();
+                }
+            }
+            other => {
+                eprintln!("pilgrim-trace: unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if tsdb {
+        return render_tsdb(path, tsdb_metric.as_deref());
+    }
     let events = match load_events(path) {
         Ok(evs) => evs,
         Err(e) => {
@@ -67,34 +109,6 @@ fn analyze_file(path: &str, opts: &[String]) -> ExitCode {
         }
     };
     let graph = CausalGraph::from_events(&events);
-    let mut slow_k = 5usize;
-    let mut span: Option<u64> = None;
-    let mut it = opts.iter();
-    while let Some(opt) = it.next() {
-        let value = |it: &mut std::slice::Iter<String>| -> Option<u64> {
-            it.next().and_then(|v| v.parse().ok())
-        };
-        match opt.as_str() {
-            "--slow" => match value(&mut it) {
-                Some(k) => slow_k = k as usize,
-                None => {
-                    eprintln!("pilgrim-trace: --slow needs a count");
-                    return ExitCode::from(2);
-                }
-            },
-            "--span" => match value(&mut it) {
-                Some(s) => span = Some(s),
-                None => {
-                    eprintln!("pilgrim-trace: --span needs a span id");
-                    return ExitCode::from(2);
-                }
-            },
-            other => {
-                eprintln!("pilgrim-trace: unknown option {other}");
-                return ExitCode::from(2);
-            }
-        }
-    }
     println!("{} events, {} spans", events.len(), graph.spans().len());
     if let Some(id) = span {
         print!("{}", graph.render_path(id));
@@ -102,6 +116,57 @@ fn analyze_file(path: &str, opts: &[String]) -> ExitCode {
     }
     print!("{}", graph.render_critical());
     print!("{}", graph.render_slowest(slow_k));
+    ExitCode::SUCCESS
+}
+
+/// Prints the windowed time-series a blackbox dump carries — the
+/// offline mirror of the REPL's `tsdb` command. With a metric name,
+/// prints only that series' block; otherwise every retained series.
+fn render_tsdb(path: &str, metric: Option<&str>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pilgrim-trace: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let snap = match BlackboxSnapshot::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pilgrim-trace: --tsdb needs a blackbox dump: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if snap.series.is_empty() {
+        println!("tsdb: no series retained in this dump");
+        return ExitCode::SUCCESS;
+    }
+    let Some(metric) = metric else {
+        print!("{}", snap.series);
+        return ExitCode::SUCCESS;
+    };
+    // Series blocks start with a `tsdb <kind> <name>: …` header followed
+    // by window rows; keep the block whose header names the metric.
+    let mut out = String::new();
+    let mut keep = false;
+    for line in snap.series.lines() {
+        if line.starts_with("tsdb ") {
+            keep = line
+                .split_whitespace()
+                .nth(2)
+                .map(|n| n.trim_end_matches(':'))
+                == Some(metric);
+        }
+        if keep {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        println!("tsdb: no series named {metric}");
+    } else {
+        print!("{out}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -226,6 +291,18 @@ fn selftest() -> ExitCode {
                 "artifacts: replay ({} events) and blackbox ({} events) both load",
                 replayed.len(),
                 boxed.len()
+            );
+            let snap = world.blackbox_snapshot("selftest");
+            if !snap.series.starts_with("tsdb ") {
+                eprintln!("selftest FAILED: blackbox dump carries no time-series");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "tsdb: dump carries {} series blocks",
+                snap.series
+                    .lines()
+                    .filter(|l| l.starts_with("tsdb "))
+                    .count()
             );
         }
         (r, b) => {

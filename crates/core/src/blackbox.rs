@@ -38,6 +38,11 @@ pub struct BlackboxSnapshot {
     pub metrics: String,
     /// The coarse always-on store's window summary at the snapshot.
     pub windows: String,
+    /// Every coarse series rendered window by window
+    /// (`SeriesStore::render_all`), so offline tooling can answer "what
+    /// did net.bridge_lost do over the last few windows" from the dump
+    /// alone.
+    pub series: String,
     /// The flight-recorder event ring, oldest first, one JSON event per
     /// line — the same encoding as a replay artifact's trace section.
     pub events: String,
@@ -55,6 +60,7 @@ impl BlackboxSnapshot {
             ("sync_index", Json::Int(self.sync_index as i128)),
             ("metrics", Json::Str(self.metrics.clone())),
             ("windows", Json::Str(self.windows.clone())),
+            ("series", Json::Str(self.series.clone())),
             ("events", Json::Str(self.events.clone())),
         ]);
         let mut out = String::new();
@@ -99,6 +105,13 @@ impl BlackboxSnapshot {
                 .ok_or("blackbox: missing `sync_index`")?,
             metrics: s("metrics")?,
             windows: s("windows")?,
+            // Absent in dumps written before per-window series rode
+            // along; still version 1, tolerantly defaulted.
+            series: doc
+                .get("series")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .unwrap_or_default(),
             events: s("events")?,
         })
     }
@@ -124,6 +137,7 @@ mod tests {
             sync_index: 17,
             metrics: "counter rpc.failed: 1\n".into(),
             windows: "tsdb: 1 samples retained (1 taken)\n".into(),
+            series: "tsdb counter rpc.failed: 1 samples (interval 64 sync points)\n".into(),
             events: String::new(),
         }
     }
@@ -137,6 +151,19 @@ mod tests {
         assert_eq!(back.reason, snap.reason);
         assert_eq!(back.at, snap.at);
         assert_eq!(back.sync_index, snap.sync_index);
+        assert_eq!(back.series, snap.series);
+    }
+
+    #[test]
+    fn dumps_without_series_still_parse() {
+        // A pre-series dump: same version, no `series` field.
+        let mut old = sample();
+        old.series = String::new();
+        let text = old.render().replace("\"series\": \"\", ", "");
+        assert!(!text.contains("series"));
+        let back = BlackboxSnapshot::parse(&text).expect("parses");
+        assert_eq!(back.series, "");
+        assert_eq!(back.reason, old.reason);
     }
 
     #[test]

@@ -497,7 +497,7 @@ impl DebugCli {
                 let mut out = format!(
                     "flight recorder: {} events in ring (budget {})",
                     world.tracer().blackbox_len(),
-                    pilgrim_sim::BLACKBOX_CAPACITY,
+                    world.tracer().blackbox_capacity(),
                 );
                 match world.blackbox_last() {
                     Some(last) => {

@@ -82,6 +82,15 @@ pub struct Recipe {
     /// the recipe so a replayed world samples identically and `tsdb`
     /// queries reproduce byte-for-byte.
     pub tsdb: bool,
+    /// Head-based span sampling rate (0 or 1 = off). Recipe-carried so a
+    /// replay keeps exactly the spans the live run kept.
+    pub trace_sample: u32,
+    /// Flight-recorder ring budget in events.
+    pub blackbox_capacity: usize,
+    /// Coarse always-on store: sync points per sample.
+    pub coarse_interval: u64,
+    /// Coarse always-on store: samples retained per series.
+    pub coarse_budget: usize,
     /// Rust-side setup steps that ran against the built world before the
     /// first stimulus — native service installs (nameserver, aotman),
     /// trace filters, and the like. These cannot be journalled as
@@ -127,6 +136,13 @@ impl Recipe {
             ("debugger", Json::Bool(self.with_debugger)),
             ("agents", Json::Bool(self.with_agents)),
             ("tsdb", Json::Bool(self.tsdb)),
+            ("trace_sample", Json::Int(self.trace_sample as i128)),
+            (
+                "blackbox_capacity",
+                Json::Int(self.blackbox_capacity as i128),
+            ),
+            ("coarse_interval", Json::Int(self.coarse_interval as i128)),
+            ("coarse_budget", Json::Int(self.coarse_budget as i128)),
             (
                 "setup",
                 Json::Array(
@@ -211,6 +227,28 @@ impl Recipe {
             // Absent in artifacts recorded before the time-series store
             // existed; those worlds ran without it.
             tsdb: v.get("tsdb").and_then(Json::as_bool).unwrap_or(false),
+            // The four observability knobs below are absent in artifacts
+            // recorded before they became tunable; those worlds ran at
+            // the then-hard-coded defaults.
+            trace_sample: v
+                .get("trace_sample")
+                .and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .unwrap_or(0),
+            blackbox_capacity: v
+                .get("blackbox_capacity")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .unwrap_or(pilgrim_sim::BLACKBOX_CAPACITY),
+            coarse_interval: v
+                .get("coarse_interval")
+                .and_then(Json::as_u64)
+                .unwrap_or(crate::world::TSDB_COARSE_INTERVAL),
+            coarse_budget: v
+                .get("coarse_budget")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .unwrap_or(crate::world::TSDB_COARSE_BUDGET),
             // Absent in artifacts recorded before setup markers existed.
             setup: match v.get("setup").and_then(Json::as_array) {
                 None => Vec::new(),
@@ -246,7 +284,10 @@ impl Recipe {
             .agent(self.agent_cfg.clone())
             .debugger(self.with_debugger)
             .agents(self.with_agents)
-            .tsdb(self.tsdb);
+            .tsdb(self.tsdb)
+            .trace_sample(self.trace_sample)
+            .blackbox_capacity(self.blackbox_capacity)
+            .coarse_window(self.coarse_interval, self.coarse_budget);
         if let Some(src) = &self.default_source {
             b = b.program(src);
         }

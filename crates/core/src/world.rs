@@ -19,7 +19,7 @@ use pilgrim_ring::{Medium, Network, NetworkConfig, NodeId, TxClass, TxStatus};
 use pilgrim_rpc::{RpcConfig, RpcEndpoint, RpcNet, RpcPacket, WireValue};
 use pilgrim_sim::{
     CausalGraph, EventKind, Json, Metrics, SeriesStore, SimDuration, SimTime, SpanId,
-    TraceCategory, Tracer, Watchpoint,
+    TraceCategory, Tracer, Watchpoint, BLACKBOX_CAPACITY,
 };
 
 use crate::agent::{Agent, AgentConfig, DebugNet};
@@ -231,6 +231,10 @@ pub struct WorldBuilder {
     with_agents: bool,
     step_threads: usize,
     tsdb: bool,
+    trace_sample: u32,
+    blackbox_capacity: usize,
+    coarse_interval: u64,
+    coarse_budget: usize,
 }
 
 impl Default for WorldBuilder {
@@ -249,6 +253,10 @@ impl Default for WorldBuilder {
             with_agents: true,
             step_threads: 1,
             tsdb: false,
+            trace_sample: 0,
+            blackbox_capacity: BLACKBOX_CAPACITY,
+            coarse_interval: TSDB_COARSE_INTERVAL,
+            coarse_budget: TSDB_COARSE_BUDGET,
         }
     }
 }
@@ -341,6 +349,38 @@ impl WorldBuilder {
         self
     }
 
+    /// Head-based span sampling: keep 1-in-`rate` root spans (children
+    /// follow their root's verdict, so kept traces stay causally
+    /// complete). 0 or 1 disables sampling — the default, with zero cost
+    /// on the tracing hot path. The keep decision is a pure function of
+    /// the recipe-carried rate, the world seed, and the deterministic
+    /// span id, so sampled traces are byte-identical across serial,
+    /// parallel, and replay runs.
+    pub fn trace_sample(mut self, rate: u32) -> Self {
+        self.trace_sample = rate;
+        self
+    }
+
+    /// Flight-recorder ring budget in events (default
+    /// [`BLACKBOX_CAPACITY`] = 512). Part of the reproduction
+    /// [`Recipe`]: a replay must retain the same tail for its blackbox
+    /// dumps to match.
+    ///
+    /// [`BLACKBOX_CAPACITY`]: pilgrim_sim::BLACKBOX_CAPACITY
+    pub fn blackbox_capacity(mut self, events: usize) -> Self {
+        self.blackbox_capacity = events;
+        self
+    }
+
+    /// Shape of the coarse always-on time-series store: one sample every
+    /// `interval` sync points, `budget` samples retained per series
+    /// (default 64 × 64). Recipe-carried, like every sampling knob.
+    pub fn coarse_window(mut self, interval: u64, budget: usize) -> Self {
+        self.coarse_interval = interval;
+        self.coarse_budget = budget;
+        self
+    }
+
     /// Number of worker threads used to step nodes between sync points
     /// (default 1 = serial, no pool). A runtime execution knob, not part
     /// of the world's identity: it is deliberately excluded from the
@@ -382,9 +422,19 @@ impl WorldBuilder {
             with_debugger: self.with_debugger,
             with_agents: self.with_agents,
             tsdb: self.tsdb,
+            trace_sample: self.trace_sample,
+            blackbox_capacity: self.blackbox_capacity,
+            coarse_interval: self.coarse_interval,
+            coarse_budget: self.coarse_budget,
             setup: Vec::new(),
         };
         let tracer = Tracer::new();
+        if self.trace_sample > 1 {
+            tracer.set_trace_sample(self.trace_sample, self.seed);
+        }
+        if self.blackbox_capacity != BLACKBOX_CAPACITY {
+            tracer.set_blackbox_capacity(self.blackbox_capacity);
+        }
         let metrics = Metrics::new();
         // Program interning: compile each distinct source once and share
         // the result as `Arc<Program>` across every node that runs it, so
@@ -495,7 +545,7 @@ impl WorldBuilder {
             tsdb: self
                 .tsdb
                 .then(|| SeriesStore::new(TSDB_FULL_INTERVAL, TSDB_FULL_BUDGET)),
-            coarse: SeriesStore::new(TSDB_COARSE_INTERVAL, TSDB_COARSE_BUDGET),
+            coarse: SeriesStore::new(self.coarse_interval, self.coarse_budget),
             blackbox_last: None,
         })
     }
@@ -591,11 +641,11 @@ pub struct World {
 const TSDB_FULL_INTERVAL: u64 = 1;
 /// Ring budget (windows per series) of the full-resolution store.
 const TSDB_FULL_BUDGET: usize = 4096;
-/// Sampling cadence of the always-on coarse store.
-const TSDB_COARSE_INTERVAL: u64 = 64;
-/// Ring budget of the always-on coarse store — small enough that the
-/// dormant-path cost stays inside the `node/step_storm` 3% gate.
-const TSDB_COARSE_BUDGET: usize = 64;
+/// Default sampling cadence of the always-on coarse store.
+pub(crate) const TSDB_COARSE_INTERVAL: u64 = 64;
+/// Default ring budget of the always-on coarse store — small enough that
+/// the dormant-path cost stays inside the `node/step_storm` 3% gate.
+pub(crate) const TSDB_COARSE_BUDGET: usize = 64;
 
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -698,6 +748,22 @@ impl World {
                 s.sent, s.delivered, s.nacked, s.silently_lost, s.bytes_sent
             ));
         }
+        // Per-segment rollup of the same counters, only on bridged
+        // topologies (a flat world's single segment would just repeat
+        // the aggregate line). All-zero segments are skipped, matching
+        // the per-node convention above.
+        if self.net.segments() > 1 {
+            for seg in 0..self.net.segments() {
+                let s = self.net.segment_stats(seg);
+                if s == pilgrim_ring::NetStats::default() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "net seg{seg}: sent {} delivered {} nacked {} lost {} bridge_lost {} bytes {}\n",
+                    s.sent, s.delivered, s.nacked, s.silently_lost, s.bridge_lost, s.bytes_sent
+                ));
+            }
+        }
         for (i, ep) in self.endpoints.iter().enumerate() {
             let s = ep.stats();
             if s.started == 0 && s.served == 0 && s.failed == 0 && s.retransmits == 0 {
@@ -784,6 +850,42 @@ impl World {
         self.tsdb_store().summary()
     }
 
+    /// A counter's retained windows as data rather than text:
+    /// `(window_start_us, window_end_us, delta)` per window, mirroring
+    /// [`tsdb_report`](World::tsdb_report) exactly. Empty for unknown
+    /// metrics. Run reports are built from this, never from re-parsing
+    /// rendered output.
+    pub fn tsdb_counter_windows(&self, metric: &str, window: usize) -> Vec<(u64, u64, u64)> {
+        self.tsdb_store().counter_windows(metric, window)
+    }
+
+    /// A histogram's retained windows as data:
+    /// `(window_start_us, window_end_us, count, p99_bucket_bound)`.
+    pub fn tsdb_hist_windows(
+        &self,
+        metric: &str,
+        window: usize,
+    ) -> Vec<(u64, u64, u64, Option<u64>)> {
+        self.tsdb_store().hist_windows(metric, window)
+    }
+
+    /// Every bridge link of the world's topology, normalized `(low,
+    /// high)` and sorted — the keys under which per-link meters register.
+    pub fn bridge_links(&self) -> Vec<(u32, u32)> {
+        self.net.bridge_links()
+    }
+
+    /// Number of topology segments (1 for flat worlds).
+    pub fn net_segments(&self) -> u32 {
+        self.net.segments()
+    }
+
+    /// Stations in one network segment (utilization denominator for the
+    /// per-segment `tx_busy_us` series).
+    pub fn segment_stations(&self, seg: u32) -> u32 {
+        self.net.stations_in(seg)
+    }
+
     /// Reconstructs the span DAG from the trace and renders the causal
     /// path of one span: its chain of parents down to the span itself,
     /// each with per-segment time attribution.
@@ -818,6 +920,7 @@ impl World {
             sync_index: self.sync_points,
             metrics: self.metrics.report(),
             windows: self.coarse.summary(),
+            series: self.coarse.render_all(1),
             events: self.tracer.blackbox_jsonl(),
         }
     }

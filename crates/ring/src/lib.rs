@@ -43,7 +43,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use pilgrim_sim::{
-    Counter, DetRng, EventKind, EventQueue, Json, Metrics, SimDuration, SimTime, SpanId,
+    Counter, DetRng, EventKind, EventQueue, Gauge, Json, Metrics, SimDuration, SimTime, SpanId,
     TraceCategory, Tracer,
 };
 
@@ -273,6 +273,35 @@ pub struct NetStats {
     pub bytes_sent: u64,
 }
 
+/// Per-bridge-link telemetry handles. `busy_us` accumulates serialization
+/// time (utilization = its window delta over the window length),
+/// `queue_us` accumulates time packets waited behind `link_free_at`,
+/// `backlog_us` is the instantaneous serialization backlog a packet saw
+/// when it reached the link, and `lost` splits the aggregate
+/// `net.bridge_lost` per link.
+#[derive(Debug, Clone)]
+struct LinkMeters {
+    bytes: Counter,
+    busy_us: Counter,
+    queue_us: Counter,
+    lost: Counter,
+    backlog_us: Gauge,
+}
+
+/// Per-segment traffic handles: sends/bytes attributed to the source
+/// station's segment, deliveries to the destination's. `tx_busy_us`
+/// accumulates local-leg transmitter occupancy (the ring's ~3.5 ms per
+/// small packet), so a segment's windowed delta over (window × stations)
+/// is the station-utilization series that makes the ~285 pkts/s
+/// capacity cliff readable from a run report.
+#[derive(Debug, Clone)]
+struct SegMeters {
+    sent: Counter,
+    delivered: Counter,
+    bytes: Counter,
+    tx_busy_us: Counter,
+}
+
 /// Metrics handles the network bumps directly; registered once by
 /// [`Network::attach_metrics`] so the hot path never does a name lookup.
 #[derive(Debug, Clone)]
@@ -283,18 +312,75 @@ struct NetMeters {
     silently_lost: Counter,
     bridge_lost: Counter,
     bytes_sent: Counter,
+    /// One meter set per bridge link, in [`Topology::all_links`] order.
+    /// Empty on flat topologies, so single-segment worlds register
+    /// exactly the metrics they always did.
+    links: Vec<((u32, u32), LinkMeters)>,
+    /// One meter set per segment; empty on flat topologies.
+    segs: Vec<SegMeters>,
 }
 
 impl NetMeters {
-    fn new(metrics: &Metrics) -> NetMeters {
+    fn new(metrics: &Metrics, topology: Topology) -> NetMeters {
+        // Aggregates register first so their position in the registry is
+        // identical whether or not the topology is bridged.
+        let sent = metrics.counter("net.sent");
+        let delivered = metrics.counter("net.delivered");
+        let nacked = metrics.counter("net.nacked");
+        let silently_lost = metrics.counter("net.silently_lost");
+        let bridge_lost = metrics.counter("net.bridge_lost");
+        let bytes_sent = metrics.counter("net.bytes_sent");
+        let segs = topology.segments();
+        let (links, seg_meters) = if segs > 1 {
+            let links = topology
+                .all_links()
+                .into_iter()
+                .map(|(a, b)| {
+                    let name = |field: &str| format!("net.link{a}-{b}.{field}");
+                    (
+                        (a, b),
+                        LinkMeters {
+                            bytes: metrics.counter(&name("bytes")),
+                            busy_us: metrics.counter(&name("busy_us")),
+                            queue_us: metrics.counter(&name("queue_us")),
+                            lost: metrics.counter(&name("lost")),
+                            backlog_us: metrics.gauge(&name("backlog_us")),
+                        },
+                    )
+                })
+                .collect();
+            let seg_meters = (0..segs)
+                .map(|s| SegMeters {
+                    sent: metrics.counter(&format!("net.seg{s}.sent")),
+                    delivered: metrics.counter(&format!("net.seg{s}.delivered")),
+                    bytes: metrics.counter(&format!("net.seg{s}.bytes")),
+                    tx_busy_us: metrics.counter(&format!("net.seg{s}.tx_busy_us")),
+                })
+                .collect();
+            (links, seg_meters)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         NetMeters {
-            sent: metrics.counter("net.sent"),
-            delivered: metrics.counter("net.delivered"),
-            nacked: metrics.counter("net.nacked"),
-            silently_lost: metrics.counter("net.silently_lost"),
-            bridge_lost: metrics.counter("net.bridge_lost"),
-            bytes_sent: metrics.counter("net.bytes_sent"),
+            sent,
+            delivered,
+            nacked,
+            silently_lost,
+            bridge_lost,
+            bytes_sent,
+            links,
+            segs: seg_meters,
         }
+    }
+
+    /// The meter set for a normalized link key; a short linear scan (the
+    /// largest committed topology has four links).
+    fn link(&self, key: (u32, u32)) -> Option<&LinkMeters> {
+        self.links.iter().find(|(k, _)| *k == key).map(|(_, m)| m)
+    }
+
+    fn seg(&self, seg: u32) -> Option<&SegMeters> {
+        self.segs.get(seg as usize)
     }
 }
 
@@ -336,6 +422,8 @@ pub struct Network<P> {
     /// Per-station counters: sends/NACKs/losses attributed to the source
     /// station, deliveries to the destination. Indexed by `NodeId`.
     per_station: Vec<NetStats>,
+    /// Per-segment counters, same attribution rules, indexed by segment.
+    seg_stats: Vec<NetStats>,
     /// Segment of each station, from the topology's contiguous blocks.
     seg_of: Vec<u32>,
     /// Bridge-hop paths between every segment pair, precomputed so the
@@ -378,6 +466,7 @@ impl<P> Network<P> {
             forced_drops: HashMap::new(),
             stats: NetStats::default(),
             per_station: vec![NetStats::default(); nodes as usize],
+            seg_stats: vec![NetStats::default(); segs as usize],
             seg_of,
             paths,
             segs,
@@ -431,6 +520,9 @@ impl<P> Network<P> {
         for i in 0..self.paths[path].len() {
             let link = self.paths[path][i];
             if !self.link_up(link.0, link.1, t) || self.rng.chance(self.config.link.p_loss) {
+                if let Some(lm) = self.meters.as_ref().and_then(|m| m.link(link)) {
+                    lm.lost.inc();
+                }
                 return None;
             }
             let occupy = self.config.link.per_byte * bytes as u64;
@@ -439,6 +531,14 @@ impl<P> Network<P> {
             let free = self.link_free_at.entry(link).or_insert(SimTime::ZERO);
             let start = t.max(*free);
             *free = start + occupy;
+            let freed = *free;
+            if let Some(lm) = self.meters.as_ref().and_then(|m| m.link(link)) {
+                lm.bytes.add(bytes as u64);
+                lm.busy_us.add(occupy.as_micros());
+                lm.queue_us.add((start - t).as_micros());
+                // Serialization backlog this packet saw, including itself.
+                lm.backlog_us.set((freed - t).as_micros() as i64);
+            }
             t = start + occupy + self.config.link.latency + jitter;
         }
         Some(t)
@@ -452,9 +552,13 @@ impl<P> Network<P> {
 
     /// Registers this network's counters in `metrics` and starts bumping
     /// them (`net.sent`, `net.delivered`, `net.nacked`,
-    /// `net.silently_lost`, `net.bytes_sent`).
+    /// `net.silently_lost`, `net.bytes_sent`). Bridged topologies also
+    /// register per-link telemetry (`net.link{a}-{b}.bytes` / `.busy_us`
+    /// / `.queue_us` / `.lost` / `.backlog_us`) and per-segment traffic
+    /// (`net.seg{s}.sent` / `.delivered` / `.bytes`); flat worlds
+    /// register nothing extra, so their reports stay byte-identical.
     pub fn attach_metrics(&mut self, metrics: &Metrics) {
-        self.meters = Some(NetMeters::new(metrics));
+        self.meters = Some(NetMeters::new(metrics, self.config.topology));
     }
 
     /// The active configuration.
@@ -477,6 +581,34 @@ impl<P> Network<P> {
     /// *destination*.
     pub fn station_stats(&self, node: NodeId) -> NetStats {
         self.per_station[node.0 as usize]
+    }
+
+    /// Number of segments (1 for flat topologies).
+    pub fn segments(&self) -> u32 {
+        self.segs
+    }
+
+    /// One segment's counters, same attribution rules as
+    /// [`station_stats`](Network::station_stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is not a segment of this topology.
+    pub fn segment_stats(&self, seg: u32) -> NetStats {
+        self.seg_stats[seg as usize]
+    }
+
+    /// Every bridge link of the topology, in telemetry registration
+    /// order. Empty for flat topologies.
+    pub fn bridge_links(&self) -> Vec<(u32, u32)> {
+        self.config.topology.all_links()
+    }
+
+    /// How many stations live in one segment — the denominator that
+    /// turns a segment's `tx_busy_us` window delta into per-station
+    /// utilization.
+    pub fn stations_in(&self, seg: u32) -> u32 {
+        self.seg_of.iter().filter(|s| **s == seg).count() as u32
     }
 
     /// Marks a node's interface up or down (a crashed node refuses
@@ -582,13 +714,20 @@ impl<P> Network<P> {
     ) -> TxStatus {
         assert!((src.0 as usize) < self.stations.len(), "unknown src {src}");
         assert!((dst.0 as usize) < self.stations.len(), "unknown dst {dst}");
+        let sseg = self.seg_of[src.0 as usize];
         self.stats.sent += 1;
         self.stats.bytes_sent += bytes as u64;
         self.per_station[src.0 as usize].sent += 1;
         self.per_station[src.0 as usize].bytes_sent += bytes as u64;
+        self.seg_stats[sseg as usize].sent += 1;
+        self.seg_stats[sseg as usize].bytes_sent += bytes as u64;
         if let Some(m) = &self.meters {
             m.sent.inc();
             m.bytes_sent.add(bytes as u64);
+            if let Some(s) = m.seg(sseg) {
+                s.sent.inc();
+                s.bytes.add(bytes as u64);
+            }
         }
         let traced = self.wants_net();
         if traced {
@@ -609,6 +748,11 @@ impl<P> Network<P> {
         let arrive = start + latency;
         // The class's transmitter is occupied for the whole transmission.
         self.stations[src.0 as usize].tx_free_at[ci] = arrive;
+        if let Some(m) = &self.meters {
+            if let Some(s) = m.seg(sseg) {
+                s.tx_busy_us.add(latency.as_micros());
+            }
+        }
 
         // Cross-segment: the local ring hardware can only vouch for the
         // leg it carries, so nothing beyond the first bridge ever NACKs —
@@ -616,7 +760,6 @@ impl<P> Network<P> {
         // destination interface all look like silent loss to the sender
         // (this is why `maybe`-protocol traffic degrades under partition
         // while exactly-once retries until its attempt budget runs out).
-        let sseg = self.seg_of[src.0 as usize];
         let dseg = self.seg_of[dst.0 as usize];
         if sseg != dseg {
             let far_arrive = match self.bridge_leg(sseg, dseg, arrive, bytes) {
@@ -624,6 +767,7 @@ impl<P> Network<P> {
                 None => {
                     self.stats.bridge_lost += 1;
                     self.per_station[src.0 as usize].bridge_lost += 1;
+                    self.seg_stats[sseg as usize].bridge_lost += 1;
                     if let Some(m) = &self.meters {
                         m.bridge_lost.inc();
                     }
@@ -665,6 +809,7 @@ impl<P> Network<P> {
                 Medium::CambridgeRing => {
                     self.stats.nacked += 1;
                     self.per_station[src.0 as usize].nacked += 1;
+                    self.seg_stats[sseg as usize].nacked += 1;
                     if let Some(m) = &self.meters {
                         m.nacked.inc();
                     }
@@ -718,6 +863,7 @@ impl<P> Network<P> {
     ) {
         self.stats.silently_lost += 1;
         self.per_station[src.0 as usize].silently_lost += 1;
+        self.seg_stats[self.seg_of[src.0 as usize] as usize].silently_lost += 1;
         if let Some(m) = &self.meters {
             m.silently_lost.inc();
         }
@@ -746,10 +892,15 @@ impl<P> Network<P> {
         let mut out = Vec::new();
         let traced = self.wants_net();
         while let Some((_, d)) = self.queue.pop_due(now) {
+            let dseg = self.seg_of[d.dst.0 as usize];
             self.stats.delivered += 1;
             self.per_station[d.dst.0 as usize].delivered += 1;
+            self.seg_stats[dseg as usize].delivered += 1;
             if let Some(m) = &self.meters {
                 m.delivered.inc();
+                if let Some(s) = m.seg(dseg) {
+                    s.delivered.inc();
+                }
             }
             if traced {
                 self.trace_packet(
@@ -788,22 +939,35 @@ impl<P: Clone> Network<P> {
         if self.config.medium != Medium::Ethernet {
             return None;
         }
+        let sseg = self.seg_of[src.0 as usize];
         self.stats.sent += 1;
         self.stats.broadcasts += 1;
         self.stats.bytes_sent += bytes as u64;
         self.per_station[src.0 as usize].sent += 1;
         self.per_station[src.0 as usize].broadcasts += 1;
         self.per_station[src.0 as usize].bytes_sent += bytes as u64;
+        self.seg_stats[sseg as usize].sent += 1;
+        self.seg_stats[sseg as usize].broadcasts += 1;
+        self.seg_stats[sseg as usize].bytes_sent += bytes as u64;
         if let Some(m) = &self.meters {
             m.sent.inc();
             m.bytes_sent.add(bytes as u64);
+            if let Some(s) = m.seg(sseg) {
+                s.sent.inc();
+                s.bytes.add(bytes as u64);
+            }
         }
         let traced = self.wants_net();
         let ci = class_index(TxClass::Control);
         let start = now.max(self.stations[src.0 as usize].tx_free_at[ci]);
-        let arrive = start + self.config.latency(bytes);
+        let latency = self.config.latency(bytes);
+        let arrive = start + latency;
         self.stations[src.0 as usize].tx_free_at[ci] = arrive;
-        let sseg = self.seg_of[src.0 as usize];
+        if let Some(m) = &self.meters {
+            if let Some(s) = m.seg(sseg) {
+                s.tx_busy_us.add(latency.as_micros());
+            }
+        }
         for i in 0..self.stations.len() {
             let dst = NodeId(i as u32);
             if dst == src || !self.stations[i].up {
@@ -821,6 +985,7 @@ impl<P: Clone> Network<P> {
                     None => {
                         self.stats.bridge_lost += 1;
                         self.per_station[src.0 as usize].bridge_lost += 1;
+                        self.seg_stats[sseg as usize].bridge_lost += 1;
                         if let Some(m) = &self.meters {
                             m.bridge_lost.inc();
                         }
@@ -1125,6 +1290,70 @@ mod tests {
             .iter()
             .all(|e| !matches!(e.kind, EventKind::PacketSent { .. })
                 || e.time < SimTime::from_millis(30)));
+    }
+
+    #[test]
+    fn bridged_links_meter_bytes_queueing_and_losses() {
+        use pilgrim_sim::Metrics;
+        // 4 stations over a 1-arm star: 0,1 in the hub, 2,3 in the arm.
+        let mut n = net(NetworkConfig {
+            topology: Topology::Star { arms: 1 },
+            ..Default::default()
+        });
+        let metrics = Metrics::new();
+        n.attach_metrics(&metrics);
+        assert_eq!(n.segments(), 2);
+        assert_eq!(n.bridge_links(), vec![(0, 1)]);
+
+        // Two same-size packets from different hub stations reach the
+        // bridge at the same instant; the second serializes behind the
+        // first (32 bytes × 1 µs/byte), so it queues for 32 µs.
+        n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1, 32);
+        n.send(SimTime::ZERO, NodeId(1), NodeId(3), 2, 32);
+        assert_eq!(metrics.counter_value("net.link0-1.bytes"), Some(64));
+        assert_eq!(metrics.counter_value("net.link0-1.busy_us"), Some(64));
+        assert_eq!(metrics.counter_value("net.link0-1.queue_us"), Some(32));
+        assert_eq!(metrics.gauge_value("net.link0-1.backlog_us"), Some(64));
+        assert_eq!(metrics.counter_value("net.link0-1.lost"), Some(0));
+
+        // A forced cut turns the next crossing into a per-link loss.
+        n.set_link_up(0, 1, false);
+        n.send(SimTime::from_millis(50), NodeId(0), NodeId(2), 3, 32);
+        assert_eq!(metrics.counter_value("net.link0-1.lost"), Some(1));
+        assert_eq!(n.stats().bridge_lost, 1);
+
+        // Segment attribution: sends from the hub, deliveries in the arm.
+        let (due, _) = n.poll(SimTime::from_millis(20));
+        assert_eq!(due.len(), 2);
+        assert_eq!(n.segment_stats(0).sent, 3);
+        assert_eq!(n.segment_stats(0).bridge_lost, 1);
+        assert_eq!(n.segment_stats(1).delivered, 2);
+        assert_eq!(metrics.counter_value("net.seg0.sent"), Some(3));
+        assert_eq!(metrics.counter_value("net.seg1.delivered"), Some(2));
+
+        // Transmitter occupancy lands on the sender's segment: three
+        // 32-byte sends from the hub, each holding its station's
+        // transmitter for base + 32 × per-byte.
+        let per_packet = NetworkConfig::default().latency(32).as_micros();
+        assert_eq!(
+            metrics.counter_value("net.seg0.tx_busy_us"),
+            Some(3 * per_packet)
+        );
+        assert_eq!(metrics.counter_value("net.seg1.tx_busy_us"), Some(0));
+        assert_eq!(n.stations_in(0), 2);
+        assert_eq!(n.stations_in(1), 2);
+    }
+
+    #[test]
+    fn flat_networks_register_no_link_or_segment_meters() {
+        use pilgrim_sim::Metrics;
+        let mut n = net(NetworkConfig::default());
+        let metrics = Metrics::new();
+        n.attach_metrics(&metrics);
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1, 32);
+        assert_eq!(metrics.counter_value("net.sent"), Some(1));
+        assert_eq!(metrics.counter_value("net.seg0.sent"), None);
+        assert!(!metrics.report().contains("net.link"));
     }
 
     #[test]

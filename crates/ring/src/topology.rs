@@ -108,6 +108,30 @@ impl Topology {
         }
     }
 
+    /// Every bridge link in the topology, as normalized `(lo, hi)`
+    /// segment pairs in ascending order. Flat topologies have none;
+    /// per-link telemetry registers one meter set per entry, so the
+    /// order here fixes the metric registration order.
+    pub fn all_links(self) -> Vec<(u32, u32)> {
+        match self {
+            Topology::Flat => Vec::new(),
+            Topology::Star { .. } => {
+                let s = self.segments();
+                (1..s).map(|arm| link_key(0, arm)).collect()
+            }
+            Topology::RingOfRings { .. } => {
+                let s = self.segments();
+                if s < 2 {
+                    return Vec::new();
+                }
+                let mut links: Vec<(u32, u32)> = (0..s).map(|i| link_key(i, (i + 1) % s)).collect();
+                links.sort_unstable();
+                links.dedup();
+                links
+            }
+        }
+    }
+
     /// Stable wire name, used by the replay recipe format.
     pub fn to_json(self) -> Json {
         match self {
@@ -334,6 +358,39 @@ mod tests {
         assert!(w.cuts((0, 1), SimTime::from_micros(44_999_999)));
         assert!(!w.cuts((0, 1), SimTime::from_secs(45)));
         assert!(!w.cuts((0, 2), SimTime::from_secs(31)));
+    }
+
+    #[test]
+    fn all_links_enumerates_every_bridge() {
+        assert!(Topology::Flat.all_links().is_empty());
+        assert!(Topology::RingOfRings { segments: 1 }.all_links().is_empty());
+        // A two-segment cycle has exactly one bridge, not two.
+        assert_eq!(
+            Topology::RingOfRings { segments: 2 }.all_links(),
+            vec![(0, 1)]
+        );
+        assert_eq!(
+            Topology::RingOfRings { segments: 4 }.all_links(),
+            vec![(0, 1), (0, 3), (1, 2), (2, 3)]
+        );
+        assert_eq!(
+            Topology::Star { arms: 3 }.all_links(),
+            vec![(0, 1), (0, 2), (0, 3)]
+        );
+        // Every path link appears in the enumeration.
+        for t in [
+            Topology::RingOfRings { segments: 5 },
+            Topology::Star { arms: 4 },
+        ] {
+            let all = t.all_links();
+            for a in 0..t.segments() {
+                for b in 0..t.segments() {
+                    for link in t.path_links(a, b) {
+                        assert!(all.contains(&link), "{t:?}: {link:?} missing");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

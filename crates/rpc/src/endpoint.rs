@@ -282,7 +282,12 @@ impl RpcEndpoint {
 
     /// Registers this endpoint's instruments (`rpc.*`) with a metrics
     /// registry. Counters mirror [`RpcStats`]; the latency histogram
-    /// records client-observed completion latency in microseconds.
+    /// records client-observed completion latency in microseconds. The
+    /// top buckets (1/2/5 s) cover the exactly-once retry ladder and a
+    /// partition-length stall, so a windowed p99 resolves to a finite
+    /// bound there instead of the overflow bucket — a windowed-SLO gate
+    /// compares bounds against its ceiling and must not read `overflow`
+    /// for latencies the model routinely produces.
     pub fn attach_metrics(&mut self, metrics: &Metrics) {
         self.meters = Some(RpcMeters {
             started: metrics.counter("rpc.started"),
@@ -293,7 +298,8 @@ impl RpcEndpoint {
             latency_us: metrics.histogram(
                 "rpc.latency_us",
                 &[
-                    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000,
+                    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000, 1_000_000,
+                    2_000_000, 5_000_000,
                 ],
             ),
         });
@@ -433,7 +439,9 @@ impl RpcEndpoint {
         // serving an RPC, its inherited span becomes this call's parent —
         // the link that chains nested cross-node calls into one tree.
         let parent_span = node.process(pid).and_then(|p| p.span);
-        let span = self.tracer.next_span();
+        // The parent decides the sampling fate too: a child call of a
+        // kept root is kept, so sampled traces stay causally complete.
+        let span = self.tracer.next_span_with_parent(parent_span);
         let mut delay = self.config.client_send;
 
         // §4.3 debug support: information block in a known position of the

@@ -10,7 +10,11 @@
 //! pilgrim-load <scenario.toml> [options]
 //!     --record <path>     write the replay artifact after the run
 //!     --verify-replay     replay the recorded artifact in-process and
-//!                         require byte-identical traces
+//!                         require byte-identical traces (with --report,
+//!                         also a byte-identical run report)
+//!     --report <path>     write the structured run report: summary,
+//!                         embedded JSON, per-window throughput/latency,
+//!                         per-link utilization, slowest sampled spans
 //!     --blackbox <path>   dump a flight-recorder snapshot when the gate
 //!                         fails (for CI artifact upload)
 //!     --threads <n>       step the world on n worker threads
@@ -23,7 +27,12 @@
 
 use std::process::ExitCode;
 
-use pilgrim_services::{replay_load_artifact, run_scenario_threads, Scenario};
+use pilgrim_services::{
+    outcome_from_world, render_run_report, replay_load_artifact, run_scenario_threads, Scenario,
+};
+
+/// How many slowest spans the run report lists.
+const REPORT_TOP_K: usize = 5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +41,7 @@ fn main() -> ExitCode {
     }
     let mut scenario_path: Option<String> = None;
     let mut record: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut blackbox: Option<String> = None;
     let mut verify_replay = false;
     let mut no_gate = false;
@@ -43,6 +53,10 @@ fn main() -> ExitCode {
             "--record" => match it.next() {
                 Some(p) => record = Some(p.clone()),
                 None => return usage("--record needs a path"),
+            },
+            "--report" => match it.next() {
+                Some(p) => report_path = Some(p.clone()),
+                None => return usage("--report needs a path"),
             },
             "--blackbox" => match it.next() {
                 Some(p) => blackbox = Some(p.clone()),
@@ -88,6 +102,17 @@ fn main() -> ExitCode {
     };
     print!("{}", outcome.report);
 
+    let run_report = report_path
+        .as_ref()
+        .map(|_| render_run_report(&sc, &outcome, REPORT_TOP_K));
+    if let (Some(p), Some(text)) = (&report_path, &run_report) {
+        if let Err(e) = std::fs::write(p, text) {
+            eprintln!("pilgrim-load: cannot write report {p}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("run report: {p}");
+    }
+
     let mut failed = !outcome.gate_failures.is_empty();
     if failed {
         for f in &outcome.gate_failures {
@@ -116,6 +141,19 @@ fn main() -> ExitCode {
             match replay_load_artifact(&artifact, threads) {
                 Ok(r) if r.divergence.is_none() && r.byte_identical => {
                     println!("replay: byte-identical");
+                    // With --report, the replayed world must render the
+                    // same run report byte for byte: the report is part
+                    // of the determinism contract, not just the trace.
+                    if let Some(text) = &run_report {
+                        let re =
+                            render_run_report(&sc, &outcome_from_world(&sc, r.world), REPORT_TOP_K);
+                        if re == *text {
+                            println!("replay: run report byte-identical");
+                        } else {
+                            eprintln!("pilgrim-load: replayed run report differs");
+                            failed = true;
+                        }
+                    }
                 }
                 Ok(r) => {
                     eprintln!(
@@ -142,8 +180,9 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("pilgrim-load: {err}");
     eprintln!(
-        "usage: pilgrim-load <scenario.toml> [--record <path>] [--verify-replay] \
-         [--blackbox <path>] [--threads <n>] [--no-gate] | pilgrim-load selftest"
+        "usage: pilgrim-load <scenario.toml> [--record <path>] [--report <path>] \
+         [--verify-replay] [--blackbox <path>] [--threads <n>] [--no-gate] | \
+         pilgrim-load selftest"
     );
     ExitCode::from(2)
 }
@@ -164,6 +203,9 @@ rate = 400
 loss = "2%"
 partition = "at=100ms heal=200ms link=0:1"
 trace = "rpc"
+trace_sample = 2
+coarse_interval = 8
+coarse_budget = 256
 "#;
     let sc = match Scenario::parse(SCENARIO) {
         Ok(s) => s,
@@ -191,6 +233,10 @@ trace = "rpc"
             "selftest: reports differ between runs:\n--- a\n{}--- b\n{}",
             a.report, b.report
         );
+        return ExitCode::from(1);
+    }
+    if render_run_report(&sc, &a, REPORT_TOP_K) != render_run_report(&sc, &b, REPORT_TOP_K) {
+        eprintln!("selftest: run reports differ between runs");
         return ExitCode::from(1);
     }
     match replay_load_artifact(&a.world.record(), 1) {

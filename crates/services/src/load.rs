@@ -16,7 +16,7 @@ use pilgrim::{
     replay_with_setup, Artifact, LinkModel, NetworkConfig, NodeId, ReplayError, SimDuration,
     SimTime, TraceCategory, Value, World,
 };
-use pilgrim_sim::{DetRng, Json, OpenLoop};
+use pilgrim_sim::{render_bucket_bound, DetRng, Json, OpenLoop};
 
 use crate::aotman::{AotConfig, AotMan};
 use crate::fileserver::{CLIENT_EXTERNS, FILE_SERVER_SOURCE};
@@ -175,6 +175,9 @@ pub struct LoadOutcome {
     pub gate_failures: Vec<String>,
     /// Did the world drain to quiescence before the drain deadline?
     pub drained: bool,
+    /// The offered window `[0, last_arrival]` in microseconds — the
+    /// denominator of every throughput figure in the report.
+    pub offered_window_us: u64,
 }
 
 /// Builds the load world for a scenario: 3 server stations, the client
@@ -196,14 +199,20 @@ pub fn build_load_world(sc: &Scenario) -> Result<World, String> {
         partitions: sc.partitions.clone(),
         ..Default::default()
     };
-    let mut world = World::builder()
+    let mut builder = World::builder()
         .nodes(FIRST_CLIENT_NODE + sc.client_nodes)
         .seed(sc.seed)
         .program(&client_source())
         .program_for(FS_NODE, FILE_SERVER_SOURCE)
         .network(net)
-        .build()
-        .map_err(|e| format!("load world: {e}"))?;
+        .trace_sample(sc.trace_sample);
+    if sc.blackbox_events > 0 {
+        builder = builder.blackbox_capacity(sc.blackbox_events);
+    }
+    if sc.coarse_interval > 0 && sc.coarse_budget > 0 {
+        builder = builder.coarse_window(sc.coarse_interval, sc.coarse_budget);
+    }
+    let mut world = builder.build().map_err(|e| format!("load world: {e}"))?;
 
     // Install services through the same path replay will use, recording
     // each step in the recipe.
@@ -296,17 +305,45 @@ pub fn run_scenario_threads(sc: &Scenario, threads: usize) -> Result<LoadOutcome
     // Drain: every in-flight RPC, retry ladder, and AOT watcher must
     // settle. The deadline is generous; `drained` reports whether
     // quiescence arrived before it.
-    let deadline = last_at + sc.aot_lifetime + SimDuration::from_secs(30);
-    world.run_until_idle(deadline);
-    let drained = world.now() < deadline;
+    world.run_until_idle(drain_deadline(sc, last_at));
+    Ok(finish(sc, world, last_at))
+}
 
+/// When a run must reach quiescence to count as drained.
+fn drain_deadline(sc: &Scenario, last_at: SimTime) -> SimTime {
+    last_at + sc.aot_lifetime + SimDuration::from_secs(30)
+}
+
+/// Wraps an already-drained world into a [`LoadOutcome`]: evaluates the
+/// gate and renders the report. Shared by the live path and
+/// [`outcome_from_world`] so both produce byte-identical bundles.
+fn finish(sc: &Scenario, world: World, last_at: SimTime) -> LoadOutcome {
+    let drained = world.now() < drain_deadline(sc, last_at);
     let (report, gate_failures) = render_report(sc, &world, last_at, drained);
-    Ok(LoadOutcome {
+    LoadOutcome {
         world,
         report,
         gate_failures,
         drained,
-    })
+        offered_window_us: last_at.as_micros().max(1),
+    }
+}
+
+/// Rebuilds the [`LoadOutcome`] bundle around a world that already ran
+/// the scenario — typically one recovered from a replayed artifact. The
+/// offered window is recomputed from the scenario alone (the open-loop
+/// arrival schedule is a pure function of the seed), so a replayed
+/// world's report and run report come out byte-identical to the
+/// original run's.
+pub fn outcome_from_world(sc: &Scenario, world: World) -> LoadOutcome {
+    let mut rng = DetRng::seed(sc.seed ^ 0x6f70_656e_2d6c_6f61); // "open-loa"
+    let gen = OpenLoop::new(&mut rng, sc.rate, sc.clients, sc.mix.clone());
+    let last_at = gen
+        .take(sc.arrivals as usize)
+        .map(|a| a.at)
+        .last()
+        .unwrap_or(SimTime::ZERO);
+    finish(sc, world, last_at)
 }
 
 fn counter(world: &World, name: &str) -> u64 {
@@ -347,6 +384,26 @@ fn render_report(
                 "p99 latency {p99} µs exceeds the declared ceiling {ceiling} µs"
             ));
         }
+        // The windowed SLO catches transient cliffs the aggregate hides:
+        // a partition that blows p99 mid-run fails the gate even when
+        // enough fast post-heal traffic pulls the end-of-run percentile
+        // back under the ceiling.
+        if sc.windowed_slo {
+            for (start, end, count, wp99) in
+                world.tsdb_hist_windows("rpc.latency_us", sc.report_window)
+            {
+                if count == 0 {
+                    continue;
+                }
+                if wp99.is_some_and(|p| p > ceiling) {
+                    gate_failures.push(format!(
+                        "window [{start}..{end}us] p99 {} µs exceeds the declared ceiling \
+                         {ceiling} µs",
+                        render_bucket_bound(wp99)
+                    ));
+                }
+            }
+        }
     }
     if !drained {
         gate_failures.push("world did not drain to quiescence".into());
@@ -385,6 +442,185 @@ fn render_report(
         line("gate", format!("FAIL ({})", gate_failures.join("; ")));
     }
     (out, gate_failures)
+}
+
+/// Renders the structured run report: one self-contained markdown
+/// artifact with an embedded machine-readable JSON summary, per-window
+/// throughput and latency series from the time-series store, per-link
+/// utilization tables from the bridge meters, and the `top_k` slowest
+/// sampled spans. Every figure comes from deterministic state (counters,
+/// retained tsdb windows, the trace), so two runs of the same scenario —
+/// serial, parallel, or replayed — render byte-identical reports.
+pub fn render_run_report(sc: &Scenario, out: &LoadOutcome, top_k: usize) -> String {
+    let world = &out.world;
+    let window = sc.report_window;
+    let mut md = String::new();
+    md.push_str(&format!("# pilgrim-load run report: {}\n\n", sc.name));
+
+    md.push_str("## summary\n\n```\n");
+    md.push_str(&out.report);
+    md.push_str("```\n\n");
+
+    // The machine summary repeats the headline figures as JSON so CI can
+    // gate on them without re-parsing the flat text.
+    let completed = counter(world, "rpc.completed");
+    let throughput_mrps = completed.saturating_mul(1_000_000_000) / out.offered_window_us;
+    let hist = world.metrics().histogram_named("rpc.latency_us");
+    let q = |p: f64| -> u64 { hist.as_ref().and_then(|h| h.quantile(p)).unwrap_or(0) };
+    let run_us = world.now().as_micros().max(1);
+    let links = world.bridge_links();
+    let link_summaries: Vec<Json> = links
+        .iter()
+        .map(|&(a, b)| {
+            let c = |f: &str| counter(world, &format!("net.link{a}-{b}.{f}"));
+            let busy = c("busy_us");
+            Json::obj(vec![
+                ("link", Json::Str(format!("{a}-{b}"))),
+                ("bytes", Json::Int(c("bytes") as i128)),
+                ("busy_us", Json::Int(busy as i128)),
+                ("queue_us", Json::Int(c("queue_us") as i128)),
+                ("lost", Json::Int(c("lost") as i128)),
+                (
+                    "util_pct",
+                    Json::Int((busy.saturating_mul(100) / run_us) as i128),
+                ),
+            ])
+        })
+        .collect();
+    let machine = Json::obj(vec![
+        ("scenario", Json::Str(sc.name.clone())),
+        ("seed", Json::Int(sc.seed as i128)),
+        ("arrivals", Json::Int(sc.arrivals as i128)),
+        ("completed", Json::Int(completed as i128)),
+        ("failed", Json::Int(counter(world, "rpc.failed") as i128)),
+        ("throughput_mrps", Json::Int(throughput_mrps as i128)),
+        ("p50_us", Json::Int(q(0.50) as i128)),
+        ("p90_us", Json::Int(q(0.90) as i128)),
+        ("p99_us", Json::Int(q(0.99) as i128)),
+        ("drained", Json::Bool(out.drained)),
+        ("gate_pass", Json::Bool(out.gate_failures.is_empty())),
+        (
+            "gate_failures",
+            Json::Array(
+                out.gate_failures
+                    .iter()
+                    .map(|f| Json::Str(f.clone()))
+                    .collect(),
+            ),
+        ),
+        ("links", Json::Array(link_summaries)),
+    ]);
+    let mut machine_text = String::new();
+    machine.write(&mut machine_text);
+    md.push_str("## machine summary\n\n```json\n");
+    md.push_str(&machine_text);
+    md.push_str("\n```\n\n");
+
+    md.push_str("## throughput (rpc.completed per window)\n\n");
+    let tp = world.tsdb_counter_windows("rpc.completed", window);
+    if tp.is_empty() {
+        md.push_str("no windows retained\n\n");
+    } else {
+        md.push_str("| window | completed | rate/s |\n|---|---:|---:|\n");
+        for (start, end, delta) in tp {
+            let span_us = end.saturating_sub(start).max(1);
+            let rate = delta.saturating_mul(1_000_000) / span_us;
+            md.push_str(&format!("| [{start}..{end}us] | {delta} | {rate} |\n"));
+        }
+        md.push('\n');
+    }
+
+    md.push_str("## latency (rpc.latency_us per window)\n\n");
+    let lat = world.tsdb_hist_windows("rpc.latency_us", window);
+    if lat.is_empty() {
+        md.push_str("no windows retained\n\n");
+    } else {
+        md.push_str("| window | count | p99 |\n|---|---:|---:|\n");
+        for (start, end, count, p99) in lat {
+            md.push_str(&format!(
+                "| [{start}..{end}us] | {count} | {} |\n",
+                render_bucket_bound(p99)
+            ));
+        }
+        md.push('\n');
+    }
+
+    md.push_str("## link utilization\n\n");
+    if links.is_empty() {
+        md.push_str("flat topology: no bridge links\n\n");
+    } else {
+        for &(a, b) in &links {
+            let c = |f: &str| counter(world, &format!("net.link{a}-{b}.{f}"));
+            let busy = c("busy_us");
+            md.push_str(&format!(
+                "### link {a}-{b}\n\ntotals: bytes {} busy_us {busy} queue_us {} lost {} \
+                 util {}%\n\n",
+                c("bytes"),
+                c("queue_us"),
+                c("lost"),
+                busy.saturating_mul(100) / run_us,
+            ));
+            let series = world.tsdb_counter_windows(&format!("net.link{a}-{b}.busy_us"), window);
+            if series.is_empty() {
+                md.push_str("no windows retained\n\n");
+            } else {
+                md.push_str("| window | busy_us | util% |\n|---|---:|---:|\n");
+                for (start, end, delta) in series {
+                    let span_us = end.saturating_sub(start).max(1);
+                    md.push_str(&format!(
+                        "| [{start}..{end}us] | {delta} | {} |\n",
+                        delta.saturating_mul(100) / span_us
+                    ));
+                }
+                md.push('\n');
+            }
+        }
+    }
+
+    // Station utilization: each segment's transmitter occupancy over
+    // (window × stations). The ring serializes ~one small packet per
+    // 3.5 ms per station, so a segment pinned near 100% here is at the
+    // ~285 pkts/s capacity cliff — readable straight off the report
+    // instead of hand-run sweeps.
+    md.push_str("## station utilization (net.seg tx_busy_us per window)\n\n");
+    let segments = world.net_segments();
+    if segments <= 1 {
+        md.push_str("flat topology: no per-segment meters\n\n");
+    } else {
+        for seg in 0..segments {
+            let stations = u64::from(world.segment_stations(seg)).max(1);
+            let busy = counter(world, &format!("net.seg{seg}.tx_busy_us"));
+            if busy == 0 {
+                continue;
+            }
+            md.push_str(&format!(
+                "### segment {seg} ({stations} stations)\n\ntotals: tx_busy_us {busy} \
+                 util {}%\n\n",
+                busy.saturating_mul(100) / run_us / stations,
+            ));
+            let series = world.tsdb_counter_windows(&format!("net.seg{seg}.tx_busy_us"), window);
+            if series.is_empty() {
+                md.push_str("no windows retained\n\n");
+            } else {
+                md.push_str("| window | tx_busy_us | util% |\n|---|---:|---:|\n");
+                for (start, end, delta) in series {
+                    let span_us = end.saturating_sub(start).max(1);
+                    md.push_str(&format!(
+                        "| [{start}..{end}us] | {delta} | {} |\n",
+                        delta.saturating_mul(100) / span_us / stations
+                    ));
+                }
+                md.push('\n');
+            }
+        }
+    }
+
+    md.push_str(&format!("## slowest spans (top {top_k})\n\n```\n"));
+    md.push_str(&world.slowest_report(top_k));
+    md.push_str("```\n\n## critical path\n\n```\n");
+    md.push_str(&world.critical_path_report());
+    md.push_str("```\n");
+    md
 }
 
 #[cfg(test)]
@@ -430,6 +666,82 @@ trace = "rpc"
         let b = run_scenario(&tiny()).expect("runs");
         assert_eq!(a.report, b.report);
         assert_eq!(a.world.trace_jsonl(), b.world.trace_jsonl());
+    }
+
+    /// The tiny scenario with telemetry knobs on: span sampling, a
+    /// dense coarse store, windowed SLO machinery exercised end to end.
+    fn tiny_observed() -> Scenario {
+        Scenario::parse(
+            r#"
+name = "tiny-observed"
+seed = 7
+topology = "ring-of-rings"
+segments = 2
+client_nodes = 4
+clients = 16
+arrivals = 40
+rate = 200
+trace = "rpc"
+trace_sample = 2
+coarse_interval = 8
+coarse_budget = 512
+report_window = 2
+"#,
+        )
+        .expect("parses")
+    }
+
+    #[test]
+    fn run_report_is_byte_identical_across_threads_and_replay() {
+        let sc = tiny_observed();
+        let serial = run_scenario_threads(&sc, 1).expect("runs");
+        let report = render_run_report(&sc, &serial, 5);
+        assert!(report.contains("## summary"));
+        assert!(report.contains("## machine summary"));
+        assert!(report.contains("### link 0-1"), "{report}");
+        assert!(report.contains("## station utilization"), "{report}");
+        assert!(report.contains("### segment 0"), "{report}");
+        assert!(report.contains("## slowest spans"));
+
+        let threaded = run_scenario_threads(&sc, 2).expect("runs");
+        assert_eq!(report, render_run_report(&sc, &threaded, 5));
+
+        let artifact = serial.world.record();
+        let replayed = replay_load_artifact(&artifact, 1).expect("replays");
+        assert!(replayed.divergence.is_none());
+        let re_outcome = outcome_from_world(&sc, replayed.world);
+        assert_eq!(re_outcome.report, serial.report);
+        assert_eq!(report, render_run_report(&sc, &re_outcome, 5));
+    }
+
+    #[test]
+    fn flat_run_report_has_no_link_tables() {
+        let sc = Scenario::parse("name = \"flat\"\nseed = 3\narrivals = 10").expect("parses");
+        let out = run_scenario(&sc).expect("runs");
+        let report = render_run_report(&sc, &out, 3);
+        assert!(
+            report.contains("flat topology: no bridge links"),
+            "{report}"
+        );
+        assert!(
+            report.contains("flat topology: no per-segment meters"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn windowed_slo_fails_the_gate_on_a_window_breach() {
+        let mut sc = tiny_observed();
+        sc.windowed_slo = true;
+        sc.max_p99_us = Some(1); // every non-empty window breaches
+        let out = run_scenario(&sc).expect("runs");
+        assert!(
+            out.gate_failures
+                .iter()
+                .any(|f| f.starts_with("window [") && f.contains("exceeds the declared ceiling")),
+            "windowed SLO must add window-scoped failures: {:?}",
+            out.gate_failures
+        );
     }
 
     #[test]

@@ -19,8 +19,14 @@
 //! aot_lifetime = "2s"
 //! partition = "at=4s heal=6s link=0:1"   # repeatable
 //! trace = "rpc"                # full | rpc | off
+//! trace_sample = 16            # keep 1-in-N root spans (0 = keep all)
 //! min_rps = 50                 # gate floor (optional)
 //! max_p99_us = 2000000         # gate ceiling (optional)
+//! windowed_slo = true          # apply max_p99_us per tsdb window too
+//! report_window = 4            # coarse samples per run-report row
+//! coarse_interval = 64         # sync points per coarse sample
+//! coarse_budget = 256          # coarse samples retained per series
+//! blackbox_events = 1024       # flight-recorder ring budget
 //! ```
 //!
 //! Unknown keys, duplicate keys (except `partition`), and out-of-range
@@ -99,10 +105,28 @@ pub struct Scenario {
     pub partitions: Vec<PartitionWindow>,
     /// Trace verbosity.
     pub trace: TraceLevel,
+    /// Head-based span sampling: keep 1-in-N root spans (0 or 1 = keep
+    /// everything). Recipe-carried, so replays sample identically.
+    pub trace_sample: u32,
     /// Gate: completed-RPC throughput floor, ops/sec.
     pub min_rps: Option<u64>,
     /// Gate: p99 latency ceiling, microseconds.
     pub max_p99_us: Option<u64>,
+    /// Apply `max_p99_us` to every retained tsdb window as well as the
+    /// aggregate — a mid-run latency spike fails the gate even when the
+    /// run recovers before the end.
+    pub windowed_slo: bool,
+    /// How many coarse tsdb samples each run-report row aggregates.
+    pub report_window: usize,
+    /// Coarse-store shape override: sync points per sample (0 = world
+    /// default). Must be set together with `coarse_budget`.
+    pub coarse_interval: u64,
+    /// Coarse-store shape override: samples retained per series (0 =
+    /// world default).
+    pub coarse_budget: usize,
+    /// Flight-recorder ring budget override in events (0 = world
+    /// default).
+    pub blackbox_events: usize,
 }
 
 impl Default for Scenario {
@@ -127,8 +151,14 @@ impl Default for Scenario {
             aot_lifetime: SimDuration::from_secs(2),
             partitions: Vec::new(),
             trace: TraceLevel::Full,
+            trace_sample: 0,
             min_rps: None,
             max_p99_us: None,
+            windowed_slo: false,
+            report_window: 1,
+            coarse_interval: 0,
+            coarse_budget: 0,
+            blackbox_events: 0,
         }
     }
 }
@@ -225,8 +255,47 @@ impl Scenario {
                     sc.trace = TraceLevel::parse(&unquote(value, lineno)?)
                         .map_err(|e| format!("line {lineno}: {e}"))?
                 }
+                "trace_sample" => {
+                    sc.trace_sample = int(value, lineno)?
+                        .try_into()
+                        .map_err(|_| format!("line {lineno}: `trace_sample` out of range"))?
+                }
                 "min_rps" => sc.min_rps = Some(int(value, lineno)?),
                 "max_p99_us" => sc.max_p99_us = Some(int(value, lineno)?),
+                "windowed_slo" => sc.windowed_slo = boolean(value, lineno)?,
+                "report_window" => {
+                    let w: usize = int(value, lineno)?
+                        .try_into()
+                        .map_err(|_| format!("line {lineno}: `report_window` out of range"))?;
+                    if w == 0 {
+                        return Err(format!("line {lineno}: `report_window` must be positive"));
+                    }
+                    sc.report_window = w;
+                }
+                "coarse_interval" => {
+                    sc.coarse_interval = int(value, lineno)?;
+                    if sc.coarse_interval == 0 {
+                        return Err(format!("line {lineno}: `coarse_interval` must be positive"));
+                    }
+                }
+                "coarse_budget" => {
+                    let b: usize = int(value, lineno)?
+                        .try_into()
+                        .map_err(|_| format!("line {lineno}: `coarse_budget` out of range"))?;
+                    if b == 0 {
+                        return Err(format!("line {lineno}: `coarse_budget` must be positive"));
+                    }
+                    sc.coarse_budget = b;
+                }
+                "blackbox_events" => {
+                    let n: usize = int(value, lineno)?
+                        .try_into()
+                        .map_err(|_| format!("line {lineno}: `blackbox_events` out of range"))?;
+                    if n == 0 {
+                        return Err(format!("line {lineno}: `blackbox_events` must be positive"));
+                    }
+                    sc.blackbox_events = n;
+                }
                 other => return Err(format!("line {lineno}: unknown key `{other}`")),
             }
         }
@@ -253,6 +322,11 @@ impl Scenario {
                     w.a, w.b
                 ));
             }
+        }
+        if (sc.coarse_interval == 0) != (sc.coarse_budget == 0) {
+            return Err(
+                "`coarse_interval` and `coarse_budget` must be set together (or neither)".into(),
+            );
         }
         if sc.mix.is_empty() {
             return Err("mix: at least one operation needs a positive weight".into());
@@ -293,6 +367,16 @@ fn unquote(v: &str, lineno: usize) -> Result<String, String> {
         return Err(format!("line {lineno}: expected a quoted string"));
     }
     Ok(v.to_string())
+}
+
+/// Bare `true` / `false` only — no `yes`, `1`, or case variants, so a
+/// gating scenario cannot be ambiguous about what it asked for.
+fn boolean(v: &str, lineno: usize) -> Result<bool, String> {
+    match v {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("line {lineno}: `{other}` is not `true` or `false`")),
+    }
 }
 
 fn int(v: &str, lineno: usize) -> Result<u64, String> {
@@ -421,8 +505,14 @@ link_jitter = 0us
 aot_lifetime = 2s
 partition = "at=4s heal=6s link=0:1"
 trace = "rpc"
+trace_sample = 16
 min_rps = 50
 max_p99_us = 2000000
+windowed_slo = true
+report_window = 4
+coarse_interval = 32
+coarse_budget = 128
+blackbox_events = 1024
 "#,
         )
         .expect("parses");
@@ -434,7 +524,13 @@ max_p99_us = 2000000
         assert_eq!(sc.partitions[0].from, SimTime::from_secs(4));
         assert_eq!(sc.partitions[0].to, SimTime::from_secs(6));
         assert_eq!(sc.trace, TraceLevel::Rpc);
+        assert_eq!(sc.trace_sample, 16);
         assert_eq!(sc.min_rps, Some(50));
+        assert!(sc.windowed_slo);
+        assert_eq!(sc.report_window, 4);
+        assert_eq!(sc.coarse_interval, 32);
+        assert_eq!(sc.coarse_budget, 128);
+        assert_eq!(sc.blackbox_events, 1024);
     }
 
     #[test]
@@ -467,6 +563,14 @@ max_p99_us = 2000000
             ),
             ("topology = \"mesh\"", "unknown topology"),
             ("topology = \"star\"", "needs `segments`"),
+            ("windowed_slo = yes", "not `true` or `false`"),
+            ("windowed_slo = True", "not `true` or `false`"),
+            ("report_window = 0", "`report_window` must be positive"),
+            ("coarse_interval = 0", "`coarse_interval` must be positive"),
+            ("coarse_budget = 0", "`coarse_budget` must be positive"),
+            ("blackbox_events = 0", "`blackbox_events` must be positive"),
+            ("coarse_interval = 64", "must be set together"),
+            ("coarse_budget = 64", "must be set together"),
         ] {
             let err = Scenario::parse(text).expect_err(text);
             assert!(
@@ -484,6 +588,11 @@ max_p99_us = 2000000
         assert_eq!(sc.mix.len(), 4);
         assert!(sc.partitions.is_empty());
         assert_eq!(sc.min_rps, None);
+        assert_eq!(sc.trace_sample, 0);
+        assert!(!sc.windowed_slo);
+        assert_eq!(sc.report_window, 1);
+        assert_eq!(sc.coarse_interval, 0);
+        assert_eq!(sc.blackbox_events, 0);
     }
 
     #[test]

@@ -15,10 +15,10 @@
 //! of one call from the trace alone, the paper's client/server
 //! call-identifier tables generalized.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::json::{escape_into, Json};
@@ -991,6 +991,10 @@ struct TracerInner {
     blackbox_capacity: usize,
     /// Echo destination; `None` means stdout.
     echo_sink: Option<Box<dyn Write + Send>>,
+    /// Span ids admitted by head-based sampling. Only consulted while a
+    /// sample rate is set; holds kept spans only, so its size is the
+    /// kept fraction of all spans, not the span count.
+    kept: HashSet<u64>,
 }
 
 /// Default flight-recorder ring size: enough to hold the last few
@@ -1006,7 +1010,22 @@ struct Shared {
     masks: AtomicU16,
     echo: AtomicBool,
     next_span: AtomicU64,
+    /// Head-based span sampling: keep 1-in-`sample_rate` root spans
+    /// (0 or 1 = keep everything, the zero-cost default).
+    sample_rate: AtomicU32,
+    /// Seed mixed into the root-span keep decision so different worlds
+    /// sample different spans, deterministically.
+    sample_seed: AtomicU64,
     inner: Mutex<TracerInner>,
+}
+
+/// One round of SplitMix64 finalization — decorrelates consecutive span
+/// ids so "every Nth span" doesn't alias with periodic workloads.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Shift of the flight-recorder mask within [`Shared::masks`].
@@ -1070,12 +1089,15 @@ impl Tracer {
                 ),
                 echo: AtomicBool::new(false),
                 next_span: AtomicU64::new(1),
+                sample_rate: AtomicU32::new(0),
+                sample_seed: AtomicU64::new(0),
                 inner: Mutex::new(TracerInner {
                     events: VecDeque::new(),
                     capacity,
                     blackbox: VecDeque::new(),
                     blackbox_capacity: BLACKBOX_CAPACITY,
                     echo_sink: None,
+                    kept: HashSet::new(),
                 }),
             }),
         }
@@ -1147,8 +1169,55 @@ impl Tracer {
     /// Allocates a fresh causal span id. Tracers cloned from the same
     /// root share the counter, so spans are unique across every node of a
     /// world. Never returns id 0 (the wire sentinel for "no span").
+    ///
+    /// With sampling active the span counts as a *root* — equivalent to
+    /// [`next_span_with_parent`](Tracer::next_span_with_parent) with no
+    /// parent.
     pub fn next_span(&self) -> SpanId {
-        SpanId(self.shared.next_span.fetch_add(1, Ordering::Relaxed))
+        self.next_span_with_parent(None)
+    }
+
+    /// Allocates a fresh causal span id, deciding its sampling fate.
+    ///
+    /// Ids come off the shared counter whether or not the span is kept,
+    /// so a sampled run allocates exactly the ids an unsampled run does
+    /// (its trace is a strict subset, never a renumbering). Roots are
+    /// kept when `mix64(seed ^ id) % rate == 0` — a pure function of the
+    /// recipe-carried seed and the deterministic id, identical across
+    /// serial, parallel, and replay runs. A child inherits its parent's
+    /// verdict, so every kept trace is causally complete.
+    pub fn next_span_with_parent(&self, parent: Option<SpanId>) -> SpanId {
+        let id = self.shared.next_span.fetch_add(1, Ordering::Relaxed);
+        let rate = self.shared.sample_rate.load(Ordering::Relaxed);
+        if rate > 1 {
+            let keep = match parent {
+                Some(p) => self.shared.inner.lock().unwrap().kept.contains(&p.0),
+                None => {
+                    let seed = self.shared.sample_seed.load(Ordering::Relaxed);
+                    mix64(seed ^ id).is_multiple_of(rate as u64)
+                }
+            };
+            if keep {
+                self.shared.inner.lock().unwrap().kept.insert(id);
+            }
+        }
+        SpanId(id)
+    }
+
+    /// Arms head-based span sampling: keep 1-in-`rate` root spans (and
+    /// every child of a kept root). Rates 0 and 1 disable sampling; the
+    /// disabled path costs one relaxed load per span allocation and
+    /// nothing per event. Span-stamped events whose span was sampled out
+    /// are dropped from the main trace, the flight recorder, and the
+    /// echo alike; unstamped events always record.
+    pub fn set_trace_sample(&self, rate: u32, seed: u64) {
+        self.shared.sample_seed.store(seed, Ordering::Relaxed);
+        self.shared.sample_rate.store(rate, Ordering::Relaxed);
+    }
+
+    /// The active sampling rate (0 or 1 = sampling off).
+    pub fn trace_sample(&self) -> u32 {
+        self.shared.sample_rate.load(Ordering::Relaxed)
     }
 
     /// Records a typed event. The category check is repeated here so
@@ -1191,6 +1260,14 @@ impl Tracer {
             return;
         }
         let mut inner = self.shared.inner.lock().unwrap();
+        if let Some(s) = ev.span {
+            // Head-based sampling: a span that lost the keep draw leaves
+            // no trace anywhere — main ring, flight recorder, or echo.
+            let rate = self.shared.sample_rate.load(Ordering::Relaxed);
+            if rate > 1 && !inner.kept.contains(&s.0) {
+                return;
+            }
+        }
         if boxed {
             let cap = inner.blackbox_capacity.max(1);
             while inner.blackbox.len() >= cap {
@@ -1356,6 +1433,11 @@ impl Tracer {
         self.shared.inner.lock().unwrap().blackbox.len()
     }
 
+    /// The flight-recorder ring budget.
+    pub fn blackbox_capacity(&self) -> usize {
+        self.shared.inner.lock().unwrap().blackbox_capacity
+    }
+
     /// Resizes the flight-recorder ring (oldest events discarded first
     /// if the new budget is smaller).
     pub fn set_blackbox_capacity(&self, capacity: usize) {
@@ -1459,6 +1541,51 @@ mod tests {
         assert!(!t.wants(TraceCategory::Net));
         t.record(SimTime::ZERO, TraceCategory::Net, None, "gone");
         assert_eq!(t.blackbox_len(), 1);
+    }
+
+    #[test]
+    fn sampling_keeps_roots_deterministically_and_children_follow() {
+        let emit = |t: &Tracer, span: SpanId| {
+            t.emit(
+                SimTime::ZERO,
+                TraceCategory::Rpc,
+                Some(0),
+                Some(span),
+                EventKind::Message(format!("s{}", span.0)),
+            );
+        };
+        let run = || {
+            let t = Tracer::new();
+            t.set_trace_sample(4, 0xfeed);
+            let mut kept = Vec::new();
+            for _ in 0..64 {
+                let root = t.next_span_with_parent(None);
+                let child = t.next_span_with_parent(Some(root));
+                emit(&t, root);
+                emit(&t, child);
+                let root_kept = t.events_for_span(root).len() == 1;
+                let child_kept = t.events_for_span(child).len() == 1;
+                assert_eq!(root_kept, child_kept, "children follow their root");
+                kept.push(root_kept);
+            }
+            (kept, t.events().len(), t.blackbox_len())
+        };
+        let (kept, events, boxed) = run();
+        let survivors = kept.iter().filter(|k| **k).count();
+        assert!(survivors > 0 && survivors < 64, "{survivors}/64 kept");
+        assert_eq!(events, survivors * 2);
+        assert_eq!(boxed, survivors * 2, "sampled-out spans skip the blackbox");
+        assert_eq!(run().0, kept, "the keep set is a pure function of the seed");
+
+        // Unstamped events are never sampled away, and rate 1 keeps all.
+        let t = Tracer::new();
+        t.set_trace_sample(4, 0xfeed);
+        t.record(SimTime::ZERO, TraceCategory::Net, None, "unstamped");
+        assert_eq!(t.events().len(), 1);
+        let t1 = Tracer::new();
+        t1.set_trace_sample(1, 0xfeed);
+        emit(&t1, t1.next_span());
+        assert_eq!(t1.events().len(), 1);
     }
 
     #[test]

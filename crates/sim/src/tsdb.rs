@@ -395,6 +395,84 @@ impl SeriesStore {
         out
     }
 
+    /// Renders every tracked series in [`series_names`] order — the
+    /// whole store as one string, for self-describing artifacts like
+    /// the blackbox snapshot.
+    ///
+    /// [`series_names`]: SeriesStore::series_names
+    pub fn render_all(&self, window: usize) -> String {
+        let mut out = String::new();
+        for name in self.series_names() {
+            out.push_str(&self.render(&name, window));
+        }
+        out
+    }
+
+    /// The windowed rows of a counter series as data: `(start_us,
+    /// end_us, delta)` per row, aggregating `window` samples per row
+    /// exactly as [`render`](SeriesStore::render) does. Empty when the
+    /// metric is unknown or not a counter.
+    pub fn counter_windows(&self, metric: &str, window: usize) -> Vec<(u64, u64, u64)> {
+        let window = window.max(1);
+        let Some(s) = self.counters.iter().find(|s| s.name == metric) else {
+            return Vec::new();
+        };
+        let len = s.deltas.len();
+        let mut rows = Vec::new();
+        let mut idx = 0;
+        while idx < len {
+            let hi = (idx + window).min(len);
+            let delta: u64 = s.deltas.range(idx..hi).sum();
+            rows.push((
+                self.window_start(len, idx),
+                self.window_end(len, hi - 1),
+                delta,
+            ));
+            idx = hi;
+        }
+        rows
+    }
+
+    /// The windowed rows of a histogram series as data: `(start_us,
+    /// end_us, count, p99)` per row, where `p99` is the 99th-percentile
+    /// bucket bound (`Some(u64::MAX)` = overflow, `None` = no
+    /// observations in the window). Empty when the metric is unknown or
+    /// not a histogram.
+    pub fn hist_windows(&self, metric: &str, window: usize) -> Vec<(u64, u64, u64, Option<u64>)> {
+        let window = window.max(1);
+        let Some(s) = self.hists.iter().find(|s| s.name == metric) else {
+            return Vec::new();
+        };
+        let len = s.windows.len();
+        let mut rows = Vec::new();
+        let mut idx = 0;
+        while idx < len {
+            let hi = (idx + window).min(len);
+            let mut count = 0u64;
+            let mut buckets: Vec<u64> = vec![0; s.bounds.len()];
+            for w in s.windows.range(idx..hi) {
+                count += w.count;
+                for (acc, &d) in buckets.iter_mut().zip(w.buckets.iter()) {
+                    *acc += d;
+                }
+            }
+            let pairs: Vec<(u64, u64)> = s
+                .bounds
+                .iter()
+                .copied()
+                .zip(buckets.iter().copied())
+                .collect();
+            rows.push((
+                self.window_start(len, idx),
+                self.window_end(len, hi - 1),
+                count,
+                bucket_quantile(&pairs, 0.99),
+            ));
+            idx = hi;
+        }
+        rows
+    }
+
     /// Names of every series currently tracked, counters first, then
     /// gauges, then histograms, each group in registration order.
     pub fn series_names(&self) -> Vec<String> {
@@ -538,6 +616,35 @@ mod tests {
         assert!(sum.contains("tsdb gauge g: 1 samples, first 2 last 2"));
         assert!(sum.contains("tsdb histogram h: 1 samples, windowed count 1"));
         assert_eq!(s.series_names(), vec!["a", "g", "h"]);
+    }
+
+    #[test]
+    fn windows_as_data_match_the_render() {
+        let m = Metrics::new();
+        let c = m.counter("hits");
+        let h = m.histogram("lat", &[10, 100]);
+        let mut s = SeriesStore::new(1, 8);
+        c.add(3);
+        h.observe(5);
+        s.on_sync(at(100), &m);
+        c.add(7);
+        h.observe(500);
+        s.on_sync(at(200), &m);
+        assert_eq!(
+            s.counter_windows("hits", 1),
+            vec![(0, 100, 3), (100, 200, 7)]
+        );
+        assert_eq!(s.counter_windows("hits", 2), vec![(0, 200, 10)]);
+        assert_eq!(
+            s.hist_windows("lat", 1),
+            vec![(0, 100, 1, Some(10)), (100, 200, 1, Some(u64::MAX))]
+        );
+        assert!(s.counter_windows("nope", 1).is_empty());
+        assert!(s.hist_windows("hits", 1).is_empty());
+        // render_all covers every series once, in series_names order.
+        let all = s.render_all(1);
+        assert!(all.starts_with("tsdb counter hits:"), "{all}");
+        assert!(all.contains("tsdb histogram lat:"), "{all}");
     }
 
     #[test]

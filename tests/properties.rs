@@ -299,6 +299,102 @@ end";
 }
 
 // ---------------------------------------------------------------------
+// Span sampling: a sampled trace is a strict causal subset.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sampled_causal_graph_is_a_strict_subset_of_the_full_trace() {
+    // Twin worlds differing only in the head-based sample rate must
+    // agree on everything the sampled run keeps: every surviving span
+    // exists in the full run with a byte-identical profile, parents
+    // survive with their children (causal completeness), and sampling
+    // actually thins the trace (strictness).
+    const MAIN: &str = "\
+ping = proc (x: int) returns (int)
+ fail(\"servers implement ping\")
+end
+relay = proc (x: int) returns (int)
+ fail(\"node 2 implements relay\")
+end
+main = proc (rounds: int)
+ total: int := 0
+ for i: int := 1 to rounds do
+  total := total + call ping(i) at 1
+  total := total + call relay(i) at 2
+ end
+ print(int$unparse(total))
+end";
+    const SERVER: &str = "\
+ping = proc (x: int) returns (int)
+ return (x * 2)
+end";
+    const RELAY: &str = "\
+ping = proc (x: int) returns (int)
+ fail(\"node 1 implements ping\")
+end
+relay = proc (x: int) returns (int)
+ r: int := call ping(x) at 1
+ return (r + 1)
+end";
+    check_n(
+        "sampled_causal_graph_is_a_strict_subset_of_the_full_trace",
+        8,
+        &u64_range(0, 10_000),
+        |seed| {
+            let rate = 2 + (*seed % 2) as u32;
+            let run = |sample: u32| {
+                let mut w = World::builder()
+                    .nodes(3)
+                    .program(MAIN)
+                    .program_for(1, SERVER)
+                    .program_for(2, RELAY)
+                    .network(pilgrim::NetworkConfig {
+                        p_silent_loss: 0.05,
+                        seed: *seed,
+                        ..Default::default()
+                    })
+                    .seed(*seed)
+                    .debugger(false)
+                    .trace_sample(sample)
+                    .build()
+                    .unwrap();
+                w.spawn(0, "main", vec![Value::Int(16)]);
+                w.run_until_idle(SimTime::from_secs(300));
+                (pilgrim::CausalGraph::from_events(&w.tracer().events()), w)
+            };
+            let (full, full_world) = run(0);
+            let (sampled, sampled_world) = run(rate);
+            ensure_eq(full_world.console(0), sampled_world.console(0))?;
+
+            use std::collections::HashMap;
+            let by_id: HashMap<u64, &pilgrim::SpanProfile> =
+                full.spans().iter().map(|p| (p.span, p)).collect();
+            let kept: Vec<u64> = sampled.spans().iter().map(|p| p.span).collect();
+            ensure(
+                !kept.is_empty() && kept.len() < full.spans().len(),
+                format!(
+                    "rate {rate} must thin the trace: kept {} of {} spans",
+                    kept.len(),
+                    full.spans().len()
+                ),
+            )?;
+            for p in sampled.spans() {
+                let twin = by_id.get(&p.span).ok_or(format!(
+                    "span {} survived sampling but never ran in the full world",
+                    p.span
+                ))?;
+                ensure_eq(p.render(), twin.render())?;
+                ensure(
+                    p.parent == 0 || kept.contains(&p.parent),
+                    format!("span {} kept without its parent {}", p.span, p.parent),
+                )?;
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
 // Determinism and time consistency.
 // ---------------------------------------------------------------------
 
